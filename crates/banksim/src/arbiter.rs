@@ -1,0 +1,225 @@
+//! Per-cycle conflict arbitration.
+//!
+//! Implements the conflict taxonomy of paper §II in three phases:
+//!
+//! 1. **bank conflicts** — requests to still-active banks are delayed;
+//! 2. **section conflicts** — among a CPU's remaining requests, only one per
+//!    section can use that CPU's access path; the priority rule picks the
+//!    winner (this also covers two same-CPU ports colliding on one inactive
+//!    bank, which the paper treats as a section conflict);
+//! 3. **simultaneous bank conflicts** — among the per-CPU winners, requests
+//!    from different CPUs (hence different paths) colliding on one inactive
+//!    bank are arbitrated by the same priority rule.
+
+use crate::config::{PriorityRule, SimConfig};
+use crate::request::{ConflictKind, PortId, PortOutcome, Request};
+
+/// Priority rank of a port under `rule` with the given rotation offset;
+/// lower rank wins.
+#[must_use]
+pub fn priority_rank(rule: PriorityRule, rotation: usize, n_ports: usize, port: PortId) -> usize {
+    match rule {
+        PriorityRule::Fixed => port.0,
+        PriorityRule::Cyclic => (port.0 + n_ports - rotation % n_ports) % n_ports,
+    }
+}
+
+/// Arbitrates one clock period.
+///
+/// `bank_busy(bank)` reports whether a bank is still active; `requests`
+/// holds the pending request of every active port this cycle. Returns one
+/// outcome per request, in input order.
+#[must_use]
+pub fn arbitrate(
+    config: &SimConfig,
+    rotation: usize,
+    bank_busy: impl Fn(u64) -> bool,
+    requests: &[(PortId, Request)],
+) -> Vec<(PortId, Request, PortOutcome)> {
+    let n = config.num_ports();
+    let rank = |p: PortId| priority_rank(config.priority, rotation, n, p);
+
+    let mut outcome: Vec<Option<PortOutcome>> = vec![None; requests.len()];
+
+    // Phase 1: bank conflicts.
+    for (i, (_, req)) in requests.iter().enumerate() {
+        if bank_busy(req.bank) {
+            outcome[i] = Some(PortOutcome::Delayed(ConflictKind::Bank));
+        }
+    }
+
+    // Phase 2: section conflicts within each CPU.
+    // Group the surviving requests by (cpu, section).
+    let survivors: Vec<usize> = (0..requests.len()).filter(|&i| outcome[i].is_none()).collect();
+    let mut keyed: Vec<(usize, (usize, u64))> = survivors
+        .iter()
+        .map(|&i| {
+            let (port, req) = requests[i];
+            (i, (config.cpu_of(port).0, config.geometry.section_of(req.bank)))
+        })
+        .collect();
+    keyed.sort_by_key(|&(_, key)| key);
+    let mut path_winners: Vec<usize> = Vec::with_capacity(keyed.len());
+    let mut g = 0;
+    while g < keyed.len() {
+        let key = keyed[g].1;
+        let mut end = g;
+        while end < keyed.len() && keyed[end].1 == key {
+            end += 1;
+        }
+        let winner = keyed[g..end]
+            .iter()
+            .map(|&(i, _)| i)
+            .min_by_key(|&i| rank(requests[i].0))
+            .expect("group is nonempty");
+        for &(i, _) in &keyed[g..end] {
+            if i == winner {
+                path_winners.push(i);
+            } else {
+                outcome[i] = Some(PortOutcome::Delayed(ConflictKind::Section));
+            }
+        }
+        g = end;
+    }
+
+    // Phase 3: simultaneous bank conflicts across CPUs.
+    let mut by_bank: Vec<(u64, usize)> =
+        path_winners.iter().map(|&i| (requests[i].1.bank, i)).collect();
+    by_bank.sort_unstable();
+    let mut g = 0;
+    while g < by_bank.len() {
+        let bank = by_bank[g].0;
+        let mut end = g;
+        while end < by_bank.len() && by_bank[end].0 == bank {
+            end += 1;
+        }
+        let winner = by_bank[g..end]
+            .iter()
+            .map(|&(_, i)| i)
+            .min_by_key(|&i| rank(requests[i].0))
+            .expect("group is nonempty");
+        for &(_, i) in &by_bank[g..end] {
+            outcome[i] = Some(if i == winner {
+                PortOutcome::Granted
+            } else {
+                PortOutcome::Delayed(ConflictKind::SimultaneousBank)
+            });
+        }
+        g = end;
+    }
+
+    requests
+        .iter()
+        .zip(outcome)
+        .map(|(&(port, req), o)| (port, req, o.expect("every request gets an outcome")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecmem_analytic::Geometry;
+
+    fn req(port: usize, bank: u64) -> (PortId, Request) {
+        (PortId(port), Request { bank })
+    }
+
+    fn never_busy(_: u64) -> bool {
+        false
+    }
+
+    #[test]
+    fn no_conflicts_all_granted() {
+        let c = SimConfig::one_port_per_cpu(Geometry::unsectioned(8, 2).unwrap(), 2);
+        let out = arbitrate(&c, 0, never_busy, &[req(0, 1), req(1, 5)]);
+        assert!(out.iter().all(|&(_, _, o)| o == PortOutcome::Granted));
+    }
+
+    #[test]
+    fn bank_conflict_on_busy_bank() {
+        let c = SimConfig::one_port_per_cpu(Geometry::unsectioned(8, 2).unwrap(), 2);
+        let out = arbitrate(&c, 0, |b| b == 3, &[req(0, 3), req(1, 5)]);
+        assert_eq!(out[0].2, PortOutcome::Delayed(ConflictKind::Bank));
+        assert_eq!(out[1].2, PortOutcome::Granted);
+    }
+
+    #[test]
+    fn simultaneous_conflict_between_cpus() {
+        // Two ports on different CPUs hit the same inactive bank: fixed
+        // priority gives it to port 0.
+        let c = SimConfig::one_port_per_cpu(Geometry::unsectioned(8, 2).unwrap(), 2);
+        let out = arbitrate(&c, 0, never_busy, &[req(0, 3), req(1, 3)]);
+        assert_eq!(out[0].2, PortOutcome::Granted);
+        assert_eq!(out[1].2, PortOutcome::Delayed(ConflictKind::SimultaneousBank));
+    }
+
+    #[test]
+    fn same_cpu_same_bank_is_section_conflict() {
+        // Paper §III-B: within one CPU there is a single path to the bank's
+        // section, so the collision is classified as a section conflict.
+        let c = SimConfig::single_cpu(Geometry::unsectioned(8, 2).unwrap(), 2);
+        let out = arbitrate(&c, 0, never_busy, &[req(0, 3), req(1, 3)]);
+        assert_eq!(out[0].2, PortOutcome::Granted);
+        assert_eq!(out[1].2, PortOutcome::Delayed(ConflictKind::Section));
+    }
+
+    #[test]
+    fn section_conflict_different_banks_same_path() {
+        // m = 4, s = 2: banks 1 and 3 are both in section 1; two ports of one
+        // CPU need the same path.
+        let c = SimConfig::single_cpu(Geometry::new(4, 2, 2).unwrap(), 2);
+        let out = arbitrate(&c, 0, never_busy, &[req(0, 1), req(1, 3)]);
+        assert_eq!(out[0].2, PortOutcome::Granted);
+        assert_eq!(out[1].2, PortOutcome::Delayed(ConflictKind::Section));
+    }
+
+    #[test]
+    fn different_cpus_never_section_conflict() {
+        // Same section, different banks, different CPUs: each CPU has its
+        // own path, both granted.
+        let c = SimConfig::one_port_per_cpu(Geometry::new(4, 2, 2).unwrap(), 2);
+        let out = arbitrate(&c, 0, never_busy, &[req(0, 1), req(1, 3)]);
+        assert!(out.iter().all(|&(_, _, o)| o == PortOutcome::Granted));
+    }
+
+    #[test]
+    fn cyclic_priority_rotates_winner() {
+        let c = SimConfig::one_port_per_cpu(Geometry::unsectioned(8, 2).unwrap(), 2)
+            .with_priority(PriorityRule::Cyclic);
+        // rotation 0: port 0 wins.
+        let out0 = arbitrate(&c, 0, never_busy, &[req(0, 3), req(1, 3)]);
+        assert_eq!(out0[0].2, PortOutcome::Granted);
+        // rotation 1: port 1 holds top priority.
+        let out1 = arbitrate(&c, 1, never_busy, &[req(0, 3), req(1, 3)]);
+        assert_eq!(out1[1].2, PortOutcome::Granted);
+        assert_eq!(out1[0].2, PortOutcome::Delayed(ConflictKind::SimultaneousBank));
+    }
+
+    #[test]
+    fn three_way_section_conflict_single_winner() {
+        let c = SimConfig::single_cpu(Geometry::new(8, 2, 2).unwrap(), 3);
+        let out = arbitrate(&c, 0, never_busy, &[req(0, 0), req(1, 2), req(2, 4)]);
+        let granted = out.iter().filter(|&&(_, _, o)| o == PortOutcome::Granted).count();
+        assert_eq!(granted, 1);
+        assert_eq!(out[0].2, PortOutcome::Granted);
+    }
+
+    #[test]
+    fn bank_conflict_checked_before_section() {
+        // A port whose bank is busy must record a bank conflict even if it
+        // would also have lost the path arbitration.
+        let c = SimConfig::single_cpu(Geometry::new(4, 2, 2).unwrap(), 2);
+        let out = arbitrate(&c, 0, |b| b == 3, &[req(0, 1), req(1, 3)]);
+        assert_eq!(out[0].2, PortOutcome::Granted);
+        assert_eq!(out[1].2, PortOutcome::Delayed(ConflictKind::Bank));
+    }
+
+    #[test]
+    fn priority_rank_wrapping() {
+        assert_eq!(priority_rank(PriorityRule::Fixed, 7, 4, PortId(2)), 2);
+        assert_eq!(priority_rank(PriorityRule::Cyclic, 0, 4, PortId(2)), 2);
+        assert_eq!(priority_rank(PriorityRule::Cyclic, 2, 4, PortId(2)), 0);
+        assert_eq!(priority_rank(PriorityRule::Cyclic, 3, 4, PortId(0)), 1);
+        assert_eq!(priority_rank(PriorityRule::Cyclic, 5, 4, PortId(1)), 0);
+    }
+}

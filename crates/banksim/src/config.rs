@@ -1,0 +1,129 @@
+//! Simulator configuration: geometry, port topology and the priority rule.
+
+use crate::request::{CpuId, PortId};
+use vecmem_analytic::Geometry;
+
+/// How conflicts between competing ports are resolved.
+///
+/// The paper discusses both a *fixed* priority rule (which can trap two
+/// streams in a linked conflict, Fig. 8a) and a *cyclic* rule that rotates
+/// the top priority every clock period and thereby resolves linked
+/// conflicts (Fig. 8b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PriorityRule {
+    /// Lower port id always wins.
+    #[default]
+    Fixed,
+    /// Round-robin: the port holding top priority advances by one every
+    /// clock period.
+    Cyclic,
+}
+
+/// Full static configuration of a simulated memory system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Memory geometry (banks, sections, bank cycle time, section mapping).
+    pub geometry: Geometry,
+    /// `ports[i]` is the CPU that port `i` belongs to.
+    pub ports: Vec<CpuId>,
+    /// Conflict resolution rule.
+    pub priority: PriorityRule,
+}
+
+impl SimConfig {
+    /// Configuration with `n_ports` ports, all on one CPU.
+    #[must_use]
+    pub fn single_cpu(geometry: Geometry, n_ports: usize) -> Self {
+        Self {
+            geometry,
+            ports: vec![CpuId(0); n_ports],
+            priority: PriorityRule::Fixed,
+        }
+    }
+
+    /// Configuration with one port per CPU (every port has its own access
+    /// paths — the §III-B "equal number of sections and banks" setting for
+    /// any `s`, since paths are never a bottleneck across CPUs).
+    #[must_use]
+    pub fn one_port_per_cpu(geometry: Geometry, n_ports: usize) -> Self {
+        Self {
+            geometry,
+            ports: (0..n_ports).map(CpuId).collect(),
+            priority: PriorityRule::Fixed,
+        }
+    }
+
+    /// The Cray X-MP arrangement of the paper's §IV: two CPUs with three
+    /// memory ports each on the 16-bank, 4-section, `n_c = 4` memory.
+    #[must_use]
+    pub fn cray_xmp_dual() -> Self {
+        Self {
+            geometry: Geometry::cray_xmp(),
+            ports: vec![CpuId(0), CpuId(0), CpuId(0), CpuId(1), CpuId(1), CpuId(1)],
+            priority: PriorityRule::Fixed,
+        }
+    }
+
+    /// Sets the priority rule (builder style).
+    #[must_use]
+    pub fn with_priority(mut self, priority: PriorityRule) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Number of ports, i.e. the maximum bandwidth `b_w`.
+    #[must_use]
+    pub fn num_ports(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Number of distinct CPUs.
+    #[must_use]
+    pub fn num_cpus(&self) -> usize {
+        self.ports.iter().map(|c| c.0).max().map_or(0, |m| m + 1)
+    }
+
+    /// CPU of a port.
+    #[must_use]
+    pub fn cpu_of(&self, port: PortId) -> CpuId {
+        self.ports[port.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cpu_config() {
+        let c = SimConfig::single_cpu(Geometry::unsectioned(8, 2).unwrap(), 3);
+        assert_eq!(c.num_ports(), 3);
+        assert_eq!(c.num_cpus(), 1);
+        assert_eq!(c.cpu_of(PortId(2)), CpuId(0));
+        assert_eq!(c.priority, PriorityRule::Fixed);
+    }
+
+    #[test]
+    fn per_cpu_config() {
+        let c = SimConfig::one_port_per_cpu(Geometry::unsectioned(8, 2).unwrap(), 2);
+        assert_eq!(c.num_cpus(), 2);
+        assert_ne!(c.cpu_of(PortId(0)), c.cpu_of(PortId(1)));
+    }
+
+    #[test]
+    fn xmp_dual_layout() {
+        let c = SimConfig::cray_xmp_dual();
+        assert_eq!(c.num_ports(), 6);
+        assert_eq!(c.num_cpus(), 2);
+        assert_eq!(c.cpu_of(PortId(0)), CpuId(0));
+        assert_eq!(c.cpu_of(PortId(3)), CpuId(1));
+        assert_eq!(c.geometry.banks(), 16);
+        assert_eq!(c.geometry.sections(), 4);
+    }
+
+    #[test]
+    fn builder_priority() {
+        let c = SimConfig::cray_xmp_dual().with_priority(PriorityRule::Cyclic);
+        assert_eq!(c.priority, PriorityRule::Cyclic);
+    }
+}

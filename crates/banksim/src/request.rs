@@ -1,0 +1,64 @@
+//! Requests, ports and the conflict taxonomy.
+
+/// Identifier of a memory port (globally unique across CPUs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortId(pub usize);
+
+/// Identifier of a CPU. Ports of the same CPU share one access path per
+/// section; ports of different CPUs have independent paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CpuId(pub usize);
+
+/// A pending memory request: the bank the port wants this clock period.
+///
+/// Only the bank address matters for conflict behaviour (paper §II: "we are
+/// only interested in the address j of the bank"); word addresses are
+/// reduced by the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Target bank address, in `0..m`.
+    pub bank: u64,
+}
+
+/// The three conflict types of paper §II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConflictKind {
+    /// Access to a still-active bank: the request is postponed.
+    Bank,
+    /// Two or more ports on different access paths request the same inactive
+    /// bank; the priority rule decides.
+    SimultaneousBank,
+    /// Two or more ports of one CPU need the same access path; the priority
+    /// rule decides.
+    Section,
+}
+
+/// Per-cycle outcome for a port that had a pending request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortOutcome {
+    /// The request was granted; the port advances.
+    Granted,
+    /// The request was delayed by the given conflict. The port retries next
+    /// clock period (and all its subsequent requests shift with it).
+    Delayed(ConflictKind),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_order_and_compare() {
+        assert!(PortId(0) < PortId(3));
+        assert_eq!(CpuId(1), CpuId(1));
+        assert_ne!(CpuId(0), CpuId(1));
+    }
+
+    #[test]
+    fn outcome_matching() {
+        let d = PortOutcome::Delayed(ConflictKind::Section);
+        assert_ne!(d, PortOutcome::Granted);
+        assert_eq!(d, PortOutcome::Delayed(ConflictKind::Section));
+        assert_ne!(d, PortOutcome::Delayed(ConflictKind::Bank));
+    }
+}

@@ -1,0 +1,266 @@
+//! Grant and conflict statistics.
+//!
+//! A "conflict" is counted once per clock period a port spends delayed, per
+//! the dynamic conflict-resolution model: a request that cannot be serviced
+//! is delayed one clock period and competes again, so a single access that
+//! waits three periods records three conflict counts. (The paper's Fig. 10
+//! series count conflicts encountered by the triad; shapes are invariant
+//! under either convention, and per-period counting is the one that relates
+//! directly to lost bandwidth.)
+
+use crate::request::{ConflictKind, PortId};
+use std::ops::Sub;
+
+/// Conflict counters, one per [`ConflictKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConflictCounts {
+    /// Requests delayed by an active bank.
+    pub bank: u64,
+    /// Requests that lost a same-bank arbitration across access paths.
+    pub simultaneous: u64,
+    /// Requests that lost an access-path arbitration within a CPU.
+    pub section: u64,
+}
+
+impl ConflictCounts {
+    /// Total delayed port-cycles.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.bank + self.simultaneous + self.section
+    }
+
+    /// Increments the counter for `kind`.
+    pub fn record(&mut self, kind: ConflictKind) {
+        match kind {
+            ConflictKind::Bank => self.bank += 1,
+            ConflictKind::SimultaneousBank => self.simultaneous += 1,
+            ConflictKind::Section => self.section += 1,
+        }
+    }
+
+    /// Reads the counter for `kind`.
+    #[must_use]
+    pub fn get(&self, kind: ConflictKind) -> u64 {
+        match kind {
+            ConflictKind::Bank => self.bank,
+            ConflictKind::SimultaneousBank => self.simultaneous,
+            ConflictKind::Section => self.section,
+        }
+    }
+}
+
+impl Sub for ConflictCounts {
+    type Output = ConflictCounts;
+    fn sub(self, rhs: Self) -> Self {
+        Self {
+            bank: self.bank - rhs.bank,
+            simultaneous: self.simultaneous - rhs.simultaneous,
+            section: self.section - rhs.section,
+        }
+    }
+}
+
+/// Number of buckets in the wait-time histogram: waits of `0..=7` cycles
+/// plus an `8+` overflow bucket.
+pub const WAIT_BUCKETS: usize = 9;
+
+/// Statistics of a single port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PortStats {
+    /// Granted requests (data transferred).
+    pub grants: u64,
+    /// Conflicts suffered, by kind.
+    pub conflicts: ConflictCounts,
+    /// Histogram of per-request wait times (clock periods spent delayed
+    /// before the grant); the last bucket collects waits of 8 or more.
+    pub wait_histogram: [u64; WAIT_BUCKETS],
+    /// Longest wait of any single request.
+    pub max_wait: u64,
+}
+
+impl PortStats {
+    /// Total clock periods this port spent waiting (equals the total
+    /// conflict count by construction of the delay model).
+    #[must_use]
+    pub fn total_wait(&self) -> u64 {
+        self.conflicts.total()
+    }
+
+    /// Mean wait per granted request.
+    #[must_use]
+    pub fn mean_wait(&self) -> f64 {
+        if self.grants == 0 {
+            return 0.0;
+        }
+        self.total_wait() as f64 / self.grants as f64
+    }
+}
+
+/// Statistics of a whole simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimStats {
+    per_port: Vec<PortStats>,
+    cycles: u64,
+}
+
+impl SimStats {
+    /// Fresh statistics for `n_ports` ports.
+    #[must_use]
+    pub fn new(n_ports: usize) -> Self {
+        Self { per_port: vec![PortStats::default(); n_ports], cycles: 0 }
+    }
+
+    /// Records a granted request for `port`.
+    pub fn record_grant(&mut self, port: PortId) {
+        self.per_port[port.0].grants += 1;
+    }
+
+    /// Records a delayed request for `port`.
+    pub fn record_conflict(&mut self, port: PortId, kind: ConflictKind) {
+        self.per_port[port.0].conflicts.record(kind);
+    }
+
+    /// Records the completed wait of a granted request.
+    pub fn record_wait(&mut self, port: PortId, wait: u64) {
+        let p = &mut self.per_port[port.0];
+        let bucket = (wait as usize).min(WAIT_BUCKETS - 1);
+        p.wait_histogram[bucket] += 1;
+        p.max_wait = p.max_wait.max(wait);
+    }
+
+    /// Advances the cycle counter.
+    pub fn tick(&mut self) {
+        self.cycles += 1;
+    }
+
+    /// Elapsed clock periods.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Per-port view.
+    #[must_use]
+    pub fn port(&self, port: PortId) -> &PortStats {
+        &self.per_port[port.0]
+    }
+
+    /// All ports.
+    #[must_use]
+    pub fn ports(&self) -> &[PortStats] {
+        &self.per_port
+    }
+
+    /// Total granted requests across all ports.
+    #[must_use]
+    pub fn total_grants(&self) -> u64 {
+        self.per_port.iter().map(|p| p.grants).sum()
+    }
+
+    /// Summed conflict counters across all ports.
+    #[must_use]
+    pub fn total_conflicts(&self) -> ConflictCounts {
+        let mut total = ConflictCounts::default();
+        for p in &self.per_port {
+            total.bank += p.conflicts.bank;
+            total.simultaneous += p.conflicts.simultaneous;
+            total.section += p.conflicts.section;
+        }
+        total
+    }
+
+    /// Average data transferred per clock period over the whole run
+    /// (includes any startup transient; use the steady-state measurement for
+    /// the asymptotic value).
+    #[must_use]
+    pub fn effective_bandwidth(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.total_grants() as f64 / self.cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflict_counts_roundtrip() {
+        let mut c = ConflictCounts::default();
+        c.record(ConflictKind::Bank);
+        c.record(ConflictKind::Bank);
+        c.record(ConflictKind::Section);
+        c.record(ConflictKind::SimultaneousBank);
+        assert_eq!(c.get(ConflictKind::Bank), 2);
+        assert_eq!(c.get(ConflictKind::Section), 1);
+        assert_eq!(c.get(ConflictKind::SimultaneousBank), 1);
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn conflict_counts_difference() {
+        let a = ConflictCounts { bank: 5, simultaneous: 3, section: 2 };
+        let b = ConflictCounts { bank: 2, simultaneous: 1, section: 0 };
+        assert_eq!(a - b, ConflictCounts { bank: 3, simultaneous: 2, section: 2 });
+    }
+
+    #[test]
+    fn sim_stats_bandwidth() {
+        let mut s = SimStats::new(2);
+        for _ in 0..10 {
+            s.record_grant(PortId(0));
+            s.record_grant(PortId(1));
+            s.tick();
+        }
+        assert_eq!(s.total_grants(), 20);
+        assert_eq!(s.cycles(), 10);
+        assert!((s.effective_bandwidth() - 2.0).abs() < 1e-12);
+        assert_eq!(s.port(PortId(0)).grants, 10);
+    }
+
+    #[test]
+    fn empty_run_has_zero_bandwidth() {
+        let s = SimStats::new(1);
+        assert_eq!(s.effective_bandwidth(), 0.0);
+    }
+
+    #[test]
+    fn conflicts_aggregate_over_ports() {
+        let mut s = SimStats::new(3);
+        s.record_conflict(PortId(0), ConflictKind::Bank);
+        s.record_conflict(PortId(1), ConflictKind::Bank);
+        s.record_conflict(PortId(2), ConflictKind::Section);
+        let t = s.total_conflicts();
+        assert_eq!(t.bank, 2);
+        assert_eq!(t.section, 1);
+        assert_eq!(t.simultaneous, 0);
+    }
+
+    #[test]
+    fn wait_histogram_and_max() {
+        let mut s = SimStats::new(1);
+        s.record_grant(PortId(0));
+        s.record_wait(PortId(0), 0);
+        s.record_grant(PortId(0));
+        s.record_wait(PortId(0), 3);
+        s.record_grant(PortId(0));
+        s.record_wait(PortId(0), 20); // overflow bucket
+        let p = s.port(PortId(0));
+        assert_eq!(p.wait_histogram[0], 1);
+        assert_eq!(p.wait_histogram[3], 1);
+        assert_eq!(p.wait_histogram[WAIT_BUCKETS - 1], 1);
+        assert_eq!(p.max_wait, 20);
+    }
+
+    #[test]
+    fn mean_wait_tracks_conflicts() {
+        let mut s = SimStats::new(1);
+        assert_eq!(s.port(PortId(0)).mean_wait(), 0.0);
+        s.record_conflict(PortId(0), ConflictKind::Bank);
+        s.record_conflict(PortId(0), ConflictKind::Bank);
+        s.record_grant(PortId(0));
+        assert_eq!(s.port(PortId(0)).total_wait(), 2);
+        assert_eq!(s.port(PortId(0)).mean_wait(), 2.0);
+    }
+}

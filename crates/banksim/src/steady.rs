@@ -1,0 +1,357 @@
+//! Exact steady-state (cyclic state) effective bandwidth.
+//!
+//! Paper §III, assumption 1: "the possible memory states are finite, and
+//! some cyclic state will be reached. Neglecting startup times, we compute
+//! the effective bandwidth for the cyclic state." The simulator realises
+//! this literally: the full simulator state — remaining bank busy times,
+//! each stream's current position, and the priority rotation — is hashed
+//! each clock period, and as soon as a state repeats, the bandwidth over
+//! one period of the cycle is exact and final.
+
+use crate::config::SimConfig;
+use crate::engine::Engine;
+use crate::request::PortId;
+use crate::stats::ConflictCounts;
+use crate::streams::{StreamWorkload, StridedStream};
+use crate::workload::Workload;
+use std::collections::HashMap;
+use vecmem_analytic::{Geometry, Ratio, StreamSpec};
+
+/// Measured cyclic state of a set of infinite streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SteadyState {
+    /// Exact effective bandwidth `b_eff` (grants per clock period over one
+    /// period of the cyclic state).
+    pub beff: Ratio,
+    /// Clock periods before the cyclic state is first entered.
+    pub transient: u64,
+    /// Length of the cycle in clock periods.
+    pub period: u64,
+    /// Total grants within one period.
+    pub grants_per_period: u64,
+    /// Per-port exact bandwidth within the cycle.
+    pub per_port: Vec<Ratio>,
+    /// Conflicts per period, by kind.
+    pub conflicts_per_period: ConflictCounts,
+}
+
+impl SteadyState {
+    /// True when no conflicts occur in the cyclic state (i.e. the streams
+    /// run at full bandwidth forever once synchronised).
+    #[must_use]
+    pub fn conflict_free(&self) -> bool {
+        self.conflicts_per_period.total() == 0
+    }
+}
+
+/// Error from the steady-state measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SteadyStateError {
+    /// No cyclic state found within the cycle budget (should not happen for
+    /// valid stream workloads; the state space is finite).
+    NotConverged {
+        /// Cycles simulated before giving up.
+        cycles: u64,
+    },
+}
+
+impl std::fmt::Display for SteadyStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotConverged { cycles } => {
+                write!(f, "no cyclic state within {cycles} cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SteadyStateError {}
+
+/// A workload whose full dynamic state can be summarised for cyclic-state
+/// detection. The signature, together with the engine's bank residues and
+/// priority rotation, must determine all future behaviour.
+pub trait ObservableWorkload: Workload {
+    /// Compact encoding of the workload state.
+    fn state_signature(&self) -> Vec<u64>;
+}
+
+impl ObservableWorkload for StreamWorkload {
+    fn state_signature(&self) -> Vec<u64> {
+        StreamWorkload::state_signature(self)
+    }
+}
+
+#[derive(Clone)]
+struct Snapshot {
+    cycle: u64,
+    grants: Vec<u64>,
+    conflicts: ConflictCounts,
+}
+
+/// Runs any observable workload until the simulator state recurs and
+/// returns the exact cyclic-state bandwidth. `warmup` cycles are simulated
+/// first (use this to get past start-time offsets that are not part of the
+/// state signature).
+pub fn measure_steady_state_workload<W: ObservableWorkload>(
+    config: &SimConfig,
+    workload: &mut W,
+    warmup: u64,
+    max_cycles: u64,
+) -> Result<SteadyState, SteadyStateError> {
+    let mut engine = Engine::new(config.clone());
+    for _ in 0..warmup {
+        engine.step(workload);
+    }
+    let mut seen: HashMap<Vec<u64>, Snapshot> = HashMap::new();
+    loop {
+        let mut key: Vec<u64> = engine.bank_residues().iter().map(|&r| r as u64).collect();
+        key.extend(workload.state_signature());
+        key.push(engine.rotation() as u64);
+        let grants: Vec<u64> = (0..config.num_ports())
+            .map(|p| engine.stats().port(PortId(p)).grants)
+            .collect();
+        let snapshot = Snapshot {
+            cycle: engine.now(),
+            grants,
+            conflicts: engine.stats().total_conflicts(),
+        };
+        if let Some(first) = seen.get(&key) {
+            let period = snapshot.cycle - first.cycle;
+            let per_port: Vec<Ratio> = snapshot
+                .grants
+                .iter()
+                .zip(&first.grants)
+                .map(|(&now, &then)| Ratio::new(now - then, period))
+                .collect();
+            let grants_per_period: u64 = snapshot
+                .grants
+                .iter()
+                .zip(&first.grants)
+                .map(|(&now, &then)| now - then)
+                .sum();
+            return Ok(SteadyState {
+                beff: Ratio::new(grants_per_period, period),
+                transient: first.cycle,
+                period,
+                grants_per_period,
+                per_port,
+                conflicts_per_period: snapshot.conflicts - first.conflicts,
+            });
+        }
+        if engine.now() >= max_cycles + warmup {
+            return Err(SteadyStateError::NotConverged { cycles: engine.now() });
+        }
+        seen.insert(key, snapshot);
+        engine.step(workload);
+    }
+}
+
+/// Runs infinite streams until the simulator state recurs and returns the
+/// exact cyclic-state bandwidth.
+///
+/// `specs[i]` is the stream of port `i`; every port of the configuration
+/// must have a stream. `max_cycles` bounds the search (the cycle is
+/// normally found within a few `lcm`-scale periods).
+pub fn measure_steady_state(
+    config: &SimConfig,
+    specs: &[StreamSpec],
+    max_cycles: u64,
+) -> Result<SteadyState, SteadyStateError> {
+    assert_eq!(
+        specs.len(),
+        config.num_ports(),
+        "one stream per configured port required"
+    );
+    let mut workload = StreamWorkload::infinite(&config.geometry, specs);
+    measure_steady_state_workload(config, &mut workload, 0, max_cycles)
+}
+
+/// Convenience wrapper: two infinite streams on ports of *different* CPUs
+/// over an unsectioned view (the §III-B "equal sections and banks" setting).
+pub fn measure_pair_cross_cpu(
+    geom: &Geometry,
+    s1: StreamSpec,
+    s2: StreamSpec,
+    max_cycles: u64,
+) -> Result<SteadyState, SteadyStateError> {
+    let config = SimConfig::one_port_per_cpu(*geom, 2);
+    measure_steady_state(&config, &[s1, s2], max_cycles)
+}
+
+/// Convenience wrapper: two infinite streams on ports of the *same* CPU
+/// (section conflicts possible when `s < m`).
+pub fn measure_pair_same_cpu(
+    geom: &Geometry,
+    s1: StreamSpec,
+    s2: StreamSpec,
+    max_cycles: u64,
+) -> Result<SteadyState, SteadyStateError> {
+    let config = SimConfig::single_cpu(*geom, 2);
+    measure_steady_state(&config, &[s1, s2], max_cycles)
+}
+
+/// Measures a single stream's steady state (validates §III-A).
+pub fn measure_single(
+    geom: &Geometry,
+    spec: StreamSpec,
+    max_cycles: u64,
+) -> Result<SteadyState, SteadyStateError> {
+    let config = SimConfig::single_cpu(*geom, 1);
+    measure_steady_state(&config, &[spec], max_cycles)
+}
+
+/// Delay variants of a stream pair: sweeps stream 2's start bank over all
+/// `m` positions and reports each steady state. Used to verify the
+/// "synchronization" claim of Theorem 3 and the uniqueness claims of
+/// Theorems 6/7.
+pub fn sweep_start_banks(
+    config: &SimConfig,
+    d1: u64,
+    d2: u64,
+    max_cycles: u64,
+) -> Result<Vec<SteadyState>, SteadyStateError> {
+    let geom = config.geometry;
+    let m = geom.banks();
+    let mut out = Vec::with_capacity(m as usize);
+    for b2 in 0..m {
+        let s1 = StreamSpec { start_bank: 0, distance: d1 % m };
+        let s2 = StreamSpec { start_bank: b2, distance: d2 % m };
+        out.push(measure_steady_state(config, &[s1, s2], max_cycles)?);
+    }
+    Ok(out)
+}
+
+/// Like [`measure_steady_state`] but with per-stream start-cycle offsets
+/// (relative positions in *time* rather than space).
+pub fn measure_steady_state_with_delays(
+    config: &SimConfig,
+    specs: &[(StreamSpec, u64)],
+    max_cycles: u64,
+) -> Result<SteadyState, SteadyStateError> {
+    assert_eq!(specs.len(), config.num_ports());
+    let geom = config.geometry;
+    let mut workload = StreamWorkload::new(
+        specs
+            .iter()
+            .map(|&(spec, at)| StridedStream::infinite(&geom, spec).starting_at(at))
+            .collect(),
+    );
+    // Advance past all start offsets first so the state key (which does not
+    // include absolute time) is valid.
+    let warmup = specs.iter().map(|&(_, at)| at).max().unwrap_or(0);
+    measure_steady_state_workload(config, &mut workload, warmup, max_cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom(m: u64, nc: u64) -> Geometry {
+        Geometry::unsectioned(m, nc).unwrap()
+    }
+
+    fn spec(g: &Geometry, b: u64, d: u64) -> StreamSpec {
+        StreamSpec::new(g, b, d).unwrap()
+    }
+
+    #[test]
+    fn single_stream_steady_states() {
+        // §III-A: b_eff = 1 for r >= n_c, r/n_c otherwise.
+        let g = geom(16, 4);
+        let full = measure_single(&g, spec(&g, 0, 1), 10_000).unwrap();
+        assert_eq!(full.beff, Ratio::integer(1));
+        assert!(full.conflict_free());
+
+        let half = measure_single(&g, spec(&g, 0, 8), 10_000).unwrap();
+        assert_eq!(half.beff, Ratio::new(1, 2)); // r = 2, n_c = 4
+        assert!(!half.conflict_free());
+
+        let quarter = measure_single(&g, spec(&g, 3, 0), 10_000).unwrap();
+        assert_eq!(quarter.beff, Ratio::new(1, 4)); // r = 1
+    }
+
+    #[test]
+    fn fig2_conflict_free_pair() {
+        // Fig. 2: m = 12, n_c = 3, d1 = 1, d2 = 7: b_eff = 2.
+        let g = geom(12, 3);
+        let ss = measure_pair_cross_cpu(&g, spec(&g, 0, 1), spec(&g, 1, 7), 10_000).unwrap();
+        assert_eq!(ss.beff, Ratio::integer(2));
+        assert!(ss.conflict_free());
+    }
+
+    #[test]
+    fn fig3_barrier_pair() {
+        // Fig. 3: m = 13, n_c = 6, d1 = 1, d2 = 6 with starts realising the
+        // barrier: b_eff = 1 + d1/d2 = 7/6.
+        let g = geom(13, 6);
+        let ss = measure_pair_cross_cpu(&g, spec(&g, 0, 1), spec(&g, 0, 6), 100_000).unwrap();
+        assert_eq!(ss.beff, Ratio::new(7, 6));
+        // Stream 1 runs conflict-free at rate 1; stream 2 is the delayed one.
+        assert_eq!(ss.per_port[0], Ratio::integer(1));
+        assert_eq!(ss.per_port[1], Ratio::new(1, 6));
+    }
+
+    #[test]
+    fn disjoint_sets_full_bandwidth() {
+        // m = 12, d1 = d2 = 2, odd offset: even/odd banks never meet.
+        let g = geom(12, 4);
+        let ss = measure_pair_cross_cpu(&g, spec(&g, 0, 2), spec(&g, 1, 2), 10_000).unwrap();
+        assert_eq!(ss.beff, Ratio::integer(2));
+        assert!(ss.conflict_free());
+    }
+
+    #[test]
+    fn start_bank_sweep_respects_theorem3_sync() {
+        // d1 = 1, d2 = 7 on m = 12, n_c = 3 satisfies Theorem 3, so *every*
+        // relative start position must converge to b_eff = 2.
+        let g = geom(12, 3);
+        let cfg = SimConfig::one_port_per_cpu(g, 2);
+        for (b2, ss) in sweep_start_banks(&cfg, 1, 7, 100_000)
+            .unwrap()
+            .into_iter()
+            .enumerate()
+        {
+            assert_eq!(ss.beff, Ratio::integer(2), "b2 = {b2}");
+        }
+    }
+
+    #[test]
+    fn time_offsets_equivalent_to_space_offsets() {
+        // Paper: "a relative position in time can be transformed to a
+        // relative position in space". Delaying stream 2 (d2 = 3) by one
+        // cycle is the same as moving its start bank back by d2: in the
+        // start-dependent Fig. 5/6 case (m = 13, n_c = 4) even the per-port
+        // split must match.
+        let g = geom(13, 4);
+        let cfg = SimConfig::one_port_per_cpu(g, 2);
+        let a = measure_steady_state_with_delays(
+            &cfg,
+            &[(spec(&g, 0, 1), 0), (spec(&g, 0, 3), 1)],
+            100_000,
+        )
+        .unwrap();
+        let b = measure_steady_state(&cfg, &[spec(&g, 0, 1), spec(&g, 10, 3)], 100_000).unwrap();
+        assert_eq!(a.beff, b.beff);
+        assert_eq!(a.per_port, b.per_port);
+    }
+
+    #[test]
+    fn not_converged_is_unreachable_for_small_systems() {
+        let g = geom(8, 2);
+        let cfg = SimConfig::one_port_per_cpu(g, 2);
+        for d1 in 0..8 {
+            for d2 in 0..8 {
+                let r = sweep_start_banks(&cfg, d1, d2, 1_000_000);
+                assert!(r.is_ok(), "d1={d1} d2={d2}");
+            }
+        }
+    }
+
+    #[test]
+    fn transient_and_period_reported() {
+        let g = geom(12, 3);
+        let ss = measure_pair_cross_cpu(&g, spec(&g, 0, 1), spec(&g, 0, 7), 10_000).unwrap();
+        assert!(ss.period > 0);
+        assert_eq!(ss.grants_per_period, 2 * ss.period);
+    }
+}

@@ -1,0 +1,216 @@
+//! Equally spaced (strided) access streams as a [`Workload`].
+//!
+//! This is the paper's vector-mode access pattern: stream `i` starts at bank
+//! `b_i` and requests `(b_i + k·d_i) mod m` for `k = 0, 1, 2, …`, one
+//! request per clock period (unless delayed). Streams may be infinite (for
+//! steady-state analysis) or transfer a fixed element count, and may start
+//! at a later clock period (a relative position in time, which the paper
+//! notes is equivalent to a relative position in space).
+
+use crate::request::{PortId, Request};
+use crate::workload::Workload;
+use vecmem_analytic::{Geometry, StreamSpec};
+
+/// How many elements a stream transfers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamLength {
+    /// Endless stream (paper assumption 1 in §III).
+    Infinite,
+    /// Exactly `n` elements, after which the port goes idle.
+    Elements(u64),
+}
+
+/// One strided stream bound to a port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StridedStream {
+    start_bank: u64,
+    distance: u64,
+    length: StreamLength,
+    start_cycle: u64,
+    issued: u64,
+    banks: u64,
+}
+
+impl StridedStream {
+    /// Creates an infinite stream starting immediately.
+    #[must_use]
+    pub fn infinite(geom: &Geometry, spec: StreamSpec) -> Self {
+        Self {
+            start_bank: spec.start_bank,
+            distance: spec.distance,
+            length: StreamLength::Infinite,
+            start_cycle: 0,
+            issued: 0,
+            banks: geom.banks(),
+        }
+    }
+
+    /// Creates a finite stream of `n` elements starting immediately.
+    #[must_use]
+    pub fn finite(geom: &Geometry, spec: StreamSpec, n: u64) -> Self {
+        Self {
+            length: StreamLength::Elements(n),
+            ..Self::infinite(geom, spec)
+        }
+    }
+
+    /// Delays the first request to `start_cycle` (builder style).
+    #[must_use]
+    pub fn starting_at(mut self, start_cycle: u64) -> Self {
+        self.start_cycle = start_cycle;
+        self
+    }
+
+    /// Bank address of the current (not yet granted) request, if any.
+    #[must_use]
+    pub fn current_bank(&self) -> Option<u64> {
+        match self.length {
+            StreamLength::Elements(n) if self.issued >= n => None,
+            _ => Some(
+                ((self.start_bank as u128 + self.issued as u128 * self.distance as u128)
+                    % self.banks as u128) as u64,
+            ),
+        }
+    }
+
+    /// Number of granted requests so far.
+    #[must_use]
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// True when a finite stream has transferred all its elements.
+    #[must_use]
+    pub fn done(&self) -> bool {
+        matches!(self.length, StreamLength::Elements(n) if self.issued >= n)
+    }
+}
+
+/// A fixed set of strided streams, one per port.
+#[derive(Debug, Clone)]
+pub struct StreamWorkload {
+    streams: Vec<StridedStream>,
+}
+
+impl StreamWorkload {
+    /// Builds a workload from one stream per port (index = port id).
+    #[must_use]
+    pub fn new(streams: Vec<StridedStream>) -> Self {
+        Self { streams }
+    }
+
+    /// Convenience: infinite streams for the given specs.
+    #[must_use]
+    pub fn infinite(geom: &Geometry, specs: &[StreamSpec]) -> Self {
+        Self::new(
+            specs
+                .iter()
+                .map(|&s| StridedStream::infinite(geom, s))
+                .collect(),
+        )
+    }
+
+    /// Access to an individual stream.
+    #[must_use]
+    pub fn stream(&self, port: PortId) -> &StridedStream {
+        &self.streams[port.0]
+    }
+
+    /// A compact signature of the workload state for cyclic-state detection:
+    /// each port's current bank (or `m`, an out-of-range marker, when done).
+    #[must_use]
+    pub fn state_signature(&self) -> Vec<u64> {
+        self.streams
+            .iter()
+            .map(|s| s.current_bank().unwrap_or(s.banks))
+            .collect()
+    }
+}
+
+impl Workload for StreamWorkload {
+    fn pending(&self, port: PortId, now: u64) -> Option<Request> {
+        let s = self.streams.get(port.0)?;
+        if now < s.start_cycle {
+            return None;
+        }
+        s.current_bank().map(|bank| Request { bank })
+    }
+
+    fn granted(&mut self, port: PortId, _now: u64) {
+        let s = &mut self.streams[port.0];
+        debug_assert!(!s.done(), "granted() on a finished stream");
+        s.issued += 1;
+    }
+
+    fn is_finished(&self) -> bool {
+        self.streams.iter().all(StridedStream::done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> Geometry {
+        Geometry::unsectioned(12, 3).unwrap()
+    }
+
+    fn spec(b: u64, d: u64) -> StreamSpec {
+        StreamSpec::new(&geom(), b, d).unwrap()
+    }
+
+    #[test]
+    fn infinite_stream_sequence() {
+        let g = geom();
+        let mut w = StreamWorkload::infinite(&g, &[spec(2, 7)]);
+        assert_eq!(w.pending(PortId(0), 0), Some(Request { bank: 2 }));
+        w.granted(PortId(0), 0);
+        assert_eq!(w.pending(PortId(0), 1), Some(Request { bank: 9 }));
+        // Delayed port keeps the same request.
+        assert_eq!(w.pending(PortId(0), 2), Some(Request { bank: 9 }));
+        assert!(!w.is_finished());
+    }
+
+    #[test]
+    fn finite_stream_completes() {
+        let g = geom();
+        let mut w = StreamWorkload::new(vec![StridedStream::finite(&g, spec(0, 1), 2)]);
+        w.granted(PortId(0), 0);
+        assert!(!w.is_finished());
+        w.granted(PortId(0), 1);
+        assert!(w.is_finished());
+        assert_eq!(w.pending(PortId(0), 2), None);
+        assert!(w.stream(PortId(0)).done());
+    }
+
+    #[test]
+    fn delayed_start() {
+        let g = geom();
+        let s = StridedStream::infinite(&g, spec(0, 1)).starting_at(3);
+        let w = StreamWorkload::new(vec![s]);
+        assert_eq!(w.pending(PortId(0), 0), None);
+        assert_eq!(w.pending(PortId(0), 2), None);
+        assert_eq!(w.pending(PortId(0), 3), Some(Request { bank: 0 }));
+    }
+
+    #[test]
+    fn state_signature_tracks_positions() {
+        let g = geom();
+        let mut w = StreamWorkload::infinite(&g, &[spec(0, 1), spec(5, 2)]);
+        assert_eq!(w.state_signature(), vec![0, 5]);
+        w.granted(PortId(0), 0);
+        w.granted(PortId(1), 0);
+        assert_eq!(w.state_signature(), vec![1, 7]);
+        // A finished stream signs with the out-of-range marker m.
+        let mut f = StreamWorkload::new(vec![StridedStream::finite(&g, spec(0, 1), 1)]);
+        f.granted(PortId(0), 0);
+        assert_eq!(f.state_signature(), vec![12]);
+    }
+
+    #[test]
+    fn ports_without_streams_are_idle() {
+        let g = geom();
+        let w = StreamWorkload::infinite(&g, &[spec(0, 1)]);
+        assert_eq!(w.pending(PortId(5), 0), None);
+    }
+}

@@ -1,0 +1,65 @@
+//! The workload abstraction: what each port wants, cycle by cycle.
+
+use crate::request::{PortId, Request};
+
+/// A source of per-port memory requests driven by the engine.
+///
+/// The engine asks every port for its pending request each clock period,
+/// arbitrates, and reports grants back. A port whose request is not granted
+/// is implicitly delayed: the engine will ask for the same request again the
+/// next cycle (the workload must keep returning it until `granted` is
+/// called), which realises the paper's dynamic conflict resolution where a
+/// delayed request postpones all subsequent requests of that port.
+pub trait Workload {
+    /// The request port `port` presents at clock period `now`, or `None`
+    /// when the port is idle this cycle.
+    fn pending(&self, port: PortId, now: u64) -> Option<Request>;
+
+    /// Called when `port`'s pending request was granted at `now`; the
+    /// workload advances that port to its next request.
+    fn granted(&mut self, port: PortId, now: u64);
+
+    /// True when no port will ever present a request again.
+    fn is_finished(&self) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial workload for exercising the trait: one port, fixed list.
+    struct ListWorkload {
+        banks: Vec<u64>,
+        next: usize,
+    }
+
+    impl Workload for ListWorkload {
+        fn pending(&self, port: PortId, _now: u64) -> Option<Request> {
+            if port.0 != 0 {
+                return None;
+            }
+            self.banks.get(self.next).map(|&bank| Request { bank })
+        }
+        fn granted(&mut self, port: PortId, _now: u64) {
+            assert_eq!(port.0, 0);
+            self.next += 1;
+        }
+        fn is_finished(&self) -> bool {
+            self.next >= self.banks.len()
+        }
+    }
+
+    #[test]
+    fn list_workload_contract() {
+        let mut w = ListWorkload { banks: vec![3, 5], next: 0 };
+        assert_eq!(w.pending(PortId(0), 0), Some(Request { bank: 3 }));
+        // Not granted: the same request stays pending.
+        assert_eq!(w.pending(PortId(0), 1), Some(Request { bank: 3 }));
+        w.granted(PortId(0), 1);
+        assert_eq!(w.pending(PortId(0), 2), Some(Request { bank: 5 }));
+        assert!(!w.is_finished());
+        w.granted(PortId(0), 2);
+        assert!(w.is_finished());
+        assert_eq!(w.pending(PortId(0), 3), None);
+    }
+}

@@ -1,0 +1,107 @@
+//! Criterion bench: raw simulator throughput (simulated cycles per second)
+//! across memory geometries and port counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use vecmem_analytic::{Geometry, StreamSpec};
+use vecmem_banksim::{Engine, SimConfig, StreamWorkload};
+
+const CYCLES: u64 = 10_000;
+
+fn run_streams(config: &SimConfig, specs: &[StreamSpec]) -> u64 {
+    let mut engine = Engine::new(config.clone());
+    let mut workload = StreamWorkload::infinite(&config.geometry, specs);
+    for _ in 0..CYCLES {
+        engine.step(&mut workload);
+    }
+    engine.stats().total_grants()
+}
+
+fn bench_port_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/port_scaling");
+    group.throughput(Throughput::Elements(CYCLES));
+    for ports in [1usize, 2, 4, 6, 8] {
+        let geom = Geometry::unsectioned(64, 4).unwrap();
+        let config = SimConfig::one_port_per_cpu(geom, ports);
+        let specs: Vec<StreamSpec> = (0..ports as u64)
+            .map(|i| StreamSpec { start_bank: (i * 7) % 64, distance: 1 + i % 5 })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(ports), &ports, |b, _| {
+            b.iter(|| run_streams(black_box(&config), black_box(&specs)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bank_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/bank_scaling");
+    group.throughput(Throughput::Elements(CYCLES));
+    for banks in [16u64, 64, 256, 1024] {
+        let geom = Geometry::unsectioned(banks, 4).unwrap();
+        let config = SimConfig::one_port_per_cpu(geom, 4);
+        let specs: Vec<StreamSpec> = (0..4)
+            .map(|i| StreamSpec { start_bank: i * 3 % banks, distance: (1 + 2 * i) % banks })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(banks), &banks, |b, _| {
+            b.iter(|| run_streams(black_box(&config), black_box(&specs)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sectioned_vs_unsectioned(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/sections");
+    group.throughput(Throughput::Elements(CYCLES));
+    for (label, sections) in [("s=m", 64u64), ("s=8", 8), ("s=2", 2)] {
+        let geom = Geometry::new(64, sections, 4).unwrap();
+        let config = SimConfig::single_cpu(geom, 3);
+        let specs: Vec<StreamSpec> = (0..3)
+            .map(|i| StreamSpec { start_bank: i * 11 % 64, distance: 1 })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(label), &sections, |b, _| {
+            b.iter(|| run_streams(black_box(&config), black_box(&specs)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_steady_state_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/steady_state");
+    // Conflict-free pairs synchronise quickly; barrier pairs take longer;
+    // the detection cost is dominated by the cycle period.
+    let cases = [
+        ("fig2_conflict_free", 12u64, 3u64, 1u64, 7u64),
+        ("fig3_barrier", 13, 6, 1, 6),
+        ("fig5_barrier", 13, 4, 1, 3),
+        ("large_prime", 251, 4, 1, 3),
+    ];
+    for (label, m, nc, d1, d2) in cases {
+        let geom = Geometry::unsectioned(m, nc).unwrap();
+        let config = SimConfig::one_port_per_cpu(geom, 2);
+        let specs = [
+            StreamSpec { start_bank: 0, distance: d1 },
+            StreamSpec { start_bank: 0, distance: d2 },
+        ];
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                vecmem_banksim::measure_steady_state(
+                    black_box(&config),
+                    black_box(&specs),
+                    10_000_000,
+                )
+                .unwrap()
+                .beff
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_port_scaling,
+    bench_bank_scaling,
+    bench_sectioned_vs_unsectioned,
+    bench_steady_state_detection
+);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 2 (conflict-free access).
+fn main() {
+    println!("{}", vecmem_bench::figures::report(&vecmem_bench::figures::fig2().run(36)));
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 3 (barrier-situation).
+fn main() {
+    println!("{}", vecmem_bench::figures::report(&vecmem_bench::figures::fig3().run(36)));
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 5 (barrier-situation).
+fn main() {
+    println!("{}", vecmem_bench::figures::report(&vecmem_bench::figures::fig5().run(36)));
+}

@@ -1,0 +1,17 @@
+//! Regenerates paper Fig. 10 (the triad experiment, all five series).
+//!
+//! Usage: `fig10 [MAX_INC] [--csv]`
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let max_inc = args
+        .iter()
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(16);
+    let fig = vecmem_bench::fig10::run(max_inc);
+    if csv {
+        print!("{}", vecmem_bench::csv::fig10_csv(&fig));
+    } else {
+        println!("{}", vecmem_bench::fig10::render(&fig));
+    }
+}

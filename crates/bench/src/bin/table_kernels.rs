@@ -1,0 +1,17 @@
+//! Experiment E2: stride sensitivity of copy/daxpy/dot on the X-MP CPU.
+fn main() {
+    let max_inc: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(16);
+    let rows = vecmem_bench::tables::kernel_table(max_inc, 1024);
+    print!("{:>7}", "INC");
+    for r in &rows {
+        print!(" {:>10}", r.kernel);
+    }
+    println!();
+    for i in 0..max_inc as usize {
+        print!("{:>7}", i + 1);
+        for r in &rows {
+            print!(" {:>10}", r.cycles[i]);
+        }
+        println!();
+    }
+}

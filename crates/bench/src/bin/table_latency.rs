@@ -1,0 +1,55 @@
+//! Per-request wait-time distribution of the triad (latency view of the
+//! Fig. 10 conflict series): histogram of clock periods each triad request
+//! spent delayed, per increment.
+use vecmem_banksim::{Engine, PortId, RunOutcome, WAIT_BUCKETS};
+use vecmem_vproc::exec::ProgramWorkload;
+use vecmem_vproc::triad::TriadExperiment;
+
+fn main() {
+    let max_inc: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8);
+    println!("Triad wait-time histograms (contended run); columns = waits of 0,1,..,7,8+ cycles");
+    print!("{:>4} {:>9}", "INC", "mean");
+    for b in 0..WAIT_BUCKETS {
+        if b == WAIT_BUCKETS - 1 {
+            print!(" {:>7}", "8+");
+        } else {
+            print!(" {b:>7}");
+        }
+    }
+    println!(" {:>8}", "max");
+    for inc in 1..=max_inc {
+        let exp = TriadExperiment::paper(inc);
+        let program = exp.build_program();
+        let background = exp.background_streams();
+        let mut workload = ProgramWorkload::new(
+            &exp.sim.geometry,
+            exp.machine,
+            program,
+            &background,
+            exp.sim.num_ports(),
+        );
+        let mut engine = Engine::new(exp.sim.clone());
+        match engine.run(&mut workload, 1_000_000) {
+            RunOutcome::Finished(_) => {}
+            RunOutcome::CyclesExhausted => panic!("triad did not finish"),
+        }
+        let mut hist = [0u64; WAIT_BUCKETS];
+        let mut max = 0;
+        let mut waits = 0u64;
+        let mut grants = 0u64;
+        for p in 0..3 {
+            let s = engine.stats().port(PortId(p));
+            for (b, &v) in s.wait_histogram.iter().enumerate() {
+                hist[b] += v;
+            }
+            max = max.max(s.max_wait);
+            waits += s.total_wait();
+            grants += s.grants;
+        }
+        print!("{inc:>4} {:>9.3}", waits as f64 / grants as f64);
+        for v in hist {
+            print!(" {v:>7}");
+        }
+        println!(" {max:>8}");
+    }
+}

@@ -1,0 +1,31 @@
+//! Matrix-walk comparison: column / row / diagonal bandwidth of an N x N
+//! matrix under each bank mapping, plus the paper's padding fix.
+use vecmem_skew::matrix::matrix_walks;
+use vecmem_skew::{BankMapping, Interleaved, LinearSkew, XorFold};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
+    let nc: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let banks = 16;
+    println!("N = {n} matrix on {banks} banks, n_c = {nc}");
+    println!("{:<34} {:>4} {:>8} {:>8} {:>9}", "scheme", "ld", "column", "row", "diagonal");
+    let schemes: Vec<Box<dyn BankMapping>> = vec![
+        Box::new(Interleaved { banks }),
+        Box::new(XorFold::new(banks)),
+        Box::new(LinearSkew::classic(banks)),
+    ];
+    for scheme in &schemes {
+        for ld in [n, n + 1] {
+            let w = matrix_walks(scheme.as_ref(), nc, ld).expect("converges");
+            println!(
+                "{:<34} {:>4} {:>8} {:>8} {:>9}",
+                scheme.name(),
+                ld,
+                w.column.to_string(),
+                w.row.to_string(),
+                w.diagonal.to_string()
+            );
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Experiment E3: the conclusion's multitasking suggestion — both CPUs run
+//! the triad (uniform streams) vs one CPU against the hostile unit-stride
+//! background of Fig. 10.
+use vecmem_vproc::multitask::multitask_paper;
+use vecmem_vproc::triad::TriadExperiment;
+use vecmem_vproc::MachineConfig;
+
+fn main() {
+    let max_inc: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(16);
+    println!("Multitasked triad (2x1024 elements) vs hostile background (1024 elements)");
+    println!(
+        "{:>4} {:>14} {:>14} {:>18}",
+        "INC", "hostile", "multitasked", "uniform speedup"
+    );
+    for inc in 1..=max_inc {
+        let hostile = TriadExperiment::paper(inc).run().cycles;
+        let uniform = multitask_paper(inc, MachineConfig::cray_xmp());
+        // Per-triad time of the multitasked run is cycles/2 (two triads).
+        let per_triad = uniform.cycles as f64 / 2.0;
+        println!(
+            "{:>4} {:>14} {:>14} {:>17.2}x",
+            inc,
+            hostile,
+            uniform.cycles,
+            hostile as f64 / per_triad
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Experiment E1: random-access vs vector-mode bandwidth on one memory.
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let m: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
+    let nc: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let ports: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    println!("Random access vs vector mode, m = {m}, n_c = {nc}");
+    println!(
+        "{:>6} {:>10} {:>10} {:>12} {:>10}",
+        "ports", "random", "vector", "hellerman", "capacity"
+    );
+    for r in vecmem_bench::tables::random_vs_vector_table(m, nc, ports) {
+        println!(
+            "{:>6} {:>10.3} {:>10} {:>12.3} {:>10.3}",
+            r.ports,
+            r.random,
+            r.vector.map_or("-".to_string(), |v| format!("{v:.3}")),
+            r.hellerman,
+            r.capacity
+        );
+    }
+}

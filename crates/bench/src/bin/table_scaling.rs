@@ -1,0 +1,36 @@
+//! Experiment E7: multi-CPU scaling of the triad with bank count growing
+//! alongside the CPU count (X-MP/2 -> X-MP/4-style growth), against the
+//! same CPUs crammed onto an unscaled 16-bank memory.
+use vecmem_vproc::scaling::scaled_triad;
+
+fn main() {
+    let baseline = scaled_triad(1, 16, 1);
+    println!("Triad scaling, INC = 1, cyclic priority. Efficiency = bandwidth /");
+    println!("(n x single-CPU-on-16-banks bandwidth = n x {:.3}).", baseline.bandwidth);
+    println!("\n16 banks per CPU (banks grow with CPUs):");
+    println!(
+        "{:>5} {:>7} {:>9} {:>11} {:>11}",
+        "CPUs", "banks", "cycles", "bandwidth", "efficiency"
+    );
+    for cpus in 1..=3 {
+        let r = scaled_triad(cpus, 16, 1);
+        println!(
+            "{:>5} {:>7} {:>9} {:>11.3} {:>10.1}%",
+            r.cpus,
+            r.banks,
+            r.cycles,
+            r.bandwidth,
+            100.0 * r.bandwidth / (baseline.bandwidth * cpus as f64)
+        );
+    }
+    println!("\nUnscaled memory (8 banks per CPU at 2 CPUs = 16 banks total):");
+    let r = scaled_triad(2, 8, 1);
+    println!(
+        "{:>5} {:>7} {:>9} {:>11.3} {:>10.1}%",
+        r.cpus,
+        r.banks,
+        r.cycles,
+        r.bandwidth,
+        100.0 * r.bandwidth / (baseline.bandwidth * 2.0)
+    );
+}

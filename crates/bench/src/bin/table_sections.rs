@@ -1,0 +1,13 @@
+//! Ablation A2: cyclic vs consecutive bank-to-section mapping (Fig. 9).
+fn main() {
+    println!("Section-mapping ablation: m=12, s=3, nc=3, d1=d2=1, fixed priority");
+    println!("{:>4} {:>10} {:>12}", "b2", "cyclic", "consecutive");
+    for r in vecmem_bench::tables::mapping_ablation() {
+        println!(
+            "{:>4} {:>10} {:>12}",
+            r.b2,
+            r.cyclic_map.to_string(),
+            r.consecutive_map.to_string()
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! Ablation A3: skewing schemes vs plain interleaving (paper conclusion).
+fn main() {
+    for table in vecmem_bench::tables::skewing_comparison() {
+        println!("scheme: {}", table.scheme);
+        println!("{:>7} {:>8} {:>14}", "stride", "solo", "against-unit");
+        for row in &table.rows {
+            println!(
+                "{:>7} {:>8} {:>14}",
+                row.stride,
+                row.solo.to_string(),
+                row.against_unit.to_string()
+            );
+        }
+        println!();
+    }
+}

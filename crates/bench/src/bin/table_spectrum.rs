@@ -1,0 +1,36 @@
+//! Design-space census: classification counts over all stride pairs for a
+//! family of geometries (the designer's view of Theorems 2-7).
+use vecmem_analytic::spectrum::distance_spectrum;
+use vecmem_analytic::Geometry;
+
+fn main() {
+    println!(
+        "{:>6} {:>4} | {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} | {:>8}",
+        "m", "nc", "selflim", "disjoint", "conf-free", "uniq-bar", "barrier?", "conflict", "full-bw%"
+    );
+    for (m, nc) in [
+        (8u64, 4u64),
+        (16, 4),
+        (32, 4),
+        (64, 4),
+        (16, 2),
+        (16, 8),
+        (13, 4),
+        (17, 4),
+    ] {
+        let geom = Geometry::unsectioned(m, nc).unwrap();
+        let s = distance_spectrum(&geom);
+        println!(
+            "{:>6} {:>4} | {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} | {:>7.1}%",
+            m,
+            nc,
+            s.self_limited,
+            s.disjoint_sets,
+            s.conflict_free,
+            s.unique_barrier,
+            s.barrier_possible,
+            s.conflicting,
+            100.0 * s.full_bandwidth_fraction(),
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! Theorem 2-7 validation table: analytic classification vs simulated
+//! steady-state bandwidth over all distance pairs and start banks.
+//!
+//! Usage: `table_theorems [M] [NC] [--csv]`
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let nums: Vec<u64> = args.iter().filter_map(|a| a.parse().ok()).collect();
+    let m = nums.first().copied().unwrap_or(13);
+    let nc = nums.get(1).copied().unwrap_or(4);
+    let rows = vecmem_bench::tables::theorem_table(m, nc);
+    if csv {
+        print!("{}", vecmem_bench::csv::theorems_csv(&rows));
+    } else {
+        println!("{}", vecmem_bench::tables::render_theorem_table(m, nc, &rows));
+        let bad = rows.iter().filter(|r| !r.ok).count();
+        println!("{} rows, {} mismatches", rows.len(), bad);
+    }
+}

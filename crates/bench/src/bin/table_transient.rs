@@ -1,0 +1,35 @@
+//! Experiment E8: startup transients — what the paper's "neglecting
+//! startup times" actually neglects, per distance pair and vector length.
+use vecmem_analytic::{Geometry, StreamSpec};
+use vecmem_banksim::{finite_vector_bandwidth, transient_profile, SimConfig};
+
+fn main() {
+    let geom = Geometry::unsectioned(16, 4).unwrap();
+    let config = SimConfig::one_port_per_cpu(geom, 2);
+    println!("Startup transients on m = 16, n_c = 4 (d1 = 1 vs d2), all start banks:");
+    println!(
+        "{:>4} {:>10} {:>10} | {:>9} {:>9} {:>10}",
+        "d2", "mean", "max", "bw(n=64)", "bw(n=1k)", "asymptote"
+    );
+    for d2 in 1..16u64 {
+        let p = transient_profile(&config, 1, d2, 5_000_000).expect("converges");
+        let specs = [
+            StreamSpec { start_bank: 0, distance: 1 },
+            StreamSpec { start_bank: 1, distance: d2 },
+        ];
+        let short = finite_vector_bandwidth(&config, &specs, 64);
+        let long = finite_vector_bandwidth(&config, &specs, 1024);
+        let asym = vecmem_banksim::measure_steady_state(&config, &specs, 5_000_000)
+            .expect("converges")
+            .beff;
+        println!(
+            "{:>4} {:>10.1} {:>10} | {:>9.3} {:>9.3} {:>10}",
+            d2,
+            p.mean,
+            p.max,
+            short,
+            long,
+            asym.to_string()
+        );
+    }
+}

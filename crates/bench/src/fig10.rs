@@ -1,0 +1,146 @@
+//! Fig. 10: the triad experiment series.
+//!
+//! Five series over the increment `INC = 1..=16`:
+//!
+//! * (a) execution time with the other CPU running three unit-stride ports,
+//! * (b) execution time with the other CPU shut off,
+//! * (c) bank conflicts, (d) section conflicts, (e) simultaneous conflicts
+//!   encountered by the triad (from the contended run).
+
+use vecmem_vproc::triad::{sweep_increments, TriadResult};
+
+/// The five Fig. 10 series.
+#[derive(Debug, Clone)]
+pub struct Fig10 {
+    /// Contended results (other CPU active), per increment.
+    pub contended: Vec<TriadResult>,
+    /// Dedicated results (other CPU off), per increment.
+    pub alone: Vec<TriadResult>,
+}
+
+/// Runs the full sweep.
+#[must_use]
+pub fn run(max_inc: u64) -> Fig10 {
+    Fig10 {
+        contended: sweep_increments(max_inc, true),
+        alone: sweep_increments(max_inc, false),
+    }
+}
+
+/// Renders all five series as one table.
+#[must_use]
+pub fn render(fig: &Fig10) -> String {
+    let mut out = String::from(
+        "Fig. 10: triad A(I) = B(I) + C(I)*D(I), n = 1024, IDIM = 16*1024+1,\n\
+         2-CPU 16-bank Cray X-MP model (s = 4, n_c = 4); other CPU: three\n\
+         unit-stride ports. Times in clock periods.\n\n\
+         INC | (a) time   (b) time alone | (c) bank  (d) section  (e) simultaneous\n\
+         ----+-------------------------- +----------------------------------------\n",
+    );
+    for (c, a) in fig.contended.iter().zip(&fig.alone) {
+        out.push_str(&format!(
+            "{:>3} | {:>10} {:>15} | {:>9} {:>12} {:>17}\n",
+            c.inc,
+            c.cycles,
+            a.cycles,
+            c.triad_conflicts.bank,
+            c.triad_conflicts.section,
+            c.triad_conflicts.simultaneous,
+        ));
+    }
+    let base = fig.contended[0].cycles as f64;
+    out.push_str(&format!(
+        "\nrelative to INC=1 (contended): INC=2: {:.2}x, INC=3: {:.2}x\n",
+        fig.contended[1].cycles as f64 / base,
+        fig.contended[2].cycles as f64 / base,
+    ));
+    let mut ranked: Vec<&TriadResult> = fig.contended.iter().collect();
+    ranked.sort_by_key(|r| r.cycles);
+    out.push_str(&format!(
+        "best increments: {}, {}, {} (paper: 1, 6, 11)\n\n",
+        ranked[0].inc, ranked[1].inc, ranked[2].inc
+    ));
+    let times: Vec<u64> = fig.contended.iter().map(|r| r.cycles).collect();
+    out.push_str(&crate::plot::series_chart(
+        "Fig. 10(a): execution time by increment (clock periods)",
+        &times,
+        50,
+    ));
+    out.push('\n');
+    let banks: Vec<u64> = fig.contended.iter().map(|r| r.triad_conflicts.bank).collect();
+    out.push_str(&crate::plot::series_chart(
+        "Fig. 10(c): bank conflicts by increment",
+        &banks,
+        50,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_shape_matches_paper() {
+        let fig = run(16);
+        // Paper: "The best performance we observe for the increments 1, 6,
+        // and 11." In the reproduction INC = 6 and INC = 9 land within a
+        // fraction of a percent of each other, so assert the paper's trio
+        // occupies the top four and nothing else comes close.
+        let mut v: Vec<&TriadResult> = fig.contended.iter().collect();
+        v.sort_by_key(|r| r.cycles);
+        let top4: Vec<u64> = v.iter().take(4).map(|r| r.inc).collect();
+        for want in [1u64, 6, 11] {
+            assert!(top4.contains(&want), "increment {want} missing from top 4: {top4:?}");
+        }
+        // And the 5th-best is clearly worse than the 3rd-best.
+        assert!(v[4].cycles as f64 > 1.05 * v[2].cycles as f64);
+        // INC = 2 and INC = 3 show severe slowdowns vs INC = 1 (paper:
+        // roughly +50% / +100%; the shape, not the absolute factor, is the
+        // claim — assert the ordering and severity bands).
+        let t1 = fig.contended[0].cycles as f64;
+        let t2 = fig.contended[1].cycles as f64;
+        let t3 = fig.contended[2].cycles as f64;
+        assert!(t2 / t1 > 1.3, "INC=2 should be >=30% slower: {}", t2 / t1);
+        assert!(t3 / t1 > t2 / t1, "INC=3 slower than INC=2");
+        // INC = 9 is theoretically conflict-free against d = 1 (Theorem 3)
+        // but still worse than INC = 1 with six active ports (6 n_c > m).
+        let t9 = fig.contended[8].cycles as f64;
+        assert!(t9 > t1);
+        // Self-conflicting increments (8, 16) are the worst of all.
+        let t16 = fig.contended[15].cycles;
+        assert!(fig.contended.iter().all(|r| r.cycles <= t16));
+    }
+
+    #[test]
+    fn alone_runs_are_never_slower() {
+        let fig = run(16);
+        for (c, a) in fig.contended.iter().zip(&fig.alone) {
+            assert!(
+                a.cycles <= c.cycles,
+                "INC={}: alone {} vs contended {}",
+                c.inc,
+                a.cycles,
+                c.cycles
+            );
+        }
+    }
+
+    #[test]
+    fn simultaneous_conflicts_only_with_other_cpu() {
+        let fig = run(8);
+        for a in &fig.alone {
+            assert_eq!(a.triad_conflicts.simultaneous, 0);
+        }
+        assert!(fig.contended.iter().any(|c| c.triad_conflicts.simultaneous > 0));
+    }
+
+    #[test]
+    fn render_contains_series() {
+        let fig = run(4);
+        let text = render(&fig);
+        assert!(text.contains("INC"));
+        assert!(text.contains("(c) bank"));
+        assert!(text.lines().count() > 8);
+    }
+}

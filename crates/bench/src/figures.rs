@@ -1,0 +1,355 @@
+//! Scenario definitions for every trace figure of the paper (Figs. 2–9).
+//!
+//! Each figure is a concrete memory geometry plus a pair of streams; running
+//! it yields the ASCII trace (in the paper's visual layout) and the exact
+//! steady-state bandwidth, alongside the value the paper reports.
+
+use vecmem_analytic::{Geometry, Ratio, SectionMapping, StreamSpec};
+use vecmem_banksim::steady::measure_steady_state_workload;
+use vecmem_banksim::{
+    Engine, PriorityRule, SimConfig, SimStats, SteadyState, StreamWorkload,
+};
+
+/// Where the two ports live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// One port per CPU (simultaneous bank conflicts possible).
+    CrossCpu,
+    /// Both ports on one CPU (section conflicts possible).
+    SameCpu,
+}
+
+/// A two-stream trace figure from the paper.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Figure number in the paper.
+    pub id: &'static str,
+    /// One-line description.
+    pub caption: &'static str,
+    /// Memory geometry.
+    pub geometry: Geometry,
+    /// Port placement.
+    pub placement: Placement,
+    /// Priority rule.
+    pub priority: PriorityRule,
+    /// The two streams (start bank, distance).
+    pub streams: [StreamSpec; 2],
+    /// The effective bandwidth the paper states, if it states one.
+    pub paper_beff: Option<Ratio>,
+}
+
+/// Result of running a figure scenario.
+#[derive(Debug, Clone)]
+pub struct FigureRun {
+    /// The scenario that was run.
+    pub figure: Figure,
+    /// ASCII trace of the first cycles (paper-style layout).
+    pub trace: String,
+    /// Exact steady state.
+    pub steady: SteadyState,
+    /// Raw statistics of the traced run.
+    pub stats: SimStats,
+}
+
+impl Figure {
+    fn config(&self) -> SimConfig {
+        let cfg = match self.placement {
+            Placement::CrossCpu => SimConfig::one_port_per_cpu(self.geometry, 2),
+            Placement::SameCpu => SimConfig::single_cpu(self.geometry, 2),
+        };
+        cfg.with_priority(self.priority)
+    }
+
+    /// Runs the scenario: records `trace_cycles` cycles of trace and
+    /// measures the exact steady state.
+    #[must_use]
+    pub fn run(&self, trace_cycles: u64) -> FigureRun {
+        let config = self.config();
+        let mut engine = Engine::new(config.clone()).with_trace(trace_cycles);
+        let mut workload = StreamWorkload::infinite(&self.geometry, &self.streams);
+        for _ in 0..trace_cycles {
+            engine.step(&mut workload);
+        }
+        let trace = engine.trace().expect("trace enabled").render_all();
+        let stats = engine.stats().clone();
+        let mut fresh = StreamWorkload::infinite(&self.geometry, &self.streams);
+        let steady = measure_steady_state_workload(&config, &mut fresh, 0, 10_000_000)
+            .expect("figure scenarios converge");
+        FigureRun { figure: self.clone(), trace, steady, stats }
+    }
+}
+
+/// Fig. 2: conflict-free access, `m = 12`, `n_c = 3`, `d1 = 1 ⊕ d2 = 7`.
+#[must_use]
+pub fn fig2() -> Figure {
+    let geometry = Geometry::unsectioned(12, 3).unwrap();
+    Figure {
+        id: "2",
+        caption: "Conflict-free access (m=12, nc=3, d1=1, d2=7)",
+        geometry,
+        placement: Placement::CrossCpu,
+        priority: PriorityRule::Fixed,
+        streams: [
+            StreamSpec::new(&geometry, 0, 1).unwrap(),
+            StreamSpec::new(&geometry, 1, 7).unwrap(),
+        ],
+        paper_beff: Some(Ratio::integer(2)),
+    }
+}
+
+/// Fig. 3: barrier-situation, `m = 13`, `n_c = 6`, `d1 = 1 ⊕ d2 = 6`
+/// (stream 2 constantly delayed).
+#[must_use]
+pub fn fig3() -> Figure {
+    let geometry = Geometry::unsectioned(13, 6).unwrap();
+    Figure {
+        id: "3",
+        caption: "Barrier-situation (m=13, nc=6, d1=1, d2=6)",
+        geometry,
+        placement: Placement::CrossCpu,
+        priority: PriorityRule::Fixed,
+        streams: [
+            StreamSpec::new(&geometry, 0, 1).unwrap(),
+            StreamSpec::new(&geometry, 0, 6).unwrap(),
+        ],
+        paper_beff: Some(Ratio::new(7, 6)),
+    }
+}
+
+/// Fig. 4: double conflict — same distances as Fig. 3 but `b2 = 1`: the
+/// barrier-situation is *not* reached, the streams delay each other.
+#[must_use]
+pub fn fig4() -> Figure {
+    let geometry = Geometry::unsectioned(13, 6).unwrap();
+    Figure {
+        id: "4",
+        caption: "Double conflict: barrier not reached (m=13, nc=6, d1=1, d2=6, b2=1)",
+        geometry,
+        placement: Placement::CrossCpu,
+        priority: PriorityRule::Fixed,
+        streams: [
+            StreamSpec::new(&geometry, 0, 1).unwrap(),
+            StreamSpec::new(&geometry, 1, 6).unwrap(),
+        ],
+        paper_beff: None,
+    }
+}
+
+/// Fig. 5: barrier-situation, `m = 13`, `n_c = 4`, `d1 = 1 ⊕ d2 = 3`,
+/// `b1 = 0`, `b2 = 7`.
+#[must_use]
+pub fn fig5() -> Figure {
+    let geometry = Geometry::unsectioned(13, 4).unwrap();
+    Figure {
+        id: "5",
+        caption: "Barrier-situation (m=13, nc=4, d1=1, d2=3, b2=7)",
+        geometry,
+        placement: Placement::CrossCpu,
+        priority: PriorityRule::Fixed,
+        streams: [
+            StreamSpec::new(&geometry, 0, 1).unwrap(),
+            StreamSpec::new(&geometry, 7, 3).unwrap(),
+        ],
+        paper_beff: Some(Ratio::new(4, 3)),
+    }
+}
+
+/// Fig. 6: inverted barrier-situation — like Fig. 5 but `b2 = 1`; now
+/// stream 2 delays stream 1.
+#[must_use]
+pub fn fig6() -> Figure {
+    let geometry = Geometry::unsectioned(13, 4).unwrap();
+    Figure {
+        id: "6",
+        caption: "Inverted barrier-situation (m=13, nc=4, d1=1, d2=3, b2=1)",
+        geometry,
+        placement: Placement::CrossCpu,
+        priority: PriorityRule::Fixed,
+        streams: [
+            StreamSpec::new(&geometry, 0, 1).unwrap(),
+            StreamSpec::new(&geometry, 1, 3).unwrap(),
+        ],
+        paper_beff: None,
+    }
+}
+
+/// Fig. 7: conflict-free access under sections, `m = 12`, `s = 2`,
+/// `n_c = 2`, `d1 = d2 = 1`, relative start `(n_c + 1)·d1 = 3` (eq. 32).
+#[must_use]
+pub fn fig7() -> Figure {
+    let geometry = Geometry::new(12, 2, 2).unwrap();
+    Figure {
+        id: "7",
+        caption: "Conflict-free access with 2 sections (m=12, s=2, nc=2, d1=d2=1, b2=3)",
+        geometry,
+        placement: Placement::SameCpu,
+        priority: PriorityRule::Fixed,
+        streams: [
+            StreamSpec::new(&geometry, 0, 1).unwrap(),
+            StreamSpec::new(&geometry, 3, 1).unwrap(),
+        ],
+        paper_beff: Some(Ratio::integer(2)),
+    }
+}
+
+/// Fig. 8(a): linked conflict not resolved by a fixed priority,
+/// `m = 12`, `s = 3`, `n_c = 3`, `d1 = d2 = 1`, simultaneous start on
+/// consecutive banks. Stream 1 (which holds the fixed priority) first
+/// suffers two bank conflicts in stream 2's wake, landing at a relative
+/// position of `n_c = s` — from where the bank- and section-conflict
+/// alternation never resolves.
+#[must_use]
+pub fn fig8a() -> Figure {
+    let geometry = Geometry::new(12, 3, 3).unwrap();
+    Figure {
+        id: "8a",
+        caption: "Linked conflict, fixed priority (m=12, s=3, nc=3, d1=d2=1, b2=1)",
+        geometry,
+        placement: Placement::SameCpu,
+        priority: PriorityRule::Fixed,
+        streams: [
+            StreamSpec::new(&geometry, 0, 1).unwrap(),
+            StreamSpec::new(&geometry, 1, 1).unwrap(),
+        ],
+        paper_beff: Some(Ratio::new(3, 2)),
+    }
+}
+
+/// Fig. 8(b): the same linked conflict resolved by the cyclic priority.
+#[must_use]
+pub fn fig8b() -> Figure {
+    Figure {
+        id: "8b",
+        caption: "Linked conflict resolved by cyclic priority",
+        priority: PriorityRule::Cyclic,
+        paper_beff: Some(Ratio::integer(2)),
+        ..fig8a()
+    }
+}
+
+/// Fig. 9: the linked conflict avoided by combining `m/s` *consecutive*
+/// banks into a section (Cheung & Smith), fixed priority.
+#[must_use]
+pub fn fig9() -> Figure {
+    let geometry =
+        Geometry::with_mapping(12, 3, 3, SectionMapping::Consecutive).unwrap();
+    Figure {
+        id: "9",
+        caption: "Linked conflict avoided by consecutive-bank sections",
+        geometry,
+        placement: Placement::SameCpu,
+        priority: PriorityRule::Fixed,
+        streams: [
+            StreamSpec::new(&geometry, 0, 1).unwrap(),
+            StreamSpec::new(&geometry, 1, 1).unwrap(),
+        ],
+        paper_beff: Some(Ratio::integer(2)),
+    }
+}
+
+/// All trace figures in paper order.
+#[must_use]
+pub fn all_figures() -> Vec<Figure> {
+    vec![fig2(), fig3(), fig4(), fig5(), fig6(), fig7(), fig8a(), fig8b(), fig9()]
+}
+
+/// Formats a run as the harness' standard report.
+#[must_use]
+pub fn report(run: &FigureRun) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("Figure {}: {}\n", run.figure.id, run.figure.caption));
+    out.push_str(&format!(
+        "  geometry: m={}, s={}, nc={}, mapping={:?}, priority={:?}, placement={:?}\n",
+        run.figure.geometry.banks(),
+        run.figure.geometry.sections(),
+        run.figure.geometry.bank_cycle(),
+        run.figure.geometry.mapping(),
+        run.figure.priority,
+        run.figure.placement,
+    ));
+    for (i, s) in run.figure.streams.iter().enumerate() {
+        out.push_str(&format!(
+            "  stream {}: start bank {}, distance {}\n",
+            i + 1,
+            s.start_bank,
+            s.distance
+        ));
+    }
+    let paper = run
+        .figure
+        .paper_beff
+        .map_or("(not stated)".to_string(), |r| r.to_string());
+    out.push_str(&format!(
+        "  b_eff: paper = {paper}, simulated = {} (per-stream: {}, {}), transient {} cycles, period {}\n",
+        run.steady.beff,
+        run.steady.per_port[0],
+        run.steady.per_port[1],
+        run.steady.transient,
+        run.steady.period,
+    ));
+    out.push_str(&format!(
+        "  conflicts per period: bank {}, simultaneous {}, section {}\n\n",
+        run.steady.conflicts_per_period.bank,
+        run.steady.conflicts_per_period.simultaneous,
+        run.steady.conflicts_per_period.section,
+    ));
+    out.push_str(&run.trace);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_stated_figure_bandwidth_reproduces() {
+        for figure in all_figures() {
+            let run = figure.run(40);
+            if let Some(paper) = figure.paper_beff {
+                assert_eq!(
+                    run.steady.beff, paper,
+                    "figure {}: paper says {} but simulation gives {}",
+                    figure.id, paper, run.steady.beff
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig4_double_conflict_differs_from_barrier() {
+        // Fig. 4's point: with b2 = 1 the Fig. 3 barrier is *not* reached;
+        // the steady state shows mutual delays and a different bandwidth.
+        let barrier = fig3().run(40).steady;
+        let double = fig4().run(40).steady;
+        assert!(double.beff < Ratio::integer(2));
+        assert_ne!(double.per_port, barrier.per_port);
+    }
+
+    #[test]
+    fn fig6_barrier_is_inverted() {
+        // Fig. 5: stream 2 delayed (stream 1 at full rate). Fig. 6: stream 1
+        // delayed (stream 2 at full rate).
+        let normal = fig5().run(40).steady;
+        assert_eq!(normal.per_port[0], Ratio::integer(1));
+        assert!(normal.per_port[1] < Ratio::integer(1));
+        let inverted = fig6().run(40).steady;
+        assert_eq!(inverted.per_port[1], Ratio::integer(1));
+        assert!(inverted.per_port[0] < Ratio::integer(1));
+    }
+
+    #[test]
+    fn fig8a_trace_contains_section_conflicts() {
+        let run = fig8a().run(60);
+        assert!(run.trace.contains('*'), "expected section-conflict marks:\n{}", run.trace);
+        assert!(run.stats.total_conflicts().section > 0);
+    }
+
+    #[test]
+    fn report_contains_key_lines() {
+        let run = fig2().run(36);
+        let r = report(&run);
+        assert!(r.contains("Figure 2"));
+        assert!(r.contains("b_eff: paper = 2, simulated = 2"));
+        assert!(r.contains("bank   0"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Minimal ASCII charts for the harness outputs.
+//!
+//! The paper's Fig. 10 presents its five series as plots over the
+//! increment; the harness binaries print the numbers *and* a bar chart so
+//! the shape (which increments win, where the spikes are) is visible in a
+//! terminal without further tooling.
+
+/// Renders a horizontal bar chart: one row per `(label, value)`, scaled to
+/// `width` characters at the maximum value.
+#[must_use]
+pub fn bar_chart(title: &str, rows: &[(String, f64)], width: usize) -> String {
+    let max = rows.iter().map(|&(_, v)| v).fold(f64::EPSILON, f64::max);
+    let label_width = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = format!("{title}\n");
+    for (label, value) in rows {
+        let filled = ((value / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:>label_width$} | {}{} {value:.0}\n",
+            "#".repeat(filled),
+            " ".repeat(width.saturating_sub(filled)),
+        ));
+    }
+    out
+}
+
+/// Renders a bar chart of a `u64` series indexed `1..=n`.
+#[must_use]
+pub fn series_chart(title: &str, values: &[u64], width: usize) -> String {
+    let rows: Vec<(String, f64)> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (format!("{}", i + 1), v as f64))
+        .collect();
+    bar_chart(title, &rows, width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_maximum() {
+        let rows = vec![
+            ("a".to_string(), 10.0),
+            ("b".to_string(), 20.0),
+            ("c".to_string(), 5.0),
+        ];
+        let chart = bar_chart("t", &rows, 20);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines[0], "t");
+        // b has the maximum: 20 hashes; a has 10; c has 5.
+        assert_eq!(lines[2].matches('#').count(), 20);
+        assert_eq!(lines[1].matches('#').count(), 10);
+        assert_eq!(lines[3].matches('#').count(), 5);
+    }
+
+    #[test]
+    fn labels_align() {
+        let rows = vec![("x".to_string(), 1.0), ("long".to_string(), 2.0)];
+        let chart = bar_chart("t", &rows, 4);
+        for line in chart.lines().skip(1) {
+            assert_eq!(line.find('|'), Some(5), "{line:?}");
+        }
+    }
+
+    #[test]
+    fn series_chart_is_one_indexed() {
+        let chart = series_chart("s", &[3, 1], 6);
+        assert!(chart.contains("1 | ######"));
+        assert!(chart.contains("2 | ##"));
+    }
+
+    #[test]
+    fn empty_series_no_panic() {
+        let chart = series_chart("s", &[], 10);
+        assert_eq!(chart, "s\n");
+    }
+
+    #[test]
+    fn zero_values_render_empty_bars() {
+        let chart = series_chart("s", &[0, 0], 10);
+        assert!(!chart.contains('#'));
+    }
+}

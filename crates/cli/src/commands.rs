@@ -1,0 +1,492 @@
+//! CLI subcommand implementations.
+
+use crate::args::{Options, ParseError};
+use vecmem_analytic::pair::classify_pair;
+use vecmem_analytic::planner::{assess_stride, pad_dimension, pair_is_safe};
+use vecmem_analytic::sections::analyze_sectioned_pair;
+use vecmem_analytic::{Geometry, SectionMapping, StreamSpec};
+use vecmem_banksim::steady::measure_steady_state;
+use vecmem_banksim::{
+    hellerman_asymptotic, hellerman_bandwidth, measure_random_bandwidth, Engine, PriorityRule,
+    SimConfig, StreamWorkload,
+};
+use vecmem_skew::{BankMapping, Interleaved, LinearSkew, PrimeInterleaved, XorFold};
+use vecmem_vproc::gather::{run_gather, IndexPattern};
+use vecmem_vproc::loops::{LoopSpec, Walk};
+use vecmem_vproc::triad::{sweep_increments, TriadExperiment};
+use vecmem_vproc::{FortranArray, Kernel};
+
+/// Common geometry options: `--banks`, `--sections`, `--nc`, `--consecutive`.
+fn geometry(opts: &Options) -> Result<Geometry, String> {
+    let banks = opts.u64_or("banks", 16).map_err(err)?;
+    let sections = opts.u64_or("sections", banks).map_err(err)?;
+    let nc = opts.u64_or("nc", 4).map_err(err)?;
+    let mapping = if opts.flag("consecutive") {
+        SectionMapping::Consecutive
+    } else {
+        SectionMapping::Cyclic
+    };
+    Geometry::with_mapping(banks, sections, nc, mapping).map_err(|e| e.to_string())
+}
+
+fn err(e: ParseError) -> String {
+    e.to_string()
+}
+
+fn priority(opts: &Options) -> PriorityRule {
+    if opts.flag("cyclic") {
+        PriorityRule::Cyclic
+    } else {
+        PriorityRule::Fixed
+    }
+}
+
+fn pair_config(opts: &Options, geom: Geometry) -> SimConfig {
+    let cfg = if opts.flag("same-cpu") {
+        SimConfig::single_cpu(geom, 2)
+    } else {
+        SimConfig::one_port_per_cpu(geom, 2)
+    };
+    cfg.with_priority(priority(opts))
+}
+
+fn pair_streams(opts: &Options, geom: &Geometry) -> Result<[StreamSpec; 2], String> {
+    let d1 = opts.u64_or("d1", 1).map_err(err)? % geom.banks();
+    let d2 = opts.u64_or("d2", 1).map_err(err)? % geom.banks();
+    let b1 = opts.u64_or("b1", 0).map_err(err)? % geom.banks();
+    let b2 = opts.u64_or("b2", 0).map_err(err)? % geom.banks();
+    Ok([
+        StreamSpec { start_bank: b1, distance: d1 },
+        StreamSpec { start_bank: b2, distance: d2 },
+    ])
+}
+
+/// `vecmem predict`: analytic classification of a stream pair.
+pub fn cmd_predict(opts: &Options) -> Result<String, String> {
+    let geom = geometry(opts)?;
+    let [s1, s2] = pair_streams(opts, &geom)?;
+    let mut out = format!(
+        "geometry: m = {}, s = {}, n_c = {}\nstream 1: b = {}, d = {} (r = {})\nstream 2: b = {}, d = {} (r = {})\n",
+        geom.banks(),
+        geom.sections(),
+        geom.bank_cycle(),
+        s1.start_bank,
+        s1.distance,
+        s1.return_number(&geom),
+        s2.start_bank,
+        s2.distance,
+        s2.return_number(&geom),
+    );
+    if opts.flag("same-cpu") && !geom.is_unsectioned() {
+        let analysis = analyze_sectioned_pair(&geom, &s1, &s2);
+        out.push_str(&format!("sectioned analysis: {analysis:?}\n"));
+    } else {
+        let class = classify_pair(&geom, &s1, &s2, true);
+        out.push_str(&format!("classification: {class:?}\n"));
+        if let Some(beff) = class.predicted_bandwidth() {
+            out.push_str(&format!("predicted b_eff = {beff}\n"));
+        }
+    }
+    Ok(out)
+}
+
+/// `vecmem steady`: exact simulated steady state of a stream pair.
+pub fn cmd_steady(opts: &Options) -> Result<String, String> {
+    let geom = geometry(opts)?;
+    let specs = pair_streams(opts, &geom)?;
+    let config = pair_config(opts, geom);
+    let ss = measure_steady_state(&config, &specs, 10_000_000).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "b_eff = {} (per stream: {}, {})\ntransient {} cycles, period {} cycles\nconflicts per period: bank {}, simultaneous {}, section {}\n",
+        ss.beff,
+        ss.per_port[0],
+        ss.per_port[1],
+        ss.transient,
+        ss.period,
+        ss.conflicts_per_period.bank,
+        ss.conflicts_per_period.simultaneous,
+        ss.conflicts_per_period.section,
+    ))
+}
+
+/// `vecmem trace`: paper-style ASCII trace of a stream pair.
+pub fn cmd_trace(opts: &Options) -> Result<String, String> {
+    let geom = geometry(opts)?;
+    let specs = pair_streams(opts, &geom)?;
+    let cycles = opts.u64_or("cycles", 36).map_err(err)?;
+    let config = pair_config(opts, geom);
+    let mut engine = Engine::new(config).with_trace(cycles);
+    let mut workload = StreamWorkload::infinite(&geom, &specs);
+    for _ in 0..cycles {
+        engine.step(&mut workload);
+    }
+    Ok(engine.trace().expect("trace enabled").render_all())
+}
+
+/// `vecmem triad`: the §IV experiment.
+pub fn cmd_triad(opts: &Options) -> Result<String, String> {
+    let max_inc = opts.u64_or("sweep", 0).map_err(err)?;
+    let alone = opts.flag("alone");
+    if max_inc > 0 {
+        let results = sweep_increments(max_inc, !alone);
+        let mut out = format!(
+            "{:>4} {:>10} {:>9} {:>9} {:>9}\n",
+            "INC", "cycles", "bank", "section", "simult."
+        );
+        for r in results {
+            out.push_str(&format!(
+                "{:>4} {:>10} {:>9} {:>9} {:>9}\n",
+                r.inc,
+                r.cycles,
+                r.triad_conflicts.bank,
+                r.triad_conflicts.section,
+                r.triad_conflicts.simultaneous
+            ));
+        }
+        return Ok(out);
+    }
+    let inc = opts.u64_or("inc", 1).map_err(err)?;
+    let exp = if alone {
+        TriadExperiment::paper_alone(inc)
+    } else {
+        TriadExperiment::paper(inc)
+    };
+    let r = exp.run();
+    Ok(format!(
+        "INC = {}: {} clock periods; conflicts: bank {}, section {}, simultaneous {}; background grants {}\n",
+        r.inc,
+        r.cycles,
+        r.triad_conflicts.bank,
+        r.triad_conflicts.section,
+        r.triad_conflicts.simultaneous,
+        r.background_grants,
+    ))
+}
+
+/// `vecmem random`: random-access bandwidth vs the classical models.
+pub fn cmd_random(opts: &Options) -> Result<String, String> {
+    let geom = geometry(opts)?;
+    let ports = opts.u64_or("ports", 4).map_err(err)? as usize;
+    let cycles = opts.u64_or("cycles", 100_000).map_err(err)?;
+    let seed = opts.u64_or("seed", 1).map_err(err)?;
+    let config = SimConfig::one_port_per_cpu(geom, ports).with_priority(priority(opts));
+    let measured = measure_random_bandwidth(&config, seed, cycles);
+    Ok(format!(
+        "random access, {} ports on {} banks (n_c = {}): b_eff = {:.4}\n\
+         classical batch-scan model (Hellerman): B(m) = {:.4} (asymptotic sqrt(pi m/2) = {:.4})\n\
+         capacity bound m/n_c = {:.4}\n",
+        ports,
+        geom.banks(),
+        geom.bank_cycle(),
+        measured,
+        hellerman_bandwidth(geom.banks()),
+        hellerman_asymptotic(geom.banks()),
+        geom.banks() as f64 / geom.bank_cycle() as f64,
+    ))
+}
+
+/// `vecmem plan`: stride assessment and padding advice.
+pub fn cmd_plan(opts: &Options) -> Result<String, String> {
+    let geom = geometry(opts)?;
+    let max_stride = opts.u64_or("max-stride", 2 * geom.banks()).map_err(err)?;
+    let mut out = format!(
+        "{:>7} {:>6} {:>8} {:>10} {:>14}\n",
+        "stride", "r", "solo", "self-safe", "vs unit-stride"
+    );
+    for stride in 1..=max_stride {
+        let rep = assess_stride(&geom, stride);
+        out.push_str(&format!(
+            "{:>7} {:>6} {:>8} {:>10} {:>14}\n",
+            stride,
+            rep.return_number,
+            rep.solo_bandwidth.to_string(),
+            if rep.self_conflict_free { "yes" } else { "NO" },
+            if pair_is_safe(&geom, stride, 1) { "safe" } else { "conflicts" },
+        ));
+    }
+    if let Some(dim) = opts.string("pad") {
+        let dim: u64 = dim.parse().map_err(|_| "--pad takes an integer".to_string())?;
+        out.push_str(&format!(
+            "pad dimension {dim} -> {} (relatively prime to {} banks)\n",
+            pad_dimension(&geom, dim),
+            geom.banks()
+        ));
+    }
+    Ok(out)
+}
+
+/// `vecmem figure`: regenerate one of the paper's trace figures.
+pub fn cmd_figure(opts: &Options) -> Result<String, String> {
+    use vecmem_bench::figures;
+    let id = opts
+        .positional()
+        .first()
+        .map(String::as_str)
+        .ok_or("usage: vecmem figure <2|3|4|5|6|7|8a|8b|9> [--cycles N]")?;
+    let cycles = opts.u64_or("cycles", 36).map_err(err)?;
+    let figure = figures::all_figures()
+        .into_iter()
+        .find(|f| f.id == id)
+        .ok_or_else(|| format!("unknown figure '{id}' (have 2,3,4,5,6,7,8a,8b,9)"))?;
+    Ok(figures::report(&figure.run(cycles)))
+}
+
+/// `vecmem loop`: analyse a Fortran loop over an array.
+pub fn cmd_loop(opts: &Options) -> Result<String, String> {
+    let geom = geometry(opts)?;
+    let dims: Vec<u64> = opts
+        .string("dims")
+        .unwrap_or("64,64")
+        .split(',')
+        .map(|d| d.trim().parse().map_err(|_| format!("bad dimension '{d}'")))
+        .collect::<Result<_, _>>()?;
+    let array = FortranArray::new("A", dims.clone(), 0);
+    let inc = opts.u64_or("inc", 1).map_err(err)?;
+    let walk = if opts.flag("diagonal") {
+        Walk::Diagonal
+    } else {
+        let dim = opts.u64_or("dim", 1).map_err(err)? as usize;
+        if dim == 0 || dim > dims.len() {
+            return Err(format!("--dim must be 1..={}", dims.len()));
+        }
+        Walk::Dimension { dim, inc }
+    };
+    let spec = LoopSpec { kernel: Kernel::Copy, walk, n: 64 };
+    let report = &spec.analyze(&geom, &[&array])[0];
+    let mut out = format!(
+        "array A({}) on m = {}, n_c = {}\nwalk: {:?}\nstride (eq. 33): {} -> distance {} (mod m), return number {}\nsolo b_eff = {}\n",
+        dims.iter().map(ToString::to_string).collect::<Vec<_>>().join(","),
+        geom.banks(),
+        geom.bank_cycle(),
+        walk,
+        report.stride,
+        report.distance,
+        report.return_number,
+        report.solo_bandwidth,
+    );
+    if report.solo_bandwidth < vecmem_analytic::Ratio::integer(1) {
+        let padded = vecmem_analytic::planner::pad_dimension(&geom, dims[0]);
+        out.push_str(&format!(
+            "hint: the walk self-conflicts; pad the leading dimension {} -> {} (coprime to the bank count)\n",
+            dims[0], padded
+        ));
+    }
+    Ok(out)
+}
+
+/// `vecmem gather`: index-vector (gather) bandwidth.
+pub fn cmd_gather(opts: &Options) -> Result<String, String> {
+    let geom = geometry(opts)?;
+    let n = opts.u64_or("n", 4096).map_err(err)?;
+    let seed = opts.u64_or("seed", 1).map_err(err)?;
+    let span = opts.u64_or("span", 1 << 20).map_err(err)?;
+    let random = run_gather(&geom, IndexPattern::PseudoRandom { seed }, span, n);
+    let strided = run_gather(&geom, IndexPattern::Affine { a: 1, c: 0 }, span, n);
+    Ok(format!(
+        "gather of {n} elements on m = {}, n_c = {}\nrandom indices: {} cycles (b_eff = {:.3})\nunit stride:    {} cycles (b_eff = {:.3})\nirregularity cost: {:.2}x\n",
+        geom.banks(),
+        geom.bank_cycle(),
+        random.cycles,
+        random.bandwidth,
+        strided.cycles,
+        strided.bandwidth,
+        random.cycles as f64 / strided.cycles as f64,
+    ))
+}
+
+/// `vecmem spectrum`: classification census over a geometry's design space.
+pub fn cmd_spectrum(opts: &Options) -> Result<String, String> {
+    let geom = geometry(opts)?;
+    let s = if opts.flag("full") {
+        vecmem_analytic::spectrum::full_spectrum(&geom)
+    } else {
+        vecmem_analytic::spectrum::distance_spectrum(&geom)
+    };
+    Ok(format!(
+        "design space of m = {}, n_c = {} ({} cases):\n\
+         self-limited      {:>8}\n\
+         disjoint sets     {:>8}\n\
+         conflict-free     {:>8}\n\
+         unique barrier    {:>8}\n\
+         barrier possible  {:>8}\n\
+         conflicting       {:>8}\n\
+         guaranteed full bandwidth: {:.1}%\n",
+        geom.banks(),
+        geom.bank_cycle(),
+        s.total(),
+        s.self_limited,
+        s.disjoint_sets,
+        s.conflict_free,
+        s.unique_barrier,
+        s.barrier_possible,
+        s.conflicting,
+        100.0 * s.full_bandwidth_fraction(),
+    ))
+}
+
+/// `vecmem skew`: scheme comparison on one geometry.
+pub fn cmd_skew(opts: &Options) -> Result<String, String> {
+    let banks = opts.u64_or("banks", 16).map_err(err)?;
+    let nc = opts.u64_or("nc", 4).map_err(err)?;
+    let max_stride = opts.u64_or("max-stride", banks).map_err(err)?;
+    let mut schemes: Vec<Box<dyn BankMapping>> = vec![Box::new(Interleaved { banks })];
+    if banks.is_power_of_two() && banks > 1 {
+        schemes.push(Box::new(XorFold::new(banks)));
+    }
+    schemes.push(Box::new(LinearSkew::classic(banks)));
+    if let Some(p) = PrimeInterleaved::largest_prime_at_most(banks) {
+        schemes.push(Box::new(p));
+    }
+    let mut out = String::new();
+    for scheme in &schemes {
+        out.push_str(&format!("scheme: {}\n", scheme.name()));
+        let rows = vecmem_skew::eval::stride_table(scheme.as_ref(), nc, max_stride, 2_000_000)
+            .map_err(|e| e.to_string())?;
+        out.push_str(&format!("{:>7} {:>8} {:>14}\n", "stride", "solo", "vs unit-stride"));
+        for r in rows {
+            out.push_str(&format!(
+                "{:>7} {:>8} {:>14}\n",
+                r.stride,
+                r.solo.to_string(),
+                r.against_unit.to_string()
+            ));
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str], flags: &[&str]) -> Options {
+        Options::parse(args.iter().map(ToString::to_string), flags).unwrap()
+    }
+
+    const FLAGS: &[&str] = &["same-cpu", "cyclic", "alone", "consecutive", "full", "diagonal"];
+
+    #[test]
+    fn predict_fig2() {
+        let o = opts(&["--banks", "12", "--nc", "3", "--d1", "1", "--d2", "7"], FLAGS);
+        let out = cmd_predict(&o).unwrap();
+        assert!(out.contains("ConflictFree"), "{out}");
+        assert!(out.contains("predicted b_eff = 2"));
+    }
+
+    #[test]
+    fn steady_fig3() {
+        let o = opts(
+            &["--banks", "13", "--nc", "6", "--d1", "1", "--d2", "6"],
+            FLAGS,
+        );
+        let out = cmd_steady(&o).unwrap();
+        assert!(out.contains("b_eff = 7/6"), "{out}");
+    }
+
+    #[test]
+    fn trace_renders_banks() {
+        let o = opts(
+            &["--banks", "8", "--nc", "2", "--d1", "1", "--d2", "3", "--cycles", "12"],
+            FLAGS,
+        );
+        let out = cmd_trace(&o).unwrap();
+        assert_eq!(out.lines().count(), 8);
+        assert!(out.contains("bank   0"));
+    }
+
+    #[test]
+    fn triad_single_inc() {
+        let o = opts(&["--inc", "1", "--alone"], FLAGS);
+        let out = cmd_triad(&o).unwrap();
+        assert!(out.contains("INC = 1"), "{out}");
+        assert!(out.contains("simultaneous 0"), "{out}");
+    }
+
+    #[test]
+    fn random_reports_models() {
+        let o = opts(
+            &["--banks", "16", "--nc", "4", "--ports", "4", "--cycles", "5000"],
+            FLAGS,
+        );
+        let out = cmd_random(&o).unwrap();
+        assert!(out.contains("Hellerman"));
+        assert!(out.contains("capacity bound m/n_c = 4"));
+    }
+
+    #[test]
+    fn plan_lists_strides() {
+        let o = opts(&["--banks", "16", "--nc", "4", "--max-stride", "4", "--pad", "64"], FLAGS);
+        let out = cmd_plan(&o).unwrap();
+        assert!(out.contains("pad dimension 64 -> 65"));
+        // Stride 1 is safe against the unit-stride background; strides 2-4
+        // conflict (gcd(16, d-1) < 2·n_c).
+        let rows: Vec<&str> = out.lines().skip(1).collect();
+        assert_eq!(rows.len(), 5); // 4 strides + pad line
+        assert!(rows[0].ends_with("safe"));
+        assert!(rows[1].ends_with("conflicts"));
+        assert!(rows[2].ends_with("conflicts"));
+        assert!(rows[3].ends_with("conflicts"));
+    }
+
+    #[test]
+    fn predict_sectioned_same_cpu() {
+        let o = opts(
+            &["--banks", "12", "--sections", "2", "--nc", "2", "--d1", "1", "--d2", "1", "--b2", "3", "--same-cpu"],
+            FLAGS,
+        );
+        let out = cmd_predict(&o).unwrap();
+        assert!(out.contains("sectioned analysis"), "{out}");
+    }
+
+    #[test]
+    fn bad_geometry_is_reported() {
+        let o = opts(&["--banks", "12", "--sections", "5"], FLAGS);
+        assert!(cmd_predict(&o).is_err());
+    }
+
+    #[test]
+    fn spectrum_census() {
+        let o = opts(&["--banks", "12", "--nc", "3"], FLAGS);
+        let out = cmd_spectrum(&o).unwrap();
+        assert!(out.contains("121 cases"), "{out}");
+        assert!(out.contains("guaranteed full bandwidth"));
+    }
+
+    #[test]
+    fn loop_analysis_row_walk() {
+        let o = opts(&["--banks", "16", "--nc", "4", "--dims", "64,64", "--dim", "2"], FLAGS);
+        let out = cmd_loop(&o).unwrap();
+        assert!(out.contains("stride (eq. 33): 64"), "{out}");
+        assert!(out.contains("pad the leading dimension 64 -> 65"), "{out}");
+    }
+
+    #[test]
+    fn loop_analysis_diagonal() {
+        let o = opts(&["--banks", "16", "--nc", "4", "--dims", "64,64", "--diagonal"], FLAGS);
+        let out = cmd_loop(&o).unwrap();
+        assert!(out.contains("stride (eq. 33): 65"), "{out}");
+        assert!(out.contains("solo b_eff = 1"), "{out}");
+    }
+
+    #[test]
+    fn gather_reports_cost() {
+        let o = opts(&["--banks", "16", "--nc", "4", "--n", "512"], FLAGS);
+        let out = cmd_gather(&o).unwrap();
+        assert!(out.contains("irregularity cost"), "{out}");
+    }
+
+    #[test]
+    fn figure_command_runs() {
+        let o = Options::parse(vec!["3".to_string()], FLAGS).unwrap();
+        let out = cmd_figure(&o).unwrap();
+        assert!(out.contains("Figure 3"), "{out}");
+        assert!(out.contains("7/6"), "{out}");
+    }
+
+    #[test]
+    fn figure_command_rejects_unknown() {
+        let o = Options::parse(vec!["99".to_string()], FLAGS).unwrap();
+        assert!(cmd_figure(&o).is_err());
+    }
+}

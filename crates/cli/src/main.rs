@@ -1,0 +1,87 @@
+//! `vecmem` — command-line interface to the interleaved-memory bandwidth
+//! model and simulator (reproduction of Oed & Lange, 1985).
+
+mod args;
+mod commands;
+
+use args::Options;
+
+const USAGE: &str = "\
+vecmem — effective bandwidth of interleaved memories in vector processors
+
+USAGE: vecmem <COMMAND> [OPTIONS]
+
+COMMANDS:
+  predict   analytic classification of a stream pair (Theorems 2-9)
+  steady    exact simulated steady-state bandwidth of a stream pair
+  trace     paper-style ASCII access trace of a stream pair
+  triad     the Fig. 10 triad experiment (--inc N | --sweep MAX) [--alone]
+  random    random-access bandwidth vs classical models
+  plan      stride assessment and array-padding advice [--pad DIM]
+  skew      compare skewing schemes over strides
+  spectrum  classification census over all stride pairs [--full]
+  loop      analyse a Fortran loop (--dims J1,J2 --dim K --inc N | --diagonal)
+  gather    index-vector (gather) bandwidth vs unit stride
+  figure    regenerate a paper trace figure: vecmem figure 3
+
+COMMON OPTIONS:
+  --banks M          number of banks (default 16)
+  --sections S       number of sections (default = banks)
+  --nc N             bank cycle time in clock periods (default 4)
+  --consecutive      consecutive-bank section mapping (default cyclic)
+  --d1 D --d2 D      stream distances (default 1)
+  --b1 B --b2 B      start banks (default 0)
+  --same-cpu         place both ports on one CPU (section conflicts)
+  --cyclic           cyclic (rotating) priority rule (default fixed)
+  --cycles N         cycles to trace / sample
+  --ports P          port count (random)
+  --seed S           RNG seed (random)
+
+EXAMPLES:
+  vecmem predict --banks 12 --nc 3 --d1 1 --d2 7
+  vecmem trace --banks 13 --nc 6 --d1 1 --d2 6 --cycles 40
+  vecmem triad --sweep 16
+  vecmem random --banks 64 --ports 8
+";
+
+const BOOL_FLAGS: &[&str] = &["same-cpu", "cyclic", "alone", "consecutive", "full", "diagonal"];
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    };
+    let opts = match Options::parse(argv, BOOL_FLAGS) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let result = match command.as_str() {
+        "predict" => commands::cmd_predict(&opts),
+        "steady" => commands::cmd_steady(&opts),
+        "trace" => commands::cmd_trace(&opts),
+        "triad" => commands::cmd_triad(&opts),
+        "random" => commands::cmd_random(&opts),
+        "plan" => commands::cmd_plan(&opts),
+        "skew" => commands::cmd_skew(&opts),
+        "spectrum" => commands::cmd_spectrum(&opts),
+        "loop" => commands::cmd_loop(&opts),
+        "gather" => commands::cmd_gather(&opts),
+        "figure" => commands::cmd_figure(&opts),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            return;
+        }
+        other => Err(format!("unknown command '{other}' (try 'vecmem help')")),
+    };
+    match result {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

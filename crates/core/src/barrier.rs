@@ -1,0 +1,144 @@
+//! Fine structure of the unique barrier-situation (the derivation behind
+//! eq. 29).
+//!
+//! In a unique barrier the conflict-free stream ("1", canonical distance
+//! `d1 | m`) is granted every clock period, while the delayed stream ("2",
+//! canonical distance `d2 > d1`) settles into a repeating schedule: after
+//! each conflict it waits `(d2 - d1)/f` clock periods, then performs
+//! `d1/f` conflict-free accesses (the last of which collides again). Per
+//! `d2/f` clock periods the pair thus completes `(d1 + d2)/f` accesses —
+//! eq. 29's `b_eff = 1 + d1/d2`.
+//!
+//! This module computes that schedule explicitly so it can be checked
+//! against simulation grant-by-grant, not just in the aggregate.
+
+use crate::geometry::Geometry;
+use crate::isomorphism::CanonicalPair;
+use crate::numtheory::gcd3;
+use crate::ratio::Ratio;
+
+/// The periodic schedule of a unique barrier-situation, in canonical units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierSchedule {
+    /// Length of one repeating block in clock periods: `d2 / f`.
+    pub period: u64,
+    /// Stream 1 grants per block (one per clock period): `d2 / f`.
+    pub stream1_grants: u64,
+    /// Stream 2 grants per block: `d1 / f`.
+    pub stream2_grants: u64,
+    /// Clock periods stream 2 spends delayed per block: `(d2 - d1) / f`.
+    pub stream2_delay: u64,
+    /// Combined bandwidth, `(d1 + d2) / d2` (eq. 29).
+    pub beff: Ratio,
+    /// Stream 2's bandwidth, `d1 / d2`.
+    pub stream2_rate: Ratio,
+}
+
+/// Computes the barrier schedule for a canonical pair. The caller is
+/// responsible for having established (Theorems 4, 6/7) that the unique
+/// barrier is actually reached.
+#[must_use]
+pub fn barrier_schedule(geom: &Geometry, canonical: &CanonicalPair) -> BarrierSchedule {
+    let f = gcd3(geom.banks(), canonical.d1, canonical.d2);
+    let d1 = canonical.d1 / f;
+    let d2 = canonical.d2 / f;
+    BarrierSchedule {
+        period: d2,
+        stream1_grants: d2,
+        stream2_grants: d1,
+        stream2_delay: d2 - d1,
+        beff: Ratio::new(canonical.d1 + canonical.d2, canonical.d2),
+        stream2_rate: Ratio::new(canonical.d1, canonical.d2),
+    }
+}
+
+impl BarrierSchedule {
+    /// Grants per block across both streams.
+    #[must_use]
+    pub fn grants_per_period(&self) -> u64 {
+        self.stream1_grants + self.stream2_grants
+    }
+
+    /// Consistency: the block accounts for every clock period of stream 2
+    /// (grants + delays = period).
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        self.stream2_grants + self.stream2_delay == self.period
+            && self
+                .beff
+                .matches_counts(self.grants_per_period(), self.period)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isomorphism::canonicalize;
+    use crate::pair::{classify_pair, PairClass};
+    use crate::stream::StreamSpec;
+
+    #[test]
+    fn fig3_schedule() {
+        // m = 13, n_c = 6, 1 ⊕ 6: per 6-cycle block stream 1 gets 6 grants,
+        // stream 2 gets 1 grant and 5 delays.
+        let geom = Geometry::unsectioned(13, 6).unwrap();
+        let canonical = canonicalize(&geom, 1, 6).unwrap();
+        let s = barrier_schedule(&geom, &canonical);
+        assert_eq!(s.period, 6);
+        assert_eq!(s.stream1_grants, 6);
+        assert_eq!(s.stream2_grants, 1);
+        assert_eq!(s.stream2_delay, 5);
+        assert_eq!(s.beff, Ratio::new(7, 6));
+        assert_eq!(s.stream2_rate, Ratio::new(1, 6));
+        assert!(s.is_consistent());
+    }
+
+    #[test]
+    fn fig5_schedule() {
+        let geom = Geometry::unsectioned(13, 4).unwrap();
+        let canonical = canonicalize(&geom, 1, 3).unwrap();
+        let s = barrier_schedule(&geom, &canonical);
+        assert_eq!(s.period, 3);
+        assert_eq!(s.stream2_grants, 1);
+        assert_eq!(s.stream2_delay, 2);
+        assert_eq!(s.beff, Ratio::new(4, 3));
+        assert!(s.is_consistent());
+    }
+
+    #[test]
+    fn common_factor_pairs_divide_through() {
+        // m = 24, d1 = 2, d2 = 4 (f = 2): the block is d2/f = 2 cycles with
+        // one stream-2 grant and one delay.
+        let geom = Geometry::unsectioned(24, 2).unwrap();
+        let canonical = canonicalize(&geom, 2, 4).unwrap();
+        assert_eq!((canonical.d1, canonical.d2), (2, 4));
+        let s = barrier_schedule(&geom, &canonical);
+        assert_eq!(s.period, 2);
+        assert_eq!(s.stream2_grants, 1);
+        assert_eq!(s.stream2_delay, 1);
+        assert_eq!(s.beff, Ratio::new(3, 2));
+        assert!(s.is_consistent());
+    }
+
+    #[test]
+    fn schedule_matches_classifier_prediction() {
+        // Wherever the classifier announces a unique barrier, the schedule's
+        // aggregate must equal the classifier's b_eff.
+        for (m, nc) in [(16u64, 2u64), (13, 4), (24, 2), (32, 3)] {
+            let geom = Geometry::unsectioned(m, nc).unwrap();
+            for d1 in 1..m {
+                for d2 in 1..m {
+                    let s1 = StreamSpec { start_bank: 0, distance: d1 };
+                    let s2 = StreamSpec { start_bank: 0, distance: d2 };
+                    if let PairClass::UniqueBarrier { canonical, beff } =
+                        classify_pair(&geom, &s1, &s2, true)
+                    {
+                        let schedule = barrier_schedule(&geom, &canonical);
+                        assert_eq!(schedule.beff, beff, "m={m} nc={nc} d1={d1} d2={d2}");
+                        assert!(schedule.is_consistent());
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type for constructing model objects with invalid parameters.
+
+use std::fmt;
+
+/// Errors raised when model parameters violate the paper's assumptions
+/// (section II): `s | m`, positive bank cycle time, distances reduced
+/// modulo `m`, and so on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The number of banks `m` must be positive.
+    ZeroBanks,
+    /// The number of sections `s` must be positive.
+    ZeroSections,
+    /// The paper assumes the sections evenly divide the banks (`s | m`).
+    SectionsDontDivideBanks {
+        /// Number of banks `m`.
+        banks: u64,
+        /// Number of sections `s`.
+        sections: u64,
+    },
+    /// There cannot be more sections than banks (`s <= m`).
+    MoreSectionsThanBanks {
+        /// Number of banks `m`.
+        banks: u64,
+        /// Number of sections `s`.
+        sections: u64,
+    },
+    /// The bank cycle time `n_c` must be at least one clock period.
+    ZeroBankCycle,
+    /// A start bank address must lie in `0..m`.
+    StartBankOutOfRange {
+        /// The offending start bank.
+        start_bank: u64,
+        /// Number of banks `m`.
+        banks: u64,
+    },
+    /// A distance must lie in `0..m` ("distance with modulus d_i").
+    DistanceOutOfRange {
+        /// The offending distance.
+        distance: u64,
+        /// Number of banks `m`.
+        banks: u64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ZeroBanks => write!(f, "the number of banks m must be positive"),
+            Self::ZeroSections => write!(f, "the number of sections s must be positive"),
+            Self::SectionsDontDivideBanks { banks, sections } => write!(
+                f,
+                "sections must divide banks (s | m), got s = {sections}, m = {banks}"
+            ),
+            Self::MoreSectionsThanBanks { banks, sections } => write!(
+                f,
+                "cannot have more sections than banks, got s = {sections}, m = {banks}"
+            ),
+            Self::ZeroBankCycle => write!(f, "the bank cycle time n_c must be positive"),
+            Self::StartBankOutOfRange { start_bank, banks } => write!(
+                f,
+                "start bank {start_bank} out of range for m = {banks} banks"
+            ),
+            Self::DistanceOutOfRange { distance, banks } => write!(
+                f,
+                "distance {distance} out of range for m = {banks} banks (reduce modulo m)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ModelError::SectionsDontDivideBanks { banks: 12, sections: 5 };
+        assert!(e.to_string().contains("s = 5"));
+        assert!(e.to_string().contains("m = 12"));
+        let e = ModelError::DistanceOutOfRange { distance: 20, banks: 16 };
+        assert!(e.to_string().contains("20"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&ModelError::ZeroBanks);
+    }
+}

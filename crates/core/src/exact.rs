@@ -1,0 +1,257 @@
+//! Exact two-stream steady states by direct state-space iteration.
+//!
+//! This is the paper's own argument made executable: "the possible memory
+//! states are finite, and some cyclic state will be reached" (§III,
+//! assumption 1). For two cross-path streams the complete state is the
+//! vector of remaining bank busy times plus each stream's current bank;
+//! iterating the §II rules until a state repeats yields the asymptotic
+//! bandwidth as an exact rational.
+//!
+//! The implementation is deliberately **independent** of the
+//! `vecmem-banksim` engine (no shared arbitration code): the two are
+//! cross-validated against each other in the workspace integration tests,
+//! so an error in either implementation of the §II semantics would
+//! surface as a disagreement.
+
+use crate::geometry::Geometry;
+use crate::ratio::Ratio;
+use crate::stream::StreamSpec;
+use std::collections::HashMap;
+
+/// State key: bank busy residues plus each stream's current bank.
+type StateKey = (Vec<u8>, u64, u64);
+/// Recorded first visit: (clock period, stream-1 grants, stream-2 grants).
+type Visit = (u64, u64, u64);
+
+/// Exact cyclic-state summary for a pair of streams on different access
+/// paths (`s = m` semantics, stream 1 wins simultaneous conflicts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExactPairSteady {
+    /// Combined effective bandwidth.
+    pub beff: Ratio,
+    /// Stream 1's share.
+    pub stream1: Ratio,
+    /// Stream 2's share.
+    pub stream2: Ratio,
+    /// Cycle length of the steady state.
+    pub period: u64,
+    /// Clock periods before the cycle is entered.
+    pub transient: u64,
+}
+
+/// Iterates the two-stream system until its state recurs.
+///
+/// ```
+/// use vecmem_analytic::{Geometry, StreamSpec, Ratio, exact::exact_pair_steady};
+/// let geom = Geometry::unsectioned(13, 6).unwrap();
+/// let s1 = StreamSpec::new(&geom, 0, 1).unwrap();
+/// let s2 = StreamSpec::new(&geom, 0, 6).unwrap();
+/// // Fig. 3's barrier-situation: b_eff = 1 + d1/d2 = 7/6.
+/// assert_eq!(exact_pair_steady(&geom, &s1, &s2).beff, Ratio::new(7, 6));
+/// ```
+///
+/// Semantics (paper §II, cross-CPU):
+/// * each stream requests its current bank every clock period;
+/// * a request to a busy bank is delayed (bank conflict);
+/// * both requesting the same idle bank: stream 1 proceeds, stream 2 is
+///   delayed (simultaneous bank conflict, fixed priority);
+/// * a granted bank stays busy for `n_c` periods.
+#[must_use]
+pub fn exact_pair_steady(geom: &Geometry, s1: &StreamSpec, s2: &StreamSpec) -> ExactPairSteady {
+    let m = geom.banks() as usize;
+    let nc = geom.bank_cycle() as u8;
+    let mut busy = vec![0u8; m];
+    let (mut k1, mut k2) = (0u64, 0u64); // elements granted so far
+    let mut seen: HashMap<StateKey, Visit> = HashMap::new();
+    let mut t = 0u64;
+    loop {
+        let b1 = s1.bank_at(geom, k1) as usize;
+        let b2 = s2.bank_at(geom, k2) as usize;
+        let key = (busy.clone(), b1 as u64, b2 as u64);
+        if let Some(&(t0, g1, g2)) = seen.get(&key) {
+            let period = t - t0;
+            let d1 = k1 - g1;
+            let d2 = k2 - g2;
+            return ExactPairSteady {
+                beff: Ratio::new(d1 + d2, period),
+                stream1: Ratio::new(d1, period),
+                stream2: Ratio::new(d2, period),
+                period,
+                transient: t0,
+            };
+        }
+        seen.insert(key, (t, k1, k2));
+
+        // Advance bank clocks BEFORE the grant check so that a bank granted
+        // at clock period t becomes available again exactly at t + n_c.
+        for b in busy.iter_mut() {
+            *b = b.saturating_sub(1);
+        }
+        let grant1 = busy[b1] == 0;
+        let grant2 = busy[b2] == 0 && !(grant1 && b1 == b2);
+        if grant1 {
+            busy[b1] = nc;
+            k1 += 1;
+        }
+        if grant2 {
+            busy[b2] = nc;
+            k2 += 1;
+        }
+        t += 1;
+    }
+}
+
+/// Iterates the two-stream system with **shared access paths** (both
+/// streams on one CPU, `s <= m` sections) until its state recurs.
+///
+/// Semantics (paper §II, same-CPU):
+/// * a request to a busy bank is delayed (bank conflict);
+/// * two requests to idle banks in the same section (including the same
+///   bank) contend for the single access path: stream 1 proceeds, stream 2
+///   is delayed (section conflict, fixed priority).
+#[must_use]
+pub fn exact_pair_steady_sectioned(
+    geom: &Geometry,
+    s1: &StreamSpec,
+    s2: &StreamSpec,
+) -> ExactPairSteady {
+    let m = geom.banks() as usize;
+    let nc = geom.bank_cycle() as u8;
+    let mut busy = vec![0u8; m];
+    let (mut k1, mut k2) = (0u64, 0u64);
+    let mut seen: HashMap<StateKey, Visit> = HashMap::new();
+    let mut t = 0u64;
+    loop {
+        let b1 = s1.bank_at(geom, k1) as usize;
+        let b2 = s2.bank_at(geom, k2) as usize;
+        let key = (busy.clone(), b1 as u64, b2 as u64);
+        if let Some(&(t0, g1, g2)) = seen.get(&key) {
+            let period = t - t0;
+            let d1 = k1 - g1;
+            let d2 = k2 - g2;
+            return ExactPairSteady {
+                beff: Ratio::new(d1 + d2, period),
+                stream1: Ratio::new(d1, period),
+                stream2: Ratio::new(d2, period),
+                period,
+                transient: t0,
+            };
+        }
+        seen.insert(key, (t, k1, k2));
+
+        for b in busy.iter_mut() {
+            *b = b.saturating_sub(1);
+        }
+        let grant1 = busy[b1] == 0;
+        let same_path =
+            geom.section_of(b1 as u64) == geom.section_of(b2 as u64);
+        let grant2 = busy[b2] == 0 && !(grant1 && same_path);
+        if grant1 {
+            busy[b1] = nc;
+            k1 += 1;
+        }
+        if grant2 {
+            busy[b2] = nc;
+            k2 += 1;
+        }
+        t += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom(m: u64, nc: u64) -> Geometry {
+        Geometry::unsectioned(m, nc).unwrap()
+    }
+
+    fn spec(g: &Geometry, b: u64, d: u64) -> StreamSpec {
+        StreamSpec::new(g, b, d).unwrap()
+    }
+
+    #[test]
+    fn fig2_conflict_free() {
+        let g = geom(12, 3);
+        let r = exact_pair_steady(&g, &spec(&g, 0, 1), &spec(&g, 1, 7));
+        assert_eq!(r.beff, Ratio::integer(2));
+        assert_eq!(r.stream1, Ratio::integer(1));
+        assert_eq!(r.stream2, Ratio::integer(1));
+    }
+
+    #[test]
+    fn fig3_barrier() {
+        let g = geom(13, 6);
+        let r = exact_pair_steady(&g, &spec(&g, 0, 1), &spec(&g, 0, 6));
+        assert_eq!(r.beff, Ratio::new(7, 6));
+        assert_eq!(r.stream1, Ratio::integer(1));
+        assert_eq!(r.stream2, Ratio::new(1, 6));
+    }
+
+    #[test]
+    fn fig5_and_fig6_barrier_directions() {
+        let g = geom(13, 4);
+        let normal = exact_pair_steady(&g, &spec(&g, 0, 1), &spec(&g, 7, 3));
+        assert_eq!(normal.beff, Ratio::new(4, 3));
+        assert_eq!(normal.stream1, Ratio::integer(1));
+        let inverted = exact_pair_steady(&g, &spec(&g, 0, 1), &spec(&g, 1, 3));
+        assert_eq!(inverted.stream2, Ratio::integer(1));
+        assert!(inverted.stream1 < Ratio::integer(1));
+    }
+
+    #[test]
+    fn simultaneous_conflict_priority() {
+        // Both streams hammer bank 0: stream 1 always wins; stream 2 is
+        // granted only at the instants stream 1's bank is busy... which
+        // never happens for d = 0: stream 2 is starved.
+        let g = geom(4, 2);
+        let r = exact_pair_steady(&g, &spec(&g, 0, 0), &spec(&g, 0, 0));
+        assert_eq!(r.stream1, Ratio::new(1, 2)); // r = 1, n_c = 2 self-limit
+        assert_eq!(r.stream2, Ratio::integer(0));
+    }
+
+    #[test]
+    fn matches_single_stream_formula_when_other_is_disjoint() {
+        // d1 = 2 (even banks), d2 = 2 from an odd bank: fully disjoint, so
+        // both achieve their solo rates.
+        let g = geom(12, 4);
+        let r = exact_pair_steady(&g, &spec(&g, 0, 2), &spec(&g, 1, 2));
+        assert_eq!(r.beff, Ratio::integer(2));
+    }
+
+    #[test]
+    fn period_divides_structure() {
+        let g = geom(12, 3);
+        let r = exact_pair_steady(&g, &spec(&g, 0, 1), &spec(&g, 1, 7));
+        assert!(r.period > 0);
+        // In a conflict-free cycle both streams advance once per period
+        // cycle: grants per period = period each.
+        assert_eq!(r.stream1, Ratio::integer(1));
+    }
+
+    #[test]
+    fn fig7_sectioned_conflict_free() {
+        let g = Geometry::new(12, 2, 2).unwrap();
+        let r = exact_pair_steady_sectioned(&g, &spec(&g, 0, 1), &spec(&g, 3, 1));
+        assert_eq!(r.beff, Ratio::integer(2));
+    }
+
+    #[test]
+    fn fig8a_sectioned_linked_conflict() {
+        let g = Geometry::new(12, 3, 3).unwrap();
+        let r = exact_pair_steady_sectioned(&g, &spec(&g, 0, 1), &spec(&g, 1, 1));
+        assert_eq!(r.beff, Ratio::new(3, 2));
+    }
+
+    #[test]
+    fn sectioned_same_bank_is_section_semantics() {
+        // With s = m the sectioned solver must agree with the cross-path
+        // one (a same-bank collision resolves identically either way).
+        let g = Geometry::unsectioned(12, 3).unwrap();
+        for d2 in 0..12 {
+            let a = exact_pair_steady(&g, &spec(&g, 0, 1), &spec(&g, 0, d2));
+            let b = exact_pair_steady_sectioned(&g, &spec(&g, 0, 1), &spec(&g, 0, d2));
+            assert_eq!(a, b, "d2 = {d2}");
+        }
+    }
+}

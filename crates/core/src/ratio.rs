@@ -1,0 +1,141 @@
+//! Exact rational bandwidth values.
+//!
+//! Effective bandwidths in the model are exact rationals (e.g. `b_eff = 1 +
+//! d1/d2` for a unique barrier-situation, eq. 29), so we carry them as
+//! reduced fractions and only convert to `f64` at the edge.
+
+use crate::numtheory::gcd;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A non-negative rational number in lowest terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: u64,
+    den: u64,
+}
+
+impl Ratio {
+    /// Creates `num / den`, reduced to lowest terms. Panics if `den == 0`.
+    #[must_use]
+    pub fn new(num: u64, den: u64) -> Self {
+        assert!(den != 0, "denominator must be nonzero");
+        let g = gcd(num, den);
+        if g == 0 {
+            return Self { num: 0, den: 1 };
+        }
+        Self { num: num / g, den: den / g }
+    }
+
+    /// The integer `n` as a ratio.
+    #[must_use]
+    pub fn integer(n: u64) -> Self {
+        Self { num: n, den: 1 }
+    }
+
+    /// Numerator in lowest terms.
+    #[must_use]
+    pub fn num(&self) -> u64 {
+        self.num
+    }
+
+    /// Denominator in lowest terms.
+    #[must_use]
+    pub fn den(&self) -> u64 {
+        self.den
+    }
+
+    /// Conversion to floating point.
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Sum of two ratios.
+    #[must_use]
+    pub fn add(&self, other: &Ratio) -> Ratio {
+        Ratio::new(
+            self.num * other.den + other.num * self.den,
+            self.den * other.den,
+        )
+    }
+
+    /// True when this ratio equals `grants / cycles` (useful for comparing a
+    /// simulated steady state against an analytic prediction without float
+    /// round-off).
+    #[must_use]
+    pub fn matches_counts(&self, grants: u64, cycles: u64) -> bool {
+        cycles != 0 && (self.num as u128) * (cycles as u128) == (grants as u128) * (self.den as u128)
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Self) -> Ordering {
+        ((self.num as u128) * (other.den as u128)).cmp(&((other.num as u128) * (self.den as u128)))
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction() {
+        let r = Ratio::new(4, 6);
+        assert_eq!((r.num(), r.den()), (2, 3));
+        assert_eq!(Ratio::new(0, 5), Ratio::integer(0));
+        assert_eq!(Ratio::new(7, 7), Ratio::integer(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn zero_denominator_panics() {
+        let _ = Ratio::new(1, 0);
+    }
+
+    #[test]
+    fn barrier_bandwidth_eq29() {
+        // Unique barrier with d1 = 1, d2 = 3: b_eff = 1 + 1/3 = 4/3.
+        let beff = Ratio::integer(1).add(&Ratio::new(1, 3));
+        assert_eq!(beff, Ratio::new(4, 3));
+        assert!((beff.to_f64() - 4.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Ratio::new(1, 2) < Ratio::new(2, 3));
+        assert!(Ratio::integer(2) > Ratio::new(7, 6));
+        assert_eq!(Ratio::new(2, 4), Ratio::new(1, 2));
+    }
+
+    #[test]
+    fn matches_counts_exactly() {
+        // 3/2 = 12 grants in 8 cycles.
+        assert!(Ratio::new(3, 2).matches_counts(12, 8));
+        assert!(!Ratio::new(3, 2).matches_counts(13, 8));
+        assert!(!Ratio::new(3, 2).matches_counts(12, 0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Ratio::new(4, 3).to_string(), "4/3");
+        assert_eq!(Ratio::integer(2).to_string(), "2");
+        assert_eq!(Ratio::new(6, 3).to_string(), "2");
+    }
+}

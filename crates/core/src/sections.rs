@@ -1,0 +1,273 @@
+//! Fewer sections than banks (paper §III-B, Theorems 8–9, eq. 32, and the
+//! linked conflict).
+//!
+//! When two streams come from the *same* CPU and `s < m`, the access paths
+//! are shared: every granted request occupies its section's path for one
+//! clock period, so in addition to bank conflicts the streams may suffer
+//! *section conflicts*. Unlike the `s = m` case there is no general
+//! synchronisation result — conflict-freeness requires specific relative
+//! start banks, and with a fixed priority rule an unlucky start can lock the
+//! streams into a *linked conflict* (alternating bank and section conflicts,
+//! Fig. 8a) that only a cyclic priority rule (Fig. 8b) or consecutive-bank
+//! section mapping (Fig. 9, Cheung & Smith) resolves.
+
+use crate::geometry::Geometry;
+use crate::numtheory::{gcd, gcd3, mod_reduce};
+use crate::pair::conflict_free_condition;
+use crate::stream::{access_sets_disjoint, section_sets_disjoint, StreamSpec};
+
+/// Theorem 8: when the access sets are disjoint but the section sets are
+/// not, conflict-free streams can only be achieved if
+/// `gcd(s, d2 - d1) >= 2`. (Necessary condition; follows from Theorem 3 with
+/// `m -> s` and the path "cycle time" `n_c -> 1`.)
+#[must_use]
+pub fn thm8_condition(geom: &Geometry, d1: u64, d2: u64) -> bool {
+    let s = geom.sections();
+    let diff = mod_reduce(d2 as i128 - d1 as i128, s);
+    gcd(s, diff) >= 2
+}
+
+/// Theorem 9: if Theorem 3's condition (eq. 12) holds *and* `n_c·d1` is not
+/// a multiple of `s`, the two streams are conflict free when relatively
+/// positioned by `n_c·d1` — the simultaneous requests of the conflict-free
+/// cycle then always target different sections.
+#[must_use]
+pub fn thm9_condition(geom: &Geometry, d1: u64, d2: u64) -> bool {
+    conflict_free_condition(geom, d1, d2) && !(geom.bank_cycle() * (d1 % geom.banks())).is_multiple_of(geom.sections())
+}
+
+/// Eq. 32: when Theorem 9's section condition fails (`s | n_c·d1`),
+/// conflict-free streams are still possible if
+/// `gcd(m/f, (d2 - d1)/f) >= 2(n_c + 1)`, with the start banks relatively
+/// positioned by `(n_c + 1)·d1` — one extra clock period is spent to dodge
+/// the section conflict.
+///
+/// The paper's remark "if `n_c·d1 = k·s` then `(n_c + 1)·d1 ≠ k·s`"
+/// implicitly assumes `s ∤ d1`; when `s | d1` both relative positions are
+/// section-aligned (indeed the two streams are confined to one shared
+/// section and can never exceed `b_eff = 1`), so that case is excluded
+/// here explicitly.
+#[must_use]
+pub fn eq32_condition(geom: &Geometry, d1: u64, d2: u64) -> bool {
+    let m = geom.banks();
+    let d1 = d1 % m;
+    let d2 = d2 % m;
+    let f = gcd3(m, d1, d2);
+    if f == 0 {
+        return false;
+    }
+    if ((geom.bank_cycle() + 1) * d1).is_multiple_of(geom.sections()) {
+        return false;
+    }
+    let diff = mod_reduce(d2 as i128 - d1 as i128, m);
+    gcd(m / f, diff / f) >= 2 * (geom.bank_cycle() + 1)
+}
+
+/// How a same-CPU pair of streams relates under a sectioned memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SectionClass {
+    /// A stream self-conflicts (`r < n_c`); outside the model's scope.
+    SelfLimited,
+    /// Both the access sets and the section sets are disjoint for the given
+    /// start banks: no interaction at all, `b_eff = 2`.
+    FullyDisjoint,
+    /// Access sets disjoint (no bank interaction) but section sets shared:
+    /// only section conflicts possible. `achievable` reports Theorem 8's
+    /// necessary condition for a conflict-free relative position.
+    DisjointBanksSharedSections {
+        /// Theorem 8 condition `gcd(s, d2-d1) >= 2`.
+        achievable: bool,
+    },
+    /// Nondisjoint access sets. `via` records which theorem (if any) shows a
+    /// conflict-free relative position exists.
+    SharedBanks {
+        /// The route to conflict-freeness, if any.
+        via: ConflictFreeRoute,
+    },
+}
+
+/// Which result establishes that conflict-free start banks exist for a
+/// same-CPU pair under sections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConflictFreeRoute {
+    /// Theorem 9: eq. 12 holds and `s ∤ n_c·d1`; relative start `n_c·d1`.
+    Theorem9,
+    /// Eq. 32: `s | n_c·d1` but the gcd bound is `>= 2(n_c+1)`; relative
+    /// start `(n_c+1)·d1`.
+    Eq32,
+    /// No conflict-free relative position is predicted; `b_eff < 2`.
+    None,
+}
+
+/// Full analysis of a same-CPU stream pair under a sectioned memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionAnalysis {
+    /// Structural classification.
+    pub class: SectionClass,
+    /// Relative start position `b2 - b1 (mod m)` that realises the
+    /// conflict-free cycle, when one is predicted.
+    pub recommended_offset: Option<u64>,
+    /// True when conflict-freeness is achievable but start-position
+    /// dependent, so a fixed priority rule may trap badly positioned streams
+    /// in a linked conflict (Fig. 8a). A cyclic priority rule (Fig. 8b) or
+    /// consecutive-bank sections (Fig. 9) remove the risk.
+    pub linked_conflict_risk: bool,
+}
+
+/// Analyses a same-CPU pair of streams under sections (`s <= m`).
+#[must_use]
+pub fn analyze_sectioned_pair(
+    geom: &Geometry,
+    s1: &StreamSpec,
+    s2: &StreamSpec,
+) -> SectionAnalysis {
+    let nc = geom.bank_cycle();
+    let m = geom.banks();
+    if s1.return_number(geom) < nc || s2.return_number(geom) < nc {
+        return SectionAnalysis {
+            class: SectionClass::SelfLimited,
+            recommended_offset: None,
+            linked_conflict_risk: false,
+        };
+    }
+    let (d1, d2) = (s1.distance, s2.distance);
+    if access_sets_disjoint(geom, s1, s2) {
+        if section_sets_disjoint(geom, s1, s2) {
+            return SectionAnalysis {
+                class: SectionClass::FullyDisjoint,
+                recommended_offset: None,
+                linked_conflict_risk: false,
+            };
+        }
+        let achievable = thm8_condition(geom, d1, d2);
+        return SectionAnalysis {
+            class: SectionClass::DisjointBanksSharedSections { achievable },
+            recommended_offset: None,
+            linked_conflict_risk: achievable,
+        };
+    }
+    if thm9_condition(geom, d1, d2) {
+        return SectionAnalysis {
+            class: SectionClass::SharedBanks { via: ConflictFreeRoute::Theorem9 },
+            recommended_offset: Some((nc * d1) % m),
+            linked_conflict_risk: true,
+        };
+    }
+    if conflict_free_condition(geom, d1, d2) && eq32_condition(geom, d1, d2) {
+        return SectionAnalysis {
+            class: SectionClass::SharedBanks { via: ConflictFreeRoute::Eq32 },
+            recommended_offset: Some(((nc + 1) * d1) % m),
+            linked_conflict_risk: true,
+        };
+    }
+    SectionAnalysis {
+        class: SectionClass::SharedBanks { via: ConflictFreeRoute::None },
+        recommended_offset: None,
+        linked_conflict_risk: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(geom: &Geometry, b: u64, d: u64) -> StreamSpec {
+        StreamSpec::new(geom, b, d).unwrap()
+    }
+
+    #[test]
+    fn fig7_case_eq32() {
+        // Fig. 7: m = 12, s = 2, n_c = 2, d1 = d2 = 1. Theorem 9 fails
+        // (n_c·d1 = 2 ≡ 0 (mod 2)) but eq. 32 holds (gcd(12, 0) = 12 >= 6):
+        // conflict-free at relative start (n_c + 1)·d1 = 3.
+        let g = Geometry::new(12, 2, 2).unwrap();
+        assert!(!thm9_condition(&g, 1, 1));
+        assert!(eq32_condition(&g, 1, 1));
+        let a = analyze_sectioned_pair(&g, &spec(&g, 0, 1), &spec(&g, 3, 1));
+        assert_eq!(a.class, SectionClass::SharedBanks { via: ConflictFreeRoute::Eq32 });
+        assert_eq!(a.recommended_offset, Some(3));
+        assert!(a.linked_conflict_risk);
+    }
+
+    #[test]
+    fn fig8_case_linked_conflict_risk() {
+        // Fig. 8: m = 12, s = 3, n_c = 3, d1 = d2 = 1: s | n_c·d1, and
+        // eq. 32 holds (12 >= 8): conflict-free achievable at offset 4, but
+        // simultaneous starts under fixed priority produce a linked conflict.
+        let g = Geometry::new(12, 3, 3).unwrap();
+        assert!(!thm9_condition(&g, 1, 1));
+        assert!(eq32_condition(&g, 1, 1));
+        let a = analyze_sectioned_pair(&g, &spec(&g, 0, 1), &spec(&g, 0, 1));
+        assert_eq!(a.recommended_offset, Some(4));
+        assert!(a.linked_conflict_risk);
+    }
+
+    #[test]
+    fn theorem9_positive_case() {
+        // m = 12, s = 4, n_c = 3, d1 = 1, d2 = 7: eq. 12 gives gcd(12,6) =
+        // 6 >= 6, and n_c·d1 = 3 is not a multiple of s = 4 -> Theorem 9.
+        let g = Geometry::new(12, 4, 3).unwrap();
+        assert!(thm9_condition(&g, 1, 7));
+        let a = analyze_sectioned_pair(&g, &spec(&g, 0, 1), &spec(&g, 3, 7));
+        assert_eq!(a.class, SectionClass::SharedBanks { via: ConflictFreeRoute::Theorem9 });
+        assert_eq!(a.recommended_offset, Some(3));
+    }
+
+    #[test]
+    fn theorem8_condition_cases() {
+        let g = Geometry::new(12, 4, 2).unwrap();
+        assert!(thm8_condition(&g, 2, 4)); // gcd(4, 2) = 2
+        assert!(!thm8_condition(&g, 2, 3)); // gcd(4, 1) = 1
+        assert!(thm8_condition(&g, 3, 3)); // gcd(4, 0) = 4
+        assert!(!thm8_condition(&g, 0, 3)); // gcd(4, 3) = 1
+    }
+
+    #[test]
+    fn fully_disjoint_pair() {
+        // m = 4, s = 2 (Fig. 1): d = 2 streams on opposite parities use
+        // different banks *and* different sections.
+        let g = Geometry::new(4, 2, 1).unwrap();
+        let a = analyze_sectioned_pair(&g, &spec(&g, 0, 2), &spec(&g, 1, 2));
+        assert_eq!(a.class, SectionClass::FullyDisjoint);
+        assert!(!a.linked_conflict_risk);
+    }
+
+    #[test]
+    fn disjoint_banks_shared_sections() {
+        // m = 8, s = 2, d1 = d2 = 2, b2 - b1 = 1: banks disjoint (odd/even),
+        // sections: stream 1 visits banks {0,2,4,6} -> section 0 only;
+        // stream 2 visits {1,3,5,7} -> section 1 only. Disjoint sections too.
+        let g = Geometry::new(8, 2, 2).unwrap();
+        let a = analyze_sectioned_pair(&g, &spec(&g, 0, 2), &spec(&g, 1, 2));
+        assert_eq!(a.class, SectionClass::FullyDisjoint);
+        // For shared sections with disjoint banks take m = 12, s = 2,
+        // d1 = d2 = 4, b2 - b1 = 2: stream 1 visits banks {0,4,8}, stream 2
+        // {2,6,10} — disjoint — yet both sets map to section 0.
+        let g2 = Geometry::new(12, 2, 2).unwrap();
+        let a2 = analyze_sectioned_pair(&g2, &spec(&g2, 0, 4), &spec(&g2, 2, 4));
+        match a2.class {
+            SectionClass::DisjointBanksSharedSections { achievable } => {
+                // gcd(s, d2 - d1) = gcd(2, 0) = 2 >= 2: achievable.
+                assert!(achievable);
+            }
+            other => panic!("expected DisjointBanksSharedSections, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_limited_pair() {
+        let g = Geometry::new(16, 4, 4).unwrap();
+        let a = analyze_sectioned_pair(&g, &spec(&g, 0, 8), &spec(&g, 0, 1));
+        assert_eq!(a.class, SectionClass::SelfLimited);
+    }
+
+    #[test]
+    fn no_route_when_gcd_small() {
+        // m = 12, s = 3, n_c = 3, d1 = 1, d2 = 2: gcd(12, 1) = 1 < 6 — not
+        // even eq. 12 holds; no conflict-free route.
+        let g = Geometry::new(12, 3, 3).unwrap();
+        let a = analyze_sectioned_pair(&g, &spec(&g, 0, 1), &spec(&g, 5, 2));
+        assert_eq!(a.class, SectionClass::SharedBanks { via: ConflictFreeRoute::None });
+        assert_eq!(a.recommended_offset, None);
+    }
+}

@@ -1,0 +1,279 @@
+//! Access streams: the unit of analysis in vector mode.
+//!
+//! A single vector memory instruction activates a port that transfers `n`
+//! equally spaced data. Stream `i` is characterised (paper §III) by the
+//! address `b_i` of its start bank, its distance `d_i` (the stride reduced
+//! modulo `m`), its return number `r_i` (Theorem 1) and its access set `Z_i`.
+//! The `(k+1)`-th request of the stream goes to bank `(b_i + k·d_i) mod m`.
+
+use crate::error::ModelError;
+use crate::geometry::Geometry;
+use crate::numtheory::gcd;
+
+/// Specification of an (infinitely long) equally spaced access stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamSpec {
+    /// Address `b` of the start bank, in `0..m`.
+    pub start_bank: u64,
+    /// Distance `d` (stride modulo `m`), in `0..m`.
+    pub distance: u64,
+}
+
+impl StreamSpec {
+    /// Creates a stream spec, validating both fields against the geometry.
+    pub fn new(geom: &Geometry, start_bank: u64, distance: u64) -> Result<Self, ModelError> {
+        geom.check_start_bank(start_bank)?;
+        geom.check_distance(distance)?;
+        Ok(Self { start_bank, distance })
+    }
+
+    /// Creates a stream spec from an arbitrary storage address and stride,
+    /// reducing both modulo `m`. Convenient when working from array layouts.
+    #[must_use]
+    pub fn from_address(geom: &Geometry, address: u64, stride: u64) -> Self {
+        Self {
+            start_bank: geom.bank_of(address),
+            distance: stride % geom.banks(),
+        }
+    }
+
+    /// Bank address of the `(k+1)`-th access request: `(b + k·d) mod m`.
+    #[must_use]
+    pub fn bank_at(&self, geom: &Geometry, k: u64) -> u64 {
+        let m = geom.banks();
+        ((self.start_bank as u128 + k as u128 * self.distance as u128) % m as u128) as u64
+    }
+
+    /// Return number `r = m / gcd(m, d)` (Theorem 1): the number of accesses
+    /// made before the stream requests the same bank again.
+    #[must_use]
+    pub fn return_number(&self, geom: &Geometry) -> u64 {
+        geom.return_number(self.distance)
+    }
+
+    /// True when the stream conflicts with *itself*: the return to the start
+    /// bank happens before the bank is free again (`r < n_c`, §III-A).
+    #[must_use]
+    pub fn self_conflicting(&self, geom: &Geometry) -> bool {
+        self.return_number(geom) < geom.bank_cycle()
+    }
+
+    /// The access set `Z`: the `r` distinct bank addresses the stream visits,
+    /// in visiting order starting at the start bank.
+    #[must_use]
+    pub fn access_set(&self, geom: &Geometry) -> Vec<u64> {
+        let r = self.return_number(geom);
+        (0..r).map(|k| self.bank_at(geom, k)).collect()
+    }
+
+    /// The section set: all section addresses the stream visits (sorted,
+    /// deduplicated). Used for Theorem 8.
+    #[must_use]
+    pub fn section_set(&self, geom: &Geometry) -> Vec<u64> {
+        let mut sections: Vec<u64> = self
+            .access_set(geom)
+            .into_iter()
+            .map(|bank| geom.section_of(bank))
+            .collect();
+        sections.sort_unstable();
+        sections.dedup();
+        sections
+    }
+
+    /// Effective bandwidth of this stream running *alone* (§III-A):
+    /// `1` if `r >= n_c`, else `r / n_c` (as an exact rational, returned as
+    /// a `(numerator, denominator)` pair by [`Self::solo_bandwidth`]).
+    #[must_use]
+    pub fn solo_bandwidth(&self, geom: &Geometry) -> f64 {
+        let r = self.return_number(geom);
+        let nc = geom.bank_cycle();
+        if r >= nc {
+            1.0
+        } else {
+            r as f64 / nc as f64
+        }
+    }
+
+    /// Exact rational form of [`Self::solo_bandwidth`]: `(r, n_c)` clamped to
+    /// at most 1, i.e. `min(r, n_c) / n_c` reduced... returned unreduced as
+    /// `(min(r, n_c), n_c)` so callers can compare exactly.
+    #[must_use]
+    pub fn solo_bandwidth_ratio(&self, geom: &Geometry) -> (u64, u64) {
+        let r = self.return_number(geom);
+        let nc = geom.bank_cycle();
+        (r.min(nc), nc)
+    }
+}
+
+/// True when the access sets of two streams are disjoint for the *given*
+/// start banks.
+///
+/// `Z_i = { b_i + t · gcd(m, d_i) mod m }`, so the two sets intersect iff
+/// `f = gcd(m, d1, d2)` divides `b2 - b1`.
+#[must_use]
+pub fn access_sets_disjoint(geom: &Geometry, s1: &StreamSpec, s2: &StreamSpec) -> bool {
+    let m = geom.banks();
+    let f = gcd(gcd(m, s1.distance), s2.distance);
+    if f <= 1 {
+        return false; // Theorem 2: with f = 1 the sets always intersect.
+    }
+    let delta = (s2.start_bank + m - s1.start_bank) % m;
+    !delta.is_multiple_of(f)
+}
+
+/// True when the section sets of two streams are disjoint for the given
+/// start banks (needed to rule out section conflicts entirely).
+#[must_use]
+pub fn section_sets_disjoint(geom: &Geometry, s1: &StreamSpec, s2: &StreamSpec) -> bool {
+    let z1 = s1.section_set(geom);
+    let z2 = s2.section_set(geom);
+    z1.iter().all(|s| !z2.contains(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom(m: u64, nc: u64) -> Geometry {
+        Geometry::unsectioned(m, nc).unwrap()
+    }
+
+    #[test]
+    fn bank_sequence() {
+        let g = geom(12, 3);
+        let s = StreamSpec::new(&g, 2, 7).unwrap();
+        assert_eq!(s.bank_at(&g, 0), 2);
+        assert_eq!(s.bank_at(&g, 1), 9);
+        assert_eq!(s.bank_at(&g, 2), 4);
+        assert_eq!(s.bank_at(&g, 12), 2); // r = 12 for d = 7, m = 12
+    }
+
+    #[test]
+    fn return_number_matches_theorem1_brute_force() {
+        // r is the smallest j - k with (b + j d) ≡ (b + k d) (mod m); verify
+        // against a brute-force scan for every (m, d) up to 40 banks.
+        for m in 1..=40u64 {
+            let g = geom(m, 1);
+            for d in 0..m {
+                let s = StreamSpec::new(&g, 0, d).unwrap();
+                let r = s.return_number(&g);
+                // Brute force: first revisit of the start bank.
+                let mut steps = 1;
+                while s.bank_at(&g, steps) != s.start_bank {
+                    steps += 1;
+                }
+                assert_eq!(r, steps, "m={m} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn access_set_has_return_number_distinct_elements() {
+        let g = geom(16, 4);
+        for d in 0..16 {
+            let s = StreamSpec::new(&g, 3, d).unwrap();
+            let z = s.access_set(&g);
+            assert_eq!(z.len() as u64, s.return_number(&g));
+            let mut sorted = z.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), z.len(), "elements must be distinct, d={d}");
+        }
+    }
+
+    #[test]
+    fn self_conflict_detection() {
+        // m = 16, n_c = 4: d = 8 gives r = 2 < 4 (self-conflicting);
+        // d = 4 gives r = 4 = n_c (not self-conflicting).
+        let g = geom(16, 4);
+        assert!(StreamSpec::new(&g, 0, 8).unwrap().self_conflicting(&g));
+        assert!(!StreamSpec::new(&g, 0, 4).unwrap().self_conflicting(&g));
+        assert!(StreamSpec::new(&g, 0, 0).unwrap().self_conflicting(&g));
+    }
+
+    #[test]
+    fn solo_bandwidth_section_iii_a() {
+        let g = geom(16, 4);
+        // r >= n_c: full bandwidth of 1 word per clock.
+        assert_eq!(StreamSpec::new(&g, 0, 1).unwrap().solo_bandwidth(&g), 1.0);
+        // d = 8: r = 2 < n_c = 4, bandwidth r / n_c = 0.5.
+        assert_eq!(StreamSpec::new(&g, 0, 8).unwrap().solo_bandwidth(&g), 0.5);
+        // d = 0: r = 1, bandwidth 0.25.
+        assert_eq!(StreamSpec::new(&g, 0, 0).unwrap().solo_bandwidth(&g), 0.25);
+        assert_eq!(
+            StreamSpec::new(&g, 0, 8).unwrap().solo_bandwidth_ratio(&g),
+            (2, 4)
+        );
+    }
+
+    #[test]
+    fn disjoint_access_sets_require_common_factor() {
+        // Theorem 2: disjoint sets achievable iff gcd(m, d1, d2) > 1; and for
+        // given starts the sets are disjoint iff f does not divide b2 - b1.
+        let g = geom(12, 3);
+        let s1 = StreamSpec::new(&g, 0, 2).unwrap();
+        let s2 = StreamSpec::new(&g, 1, 4).unwrap(); // f = 2, b2-b1 = 1 odd
+        assert!(access_sets_disjoint(&g, &s1, &s2));
+        let s2_even = StreamSpec::new(&g, 2, 4).unwrap(); // b2-b1 = 2 even
+        assert!(!access_sets_disjoint(&g, &s1, &s2_even));
+        // f = 1: never disjoint regardless of starts.
+        let t1 = StreamSpec::new(&g, 0, 1).unwrap();
+        let t2 = StreamSpec::new(&g, 5, 4).unwrap();
+        assert!(!access_sets_disjoint(&g, &t1, &t2));
+    }
+
+    #[test]
+    fn disjointness_matches_brute_force() {
+        for m in 2..=24u64 {
+            let g = geom(m, 2);
+            for d1 in 0..m {
+                for d2 in 0..m {
+                    for b2 in 0..m {
+                        let s1 = StreamSpec::new(&g, 0, d1).unwrap();
+                        let s2 = StreamSpec::new(&g, b2, d2).unwrap();
+                        let z1 = s1.access_set(&g);
+                        let z2 = s2.access_set(&g);
+                        let brute = z1.iter().all(|b| !z2.contains(b));
+                        assert_eq!(
+                            access_sets_disjoint(&g, &s1, &s2),
+                            brute,
+                            "m={m} d1={d1} d2={d2} b2={b2}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn section_sets() {
+        // Fig. 1 geometry: m = 4, s = 2. A stream with d = 2 stays within one
+        // section; two such streams on opposite parities have disjoint
+        // section sets.
+        let g = Geometry::new(4, 2, 1).unwrap();
+        let s1 = StreamSpec::new(&g, 0, 2).unwrap();
+        let s2 = StreamSpec::new(&g, 1, 2).unwrap();
+        assert_eq!(s1.section_set(&g), vec![0]);
+        assert_eq!(s2.section_set(&g), vec![1]);
+        assert!(section_sets_disjoint(&g, &s1, &s2));
+        let s3 = StreamSpec::new(&g, 0, 1).unwrap();
+        assert_eq!(s3.section_set(&g), vec![0, 1]);
+        assert!(!section_sets_disjoint(&g, &s1, &s3));
+    }
+
+    #[test]
+    fn from_address_reduces_modulo_m() {
+        let g = Geometry::cray_xmp();
+        let s = StreamSpec::from_address(&g, 16 * 1024 + 1, 18);
+        assert_eq!(s.start_bank, 1);
+        assert_eq!(s.distance, 2);
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let g = geom(8, 2);
+        assert!(StreamSpec::new(&g, 8, 0).is_err());
+        assert!(StreamSpec::new(&g, 0, 8).is_err());
+        assert!(StreamSpec::new(&g, 7, 7).is_ok());
+    }
+}

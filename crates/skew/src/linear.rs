@@ -1,0 +1,103 @@
+//! Linear (row-rotation) skewing à la Budnik & Kuck \[1\].
+//!
+//! The address space is viewed as rows of `row_length` words; row `r` is
+//! rotated by `skew · r` banks:
+//!
+//! ```text
+//! bank(a) = (a + skew · (a / row_length)) mod m
+//! ```
+//!
+//! With `row_length = m` and `skew = 1` this is the classic "skewed storage"
+//! that makes both rows and columns of an `m × m` matrix conflict-free.
+
+use crate::scheme::BankMapping;
+use vecmem_analytic::numtheory::lcm;
+
+/// Row-rotation skewing scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinearSkew {
+    /// Number of banks `m`.
+    pub banks: u64,
+    /// Words per row (typically the leading array dimension).
+    pub row_length: u64,
+    /// Banks of rotation added per row.
+    pub skew: u64,
+}
+
+impl LinearSkew {
+    /// The classic square skew: rows of length `m`, rotation 1.
+    #[must_use]
+    pub fn classic(banks: u64) -> Self {
+        Self { banks, row_length: banks, skew: 1 }
+    }
+}
+
+impl BankMapping for LinearSkew {
+    fn bank_of(&self, address: u64) -> u64 {
+        let row = address / self.row_length;
+        ((address as u128 + self.skew as u128 * row as u128) % self.banks as u128) as u64
+    }
+
+    fn banks(&self) -> u64 {
+        self.banks
+    }
+
+    fn address_period(&self) -> u64 {
+        // After lcm(row_length·m / gcd(skew, m), …) addresses the pattern
+        // repeats; a safe period is row_length · m / gcd-ish. Use
+        // lcm(row_length, 1) · m: bank(a + row_length·m)
+        //   = a + row_length·m + skew·(a/row_length + m) mod m = bank(a).
+        lcm(self.row_length, 1) * self.banks
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "linear-skew(m={}, row={}, skew={})",
+            self.banks, self.row_length, self.skew
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_skew_rotates_rows() {
+        let s = LinearSkew::classic(4);
+        // Row 0: banks 0,1,2,3. Row 1: banks 1,2,3,0. Row 2: 2,3,0,1.
+        assert_eq!((0..4).map(|a| s.bank_of(a)).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!((4..8).map(|a| s.bank_of(a)).collect::<Vec<_>>(), vec![1, 2, 3, 0]);
+        assert_eq!((8..12).map(|a| s.bank_of(a)).collect::<Vec<_>>(), vec![2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn column_access_spreads_banks() {
+        // Unskewed, a column of an m×m matrix (stride m) hits one bank; the
+        // classic skew makes it hit all m banks.
+        let m = 8;
+        let s = LinearSkew::classic(m);
+        let banks: Vec<u64> = (0..m).map(|i| s.bank_of(i * m)).collect();
+        let mut sorted = banks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len() as u64, m, "column should touch all banks: {banks:?}");
+    }
+
+    #[test]
+    fn period_contract_holds() {
+        let s = LinearSkew { banks: 6, row_length: 10, skew: 2 };
+        let p = s.address_period();
+        for a in 0..600 {
+            assert_eq!(s.bank_of(a), s.bank_of(a + p), "a = {a}");
+        }
+    }
+
+    #[test]
+    fn zero_skew_is_plain_interleaving() {
+        let s = LinearSkew { banks: 8, row_length: 16, skew: 0 };
+        for a in 0..100 {
+            assert_eq!(s.bank_of(a), a % 8);
+        }
+    }
+}

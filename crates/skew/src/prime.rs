@@ -1,0 +1,109 @@
+//! Prime-way interleaving.
+//!
+//! The paper's conclusion: "A safe method is to choose the dimension of
+//! arrays so that they are relatively prime to the number of banks." The
+//! hardware-side dual is to make the *number of banks* prime (the
+//! Burroughs BSP approach): every stride `d` with `d mod p != 0` then has
+//! the full return number `r = p`, so only one residue class of strides is
+//! slow.
+
+use crate::scheme::BankMapping;
+
+/// `p`-way interleaving with prime `p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrimeInterleaved {
+    /// The (prime) number of banks.
+    pub banks: u64,
+}
+
+impl PrimeInterleaved {
+    /// Creates the scheme, checking primality.
+    ///
+    /// # Panics
+    /// Panics when `banks` is not prime.
+    #[must_use]
+    pub fn new(banks: u64) -> Self {
+        assert!(is_prime(banks), "{banks} is not prime");
+        Self { banks }
+    }
+
+    /// The largest prime `<= n` (useful to fit a prime bank count under a
+    /// power-of-two budget, e.g. 13 banks out of 16).
+    #[must_use]
+    pub fn largest_prime_at_most(n: u64) -> Option<Self> {
+        (2..=n).rev().find(|&p| is_prime(p)).map(|p| Self { banks: p })
+    }
+}
+
+/// Simple trial-division primality test (bank counts are small).
+#[must_use]
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    let mut i = 2;
+    while i * i <= n {
+        if n.is_multiple_of(i) {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
+
+impl BankMapping for PrimeInterleaved {
+    fn bank_of(&self, address: u64) -> u64 {
+        address % self.banks
+    }
+    fn banks(&self) -> u64 {
+        self.banks
+    }
+    fn address_period(&self) -> u64 {
+        self.banks
+    }
+    fn name(&self) -> String {
+        format!("prime-interleaved(p={})", self.banks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primality() {
+        assert!(is_prime(2));
+        assert!(is_prime(13));
+        assert!(is_prime(17));
+        assert!(!is_prime(1));
+        assert!(!is_prime(0));
+        assert!(!is_prime(16));
+        assert!(!is_prime(15));
+    }
+
+    #[test]
+    fn largest_prime_under_budget() {
+        assert_eq!(PrimeInterleaved::largest_prime_at_most(16).unwrap().banks, 13);
+        assert_eq!(PrimeInterleaved::largest_prime_at_most(8).unwrap().banks, 7);
+        assert!(PrimeInterleaved::largest_prime_at_most(1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "not prime")]
+    fn non_prime_rejected() {
+        let _ = PrimeInterleaved::new(16);
+    }
+
+    #[test]
+    fn all_nonmultiple_strides_have_full_return_number() {
+        let p = PrimeInterleaved::new(13);
+        for d in 1..13 {
+            // The stride-d walk visits all 13 banks before repeating.
+            let mut seen = std::collections::HashSet::new();
+            for k in 0..13u64 {
+                seen.insert(p.bank_of(k * d));
+            }
+            assert_eq!(seen.len(), 13, "d = {d}");
+        }
+    }
+}

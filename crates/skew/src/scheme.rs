@@ -1,0 +1,74 @@
+//! Bank-mapping (skewing) schemes.
+//!
+//! The paper's conclusion points to skewing schemes (\[1\], \[4\], \[11\], \[12\])
+//! as the way to "build an environment with uniform access streams": instead
+//! of the plain interleaving `bank(a) = a mod m`, the address-to-bank map is
+//! chosen so that common strides spread over many banks.
+//!
+//! A scheme must be *eventually periodic* in the address so the simulator's
+//! cyclic-state detection still applies: `bank(a + P) = bank(a)` for the
+//! declared period `P`.
+
+use std::fmt;
+
+/// An address-to-bank mapping.
+pub trait BankMapping: fmt::Debug {
+    /// Bank of word address `a`. Result must lie in `0..banks()`.
+    fn bank_of(&self, address: u64) -> u64;
+
+    /// Number of banks addressed by the scheme.
+    fn banks(&self) -> u64;
+
+    /// Address period `P > 0` with `bank_of(a + P) == bank_of(a)` for all
+    /// `a`. Used for state signatures in steady-state detection.
+    fn address_period(&self) -> u64;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> String;
+}
+
+/// Plain `m`-way interleaving, `bank(a) = a mod m` — the paper's baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interleaved {
+    /// Number of banks.
+    pub banks: u64,
+}
+
+impl BankMapping for Interleaved {
+    fn bank_of(&self, address: u64) -> u64 {
+        address % self.banks
+    }
+    fn banks(&self) -> u64 {
+        self.banks
+    }
+    fn address_period(&self) -> u64 {
+        self.banks
+    }
+    fn name(&self) -> String {
+        format!("interleaved(m={})", self.banks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleaved_is_modulo() {
+        let s = Interleaved { banks: 16 };
+        assert_eq!(s.bank_of(0), 0);
+        assert_eq!(s.bank_of(17), 1);
+        assert_eq!(s.banks(), 16);
+        assert_eq!(s.address_period(), 16);
+        assert!(s.name().contains("16"));
+    }
+
+    #[test]
+    fn period_contract_holds() {
+        let s = Interleaved { banks: 12 };
+        let p = s.address_period();
+        for a in 0..200 {
+            assert_eq!(s.bank_of(a), s.bank_of(a + p));
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! XOR-folding (pseudo-random) interleaving for power-of-two bank counts.
+//!
+//! `bank(a) = (a ⊕ (a >> log2 m)) mod m`: the bank index is perturbed by
+//! the next-higher address bits, breaking up the power-of-two stride
+//! pathologies of plain interleaving while keeping unit stride perfect.
+
+use crate::scheme::BankMapping;
+
+/// XOR-fold scheme over `m = 2^k` banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XorFold {
+    banks: u64,
+    shift: u32,
+}
+
+impl XorFold {
+    /// Creates the scheme.
+    ///
+    /// # Panics
+    /// Panics unless `banks` is a power of two greater than 1.
+    #[must_use]
+    pub fn new(banks: u64) -> Self {
+        assert!(
+            banks.is_power_of_two() && banks > 1,
+            "XOR folding needs a power-of-two bank count > 1, got {banks}"
+        );
+        Self { banks, shift: banks.trailing_zeros() }
+    }
+}
+
+impl BankMapping for XorFold {
+    fn bank_of(&self, address: u64) -> u64 {
+        (address ^ (address >> self.shift)) & (self.banks - 1)
+    }
+
+    fn banks(&self) -> u64 {
+        self.banks
+    }
+
+    fn address_period(&self) -> u64 {
+        // Bits above 2·log2(m) never reach the bank index... they do, via
+        // the fold of (a >> shift). The fold uses bits [shift, 2·shift), so
+        // the pattern repeats every m² addresses.
+        self.banks * self.banks
+    }
+
+    fn name(&self) -> String {
+        format!("xor-fold(m={})", self.banks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_stride_unaffected_within_a_row() {
+        let s = XorFold::new(16);
+        // Addresses 0..16 (row 0) map identically to plain interleaving.
+        for a in 0..16 {
+            assert_eq!(s.bank_of(a), a);
+        }
+    }
+
+    #[test]
+    fn power_of_two_stride_spreads() {
+        // Plain interleaving: stride 16 on m = 16 always hits bank 0. The
+        // XOR fold spreads it over all banks.
+        let s = XorFold::new(16);
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..16u64 {
+            seen.insert(s.bank_of(k * 16));
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn period_contract_holds() {
+        let s = XorFold::new(8);
+        let p = s.address_period();
+        for a in 0..512 {
+            assert_eq!(s.bank_of(a), s.bank_of(a + p), "a = {a}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        let _ = XorFold::new(12);
+    }
+
+    #[test]
+    fn banks_in_range() {
+        let s = XorFold::new(16);
+        for a in 0..1000 {
+            assert!(s.bank_of(a) < 16);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Fortran array model: column-major layout and the stride formula (eq. 33).
+//!
+//! The paper derives the access-stream distance for Fortran arrays: when a
+//! loop with increment `INC` runs over the `(k+1)`-th dimension of an array
+//! with dimensions `J_1 × J_2 × …`, the resulting address distance is
+//!
+//! ```text
+//! d = INC · Π_{i<=k} J_i        (eq. 33, with J_0 = 1)
+//! ```
+//!
+//! and the bank distance is `d mod m`.
+
+use std::fmt;
+
+/// A Fortran array placed in memory (1-based indices, column-major order,
+/// one word per element).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FortranArray {
+    name: String,
+    dims: Vec<u64>,
+    base: u64,
+}
+
+impl FortranArray {
+    /// Creates an array `name(dims\[0\], dims\[1\], …)` with its first element
+    /// at word address `base`.
+    ///
+    /// # Panics
+    /// Panics when `dims` is empty or any dimension is zero.
+    #[must_use]
+    pub fn new(name: impl Into<String>, dims: Vec<u64>, base: u64) -> Self {
+        assert!(!dims.is_empty(), "array needs at least one dimension");
+        assert!(dims.iter().all(|&d| d > 0), "dimensions must be positive");
+        Self { name: name.into(), dims, base }
+    }
+
+    /// Array name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared dimensions `J_1, J_2, …`.
+    #[must_use]
+    pub fn dims(&self) -> &[u64] {
+        &self.dims
+    }
+
+    /// Word address of the first element.
+    #[must_use]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.dims.iter().product()
+    }
+
+    /// True when the array is empty (never, given the constructor contract,
+    /// but required for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Word address of element `(i_1, i_2, …)` with 1-based Fortran indices.
+    ///
+    /// # Panics
+    /// Panics when the number of indices mismatches or an index is out of
+    /// bounds.
+    #[must_use]
+    pub fn address(&self, indices: &[u64]) -> u64 {
+        assert_eq!(indices.len(), self.dims.len(), "index arity mismatch");
+        let mut addr = self.base;
+        let mut span = 1;
+        for (&idx, &dim) in indices.iter().zip(&self.dims) {
+            assert!(
+                (1..=dim).contains(&idx),
+                "index {idx} out of bounds 1..={dim} in array {}",
+                self.name
+            );
+            addr += (idx - 1) * span;
+            span *= dim;
+        }
+        addr
+    }
+
+    /// Eq. 33: the address distance of a loop with increment `inc` running
+    /// over dimension `dim` (1-based; `dim = 1` is the leftmost, contiguous
+    /// one): `d = INC · Π_{i < dim} J_i`.
+    ///
+    /// ```
+    /// use vecmem_vproc::FortranArray;
+    /// let a = FortranArray::new("A", vec![64, 32], 0);
+    /// assert_eq!(a.stride_of_dimension(1, 3), 3);   // column walk
+    /// assert_eq!(a.stride_of_dimension(2, 1), 64);  // row walk
+    /// ```
+    #[must_use]
+    pub fn stride_of_dimension(&self, dim: usize, inc: u64) -> u64 {
+        assert!(
+            (1..=self.dims.len()).contains(&dim),
+            "dimension {dim} out of range"
+        );
+        let span: u64 = self.dims[..dim - 1].iter().product();
+        inc * span
+    }
+
+    /// The stride of a *diagonal* walk `(i, i, …, i)`:
+    /// `Σ_k Π_{i<k} J_i` (the sum of all dimension spans).
+    #[must_use]
+    pub fn diagonal_stride(&self) -> u64 {
+        let mut total = 0;
+        let mut span = 1;
+        for &dim in &self.dims {
+            total += span;
+            span *= dim;
+        }
+        total
+    }
+}
+
+impl fmt::Display for FortranArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ") @ {}", self.base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_dimensional_addressing() {
+        let a = FortranArray::new("A", vec![100], 1000);
+        assert_eq!(a.address(&[1]), 1000);
+        assert_eq!(a.address(&[100]), 1099);
+        assert_eq!(a.len(), 100);
+    }
+
+    #[test]
+    fn column_major_two_dimensional() {
+        // A(3, 4): A(1,1) A(2,1) A(3,1) A(1,2) ... column-major.
+        let a = FortranArray::new("A", vec![3, 4], 0);
+        assert_eq!(a.address(&[1, 1]), 0);
+        assert_eq!(a.address(&[2, 1]), 1);
+        assert_eq!(a.address(&[1, 2]), 3);
+        assert_eq!(a.address(&[3, 4]), 11);
+    }
+
+    #[test]
+    fn stride_formula_eq33() {
+        // J = (64, 32): column walk d = INC, row walk d = INC·64.
+        let a = FortranArray::new("A", vec![64, 32], 0);
+        assert_eq!(a.stride_of_dimension(1, 1), 1);
+        assert_eq!(a.stride_of_dimension(1, 3), 3);
+        assert_eq!(a.stride_of_dimension(2, 1), 64);
+        assert_eq!(a.stride_of_dimension(2, 2), 128);
+        // Three dimensions: J = (8, 4, 2), dim 3 span = 32.
+        let b = FortranArray::new("B", vec![8, 4, 2], 0);
+        assert_eq!(b.stride_of_dimension(3, 1), 32);
+    }
+
+    #[test]
+    fn stride_matches_address_differences() {
+        let a = FortranArray::new("A", vec![5, 7, 3], 42);
+        // Walking dimension 2 with INC 1: consecutive addresses differ by 5.
+        let d = a.address(&[2, 3, 1]) - a.address(&[2, 2, 1]);
+        assert_eq!(d, a.stride_of_dimension(2, 1));
+        let d3 = a.address(&[2, 2, 2]) - a.address(&[2, 2, 1]);
+        assert_eq!(d3, a.stride_of_dimension(3, 1));
+    }
+
+    #[test]
+    fn diagonal_stride() {
+        let a = FortranArray::new("A", vec![64, 32], 0);
+        // (i+1, i+1) - (i, i) = 1 + 64.
+        assert_eq!(a.diagonal_stride(), 65);
+        let diff = a.address(&[2, 2]) - a.address(&[1, 1]);
+        assert_eq!(diff, 65);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_index_panics() {
+        let a = FortranArray::new("A", vec![3], 0);
+        let _ = a.address(&[4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let a = FortranArray::new("A", vec![3, 3], 0);
+        let _ = a.address(&[1]);
+    }
+
+    #[test]
+    fn display_format() {
+        let a = FortranArray::new("B", vec![16, 4], 7);
+        assert_eq!(a.to_string(), "B(16,4) @ 7");
+    }
+}

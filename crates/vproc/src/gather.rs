@@ -1,0 +1,233 @@
+//! Gather/scatter: index-vector addressing.
+//!
+//! The original 1982 X-MP accessed memory only through constant-stride
+//! vector instructions — the paper's setting. Later X-MP models (EA, and
+//! the Y-MP line) added hardware gather/scatter, where the element
+//! addresses come from an index vector: `A(I) = B(IX(I))`. This module
+//! models that access pattern so the cost of irregular indexing can be
+//! quantified on the same memory system: a gather behaves like the
+//! random-access workloads of the classical models, but *in-order through
+//! a single port*, so every conflict stalls the whole stream.
+
+use vecmem_analytic::Geometry;
+use vecmem_banksim::{Engine, PortId, Request, RunOutcome, SimConfig, Workload};
+
+/// How the index vector is generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexPattern {
+    /// `ix(k) = (a·k + c) mod span` — affine shuffles (sorted-by-key data,
+    /// permutations). With `a = 1` this degenerates to a strided walk.
+    Affine {
+        /// Multiplier.
+        a: u64,
+        /// Offset.
+        c: u64,
+    },
+    /// A deterministic pseudo-random permutation-ish walk from a linear
+    /// congruential generator (hash-table probing, sparse matrices).
+    PseudoRandom {
+        /// LCG seed.
+        seed: u64,
+    },
+}
+
+impl IndexPattern {
+    /// The k-th index in `0..span`.
+    #[must_use]
+    pub fn index(&self, k: u64, span: u64) -> u64 {
+        match *self {
+            Self::Affine { a, c } => {
+                ((a as u128 * k as u128 + c as u128) % span as u128) as u64
+            }
+            Self::PseudoRandom { seed } => {
+                // SplitMix64-style mix of (seed, k), reduced to the span —
+                // deterministic, stateless, well spread.
+                let mut z = seed ^ (k.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z ^ (z >> 31)) % span
+            }
+        }
+    }
+}
+
+/// A single-port gather: `n` loads from `base + ix(k)` in index order.
+#[derive(Debug, Clone)]
+pub struct GatherWorkload {
+    base: u64,
+    span: u64,
+    pattern: IndexPattern,
+    n: u64,
+    issued: u64,
+    banks: u64,
+}
+
+impl GatherWorkload {
+    /// A gather of `n` elements from `base .. base + span` on port 0.
+    #[must_use]
+    pub fn new(geom: &Geometry, base: u64, span: u64, pattern: IndexPattern, n: u64) -> Self {
+        assert!(span > 0, "gather span must be positive");
+        Self { base, span, pattern, n, issued: 0, banks: geom.banks() }
+    }
+}
+
+impl Workload for GatherWorkload {
+    fn pending(&self, port: PortId, _now: u64) -> Option<Request> {
+        if port.0 != 0 || self.issued >= self.n {
+            return None;
+        }
+        let addr = self.base + self.pattern.index(self.issued, self.span);
+        Some(Request { bank: addr % self.banks })
+    }
+
+    fn granted(&mut self, port: PortId, _now: u64) {
+        debug_assert_eq!(port.0, 0);
+        self.issued += 1;
+    }
+
+    fn is_finished(&self) -> bool {
+        self.issued >= self.n
+    }
+}
+
+/// Result of a gather experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatherResult {
+    /// Elements gathered.
+    pub n: u64,
+    /// Clock periods taken.
+    pub cycles: u64,
+    /// Effective bandwidth (elements per clock period).
+    pub bandwidth: f64,
+}
+
+/// Runs a single-port gather on the given geometry and measures its rate.
+#[must_use]
+pub fn run_gather(
+    geom: &Geometry,
+    pattern: IndexPattern,
+    span: u64,
+    n: u64,
+) -> GatherResult {
+    let config = SimConfig::single_cpu(*geom, 1);
+    let mut engine = Engine::new(config);
+    let mut workload = GatherWorkload::new(geom, 0, span, pattern, n);
+    let bound = n * geom.bank_cycle() + 1_000;
+    let cycles = match engine.run(&mut workload, bound) {
+        RunOutcome::Finished(c) => c,
+        RunOutcome::CyclesExhausted => panic!("gather did not finish in {bound} cycles"),
+    };
+    GatherResult { n, cycles, bandwidth: n as f64 / cycles as f64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> Geometry {
+        Geometry::cray_xmp()
+    }
+
+    #[test]
+    fn affine_unit_gather_is_a_stride() {
+        // a = 1: the gather degenerates to unit stride -> full bandwidth.
+        let r = run_gather(
+            &geom(),
+            IndexPattern::Affine { a: 1, c: 0 },
+            1 << 20,
+            512,
+        );
+        assert_eq!(r.cycles, 512);
+        assert!((r.bandwidth - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn affine_bad_multiplier_self_conflicts() {
+        // a = 16 on 16 banks: every index lands in bank 0 (span a multiple
+        // of m·a): bandwidth 1/n_c.
+        let r = run_gather(
+            &geom(),
+            IndexPattern::Affine { a: 16, c: 0 },
+            1 << 20,
+            256,
+        );
+        assert!(r.bandwidth <= 0.26, "got {}", r.bandwidth); // 1/n_c plus startup slack
+    }
+
+    #[test]
+    fn pseudo_random_gather_between_bounds() {
+        // Random gather on m = 16, n_c = 4: same regime as the single
+        // random port of the classical models — between 1/n_c and 1,
+        // empirically ~0.75.
+        let r = run_gather(
+            &geom(),
+            IndexPattern::PseudoRandom { seed: 42 },
+            1 << 20,
+            4_096,
+        );
+        assert!(r.bandwidth > 0.5, "too slow: {}", r.bandwidth);
+        assert!(r.bandwidth < 0.95, "too fast for random: {}", r.bandwidth);
+    }
+
+    #[test]
+    fn pseudo_random_is_deterministic() {
+        let a = run_gather(
+            &geom(),
+            IndexPattern::PseudoRandom { seed: 7 },
+            1024,
+            1_000,
+        );
+        let b = run_gather(
+            &geom(),
+            IndexPattern::PseudoRandom { seed: 7 },
+            1024,
+            1_000,
+        );
+        assert_eq!(a, b);
+        let c = run_gather(
+            &geom(),
+            IndexPattern::PseudoRandom { seed: 8 },
+            1024,
+            1_000,
+        );
+        assert_ne!(a.cycles, c.cycles);
+    }
+
+    #[test]
+    fn indices_stay_in_span() {
+        for pattern in [
+            IndexPattern::Affine { a: 7, c: 3 },
+            IndexPattern::PseudoRandom { seed: 1 },
+        ] {
+            for k in 0..1000 {
+                assert!(pattern.index(k, 37) < 37);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "span must be positive")]
+    fn zero_span_rejected() {
+        let g = geom();
+        let _ = GatherWorkload::new(&g, 0, 0, IndexPattern::Affine { a: 1, c: 0 }, 1);
+    }
+
+    #[test]
+    fn gather_slower_than_stride_on_average() {
+        // The headline comparison: irregular indexing costs bandwidth even
+        // with zero instruction overheads, purely from bank conflicts.
+        let strided = run_gather(
+            &geom(),
+            IndexPattern::Affine { a: 1, c: 0 },
+            1 << 20,
+            2_048,
+        );
+        let random = run_gather(
+            &geom(),
+            IndexPattern::PseudoRandom { seed: 3 },
+            1 << 20,
+            2_048,
+        );
+        assert!(random.cycles > strided.cycles);
+    }
+}

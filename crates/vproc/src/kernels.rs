@@ -1,0 +1,214 @@
+//! A small library of vector kernels beyond the triad.
+//!
+//! Each kernel compiles a Fortran-style vector loop into a port-level
+//! [`Program`] using the same strip-mining and chime structure as the
+//! triad, so the stride sensitivity of different load/store mixes can be
+//! compared on the same memory system:
+//!
+//! * `copy`   — `A(I) = B(I)`            (1 load, 1 store)
+//! * `scale`  — `A(I) = s · B(I)`        (1 load, 1 store)
+//! * `daxpy`  — `A(I) = A(I) + s · B(I)` (2 loads, 1 store)
+//! * `dot`    — `acc += A(I) · B(I)`     (2 loads, no store)
+//! * `triad`  — see [`crate::triad`]     (3 loads, 1 store)
+
+use crate::array::FortranArray;
+use crate::machine::MachineConfig;
+use crate::program::{Program, Segment, SegmentId};
+use vecmem_banksim::PortId;
+
+/// Which kernel to compile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// `A(I) = B(I)`.
+    Copy,
+    /// `A(I) = s · B(I)` (same memory traffic as copy; kept separate for
+    /// reporting).
+    Scale,
+    /// `A(I) = A(I) + s·B(I)`: loads A and B, stores A.
+    Daxpy,
+    /// `acc = acc + A(I)·B(I)`: loads only.
+    Dot,
+}
+
+impl Kernel {
+    /// Human-readable name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Copy => "copy",
+            Self::Scale => "scale",
+            Self::Daxpy => "daxpy",
+            Self::Dot => "dot",
+        }
+    }
+
+    /// Memory references per element (loads + stores).
+    #[must_use]
+    pub fn refs_per_element(&self) -> u64 {
+        match self {
+            Self::Copy | Self::Scale | Self::Dot => 2,
+            Self::Daxpy => 3,
+        }
+    }
+}
+
+/// Compiles `kernel` over `n` elements with loop increment `inc`, reading
+/// from (and writing to) the given arrays. `arrays\[0\]` is the destination
+/// where the kernel stores; for `Dot` both arrays are sources.
+///
+/// Port convention (one CPU): port 0 and 1 are the read ports, port 2 the
+/// write port — as in the triad.
+#[must_use]
+pub fn compile(
+    kernel: Kernel,
+    machine: &MachineConfig,
+    arrays: &[&FortranArray],
+    n: u64,
+    inc: u64,
+) -> Program {
+    assert!(arrays.len() >= 2, "kernels need two arrays");
+    let a = arrays[0];
+    let b = arrays[1];
+    let mut program = Program::new();
+    let strips = machine.strips(n);
+    let mut stores: Vec<SegmentId> = Vec::new();
+    for k in 0..strips {
+        let count = machine.strip_len(n, k);
+        let offset = k * machine.vector_length * inc;
+        let pressure: Vec<SegmentId> =
+            if machine.strip_lookahead != u64::MAX && k >= machine.strip_lookahead {
+                stores
+                    .get((k - machine.strip_lookahead) as usize)
+                    .copied()
+                    .into_iter()
+                    .collect()
+            } else {
+                Vec::new()
+            };
+        let seg = |port: usize, base: u64, deps: Vec<SegmentId>| Segment {
+            port: PortId(port),
+            start_address: base + offset,
+            stride: inc,
+            count,
+            deps,
+        };
+        match kernel {
+            Kernel::Copy | Kernel::Scale => {
+                let load_b = program.push(seg(0, b.base(), pressure));
+                let store_a = program.push(seg(2, a.base(), vec![load_b]));
+                stores.push(store_a);
+            }
+            Kernel::Daxpy => {
+                let load_a = program.push(seg(0, a.base(), pressure.clone()));
+                let load_b = program.push(seg(1, b.base(), pressure));
+                let store_a = program.push(seg(2, a.base(), vec![load_a, load_b]));
+                stores.push(store_a);
+            }
+            Kernel::Dot => {
+                let load_a = program.push(seg(0, a.base(), pressure.clone()));
+                let _load_b = program.push(seg(1, b.base(), pressure));
+                // No store; register pressure chains through the last load.
+                stores.push(load_a);
+            }
+        }
+    }
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ProgramWorkload;
+    use crate::layout::CommonBlock;
+    use vecmem_analytic::Geometry;
+    use vecmem_banksim::{Engine, RunOutcome, SimConfig};
+
+    fn setup() -> (Geometry, CommonBlock) {
+        let geom = Geometry::cray_xmp();
+        let mut block = CommonBlock::new();
+        block.declare("A", vec![16 * 1024 + 1]);
+        block.declare("B", vec![16 * 1024 + 1]);
+        (geom, block)
+    }
+
+    fn run(kernel: Kernel, inc: u64, n: u64) -> u64 {
+        let (geom, block) = setup();
+        let machine = MachineConfig::cray_xmp();
+        let a = block.get("A").unwrap().clone();
+        let b = block.get("B").unwrap().clone();
+        let program = compile(kernel, &machine, &[&a, &b], n, inc);
+        let config = SimConfig::single_cpu(geom, 3);
+        let mut workload = ProgramWorkload::new(&geom, machine, program, &[], 3);
+        let mut engine = Engine::new(config);
+        match engine.run(&mut workload, 1_000_000) {
+            RunOutcome::Finished(c) => c,
+            RunOutcome::CyclesExhausted => panic!("kernel did not finish"),
+        }
+    }
+
+    #[test]
+    fn kernel_metadata() {
+        assert_eq!(Kernel::Copy.name(), "copy");
+        assert_eq!(Kernel::Daxpy.refs_per_element(), 3);
+        assert_eq!(Kernel::Dot.refs_per_element(), 2);
+    }
+
+    #[test]
+    fn programs_have_expected_traffic() {
+        let (_, block) = setup();
+        let machine = MachineConfig::cray_xmp();
+        let a = block.get("A").unwrap().clone();
+        let b = block.get("B").unwrap().clone();
+        let n = 256;
+        for (kernel, refs) in [
+            (Kernel::Copy, 2),
+            (Kernel::Scale, 2),
+            (Kernel::Daxpy, 3),
+            (Kernel::Dot, 2),
+        ] {
+            let p = compile(kernel, &machine, &[&a, &b], n, 1);
+            assert_eq!(p.total_elements(), refs * n, "{}", kernel.name());
+        }
+    }
+
+    #[test]
+    fn unit_stride_beats_power_of_two_strides() {
+        for kernel in [Kernel::Copy, Kernel::Daxpy, Kernel::Dot] {
+            let unit = run(kernel, 1, 512);
+            let pow8 = run(kernel, 8, 512);
+            let pow16 = run(kernel, 16, 512);
+            assert!(
+                pow8 > unit,
+                "{}: stride 8 ({pow8}) should beat unit ({unit})... be slower",
+                kernel.name()
+            );
+            assert!(pow16 > pow8, "{}: stride 16 worst", kernel.name());
+        }
+    }
+
+    #[test]
+    fn dot_fits_in_read_ports_at_full_speed() {
+        // Two loads, no store, strides 1 from banks 0 and 1: the two read
+        // ports stream without conflicts, so n elements take about n cycles
+        // (plus strip overheads).
+        let n = 512;
+        let cycles = run(Kernel::Dot, 1, n);
+        assert!(cycles < n + 300, "dot too slow: {cycles}");
+    }
+
+    #[test]
+    fn daxpy_slower_than_copy() {
+        // Same stride, more traffic.
+        let copy = run(Kernel::Copy, 1, 512);
+        let daxpy = run(Kernel::Daxpy, 1, 512);
+        assert!(daxpy >= copy);
+    }
+
+    #[test]
+    #[should_panic(expected = "two arrays")]
+    fn compile_needs_arrays() {
+        let (_, block) = setup();
+        let a = block.get("A").unwrap().clone();
+        let _ = compile(Kernel::Copy, &MachineConfig::cray_xmp(), &[&a], 64, 1);
+    }
+}

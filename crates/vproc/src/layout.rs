@@ -1,0 +1,128 @@
+//! COMMON-block memory layout.
+//!
+//! The paper fixes the relative position of its arrays with
+//!
+//! ```fortran
+//! COMMON// A(IDIM), B(IDIM), C(IDIM), D(IDIM)
+//! ```
+//!
+//! and `IDIM = 16·1024 + 1`, so that "the respective first elements of the
+//! arrays are one bank apart from each other" on the 16-bank machine.
+//! Arrays in a COMMON block are laid out contiguously in declaration order.
+
+use crate::array::FortranArray;
+
+/// A Fortran COMMON block: arrays placed back to back from a base address.
+#[derive(Debug, Clone, Default)]
+pub struct CommonBlock {
+    base: u64,
+    arrays: Vec<FortranArray>,
+    cursor: u64,
+}
+
+impl CommonBlock {
+    /// An empty block starting at word address 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::at(0)
+    }
+
+    /// An empty block starting at the given word address.
+    #[must_use]
+    pub fn at(base: u64) -> Self {
+        Self { base, arrays: Vec::new(), cursor: base }
+    }
+
+    /// Declares the next array in the block and returns it.
+    pub fn declare(&mut self, name: impl Into<String>, dims: Vec<u64>) -> FortranArray {
+        let array = FortranArray::new(name, dims, self.cursor);
+        self.cursor += array.len();
+        self.arrays.push(array.clone());
+        array
+    }
+
+    /// All declared arrays in order.
+    #[must_use]
+    pub fn arrays(&self) -> &[FortranArray] {
+        &self.arrays
+    }
+
+    /// Looks up a declared array by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&FortranArray> {
+        self.arrays.iter().find(|a| a.name() == name)
+    }
+
+    /// Total words occupied.
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        self.cursor - self.base
+    }
+
+    /// The paper's triad layout: `A, B, C, D` of `IDIM = 16·1024 + 1` words
+    /// each, so consecutive arrays start one bank apart on a 16-bank memory.
+    #[must_use]
+    pub fn paper_triad() -> Self {
+        Self::triad_with_idim(16 * 1024 + 1)
+    }
+
+    /// Triad layout with an explicit `IDIM` (for layout experiments).
+    #[must_use]
+    pub fn triad_with_idim(idim: u64) -> Self {
+        let mut block = Self::new();
+        for name in ["A", "B", "C", "D"] {
+            block.declare(name, vec![idim]);
+        }
+        block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_placement() {
+        let mut block = CommonBlock::new();
+        let a = block.declare("A", vec![10]);
+        let b = block.declare("B", vec![5, 2]);
+        let c = block.declare("C", vec![3]);
+        assert_eq!(a.base(), 0);
+        assert_eq!(b.base(), 10);
+        assert_eq!(c.base(), 20);
+        assert_eq!(block.size(), 23);
+    }
+
+    #[test]
+    fn paper_triad_starts_one_bank_apart() {
+        let block = CommonBlock::paper_triad();
+        let m = 16;
+        let banks: Vec<u64> = block.arrays().iter().map(|a| a.base() % m).collect();
+        assert_eq!(banks, vec![0, 1, 2, 3]);
+        assert_eq!(block.get("C").unwrap().base(), 2 * (16 * 1024 + 1));
+    }
+
+    #[test]
+    fn pathological_idim_aliases_banks() {
+        // IDIM = 16·1024 (no +1): all four arrays start in bank 0.
+        let block = CommonBlock::triad_with_idim(16 * 1024);
+        let banks: Vec<u64> = block.arrays().iter().map(|a| a.base() % 16).collect();
+        assert_eq!(banks, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let block = CommonBlock::paper_triad();
+        assert!(block.get("B").is_some());
+        assert!(block.get("Z").is_none());
+        assert_eq!(block.get("D").unwrap().name(), "D");
+    }
+
+    #[test]
+    fn block_at_offset() {
+        let mut block = CommonBlock::at(100);
+        let a = block.declare("A", vec![4]);
+        assert_eq!(a.base(), 100);
+        assert_eq!(block.size(), 4);
+    }
+}

@@ -1,0 +1,126 @@
+//! Machine model: a Cray X-MP-style vector CPU.
+//!
+//! Each X-MP CPU has three memory ports — two for vector loads (ports A and
+//! B) and one for vector stores (port C) — and 64-element vector registers,
+//! so vector loops are strip-mined into 64-element pieces. The exact
+//! instruction-issue and chaining latencies of the real machine are
+//! abstracted into two constants; they shift execution times by a roughly
+//! constant amount per strip and do not affect which strides conflict.
+
+/// Port roles within one CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortRole {
+    /// First read port (port A).
+    ReadA,
+    /// Second read port (port B).
+    ReadB,
+    /// Write port (port C).
+    Write,
+}
+
+impl PortRole {
+    /// Port index within a CPU (0, 1, 2).
+    #[must_use]
+    pub fn index(&self) -> usize {
+        match self {
+            Self::ReadA => 0,
+            Self::ReadB => 1,
+            Self::Write => 2,
+        }
+    }
+}
+
+/// Timing and shape parameters of the vector CPU model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Vector register length: loops are strip-mined into pieces of at most
+    /// this many elements (64 on the Cray X-MP).
+    pub vector_length: u64,
+    /// Clock periods between a segment's last grant and the earliest issue
+    /// of a dependent segment (memory latency + functional-unit chain).
+    pub dep_latency: u64,
+    /// Clock periods between the completion of one vector memory
+    /// instruction on a port and the first request of the next.
+    pub issue_overhead: u64,
+    /// How many strips may be in flight at once (vector-register pressure:
+    /// loads of strip `k` wait for the store of strip `k - lookahead`).
+    pub strip_lookahead: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::cray_xmp()
+    }
+}
+
+impl MachineConfig {
+    /// Parameters approximating a Cray X-MP CPU.
+    #[must_use]
+    pub fn cray_xmp() -> Self {
+        Self {
+            vector_length: 64,
+            dep_latency: 14,
+            issue_overhead: 3,
+            strip_lookahead: 2,
+        }
+    }
+
+    /// An idealised machine with no overheads — useful in unit tests where
+    /// exact cycle counts are asserted.
+    #[must_use]
+    pub fn ideal() -> Self {
+        Self {
+            vector_length: 64,
+            dep_latency: 0,
+            issue_overhead: 0,
+            strip_lookahead: u64::MAX,
+        }
+    }
+
+    /// Number of strips a loop of `n` elements needs.
+    #[must_use]
+    pub fn strips(&self, n: u64) -> u64 {
+        n.div_ceil(self.vector_length)
+    }
+
+    /// Elements in strip `k` of an `n`-element loop.
+    #[must_use]
+    pub fn strip_len(&self, n: u64, k: u64) -> u64 {
+        let start = k * self.vector_length;
+        debug_assert!(start < n, "strip index out of range");
+        (n - start).min(self.vector_length)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_mining() {
+        let m = MachineConfig::cray_xmp();
+        assert_eq!(m.strips(1024), 16);
+        assert_eq!(m.strips(1), 1);
+        assert_eq!(m.strips(65), 2);
+        assert_eq!(m.strip_len(1024, 0), 64);
+        assert_eq!(m.strip_len(65, 1), 1);
+        assert_eq!(m.strip_len(100, 1), 36);
+    }
+
+    #[test]
+    fn port_roles() {
+        assert_eq!(PortRole::ReadA.index(), 0);
+        assert_eq!(PortRole::ReadB.index(), 1);
+        assert_eq!(PortRole::Write.index(), 2);
+    }
+
+    #[test]
+    fn presets() {
+        let xmp = MachineConfig::cray_xmp();
+        assert_eq!(xmp.vector_length, 64);
+        assert!(xmp.dep_latency > 0);
+        let ideal = MachineConfig::ideal();
+        assert_eq!(ideal.dep_latency, 0);
+        assert_eq!(ideal.issue_overhead, 0);
+    }
+}

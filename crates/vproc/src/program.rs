@@ -1,0 +1,150 @@
+//! Vector memory programs: dependency-ordered strided segments per port.
+//!
+//! A *segment* is one vector memory instruction on one port: `count`
+//! equally spaced word accesses starting at `start_address` with `stride`.
+//! Segments on a port execute in order; across ports they synchronise via
+//! explicit dependencies (e.g. a store waits for the loads feeding the
+//! arithmetic chain). This is the level at which the triad loop of the
+//! paper's §IV is expressed.
+
+use vecmem_banksim::PortId;
+
+/// Identifier of a segment within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SegmentId(pub usize);
+
+/// One vector memory instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Port executing this segment.
+    pub port: PortId,
+    /// Word address of the first element.
+    pub start_address: u64,
+    /// Address stride between elements.
+    pub stride: u64,
+    /// Number of elements transferred.
+    pub count: u64,
+    /// Segments that must complete (plus the machine's dependency latency)
+    /// before this one may issue its first request.
+    pub deps: Vec<SegmentId>,
+}
+
+/// An ordered collection of segments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    segments: Vec<Segment>,
+}
+
+impl Program {
+    /// An empty program.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a segment and returns its id. Dependencies must refer to
+    /// already-added segments (no forward references, hence no cycles).
+    pub fn push(&mut self, segment: Segment) -> SegmentId {
+        let id = SegmentId(self.segments.len());
+        assert!(
+            segment.deps.iter().all(|d| d.0 < id.0),
+            "dependencies must precede the segment"
+        );
+        assert!(segment.count > 0, "empty segments are not allowed");
+        self.segments.push(segment);
+        id
+    }
+
+    /// All segments in insertion order.
+    #[must_use]
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Segment lookup.
+    #[must_use]
+    pub fn segment(&self, id: SegmentId) -> &Segment {
+        &self.segments[id.0]
+    }
+
+    /// Number of segments.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True when the program has no segments.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Total elements transferred by the program.
+    #[must_use]
+    pub fn total_elements(&self) -> u64 {
+        self.segments.iter().map(|s| s.count).sum()
+    }
+
+    /// The ordered list of segment ids for each port id up to `n_ports`.
+    #[must_use]
+    pub fn port_queues(&self, n_ports: usize) -> Vec<Vec<SegmentId>> {
+        let mut queues = vec![Vec::new(); n_ports];
+        for (i, seg) in self.segments.iter().enumerate() {
+            assert!(seg.port.0 < n_ports, "segment port out of range");
+            queues[seg.port.0].push(SegmentId(i));
+        }
+        queues
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(port: usize, addr: u64, deps: Vec<SegmentId>) -> Segment {
+        Segment { port: PortId(port), start_address: addr, stride: 1, count: 4, deps }
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let mut p = Program::new();
+        let a = p.push(seg(0, 0, vec![]));
+        let b = p.push(seg(1, 100, vec![a]));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.segment(b).deps, vec![a]);
+        assert_eq!(p.total_elements(), 8);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "precede")]
+    fn forward_dependency_rejected() {
+        let mut p = Program::new();
+        p.push(Segment {
+            port: PortId(0),
+            start_address: 0,
+            stride: 1,
+            count: 1,
+            deps: vec![SegmentId(5)],
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "empty segments")]
+    fn zero_count_rejected() {
+        let mut p = Program::new();
+        p.push(Segment { port: PortId(0), start_address: 0, stride: 1, count: 0, deps: vec![] });
+    }
+
+    #[test]
+    fn port_queues_group_in_order() {
+        let mut p = Program::new();
+        let a = p.push(seg(0, 0, vec![]));
+        let b = p.push(seg(1, 10, vec![]));
+        let c = p.push(seg(0, 20, vec![]));
+        let queues = p.port_queues(3);
+        assert_eq!(queues[0], vec![a, c]);
+        assert_eq!(queues[1], vec![b]);
+        assert!(queues[2].is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! Memory-system design exploration: compare candidate geometries under
+//! the same bank budget.
+//!
+//! ```text
+//! cargo run --release --example memory_designer
+//! ```
+//!
+//! A machine designer with a fixed budget of bank-periods can trade bank
+//! count against bank cycle time, choose a section count, or switch the
+//! bank mapping. This example scores candidate designs three ways:
+//!
+//! 1. the analytic design-space census (what fraction of stride pairs is
+//!    guaranteed full bandwidth — Theorems 2–7);
+//! 2. capacity (how many full-rate ports fit at all);
+//! 3. simulated random-access throughput at 4 ports.
+
+use vecmem::analytic::multi::capacity_check;
+use vecmem::analytic::spectrum::distance_spectrum;
+use vecmem::analytic::Geometry;
+use vecmem::banksim::{measure_random_bandwidth, SimConfig};
+
+fn main() {
+    // Same silicon budget, different organisations: m·n_c = 64 everywhere.
+    let candidates = [
+        (16u64, 4u64, "16 banks x 4-cycle (Cray X-MP bipolar)"),
+        (32, 2, "32 banks x 2-cycle (faster, narrower banks)"),
+        (64, 1, "64 banks x 1-cycle (ideal SRAM)"),
+        (8, 8, "8 banks x 8-cycle (cheap DRAM)"),
+    ];
+
+    println!(
+        "{:<42} {:>10} {:>12} {:>14}",
+        "design (m x n_c)", "cf-pairs", "max ports", "random(4p)"
+    );
+    for (m, nc, label) in candidates {
+        let geom = Geometry::unsectioned(m, nc).expect("valid geometry");
+        let census = distance_spectrum(&geom);
+        let max_ports = (1..=16)
+            .take_while(|&p| capacity_check(&geom, p, false).possible())
+            .last()
+            .unwrap_or(0);
+        let random = measure_random_bandwidth(
+            &SimConfig::one_port_per_cpu(geom, 4),
+            7,
+            100_000,
+        );
+        println!(
+            "{:<42} {:>9.1}% {:>12} {:>14.3}",
+            label,
+            100.0 * census.full_bandwidth_fraction(),
+            max_ports,
+            random,
+        );
+    }
+
+    println!(
+        "\nReading: 'cf-pairs' is the fraction of stride pairs Theorems 2-7\n\
+         guarantee at full bandwidth from any start position; 'max ports' is\n\
+         the largest p with p*n_c <= m; 'random(4p)' is simulated bandwidth\n\
+         of four random-access ports. Fewer, slower banks lose on every axis\n\
+         even at equal total bank-periods - the paper's interleaving argument\n\
+         quantified."
+    );
+}

@@ -1,0 +1,49 @@
+//! Skewing-scheme comparison — the remedy suggested by the paper's
+//! conclusion, measured exactly.
+//!
+//! ```text
+//! cargo run --release --example skewing
+//! ```
+//!
+//! Evaluates plain interleaving, XOR-folded interleaving, the classic
+//! linear skew and prime-way interleaving on a 16-bank-budget memory
+//! (n_c = 4) over strides 1..=16, printing the solo bandwidth and the
+//! bandwidth against a unit-stride competitor for each.
+
+use vecmem::skew::{
+    eval::stride_table, BankMapping, Interleaved, LinearSkew, PrimeInterleaved, XorFold,
+};
+
+fn main() {
+    let schemes: Vec<Box<dyn BankMapping>> = vec![
+        Box::new(Interleaved { banks: 16 }),
+        Box::new(XorFold::new(16)),
+        Box::new(LinearSkew::classic(16)),
+        Box::new(PrimeInterleaved::largest_prime_at_most(16).expect("prime exists")),
+    ];
+
+    for scheme in &schemes {
+        println!("=== {} ===", scheme.name());
+        println!("{:>7} {:>10} {:>16}", "stride", "solo", "vs unit-stride");
+        let rows = stride_table(scheme.as_ref(), 4, 16, 2_000_000).expect("converges");
+        let mut perfect = 0;
+        for row in &rows {
+            if row.solo.num() == row.solo.den() {
+                perfect += 1;
+            }
+            println!(
+                "{:>7} {:>10} {:>16}",
+                row.stride,
+                row.solo.to_string(),
+                row.against_unit.to_string()
+            );
+        }
+        println!("strides at full solo bandwidth: {perfect}/16\n");
+    }
+
+    println!(
+        "Summary: plain interleaving collapses on power-of-two strides;\n\
+         XOR folding and prime-way interleaving recover them (at a small\n\
+         cost elsewhere); the classic skew targets matrix columns (stride m)."
+    );
+}

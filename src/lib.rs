@@ -1,0 +1,24 @@
+//! # vecmem
+//!
+//! Facade crate for the reproduction of Oed & Lange (1985), *"On the
+//! Effective Bandwidth of Interleaved Memories in Vector Processor
+//! Systems"* (IEEE Trans. Computers C-34(10)).
+//!
+//! The workspace is organised as:
+//!
+//! * [`analytic`] — the paper's analytical model (Theorems 1–9, eq. 29/32);
+//! * [`banksim`] — cycle-accurate simulator of the interleaved, sectioned
+//!   memory system with vector access ports;
+//! * [`vproc`] — vector-processor model (Cray X-MP style) used for the
+//!   paper's §IV triad experiment;
+//! * [`skew`] — bank-skewing schemes (the conclusion's suggested remedy).
+//!
+//! See the `examples/` directory for runnable entry points and
+//! `crates/bench` for the harnesses regenerating every figure of the paper.
+
+pub use vecmem_analytic as analytic;
+pub use vecmem_banksim as banksim;
+pub use vecmem_skew as skew;
+pub use vecmem_vproc as vproc;
+
+pub use vecmem_analytic::{Geometry, Ratio, SectionMapping, StreamSpec};

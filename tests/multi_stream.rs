@@ -1,0 +1,116 @@
+//! Cross-validation of the multi-stream extensions against the simulator.
+
+use vecmem::analytic::multi::{
+    bandwidth_upper_bound, capacity_check, equal_distance_family, pairwise_screen,
+};
+use vecmem::analytic::{Geometry, Ratio, StreamSpec};
+use vecmem::banksim::steady::measure_steady_state;
+use vecmem::banksim::SimConfig;
+
+const MAX_CYCLES: u64 = 2_000_000;
+
+/// Every constructed equal-distance family simulates conflict-free at full
+/// bandwidth, on one CPU with sections.
+#[test]
+fn equal_distance_families_are_conflict_free() {
+    for (m, s, nc) in [(16, 4, 4), (12, 3, 3), (24, 4, 3), (24, 24, 4), (32, 8, 4)] {
+        let geom = Geometry::new(m, s, nc).unwrap();
+        for d in 1..m {
+            for p in 1..=4u64 {
+                let Some(starts) = equal_distance_family(&geom, d, p) else {
+                    continue;
+                };
+                let specs: Vec<StreamSpec> = starts
+                    .iter()
+                    .map(|&b| StreamSpec { start_bank: b, distance: d })
+                    .collect();
+                let config = SimConfig::single_cpu(geom, p as usize);
+                let ss = measure_steady_state(&config, &specs, MAX_CYCLES)
+                    .unwrap_or_else(|e| panic!("m={m} s={s} nc={nc} d={d} p={p}: {e}"));
+                assert_eq!(
+                    ss.beff,
+                    Ratio::integer(p),
+                    "m={m} s={s} nc={nc} d={d} p={p} starts={starts:?}"
+                );
+                assert!(ss.conflict_free());
+            }
+        }
+    }
+}
+
+/// Capacity violations are confirmed by simulation: with `p·n_c > m` the
+/// aggregate bandwidth always stays below `p`.
+#[test]
+fn capacity_bound_is_respected_by_simulation() {
+    let geom = Geometry::cray_xmp(); // m = 16, n_c = 4
+    assert!(!capacity_check(&geom, 6, false).possible());
+    // Six unit-stride streams, best possible staggering: still at most
+    // m/n_c = 4 words per clock period.
+    let config = SimConfig::cray_xmp_dual();
+    let specs: Vec<StreamSpec> = (0..6u64)
+        .map(|i| StreamSpec { start_bank: (i * 5) % 16, distance: 1 })
+        .collect();
+    let ss = measure_steady_state(&config, &specs, MAX_CYCLES).unwrap();
+    assert!(ss.beff <= Ratio::integer(4), "capacity bound: got {}", ss.beff);
+    assert!(ss.beff < Ratio::integer(6));
+}
+
+/// The analytic upper bound is an actual upper bound for simulated runs.
+#[test]
+fn upper_bound_dominates_simulation() {
+    let geom = Geometry::cray_xmp();
+    let cases: [&[u64]; 4] = [&[1, 1], &[1, 2, 3], &[8, 8], &[1, 1, 1, 1, 1, 1]];
+    for ds in cases {
+        let specs: Vec<StreamSpec> = ds
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| StreamSpec { start_bank: (3 * i as u64) % 16, distance: d })
+            .collect();
+        let config = SimConfig::one_port_per_cpu(geom, ds.len());
+        let ss = measure_steady_state(&config, &specs, MAX_CYCLES).unwrap();
+        let bound = bandwidth_upper_bound(&geom, ds, false);
+        assert!(
+            ss.beff.to_f64() <= bound + 1e-9,
+            "ds={ds:?}: simulated {} > bound {bound}",
+            ss.beff
+        );
+    }
+}
+
+/// Pairwise conflict-freeness does not imply family conflict-freeness —
+/// the screen is explicitly a necessary-only check. Build a witness: three
+/// unit-stride streams on m = 2·n_c banks are pairwise placeable but the
+/// trio cannot all fit (3 gaps of n_c need 3·n_c <= m).
+#[test]
+fn pairwise_screen_is_not_sufficient() {
+    let geom = Geometry::unsectioned(8, 4).unwrap();
+    let specs = [
+        StreamSpec { start_bank: 0, distance: 1 },
+        StreamSpec { start_bank: 4, distance: 1 },
+        StreamSpec { start_bank: 2, distance: 1 },
+    ];
+    // Pairs (0,1): gap 4/4 conflict-free by placement; but the screen uses
+    // Theorem 3 which for d1 = d2 = 1 on m = 8 requires gcd(8,0) = 8 >= 8:
+    // satisfied! So all pairs are classified conflict-free.
+    let screen = pairwise_screen(&geom, &specs);
+    assert!(screen.all_pairs_conflict_free);
+    // Yet the family of three cannot reach 3.0 (3·n_c = 12 > 8).
+    let config = SimConfig::one_port_per_cpu(geom, 3);
+    let ss = measure_steady_state(&config, &specs, MAX_CYCLES).unwrap();
+    assert!(ss.beff < Ratio::integer(3), "got {}", ss.beff);
+}
+
+/// Four streams DO fit on the X-MP memory when placed by the constructor:
+/// the capacity bound is tight.
+#[test]
+fn capacity_bound_is_achievable() {
+    let geom = Geometry::unsectioned(16, 4).unwrap();
+    let starts = equal_distance_family(&geom, 1, 4).expect("4 unit streams fit in 16 banks");
+    let specs: Vec<StreamSpec> = starts
+        .iter()
+        .map(|&b| StreamSpec { start_bank: b, distance: 1 })
+        .collect();
+    let config = SimConfig::one_port_per_cpu(geom, 4);
+    let ss = measure_steady_state(&config, &specs, MAX_CYCLES).unwrap();
+    assert_eq!(ss.beff, Ratio::integer(4));
+}

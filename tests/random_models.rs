@@ -1,0 +1,86 @@
+//! Validation of the random-access extension against the classical
+//! interleaved-memory models the paper's introduction cites ([1]–[5]).
+
+use vecmem::analytic::Geometry;
+use vecmem::banksim::{
+    hellerman_asymptotic, hellerman_bandwidth, measure_random_bandwidth, SimConfig,
+};
+
+#[test]
+fn hellerman_grows_like_sqrt_m() {
+    // B(4m)/B(m) -> 2 for the batch-scan model.
+    let ratio = hellerman_bandwidth(1024) / hellerman_bandwidth(256);
+    assert!((ratio - 2.0).abs() < 0.05, "sqrt scaling: {ratio}");
+    // The asymptotic formula brackets the exact value from above for all m.
+    for m in [4u64, 16, 64, 256] {
+        assert!(hellerman_asymptotic(m) > hellerman_bandwidth(m));
+    }
+}
+
+#[test]
+fn queued_model_beats_batch_scan_per_memory_cycle() {
+    // With n_c = 1 the simulator's queued/resubmit model at high port
+    // counts exceeds Hellerman's no-queue batch scan: queuing recovers the
+    // requests the batch model drops at the first repetition.
+    let m = 16u64;
+    let geom = Geometry::unsectioned(m, 1).unwrap();
+    let config = SimConfig::one_port_per_cpu(geom, 12);
+    let queued = measure_random_bandwidth(&config, 3, 200_000);
+    assert!(
+        queued > hellerman_bandwidth(m),
+        "queued {queued} vs batch {}",
+        hellerman_bandwidth(m)
+    );
+}
+
+#[test]
+fn random_bandwidth_monotone_in_ports() {
+    let geom = Geometry::unsectioned(32, 4).unwrap();
+    let mut prev = 0.0;
+    for ports in [1usize, 2, 4, 8] {
+        let config = SimConfig::one_port_per_cpu(geom, ports);
+        let b = measure_random_bandwidth(&config, 11, 100_000);
+        assert!(b > prev, "{ports} ports: {b} <= {prev}");
+        prev = b;
+    }
+}
+
+#[test]
+fn single_random_port_bandwidth_closed_form() {
+    // One port, random banks, n_c = 4, m = 16: the long-run rate must
+    // fall between the trivial bounds 1/n_c (always conflicting) and 1
+    // (never conflicting), and lands near the first-order renewal estimate
+    // 1/(1 + E[wait_1]) with E[wait_1] = Σ_{k=1..nc-1} (nc-k)/m ≈ 0.375
+    // (the estimate ignores residual busyness from older grants, so the
+    // true value sits slightly above it).
+    let geom = Geometry::unsectioned(16, 4).unwrap();
+    let config = SimConfig::one_port_per_cpu(geom, 1);
+    let b = measure_random_bandwidth(&config, 21, 400_000);
+    let estimate = 1.0 / (1.0 + (3.0 + 2.0 + 1.0) / 16.0);
+    assert!(b > 0.25 && b < 1.0);
+    assert!((b - estimate).abs() < 0.05, "measured {b}, estimate ~{estimate}");
+    assert!(b >= estimate - 1e-3, "estimate should be a (near) lower bound");
+}
+
+#[test]
+fn vector_mode_dominates_random_mode_everywhere() {
+    // For every port count that admits a conflict-free unit-stride family,
+    // vector mode achieves p while random mode stays strictly below.
+    let geom = Geometry::unsectioned(16, 4).unwrap();
+    for p in 1..=4usize {
+        let starts = vecmem::analytic::multi::equal_distance_family(&geom, 1, p as u64)
+            .expect("family exists");
+        let specs: Vec<vecmem::StreamSpec> = starts
+            .iter()
+            .map(|&b| vecmem::StreamSpec { start_bank: b, distance: 1 })
+            .collect();
+        let config = SimConfig::one_port_per_cpu(geom, p);
+        let vector = vecmem::banksim::measure_steady_state(&config, &specs, 1_000_000)
+            .unwrap()
+            .beff
+            .to_f64();
+        let random = measure_random_bandwidth(&config, 31 + p as u64, 100_000);
+        assert_eq!(vector, p as f64);
+        assert!(random < vector, "p={p}: random {random} >= vector {vector}");
+    }
+}
