@@ -50,12 +50,17 @@ pub fn arbitrate(
 
     // Phase 2: section conflicts within each CPU.
     // Group the surviving requests by (cpu, section).
-    let survivors: Vec<usize> = (0..requests.len()).filter(|&i| outcome[i].is_none()).collect();
+    let survivors: Vec<usize> = (0..requests.len())
+        .filter(|&i| outcome[i].is_none())
+        .collect();
     let mut keyed: Vec<(usize, (usize, u64))> = survivors
         .iter()
         .map(|&i| {
             let (port, req) = requests[i];
-            (i, (config.cpu_of(port).0, config.geometry.section_of(req.bank)))
+            (
+                i,
+                (config.cpu_of(port).0, config.geometry.section_of(req.bank)),
+            )
         })
         .collect();
     keyed.sort_by_key(|&(_, key)| key);
@@ -83,8 +88,10 @@ pub fn arbitrate(
     }
 
     // Phase 3: simultaneous bank conflicts across CPUs.
-    let mut by_bank: Vec<(u64, usize)> =
-        path_winners.iter().map(|&i| (requests[i].1.bank, i)).collect();
+    let mut by_bank: Vec<(u64, usize)> = path_winners
+        .iter()
+        .map(|&i| (requests[i].1.bank, i))
+        .collect();
     by_bank.sort_unstable();
     let mut g = 0;
     while g < by_bank.len() {
@@ -150,7 +157,10 @@ mod tests {
         let c = SimConfig::one_port_per_cpu(Geometry::unsectioned(8, 2).unwrap(), 2);
         let out = arbitrate(&c, 0, never_busy, &[req(0, 3), req(1, 3)]);
         assert_eq!(out[0].2, PortOutcome::Granted);
-        assert_eq!(out[1].2, PortOutcome::Delayed(ConflictKind::SimultaneousBank));
+        assert_eq!(
+            out[1].2,
+            PortOutcome::Delayed(ConflictKind::SimultaneousBank)
+        );
     }
 
     #[test]
@@ -192,14 +202,20 @@ mod tests {
         // rotation 1: port 1 holds top priority.
         let out1 = arbitrate(&c, 1, never_busy, &[req(0, 3), req(1, 3)]);
         assert_eq!(out1[1].2, PortOutcome::Granted);
-        assert_eq!(out1[0].2, PortOutcome::Delayed(ConflictKind::SimultaneousBank));
+        assert_eq!(
+            out1[0].2,
+            PortOutcome::Delayed(ConflictKind::SimultaneousBank)
+        );
     }
 
     #[test]
     fn three_way_section_conflict_single_winner() {
         let c = SimConfig::single_cpu(Geometry::new(8, 2, 2).unwrap(), 3);
         let out = arbitrate(&c, 0, never_busy, &[req(0, 0), req(1, 2), req(2, 4)]);
-        let granted = out.iter().filter(|&&(_, _, o)| o == PortOutcome::Granted).count();
+        let granted = out
+            .iter()
+            .filter(|&&(_, _, o)| o == PortOutcome::Granted)
+            .count();
         assert_eq!(granted, 1);
         assert_eq!(out[0].2, PortOutcome::Granted);
     }

@@ -7,6 +7,7 @@
 
 use crate::arbiter::arbitrate;
 use crate::config::{PriorityRule, SimConfig};
+use crate::observe::{NoopObserver, SimObserver};
 use crate::request::{PortId, PortOutcome, Request};
 use crate::stats::SimStats;
 use crate::trace::TraceRecorder;
@@ -121,7 +122,34 @@ impl Engine {
     }
 
     /// Simulates one clock period and returns each active port's outcome.
+    ///
+    /// Equivalent to [`Self::step_with`] with a [`NoopObserver`]; the two
+    /// paths monomorphise to identical code.
     pub fn step<W: Workload>(&mut self, workload: &mut W) -> Vec<(PortId, Request, PortOutcome)> {
+        self.step_with(workload, &mut NoopObserver)
+    }
+
+    /// Simulates one clock period, reporting every grant, delay, bank
+    /// transition and cycle summary to `observer`.
+    ///
+    /// The observer is a generic parameter so the disabled
+    /// ([`NoopObserver`]) path compiles to exactly the unobserved engine:
+    /// the callbacks inline to nothing and the `O::ENABLED`-gated
+    /// bookkeeping below is removed as dead code.
+    pub fn step_with<W: Workload, O: SimObserver>(
+        &mut self,
+        workload: &mut W,
+        observer: &mut O,
+    ) -> Vec<(PortId, Request, PortOutcome)> {
+        if O::ENABLED {
+            // Banks whose busy interval expired exactly now transition to
+            // free; `free_at == 0` means "never granted", not a transition.
+            for (bank, &free) in self.free_at.iter().enumerate() {
+                if free == self.now && free != 0 {
+                    observer.on_bank_busy(self.now, bank as u64, false);
+                }
+            }
+        }
         self.scratch.clear();
         for p in 0..self.config.num_ports() {
             let port = PortId(p);
@@ -132,6 +160,9 @@ impl Engine {
                 );
                 self.scratch.push((port, req));
             }
+        }
+        if O::ENABLED {
+            observer.on_arbitration(self.now, self.rotation, &self.scratch);
         }
         let free_at = &self.free_at;
         let now = self.now;
@@ -153,6 +184,9 @@ impl Engine {
                 if let Some(t) = self.trace.as_mut() {
                     t.mark_delay(req.bank, self.now, port, kind);
                 }
+                if O::ENABLED {
+                    observer.on_delay(self.now, port, req.bank, kind);
+                }
             }
         }
         for &(port, req, outcome) in &outcomes {
@@ -160,6 +194,10 @@ impl Engine {
                 PortOutcome::Granted => {
                     self.free_at[req.bank as usize] = self.now + nc;
                     self.stats.record_grant(port);
+                    if O::ENABLED {
+                        observer.on_grant(self.now, port, req.bank, self.current_wait[port.0], nc);
+                        observer.on_bank_busy(self.now, req.bank, true);
+                    }
                     self.stats.record_wait(port, self.current_wait[port.0]);
                     self.current_wait[port.0] = 0;
                     if let Some(t) = self.trace.as_mut() {
@@ -171,6 +209,14 @@ impl Engine {
             }
         }
         self.stats.tick();
+        if O::ENABLED {
+            let grants = outcomes
+                .iter()
+                .filter(|&&(_, _, o)| o == PortOutcome::Granted)
+                .count() as u32;
+            let busy = self.free_at.iter().filter(|&&f| f > self.now).count() as u32;
+            observer.on_cycle_end(self.now, grants, busy);
+        }
         if self.config.priority == PriorityRule::Cyclic {
             // The rotating priority advances whenever it was exercised: any
             // clock period in which a port lost an arbitration (section or
@@ -196,12 +242,23 @@ impl Engine {
 
     /// Runs until the workload finishes or `max_cycles` elapse.
     pub fn run<W: Workload>(&mut self, workload: &mut W, max_cycles: u64) -> RunOutcome {
+        self.run_with(workload, max_cycles, &mut NoopObserver)
+    }
+
+    /// Observed variant of [`Self::run`]: every cycle is reported to
+    /// `observer` via [`Self::step_with`].
+    pub fn run_with<W: Workload, O: SimObserver>(
+        &mut self,
+        workload: &mut W,
+        max_cycles: u64,
+        observer: &mut O,
+    ) -> RunOutcome {
         let deadline = self.now + max_cycles;
         while self.now < deadline {
             if workload.is_finished() {
                 return RunOutcome::Finished(self.now);
             }
-            self.step(workload);
+            self.step_with(workload, observer);
         }
         if workload.is_finished() {
             RunOutcome::Finished(self.now)

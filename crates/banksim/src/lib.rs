@@ -20,7 +20,10 @@
 //! * [`streams`] — the vector-mode strided access streams of §III;
 //! * [`steady`] — exact cyclic-state detection, yielding the effective
 //!   bandwidth `b_eff` as an exact rational;
-//! * [`trace`] — ASCII traces in the visual style of the paper's Figs. 2–9.
+//! * [`trace`] — ASCII traces in the visual style of the paper's Figs. 2–9;
+//! * [`observe`] — zero-overhead per-cycle observer hooks ([`SimObserver`])
+//!   that the `vecmem-obs` crate builds metrics registries and structured
+//!   event exporters on.
 //!
 //! ```
 //! use vecmem_analytic::{Geometry, Ratio, StreamSpec};
@@ -41,8 +44,10 @@
 pub mod arbiter;
 pub mod config;
 pub mod engine;
+pub mod observe;
 pub mod random;
 pub mod request;
+pub mod rng;
 pub mod stats;
 pub mod steady;
 pub mod streams;
@@ -52,10 +57,17 @@ pub mod workload;
 
 pub use config::{PriorityRule, SimConfig};
 pub use engine::{Engine, RunOutcome};
-pub use random::{hellerman_asymptotic, hellerman_bandwidth, measure_random_bandwidth, RandomWorkload};
+pub use observe::{NoopObserver, SimObserver, Tee};
+pub use random::{
+    hellerman_asymptotic, hellerman_bandwidth, measure_random_bandwidth, RandomWorkload,
+};
 pub use request::{ConflictKind, CpuId, PortId, PortOutcome, Request};
+pub use rng::SmallRng;
 pub use stats::{ConflictCounts, PortStats, SimStats, WAIT_BUCKETS};
-pub use steady::{measure_steady_state, measure_steady_state_workload, ObservableWorkload, SteadyState, SteadyStateError};
+pub use steady::{
+    measure_steady_state, measure_steady_state_workload, ObservableWorkload, SteadyState,
+    SteadyStateError,
+};
 pub use streams::{StreamLength, StreamWorkload, StridedStream};
 pub use trace::TraceRecorder;
 pub use transient::{finite_vector_bandwidth, transient_profile, TransientProfile};

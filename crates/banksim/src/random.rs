@@ -12,16 +12,15 @@
 use crate::config::SimConfig;
 use crate::engine::Engine;
 use crate::request::{PortId, Request};
+use crate::rng::SmallRng;
 use crate::workload::Workload;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Each port requests an independent, uniformly random bank per element.
 #[derive(Debug, Clone)]
 pub struct RandomWorkload {
     banks: u64,
     current: Vec<u64>,
-    rng: StdRng,
+    rng: SmallRng,
 }
 
 impl RandomWorkload {
@@ -29,9 +28,13 @@ impl RandomWorkload {
     /// `seed`.
     #[must_use]
     pub fn new(banks: u64, ports: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SmallRng::seed_from_u64(seed);
         let current = (0..ports).map(|_| rng.gen_range(0..banks)).collect();
-        Self { banks, current, rng }
+        Self {
+            banks,
+            current,
+            rng,
+        }
     }
 }
 
@@ -130,10 +133,8 @@ mod tests {
     #[test]
     fn hellerman_monte_carlo_agreement() {
         // Direct Monte Carlo of the batch-scan definition.
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
         let m = 16u64;
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SmallRng::seed_from_u64(7);
         let trials = 20_000;
         let mut total = 0u64;
         for _ in 0..trials {
@@ -188,7 +189,10 @@ mod tests {
             measure_random_bandwidth(&SimConfig::one_port_per_cpu(g, p), 9, 50_000)
         };
         assert!(large > small);
-        assert!(large > 3.5, "256 banks should mostly serve 4 random ports: {large}");
+        assert!(
+            large > 3.5,
+            "256 banks should mostly serve 4 random ports: {large}"
+        );
     }
 
     #[test]

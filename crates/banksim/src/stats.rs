@@ -49,13 +49,17 @@ impl ConflictCounts {
     }
 }
 
+/// Interval differencing (`later - earlier`). Counters are monotone within
+/// one run, but callers diff snapshots from windows, resets and replayed
+/// logs where reordering is possible — so the subtraction saturates at zero
+/// instead of panicking.
 impl Sub for ConflictCounts {
     type Output = ConflictCounts;
     fn sub(self, rhs: Self) -> Self {
         Self {
-            bank: self.bank - rhs.bank,
-            simultaneous: self.simultaneous - rhs.simultaneous,
-            section: self.section - rhs.section,
+            bank: self.bank.saturating_sub(rhs.bank),
+            simultaneous: self.simultaneous.saturating_sub(rhs.simultaneous),
+            section: self.section.saturating_sub(rhs.section),
         }
     }
 }
@@ -107,7 +111,10 @@ impl SimStats {
     /// Fresh statistics for `n_ports` ports.
     #[must_use]
     pub fn new(n_ports: usize) -> Self {
-        Self { per_port: vec![PortStats::default(); n_ports], cycles: 0 }
+        Self {
+            per_port: vec![PortStats::default(); n_ports],
+            cycles: 0,
+        }
     }
 
     /// Records a granted request for `port`.
@@ -200,9 +207,47 @@ mod tests {
 
     #[test]
     fn conflict_counts_difference() {
-        let a = ConflictCounts { bank: 5, simultaneous: 3, section: 2 };
-        let b = ConflictCounts { bank: 2, simultaneous: 1, section: 0 };
-        assert_eq!(a - b, ConflictCounts { bank: 3, simultaneous: 2, section: 2 });
+        let a = ConflictCounts {
+            bank: 5,
+            simultaneous: 3,
+            section: 2,
+        };
+        let b = ConflictCounts {
+            bank: 2,
+            simultaneous: 1,
+            section: 0,
+        };
+        assert_eq!(
+            a - b,
+            ConflictCounts {
+                bank: 3,
+                simultaneous: 2,
+                section: 2
+            }
+        );
+    }
+
+    #[test]
+    fn conflict_counts_difference_saturates_on_reorder() {
+        // A reset or reordered snapshot pair must clamp to zero, not panic.
+        let earlier = ConflictCounts {
+            bank: 5,
+            simultaneous: 3,
+            section: 2,
+        };
+        let later = ConflictCounts {
+            bank: 1,
+            simultaneous: 0,
+            section: 9,
+        };
+        assert_eq!(
+            later - earlier,
+            ConflictCounts {
+                bank: 0,
+                simultaneous: 0,
+                section: 7
+            }
+        );
     }
 
     #[test]

@@ -139,7 +139,9 @@ pub fn measure_steady_state_workload<W: ObservableWorkload>(
             });
         }
         if engine.now() >= max_cycles + warmup {
-            return Err(SteadyStateError::NotConverged { cycles: engine.now() });
+            return Err(SteadyStateError::NotConverged {
+                cycles: engine.now(),
+            });
         }
         seen.insert(key, snapshot);
         engine.step(workload);
@@ -214,8 +216,14 @@ pub fn sweep_start_banks(
     let m = geom.banks();
     let mut out = Vec::with_capacity(m as usize);
     for b2 in 0..m {
-        let s1 = StreamSpec { start_bank: 0, distance: d1 % m };
-        let s2 = StreamSpec { start_bank: b2, distance: d2 % m };
+        let s1 = StreamSpec {
+            start_bank: 0,
+            distance: d1 % m,
+        };
+        let s2 = StreamSpec {
+            start_bank: b2,
+            distance: d2 % m,
+        };
         out.push(measure_steady_state(config, &[s1, s2], max_cycles)?);
     }
     Ok(out)

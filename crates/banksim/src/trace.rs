@@ -33,7 +33,14 @@ impl TraceRecorder {
     }
 
     /// Marks a grant: `port` occupies `bank` for `hold` cycles from `cycle`.
+    ///
+    /// Out-of-range banks and cycles past the capacity are ignored rather
+    /// than panicking: the recorder is a best-effort visualisation sink and
+    /// must not bring down a run over a bad index.
     pub fn mark_grant(&mut self, bank: u64, cycle: u64, hold: u64, port: PortId) {
+        if bank as usize >= self.banks {
+            return;
+        }
         let digit = Self::digit(port);
         for t in cycle..(cycle + hold).min(self.capacity) {
             let cell = &mut self.grid[bank as usize][t as usize];
@@ -47,9 +54,10 @@ impl TraceRecorder {
         }
     }
 
-    /// Marks a delayed request of `port` at `bank` in `cycle`.
+    /// Marks a delayed request of `port` at `bank` in `cycle`. Out-of-range
+    /// banks and cycles are ignored (see [`Self::mark_grant`]).
     pub fn mark_delay(&mut self, bank: u64, cycle: u64, port: PortId, kind: ConflictKind) {
-        if cycle >= self.capacity {
+        if bank as usize >= self.banks || cycle >= self.capacity {
             return;
         }
         let symbol = match kind {
@@ -172,5 +180,33 @@ mod tests {
         t.mark_grant(0, 3, 5, PortId(2));
         assert_eq!(t.row(0, 0, 4), "...3");
         t.mark_delay(0, 9, PortId(0), ConflictKind::Bank); // ignored, too late
+    }
+
+    #[test]
+    fn out_of_range_banks_are_rejected_not_panicking() {
+        let mut t = TraceRecorder::new(4, 8);
+        t.mark_grant(4, 0, 3, PortId(0)); // bank index == banks: out of range
+        t.mark_grant(u64::MAX, 0, 3, PortId(0));
+        t.mark_delay(4, 1, PortId(1), ConflictKind::Bank);
+        t.mark_delay(99, 1, PortId(1), ConflictKind::Section);
+        for bank in 0..4 {
+            assert_eq!(t.row(bank, 0, 8), "........", "bank {bank} must stay idle");
+        }
+    }
+
+    #[test]
+    fn grant_overwrites_loser_marker_at_grant_cycle() {
+        // The engine's convention: within one clock period delays are
+        // painted first, then the winner's grant digit goes on top at the
+        // grant cycle itself — later busy cells keep the delay marks.
+        let mut t = TraceRecorder::new(1, 6);
+        t.mark_delay(0, 2, PortId(1), ConflictKind::SimultaneousBank);
+        t.mark_grant(0, 2, 3, PortId(0));
+        assert_eq!(t.cell(0, 2), '1', "grant digit must win the grant cycle");
+        // A delay recorded on a *later* busy cell survives the grant paint.
+        let mut t = TraceRecorder::new(1, 6);
+        t.mark_delay(0, 3, PortId(1), ConflictKind::Bank);
+        t.mark_grant(0, 2, 3, PortId(0));
+        assert_eq!(t.row(0, 2, 5), "1<1");
     }
 }

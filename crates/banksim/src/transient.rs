@@ -39,15 +39,25 @@ pub fn transient_profile(
     let mut transients = Vec::with_capacity(m as usize);
     for b2 in 0..m {
         let specs = [
-            StreamSpec { start_bank: 0, distance: d1 % m },
-            StreamSpec { start_bank: b2, distance: d2 % m },
+            StreamSpec {
+                start_bank: 0,
+                distance: d1 % m,
+            },
+            StreamSpec {
+                start_bank: b2,
+                distance: d2 % m,
+            },
         ];
         let ss: SteadyState = measure_steady_state(config, &specs, max_cycles)?;
         transients.push(ss.transient);
     }
     let max = transients.iter().copied().max().unwrap_or(0);
     let mean = transients.iter().sum::<u64>() as f64 / transients.len().max(1) as f64;
-    Ok(TransientProfile { transients, max, mean })
+    Ok(TransientProfile {
+        transients,
+        max,
+        mean,
+    })
 }
 
 /// Effective bandwidth of a *finite* transfer of `n` elements per stream
@@ -94,8 +104,14 @@ mod tests {
         let geom = Geometry::unsectioned(12, 3).unwrap();
         let config = SimConfig::one_port_per_cpu(geom, 2);
         let specs = [
-            StreamSpec { start_bank: 0, distance: 1 },
-            StreamSpec { start_bank: 1, distance: 7 },
+            StreamSpec {
+                start_bank: 0,
+                distance: 1,
+            },
+            StreamSpec {
+                start_bank: 1,
+                distance: 7,
+            },
         ];
         let short = finite_vector_bandwidth(&config, &specs, 64);
         let long = finite_vector_bandwidth(&config, &specs, 1024);
@@ -115,13 +131,25 @@ mod tests {
         let geom = Geometry::unsectioned(13, 6).unwrap();
         let config = SimConfig::one_port_per_cpu(geom, 2);
         let specs = [
-            StreamSpec { start_bank: 0, distance: 1 },
-            StreamSpec { start_bank: 0, distance: 6 },
+            StreamSpec {
+                start_bank: 0,
+                distance: 1,
+            },
+            StreamSpec {
+                start_bank: 0,
+                distance: 6,
+            },
         ];
         let rate = finite_vector_bandwidth(&config, &specs, 1024);
         let expected = 2.0 * 1024.0 / (1024.0 + (1024.0 - 1024.0 / 6.0));
-        assert!((rate - expected).abs() < 0.03, "rate {rate} vs tail model {expected}");
-        assert!(rate < Ratio::new(7, 6).to_f64(), "below the coexistence asymptote");
+        assert!(
+            (rate - expected).abs() < 0.03,
+            "rate {rate} vs tail model {expected}"
+        );
+        assert!(
+            rate < Ratio::new(7, 6).to_f64(),
+            "below the coexistence asymptote"
+        );
     }
 
     #[test]

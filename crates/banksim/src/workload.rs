@@ -51,7 +51,10 @@ mod tests {
 
     #[test]
     fn list_workload_contract() {
-        let mut w = ListWorkload { banks: vec![3, 5], next: 0 };
+        let mut w = ListWorkload {
+            banks: vec![3, 5],
+            next: 0,
+        };
         assert_eq!(w.pending(PortId(0), 0), Some(Request { bank: 3 }));
         // Not granted: the same request stays pending.
         assert_eq!(w.pending(PortId(0), 1), Some(Request { bank: 3 }));

@@ -2,56 +2,70 @@
 //! (Cheung & Smith's linked-conflict remedy, Fig. 9), plus section-count
 //! scaling: how much bandwidth do fewer access paths cost?
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use vecmem_analytic::{Geometry, SectionMapping, StreamSpec};
 use vecmem_banksim::{measure_steady_state, SimConfig};
+use vecmem_obs::Profiler;
 
-fn bench_mapping(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/section_mapping");
+fn bench_mapping(p: &mut Profiler) {
     for mapping in [SectionMapping::Cyclic, SectionMapping::Consecutive] {
         let geom = Geometry::with_mapping(12, 3, 3, mapping).unwrap();
         let config = SimConfig::single_cpu(geom, 2);
         let specs = [
-            StreamSpec { start_bank: 0, distance: 1 },
-            StreamSpec { start_bank: 1, distance: 1 },
+            StreamSpec {
+                start_bank: 0,
+                distance: 1,
+            },
+            StreamSpec {
+                start_bank: 1,
+                distance: 1,
+            },
         ];
-        let beff = measure_steady_state(&config, &specs, 10_000_000).unwrap().beff;
-        let id = BenchmarkId::new(format!("{mapping:?}"), format!("beff={beff}"));
-        group.bench_function(id, |b| {
-            b.iter(|| {
-                measure_steady_state(black_box(&config), black_box(&specs), 10_000_000)
-                    .unwrap()
-                    .beff
-            });
-        });
+        let beff = measure_steady_state(&config, &specs, 10_000_000)
+            .unwrap()
+            .beff;
+        p.bench(
+            format!("ablation/section_mapping/{mapping:?}/beff={beff}"),
+            || {
+                black_box(
+                    measure_steady_state(black_box(&config), black_box(&specs), 10_000_000)
+                        .unwrap()
+                        .beff,
+                );
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_section_count(c: &mut Criterion) {
+fn bench_section_count(p: &mut Profiler) {
     // Three same-CPU unit-stride streams on 24 banks: sweep the number of
     // sections (access paths). With s >= 3 full bandwidth is possible;
     // s < 3 structurally caps the bandwidth at s.
-    let mut group = c.benchmark_group("ablation/section_count");
     for s in [1u64, 2, 3, 4, 6, 12, 24] {
         let geom = Geometry::new(24, s, 4).unwrap();
         let config = SimConfig::single_cpu(geom, 3);
         let specs: Vec<StreamSpec> = (0..3u64)
-            .map(|i| StreamSpec { start_bank: (i * 5) % 24, distance: 1 })
+            .map(|i| StreamSpec {
+                start_bank: (i * 5) % 24,
+                distance: 1,
+            })
             .collect();
-        let beff = measure_steady_state(&config, &specs, 10_000_000).unwrap().beff;
-        let id = BenchmarkId::new(format!("s={s}"), format!("beff={beff}"));
-        group.bench_function(id, |b| {
-            b.iter(|| {
+        let beff = measure_steady_state(&config, &specs, 10_000_000)
+            .unwrap()
+            .beff;
+        p.bench(format!("ablation/section_count/s={s}/beff={beff}"), || {
+            black_box(
                 measure_steady_state(black_box(&config), black_box(&specs), 10_000_000)
                     .unwrap()
-                    .beff
-            });
+                    .beff,
+            );
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_mapping, bench_section_count);
-criterion_main!(benches);
+fn main() {
+    let mut p = Profiler::from_env("ablate_sections");
+    bench_mapping(&mut p);
+    bench_section_count(&mut p);
+    p.finish().expect("bench report written");
+}

@@ -1,97 +1,91 @@
-//! Criterion bench: the analytic model itself (classification, return
-//! numbers, canonicalisation). These are the operations a compiler or
-//! runtime stride planner would call per loop nest, so they must be cheap.
+//! Bench: the analytic model itself (classification, return numbers,
+//! canonicalisation). These are the operations a compiler or runtime stride
+//! planner would call per loop nest, so they must be cheap.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use vecmem_analytic::isomorphism::canonicalize;
 use vecmem_analytic::pair::{classify_pair, conflict_free_condition};
 use vecmem_analytic::planner::{assess_stride, pair_is_safe};
 use vecmem_analytic::{Geometry, StreamSpec};
+use vecmem_obs::Profiler;
 
-fn bench_classify_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analytic/classify_pair");
+fn bench_classify_sweep(p: &mut Profiler) {
     for m in [16u64, 64, 256, 1024] {
         let geom = Geometry::unsectioned(m, 4).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
-            b.iter(|| {
-                let mut acc = 0u64;
-                for d1 in 1..m.min(32) {
-                    for d2 in 1..m.min(32) {
-                        let s1 = StreamSpec { start_bank: 0, distance: d1 };
-                        let s2 = StreamSpec { start_bank: 1, distance: d2 };
-                        let class = classify_pair(black_box(&geom), &s1, &s2, true);
-                        acc = acc.wrapping_add(class.is_conflict_free() as u64);
-                    }
+        let pairs = (m.min(32) - 1) * (m.min(32) - 1);
+        p.bench_with_elements(format!("analytic/classify_pair/{m}"), pairs, || {
+            let mut acc = 0u64;
+            for d1 in 1..m.min(32) {
+                for d2 in 1..m.min(32) {
+                    let s1 = StreamSpec {
+                        start_bank: 0,
+                        distance: d1,
+                    };
+                    let s2 = StreamSpec {
+                        start_bank: 1,
+                        distance: d2,
+                    };
+                    let class = classify_pair(black_box(&geom), &s1, &s2, true);
+                    acc = acc.wrapping_add(class.is_conflict_free() as u64);
                 }
-                acc
-            });
+            }
+            black_box(acc);
         });
     }
-    group.finish();
 }
 
-fn bench_conflict_free_condition(c: &mut Criterion) {
+fn bench_conflict_free_condition(p: &mut Profiler) {
     let geom = Geometry::unsectioned(1 << 20, 4).unwrap();
-    c.bench_function("analytic/theorem3_condition_large_m", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for d in 1..256u64 {
-                acc += conflict_free_condition(black_box(&geom), d, d + 17) as u64;
-            }
-            acc
-        });
+    p.bench_with_elements("analytic/theorem3_condition_large_m", 255, || {
+        let mut acc = 0u64;
+        for d in 1..256u64 {
+            acc += conflict_free_condition(black_box(&geom), d, d + 17) as u64;
+        }
+        black_box(acc);
     });
 }
 
-fn bench_canonicalize(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analytic/canonicalize");
+fn bench_canonicalize(p: &mut Profiler) {
     for m in [16u64, 256, 4096] {
         let geom = Geometry::unsectioned(m, 4).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
-            b.iter(|| {
-                let mut acc = 0u64;
-                for d1 in 1..32.min(m) {
-                    for d2 in 1..32.min(m) {
-                        if let Some(cp) = canonicalize(black_box(&geom), d1, d2) {
-                            acc = acc.wrapping_add(cp.d2);
-                        }
+        let pairs = (32u64.min(m) - 1) * (32u64.min(m) - 1);
+        p.bench_with_elements(format!("analytic/canonicalize/{m}"), pairs, || {
+            let mut acc = 0u64;
+            for d1 in 1..32.min(m) {
+                for d2 in 1..32.min(m) {
+                    if let Some(cp) = canonicalize(black_box(&geom), d1, d2) {
+                        acc = acc.wrapping_add(cp.d2);
                     }
                 }
-                acc
-            });
+            }
+            black_box(acc);
         });
     }
-    group.finish();
 }
 
-fn bench_planner(c: &mut Criterion) {
+fn bench_planner(p: &mut Profiler) {
     let geom = Geometry::cray_xmp();
-    c.bench_function("analytic/assess_stride_sweep", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for stride in 1..=1024u64 {
-                acc += assess_stride(black_box(&geom), stride).return_number;
-            }
-            acc
-        });
+    p.bench_with_elements("analytic/assess_stride_sweep", 1024, || {
+        let mut acc = 0u64;
+        for stride in 1..=1024u64 {
+            acc += assess_stride(black_box(&geom), stride).return_number;
+        }
+        black_box(acc);
     });
-    c.bench_function("analytic/pair_is_safe_sweep", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for stride in 1..=64u64 {
-                acc += pair_is_safe(black_box(&geom), stride, 1) as u64;
-            }
-            acc
-        });
+    p.bench_with_elements("analytic/pair_is_safe_sweep", 64, || {
+        let mut acc = 0u64;
+        for stride in 1..=64u64 {
+            acc += pair_is_safe(black_box(&geom), stride, 1) as u64;
+        }
+        black_box(acc);
     });
 }
 
-criterion_group!(
-    benches,
-    bench_classify_sweep,
-    bench_conflict_free_condition,
-    bench_canonicalize,
-    bench_planner
-);
-criterion_main!(benches);
+fn main() {
+    let mut p = Profiler::from_env("analytic_speed");
+    bench_classify_sweep(&mut p);
+    bench_conflict_free_condition(&mut p);
+    bench_canonicalize(&mut p);
+    bench_planner(&mut p);
+    p.finish().expect("bench report written");
+}

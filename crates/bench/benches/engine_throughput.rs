@@ -1,10 +1,11 @@
-//! Criterion bench: raw simulator throughput (simulated cycles per second)
-//! across memory geometries and port counts.
+//! Bench: raw simulator throughput (simulated cycles per second) across
+//! memory geometries and port counts, plus the observer-overhead group that
+//! guards the zero-cost claim of the `SimObserver` hooks.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use vecmem_analytic::{Geometry, StreamSpec};
-use vecmem_banksim::{Engine, SimConfig, StreamWorkload};
+use vecmem_banksim::{Engine, NoopObserver, SimConfig, StreamWorkload};
+use vecmem_obs::{MetricsRegistry, Profiler};
 
 const CYCLES: u64 = 10_000;
 
@@ -17,56 +18,55 @@ fn run_streams(config: &SimConfig, specs: &[StreamSpec]) -> u64 {
     engine.stats().total_grants()
 }
 
-fn bench_port_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine/port_scaling");
-    group.throughput(Throughput::Elements(CYCLES));
+fn bench_port_scaling(p: &mut Profiler) {
     for ports in [1usize, 2, 4, 6, 8] {
         let geom = Geometry::unsectioned(64, 4).unwrap();
         let config = SimConfig::one_port_per_cpu(geom, ports);
         let specs: Vec<StreamSpec> = (0..ports as u64)
-            .map(|i| StreamSpec { start_bank: (i * 7) % 64, distance: 1 + i % 5 })
+            .map(|i| StreamSpec {
+                start_bank: (i * 7) % 64,
+                distance: 1 + i % 5,
+            })
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(ports), &ports, |b, _| {
-            b.iter(|| run_streams(black_box(&config), black_box(&specs)));
+        p.bench_with_elements(format!("engine/port_scaling/{ports}"), CYCLES, || {
+            black_box(run_streams(black_box(&config), black_box(&specs)));
         });
     }
-    group.finish();
 }
 
-fn bench_bank_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine/bank_scaling");
-    group.throughput(Throughput::Elements(CYCLES));
+fn bench_bank_scaling(p: &mut Profiler) {
     for banks in [16u64, 64, 256, 1024] {
         let geom = Geometry::unsectioned(banks, 4).unwrap();
         let config = SimConfig::one_port_per_cpu(geom, 4);
         let specs: Vec<StreamSpec> = (0..4)
-            .map(|i| StreamSpec { start_bank: i * 3 % banks, distance: (1 + 2 * i) % banks })
+            .map(|i| StreamSpec {
+                start_bank: i * 3 % banks,
+                distance: (1 + 2 * i) % banks,
+            })
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(banks), &banks, |b, _| {
-            b.iter(|| run_streams(black_box(&config), black_box(&specs)));
+        p.bench_with_elements(format!("engine/bank_scaling/{banks}"), CYCLES, || {
+            black_box(run_streams(black_box(&config), black_box(&specs)));
         });
     }
-    group.finish();
 }
 
-fn bench_sectioned_vs_unsectioned(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine/sections");
-    group.throughput(Throughput::Elements(CYCLES));
+fn bench_sectioned_vs_unsectioned(p: &mut Profiler) {
     for (label, sections) in [("s=m", 64u64), ("s=8", 8), ("s=2", 2)] {
         let geom = Geometry::new(64, sections, 4).unwrap();
         let config = SimConfig::single_cpu(geom, 3);
         let specs: Vec<StreamSpec> = (0..3)
-            .map(|i| StreamSpec { start_bank: i * 11 % 64, distance: 1 })
+            .map(|i| StreamSpec {
+                start_bank: i * 11 % 64,
+                distance: 1,
+            })
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(label), &sections, |b, _| {
-            b.iter(|| run_streams(black_box(&config), black_box(&specs)));
+        p.bench_with_elements(format!("engine/sections/{label}"), CYCLES, || {
+            black_box(run_streams(black_box(&config), black_box(&specs)));
         });
     }
-    group.finish();
 }
 
-fn bench_steady_state_detection(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine/steady_state");
+fn bench_steady_state_detection(p: &mut Profiler) {
     // Conflict-free pairs synchronise quickly; barrier pairs take longer;
     // the detection cost is dominated by the cycle period.
     let cases = [
@@ -79,29 +79,70 @@ fn bench_steady_state_detection(c: &mut Criterion) {
         let geom = Geometry::unsectioned(m, nc).unwrap();
         let config = SimConfig::one_port_per_cpu(geom, 2);
         let specs = [
-            StreamSpec { start_bank: 0, distance: d1 },
-            StreamSpec { start_bank: 0, distance: d2 },
+            StreamSpec {
+                start_bank: 0,
+                distance: d1,
+            },
+            StreamSpec {
+                start_bank: 0,
+                distance: d2,
+            },
         ];
-        group.bench_function(label, |b| {
-            b.iter(|| {
+        p.bench(format!("engine/steady_state/{label}"), || {
+            black_box(
                 vecmem_banksim::measure_steady_state(
                     black_box(&config),
                     black_box(&specs),
                     10_000_000,
                 )
                 .unwrap()
-                .beff
-            });
+                .beff,
+            );
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_port_scaling,
-    bench_bank_scaling,
-    bench_sectioned_vs_unsectioned,
-    bench_steady_state_detection
-);
-criterion_main!(benches);
+/// The zero-cost-observer guard: `step` (legacy entry point),
+/// `step_with(NoopObserver)` (must be identical — it IS the legacy path)
+/// and `step_with(MetricsRegistry)` (the paid tier) on one workload.
+fn bench_observer_overhead(p: &mut Profiler) {
+    let geom = Geometry::unsectioned(64, 4).unwrap();
+    let config = SimConfig::one_port_per_cpu(geom, 4);
+    let specs: Vec<StreamSpec> = (0..4)
+        .map(|i| StreamSpec {
+            start_bank: (i * 7) % 64,
+            distance: 1 + i % 3,
+        })
+        .collect();
+
+    p.bench_with_elements("engine/observer/step_legacy", CYCLES, || {
+        black_box(run_streams(black_box(&config), black_box(&specs)));
+    });
+    p.bench_with_elements("engine/observer/step_with_noop", CYCLES, || {
+        let mut engine = Engine::new(config.clone());
+        let mut workload = StreamWorkload::infinite(&config.geometry, &specs);
+        for _ in 0..CYCLES {
+            engine.step_with(&mut workload, &mut NoopObserver);
+        }
+        black_box(engine.stats().total_grants());
+    });
+    p.bench_with_elements("engine/observer/step_with_metrics", CYCLES, || {
+        let mut engine = Engine::new(config.clone());
+        let mut workload = StreamWorkload::infinite(&config.geometry, &specs);
+        let mut metrics = MetricsRegistry::new(64, 4);
+        for _ in 0..CYCLES {
+            engine.step_with(&mut workload, &mut metrics);
+        }
+        black_box(metrics.total_grants());
+    });
+}
+
+fn main() {
+    let mut p = Profiler::from_env("engine_throughput");
+    bench_port_scaling(&mut p);
+    bench_bank_scaling(&mut p);
+    bench_sectioned_vs_unsectioned(&mut p);
+    bench_steady_state_detection(&mut p);
+    bench_observer_overhead(&mut p);
+    p.finish().expect("bench report written");
+}

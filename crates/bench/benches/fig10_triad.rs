@@ -1,38 +1,36 @@
-//! Criterion bench: end-to-end Fig. 10 triad runs (the most expensive
-//! experiment), at representative increments.
+//! Bench: end-to-end Fig. 10 triad runs (the most expensive experiment),
+//! at representative increments.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use vecmem_obs::Profiler;
 use vecmem_vproc::triad::TriadExperiment;
 
-fn bench_triad_increments(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig10/triad");
-    group.sample_size(20);
+fn bench_triad_increments(p: &mut Profiler) {
     for inc in [1u64, 2, 8, 11] {
         let contended = TriadExperiment::paper(inc);
         let cycles = contended.run().cycles;
-        group.bench_function(
-            BenchmarkId::new("contended", format!("inc={inc} ({cycles} cp)")),
-            |b| b.iter(|| black_box(&contended).run().cycles),
-        );
+        p.bench_with_elements(format!("fig10/triad/contended/inc={inc}"), cycles, || {
+            black_box(black_box(&contended).run().cycles);
+        });
         let alone = TriadExperiment::paper_alone(inc);
-        group.bench_function(BenchmarkId::new("alone", format!("inc={inc}")), |b| {
-            b.iter(|| black_box(&alone).run().cycles)
+        let alone_cycles = alone.run().cycles;
+        p.bench_with_elements(format!("fig10/triad/alone/inc={inc}"), alone_cycles, || {
+            black_box(black_box(&alone).run().cycles);
         });
     }
-    group.finish();
 }
 
-fn bench_figure_traces(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig10/trace_figures");
-    group.sample_size(30);
+fn bench_figure_traces(p: &mut Profiler) {
     for figure in vecmem_bench::figures::all_figures() {
-        group.bench_function(figure.id, |b| {
-            b.iter(|| black_box(&figure).run(40).steady.beff)
+        p.bench(format!("fig10/trace_figures/{}", figure.id), || {
+            black_box(black_box(&figure).run(40).steady.beff);
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_triad_increments, bench_figure_traces);
-criterion_main!(benches);
+fn main() {
+    let mut p = Profiler::from_env("fig10_triad");
+    bench_triad_increments(&mut p);
+    bench_figure_traces(&mut p);
+    p.finish().expect("bench report written");
+}

@@ -1,4 +1,7 @@
 //! Regenerates paper Fig. 2 (conflict-free access).
 fn main() {
-    println!("{}", vecmem_bench::figures::report(&vecmem_bench::figures::fig2().run(36)));
+    println!(
+        "{}",
+        vecmem_bench::figures::report(&vecmem_bench::figures::fig2().run(36))
+    );
 }

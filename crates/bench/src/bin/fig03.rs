@@ -1,4 +1,7 @@
 //! Regenerates paper Fig. 3 (barrier-situation).
 fn main() {
-    println!("{}", vecmem_bench::figures::report(&vecmem_bench::figures::fig3().run(36)));
+    println!(
+        "{}",
+        vecmem_bench::figures::report(&vecmem_bench::figures::fig3().run(36))
+    );
 }

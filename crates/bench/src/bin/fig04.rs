@@ -1,4 +1,7 @@
 //! Regenerates paper Fig. 4 (double conflict).
 fn main() {
-    println!("{}", vecmem_bench::figures::report(&vecmem_bench::figures::fig4().run(36)));
+    println!(
+        "{}",
+        vecmem_bench::figures::report(&vecmem_bench::figures::fig4().run(36))
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates paper Fig. 5 (barrier-situation).
 fn main() {
-    println!("{}", vecmem_bench::figures::report(&vecmem_bench::figures::fig5().run(36)));
+    println!(
+        "{}",
+        vecmem_bench::figures::report(&vecmem_bench::figures::fig5().run(36))
+    );
 }

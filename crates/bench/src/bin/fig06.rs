@@ -1,4 +1,7 @@
 //! Regenerates paper Fig. 6 (inverted barrier-situation).
 fn main() {
-    println!("{}", vecmem_bench::figures::report(&vecmem_bench::figures::fig6().run(36)));
+    println!(
+        "{}",
+        vecmem_bench::figures::report(&vecmem_bench::figures::fig6().run(36))
+    );
 }

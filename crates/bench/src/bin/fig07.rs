@@ -1,4 +1,7 @@
 //! Regenerates paper Fig. 7 (conflict-free access with two sections).
 fn main() {
-    println!("{}", vecmem_bench::figures::report(&vecmem_bench::figures::fig7().run(36)));
+    println!(
+        "{}",
+        vecmem_bench::figures::report(&vecmem_bench::figures::fig7().run(36))
+    );
 }

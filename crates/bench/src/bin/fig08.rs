@@ -1,5 +1,11 @@
 //! Regenerates paper Fig. 8 (linked conflict, fixed vs cyclic priority).
 fn main() {
-    println!("{}", vecmem_bench::figures::report(&vecmem_bench::figures::fig8a().run(36)));
-    println!("{}", vecmem_bench::figures::report(&vecmem_bench::figures::fig8b().run(36)));
+    println!(
+        "{}",
+        vecmem_bench::figures::report(&vecmem_bench::figures::fig8a().run(36))
+    );
+    println!(
+        "{}",
+        vecmem_bench::figures::report(&vecmem_bench::figures::fig8b().run(36))
+    );
 }

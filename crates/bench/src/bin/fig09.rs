@@ -1,4 +1,7 @@
 //! Regenerates paper Fig. 9 (linked conflict avoided by consecutive-bank sections).
 fn main() {
-    println!("{}", vecmem_bench::figures::report(&vecmem_bench::figures::fig9().run(36)));
+    println!(
+        "{}",
+        vecmem_bench::figures::report(&vecmem_bench::figures::fig9().run(36))
+    );
 }

@@ -14,7 +14,9 @@ fn write(dir: &Path, name: &str, contents: &str) {
 }
 
 fn main() {
-    let outdir = std::env::args().nth(1).unwrap_or_else(|| "results".to_string());
+    let outdir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results".to_string());
     let dir = Path::new(&outdir);
     fs::create_dir_all(dir).expect("create results dir");
 
@@ -40,15 +42,46 @@ fn main() {
         "table_theorems_m16_nc4.txt",
         &vecmem_bench::tables::render_theorem_table(16, 4, &rows),
     );
-    write(dir, "table_theorems_m16_nc4.csv", &vecmem_bench::csv::theorems_csv(&rows));
+    write(
+        dir,
+        "table_theorems_m16_nc4.csv",
+        &vecmem_bench::csv::theorems_csv(&rows),
+    );
 
     println!("Ablations:");
     let priority = vecmem_bench::tables::priority_ablation();
-    write(dir, "table_priority.csv", &vecmem_bench::csv::priority_csv(&priority));
+    write(
+        dir,
+        "table_priority.csv",
+        &vecmem_bench::csv::priority_csv(&priority),
+    );
     let mapping = vecmem_bench::tables::mapping_ablation();
-    write(dir, "table_sections.csv", &vecmem_bench::csv::mapping_csv(&mapping));
+    write(
+        dir,
+        "table_sections.csv",
+        &vecmem_bench::csv::mapping_csv(&mapping),
+    );
     let random = vecmem_bench::tables::random_vs_vector_table(16, 4, 8);
-    write(dir, "table_random.csv", &vecmem_bench::csv::random_csv(&random));
+    write(
+        dir,
+        "table_random.csv",
+        &vecmem_bench::csv::random_csv(&random),
+    );
+
+    #[cfg(feature = "obs")]
+    {
+        println!("Telemetry (feature `obs`):");
+        let mut written =
+            vecmem_bench::telemetry::export_figures(dir, 64).expect("figure telemetry export");
+        written.extend(
+            vecmem_bench::telemetry::export_triad_sweep(dir, 16, 64)
+                .expect("triad telemetry export"),
+        );
+        println!(
+            "  wrote {} metrics snapshots under {outdir}/obs/",
+            written.len()
+        );
+    }
 
     println!("done: all artefacts regenerated into {outdir}/");
 }

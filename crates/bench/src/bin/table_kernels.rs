@@ -1,6 +1,9 @@
 //! Experiment E2: stride sensitivity of copy/daxpy/dot on the X-MP CPU.
 fn main() {
-    let max_inc: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(16);
+    let max_inc: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(16);
     let rows = vecmem_bench::tables::kernel_table(max_inc, 1024);
     print!("{:>7}", "INC");
     for r in &rows {

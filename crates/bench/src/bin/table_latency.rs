@@ -6,7 +6,10 @@ use vecmem_vproc::exec::ProgramWorkload;
 use vecmem_vproc::triad::TriadExperiment;
 
 fn main() {
-    let max_inc: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8);
+    let max_inc: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8);
     println!("Triad wait-time histograms (contended run); columns = waits of 0,1,..,7,8+ cycles");
     print!("{:>4} {:>9}", "INC", "mean");
     for b in 0..WAIT_BUCKETS {

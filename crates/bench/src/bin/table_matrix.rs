@@ -9,7 +9,10 @@ fn main() {
     let nc: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
     let banks = 16;
     println!("N = {n} matrix on {banks} banks, n_c = {nc}");
-    println!("{:<34} {:>4} {:>8} {:>8} {:>9}", "scheme", "ld", "column", "row", "diagonal");
+    println!(
+        "{:<34} {:>4} {:>8} {:>8} {:>9}",
+        "scheme", "ld", "column", "row", "diagonal"
+    );
     let schemes: Vec<Box<dyn BankMapping>> = vec![
         Box::new(Interleaved { banks }),
         Box::new(XorFold::new(banks)),

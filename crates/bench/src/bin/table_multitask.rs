@@ -6,7 +6,10 @@ use vecmem_vproc::triad::TriadExperiment;
 use vecmem_vproc::MachineConfig;
 
 fn main() {
-    let max_inc: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(16);
+    let max_inc: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(16);
     println!("Multitasked triad (2x1024 elements) vs hostile background (1024 elements)");
     println!(
         "{:>4} {:>14} {:>14} {:>18}",

@@ -3,6 +3,11 @@ fn main() {
     println!("Priority ablation: m=12, s=3, nc=3, d1=d2=1 (same CPU)");
     println!("{:>4} {:>8} {:>8}", "b2", "fixed", "cyclic");
     for r in vecmem_bench::tables::priority_ablation() {
-        println!("{:>4} {:>8} {:>8}", r.b2, r.fixed.to_string(), r.cyclic.to_string());
+        println!(
+            "{:>4} {:>8} {:>8}",
+            r.b2,
+            r.fixed.to_string(),
+            r.cyclic.to_string()
+        );
     }
 }

@@ -6,7 +6,10 @@ use vecmem_vproc::scaling::scaled_triad;
 fn main() {
     let baseline = scaled_triad(1, 16, 1);
     println!("Triad scaling, INC = 1, cyclic priority. Efficiency = bandwidth /");
-    println!("(n x single-CPU-on-16-banks bandwidth = n x {:.3}).", baseline.bandwidth);
+    println!(
+        "(n x single-CPU-on-16-banks bandwidth = n x {:.3}).",
+        baseline.bandwidth
+    );
     println!("\n16 banks per CPU (banks grow with CPUs):");
     println!(
         "{:>5} {:>7} {:>9} {:>11} {:>11}",

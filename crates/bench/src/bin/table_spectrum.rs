@@ -6,7 +6,15 @@ use vecmem_analytic::Geometry;
 fn main() {
     println!(
         "{:>6} {:>4} | {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} | {:>8}",
-        "m", "nc", "selflim", "disjoint", "conf-free", "uniq-bar", "barrier?", "conflict", "full-bw%"
+        "m",
+        "nc",
+        "selflim",
+        "disjoint",
+        "conf-free",
+        "uniq-bar",
+        "barrier?",
+        "conflict",
+        "full-bw%"
     );
     for (m, nc) in [
         (8u64, 4u64),

@@ -12,7 +12,10 @@ fn main() {
     if csv {
         print!("{}", vecmem_bench::csv::theorems_csv(&rows));
     } else {
-        println!("{}", vecmem_bench::tables::render_theorem_table(m, nc, &rows));
+        println!(
+            "{}",
+            vecmem_bench::tables::render_theorem_table(m, nc, &rows)
+        );
         let bad = rows.iter().filter(|r| !r.ok).count();
         println!("{} rows, {} mismatches", rows.len(), bad);
     }

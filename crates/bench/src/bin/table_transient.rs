@@ -14,8 +14,14 @@ fn main() {
     for d2 in 1..16u64 {
         let p = transient_profile(&config, 1, d2, 5_000_000).expect("converges");
         let specs = [
-            StreamSpec { start_bank: 0, distance: 1 },
-            StreamSpec { start_bank: 1, distance: d2 },
+            StreamSpec {
+                start_bank: 0,
+                distance: 1,
+            },
+            StreamSpec {
+                start_bank: 1,
+                distance: d2,
+            },
         ];
         let short = finite_vector_bandwidth(&config, &specs, 64);
         let long = finite_vector_bandwidth(&config, &specs, 1024);

@@ -125,10 +125,7 @@ mod tests {
 
     #[test]
     fn record_joins() {
-        assert_eq!(
-            record(["a".to_string(), "b,c".to_string()]),
-            "a,\"b,c\""
-        );
+        assert_eq!(record(["a".to_string(), "b,c".to_string()]), "a,\"b,c\"");
     }
 
     #[test]

@@ -6,9 +6,7 @@
 
 use vecmem_analytic::{Geometry, Ratio, SectionMapping, StreamSpec};
 use vecmem_banksim::steady::measure_steady_state_workload;
-use vecmem_banksim::{
-    Engine, PriorityRule, SimConfig, SimStats, SteadyState, StreamWorkload,
-};
+use vecmem_banksim::{Engine, PriorityRule, SimConfig, SimStats, SteadyState, StreamWorkload};
 
 /// Where the two ports live.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,7 +50,7 @@ pub struct FigureRun {
 }
 
 impl Figure {
-    fn config(&self) -> SimConfig {
+    pub(crate) fn config(&self) -> SimConfig {
         let cfg = match self.placement {
             Placement::CrossCpu => SimConfig::one_port_per_cpu(self.geometry, 2),
             Placement::SameCpu => SimConfig::single_cpu(self.geometry, 2),
@@ -75,7 +73,12 @@ impl Figure {
         let mut fresh = StreamWorkload::infinite(&self.geometry, &self.streams);
         let steady = measure_steady_state_workload(&config, &mut fresh, 0, 10_000_000)
             .expect("figure scenarios converge");
-        FigureRun { figure: self.clone(), trace, steady, stats }
+        FigureRun {
+            figure: self.clone(),
+            trace,
+            steady,
+            stats,
+        }
     }
 }
 
@@ -231,8 +234,7 @@ pub fn fig8b() -> Figure {
 /// banks into a section (Cheung & Smith), fixed priority.
 #[must_use]
 pub fn fig9() -> Figure {
-    let geometry =
-        Geometry::with_mapping(12, 3, 3, SectionMapping::Consecutive).unwrap();
+    let geometry = Geometry::with_mapping(12, 3, 3, SectionMapping::Consecutive).unwrap();
     Figure {
         id: "9",
         caption: "Linked conflict avoided by consecutive-bank sections",
@@ -250,14 +252,27 @@ pub fn fig9() -> Figure {
 /// All trace figures in paper order.
 #[must_use]
 pub fn all_figures() -> Vec<Figure> {
-    vec![fig2(), fig3(), fig4(), fig5(), fig6(), fig7(), fig8a(), fig8b(), fig9()]
+    vec![
+        fig2(),
+        fig3(),
+        fig4(),
+        fig5(),
+        fig6(),
+        fig7(),
+        fig8a(),
+        fig8b(),
+        fig9(),
+    ]
 }
 
 /// Formats a run as the harness' standard report.
 #[must_use]
 pub fn report(run: &FigureRun) -> String {
     let mut out = String::new();
-    out.push_str(&format!("Figure {}: {}\n", run.figure.id, run.figure.caption));
+    out.push_str(&format!(
+        "Figure {}: {}\n",
+        run.figure.id, run.figure.caption
+    ));
     out.push_str(&format!(
         "  geometry: m={}, s={}, nc={}, mapping={:?}, priority={:?}, placement={:?}\n",
         run.figure.geometry.banks(),
@@ -340,7 +355,11 @@ mod tests {
     #[test]
     fn fig8a_trace_contains_section_conflicts() {
         let run = fig8a().run(60);
-        assert!(run.trace.contains('*'), "expected section-conflict marks:\n{}", run.trace);
+        assert!(
+            run.trace.contains('*'),
+            "expected section-conflict marks:\n{}",
+            run.trace
+        );
         assert!(run.stats.total_conflicts().section > 0);
     }
 

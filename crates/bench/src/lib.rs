@@ -14,15 +14,22 @@
 //! | `table_sections` | ablation A2: cyclic vs consecutive section mapping |
 //! | `table_skewing` | ablation A3: skewing schemes vs plain interleaving |
 //!
-//! Criterion benches (`cargo bench`) measure the simulator and the
-//! analytic model themselves (throughput per simulated cycle, steady-state
-//! detection, classification speed) plus end-to-end figure regeneration.
+//! The `cargo bench` harness (the std-only profiler from `vecmem-obs`)
+//! measures the simulator and the analytic model themselves (throughput
+//! per simulated cycle, steady-state detection, classification speed,
+//! observer overhead) plus end-to-end figure regeneration, and writes
+//! `BENCH_<set>.json` reports.
+//!
+//! With `--features obs` the reproduction binaries additionally export
+//! per-run telemetry (see [`telemetry`]).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod csv;
 pub mod fig10;
-pub mod plot;
 pub mod figures;
+pub mod plot;
 pub mod tables;
+#[cfg(feature = "obs")]
+pub mod telemetry;

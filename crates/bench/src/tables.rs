@@ -9,8 +9,8 @@
 use vecmem_analytic::pair::{classify_pair, PairClass};
 use vecmem_analytic::{Geometry, Ratio, SectionMapping, StreamSpec};
 use vecmem_banksim::steady::{measure_steady_state, sweep_start_banks};
-use vecmem_banksim::{PriorityRule, SimConfig};
 use vecmem_banksim::{hellerman_bandwidth, measure_random_bandwidth};
+use vecmem_banksim::{PriorityRule, SimConfig};
 use vecmem_skew::{eval, BankMapping, Interleaved, LinearSkew, PrimeInterleaved, XorFold};
 
 /// One row of the theorem-validation table.
@@ -46,7 +46,10 @@ pub fn theorem_table(m: u64, nc: u64) -> Vec<TheoremRow> {
             .chunks(chunk)
             .map(|slice| scope.spawn(move || theorem_rows_for(m, nc, slice)))
             .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("sweep thread")).collect()
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep thread"))
+            .collect()
     });
     rows.sort_by_key(|r| (r.d1, r.d2));
     rows
@@ -58,21 +61,31 @@ fn theorem_rows_for(m: u64, nc: u64, d1s: &[u64]) -> Vec<TheoremRow> {
     let mut rows = Vec::new();
     for &d1 in d1s {
         for d2 in d1..m {
-            let s1 = StreamSpec { start_bank: 0, distance: d1 };
-            let s2 = StreamSpec { start_bank: 0, distance: d2 };
+            let s1 = StreamSpec {
+                start_bank: 0,
+                distance: d1,
+            };
+            let s2 = StreamSpec {
+                start_bank: 0,
+                distance: d2,
+            };
             let class = classify_pair(&geom, &s1, &s2, true);
             let sweep = sweep_start_banks(&config, d1, d2, 5_000_000).expect("converges");
             let min = sweep.iter().map(|s| s.beff).min().expect("nonempty");
             let max = sweep.iter().map(|s| s.beff).max().expect("nonempty");
             let (predicted, ok) = match class {
-                PairClass::ConflictFree => {
-                    (Some(Ratio::integer(2)), sweep.iter().all(|s| s.beff == Ratio::integer(2)))
-                }
+                PairClass::ConflictFree => (
+                    Some(Ratio::integer(2)),
+                    sweep.iter().all(|s| s.beff == Ratio::integer(2)),
+                ),
                 PairClass::UniqueBarrier { beff, .. } => {
                     // Unique: every nondisjoint start reaches the barrier;
                     // starts that make the access sets disjoint reach 2.
                     let ok = sweep.iter().enumerate().all(|(b2, s)| {
-                        let spec2 = StreamSpec { start_bank: b2 as u64, distance: d2 };
+                        let spec2 = StreamSpec {
+                            start_bank: b2 as u64,
+                            distance: d2,
+                        };
                         if vecmem_analytic::stream::access_sets_disjoint(&geom, &s1, &spec2) {
                             s.beff == Ratio::integer(2)
                         } else {
@@ -85,7 +98,10 @@ fn theorem_rows_for(m: u64, nc: u64, d1s: &[u64]) -> Vec<TheoremRow> {
                     // Only the upper bound is predicted: < 2 for nondisjoint
                     // starts.
                     let ok = sweep.iter().enumerate().all(|(b2, s)| {
-                        let spec2 = StreamSpec { start_bank: b2 as u64, distance: d2 };
+                        let spec2 = StreamSpec {
+                            start_bank: b2 as u64,
+                            distance: d2,
+                        };
                         if vecmem_analytic::stream::access_sets_disjoint(&geom, &s1, &spec2) {
                             s.beff == Ratio::integer(2)
                         } else {
@@ -118,7 +134,10 @@ impl std::fmt::Display for ClassName<'_> {
             PairClass::DisjointSets => write!(f, "disjoint-sets"),
             PairClass::ConflictFree => write!(f, "conflict-free"),
             PairClass::UniqueBarrier { beff, .. } => write!(f, "unique-barrier({beff})"),
-            PairClass::BarrierPossible { double_conflict_possible, .. } => {
+            PairClass::BarrierPossible {
+                double_conflict_possible,
+                ..
+            } => {
                 if *double_conflict_possible {
                     write!(f, "barrier-possible+double")
                 } else {
@@ -173,16 +192,18 @@ pub fn priority_ablation() -> Vec<PriorityRow> {
     (0..geom.banks())
         .map(|b2| {
             let specs = [
-                StreamSpec { start_bank: 0, distance: 1 },
-                StreamSpec { start_bank: b2, distance: 1 },
+                StreamSpec {
+                    start_bank: 0,
+                    distance: 1,
+                },
+                StreamSpec {
+                    start_bank: b2,
+                    distance: 1,
+                },
             ];
-            let fixed = measure_steady_state(
-                &SimConfig::single_cpu(geom, 2),
-                &specs,
-                1_000_000,
-            )
-            .expect("converges")
-            .beff;
+            let fixed = measure_steady_state(&SimConfig::single_cpu(geom, 2), &specs, 1_000_000)
+                .expect("converges")
+                .beff;
             let cyclic = measure_steady_state(
                 &SimConfig::single_cpu(geom, 2).with_priority(PriorityRule::Cyclic),
                 &specs,
@@ -215,8 +236,14 @@ pub fn mapping_ablation() -> Vec<MappingRow> {
     (0..12)
         .map(|b2| {
             let specs = [
-                StreamSpec { start_bank: 0, distance: 1 },
-                StreamSpec { start_bank: b2, distance: 1 },
+                StreamSpec {
+                    start_bank: 0,
+                    distance: 1,
+                },
+                StreamSpec {
+                    start_bank: b2,
+                    distance: 1,
+                },
             ];
             let cyclic_map =
                 measure_steady_state(&SimConfig::single_cpu(cyclic_geom, 2), &specs, 1_000_000)
@@ -226,7 +253,11 @@ pub fn mapping_ablation() -> Vec<MappingRow> {
                 measure_steady_state(&SimConfig::single_cpu(consec_geom, 2), &specs, 1_000_000)
                     .expect("converges")
                     .beff;
-            MappingRow { b2, cyclic_map, consecutive_map }
+            MappingRow {
+                b2,
+                cyclic_map,
+                consecutive_map,
+            }
         })
         .collect()
 }
@@ -285,11 +316,14 @@ pub fn random_vs_vector_table(m: u64, nc: u64, max_ports: usize) -> Vec<RandomRo
         .map(|p| {
             let config = SimConfig::one_port_per_cpu(geom, p);
             let random = measure_random_bandwidth(&config, 0xC0FFEE + p as u64, 200_000);
-            let vector = vecmem_analytic::multi::equal_distance_family(&geom, 1, p as u64)
-                .map(|starts| {
+            let vector =
+                vecmem_analytic::multi::equal_distance_family(&geom, 1, p as u64).map(|starts| {
                     let specs: Vec<StreamSpec> = starts
                         .iter()
-                        .map(|&b| StreamSpec { start_bank: b, distance: 1 })
+                        .map(|&b| StreamSpec {
+                            start_bank: b,
+                            distance: 1,
+                        })
                         .collect();
                     measure_steady_state(&config, &specs, 5_000_000)
                         .expect("converges")
@@ -338,15 +372,17 @@ pub fn kernel_table(max_inc: u64, n: u64) -> Vec<KernelRow> {
                 .map(|inc| {
                     let program = compile(kernel, &machine, &[&a, &b], n, inc);
                     let mut workload = ProgramWorkload::new(&geom, machine, program, &[], 3);
-                    let mut engine =
-                        vecmem_banksim::Engine::new(SimConfig::single_cpu(geom, 3));
+                    let mut engine = vecmem_banksim::Engine::new(SimConfig::single_cpu(geom, 3));
                     engine
                         .run(&mut workload, 10_000_000)
                         .finished_cycles()
                         .expect("kernel finishes")
                 })
                 .collect();
-            KernelRow { kernel: kernel.name(), cycles }
+            KernelRow {
+                kernel: kernel.name(),
+                cycles,
+            }
         })
         .collect()
 }

@@ -8,8 +8,9 @@ use vecmem_analytic::{Geometry, SectionMapping, StreamSpec};
 use vecmem_banksim::steady::measure_steady_state;
 use vecmem_banksim::{
     hellerman_asymptotic, hellerman_bandwidth, measure_random_bandwidth, Engine, PriorityRule,
-    SimConfig, StreamWorkload,
+    SimConfig, StreamWorkload, Tee,
 };
+use vecmem_obs::{write_metrics, EventLog, MetricsRegistry};
 use vecmem_skew::{BankMapping, Interleaved, LinearSkew, PrimeInterleaved, XorFold};
 use vecmem_vproc::gather::{run_gather, IndexPattern};
 use vecmem_vproc::loops::{LoopSpec, Walk};
@@ -50,14 +51,94 @@ fn pair_config(opts: &Options, geom: Geometry) -> SimConfig {
     cfg.with_priority(priority(opts))
 }
 
+/// Telemetry options shared by the simulating commands:
+/// `--metrics-out PATH` (JSON, or CSV when the path ends in `.csv`),
+/// `--events-out PATH` (JSONL event log), `--obs-window N` (cycles per
+/// `b_eff(t)` window) and `--obs-epsilon X` (steady-state tolerance).
+struct ObsRequest {
+    metrics_out: Option<String>,
+    events_out: Option<String>,
+    window: u64,
+    epsilon: f64,
+}
+
+impl ObsRequest {
+    fn from_opts(opts: &Options) -> Result<Self, String> {
+        let window = opts
+            .u64_or("obs-window", vecmem_obs::DEFAULT_WINDOW)
+            .map_err(err)?;
+        if window == 0 {
+            return Err("--obs-window must be at least 1".to_string());
+        }
+        Ok(Self {
+            metrics_out: opts.string("metrics-out").map(ToString::to_string),
+            events_out: opts.string("events-out").map(ToString::to_string),
+            window,
+            epsilon: opts
+                .f64_or("obs-epsilon", vecmem_obs::DEFAULT_EPSILON)
+                .map_err(err)?,
+        })
+    }
+
+    /// Telemetry only costs anything when at least one output was asked for.
+    fn enabled(&self) -> bool {
+        self.metrics_out.is_some() || self.events_out.is_some()
+    }
+
+    fn observers(&self, banks: u64, ports: usize) -> (MetricsRegistry, EventLog) {
+        let metrics =
+            MetricsRegistry::with_window(banks, ports, self.window).with_epsilon(self.epsilon);
+        let events = EventLog::new(banks, ports as u64);
+        (metrics, events)
+    }
+
+    /// Writes the requested outputs and returns the summary lines to append
+    /// to the command's report.
+    fn finish(&self, metrics: &MetricsRegistry, events: &EventLog) -> Result<String, String> {
+        let mut out = String::new();
+        if let Some(path) = &self.metrics_out {
+            write_metrics(path, &metrics.snapshot()).map_err(|e| format!("writing {path}: {e}"))?;
+            out.push_str(&format!("metrics -> {path}\n"));
+        }
+        if let Some(path) = &self.events_out {
+            events
+                .write_jsonl(path)
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            out.push_str(&format!(
+                "events -> {path} ({} events)\n",
+                events.events().len()
+            ));
+        }
+        if let Some(steady) = metrics.steady_state() {
+            out.push_str(&format!(
+                "b_eff(t): steady at {:.4} after {} cycles ({} windows of {})\n",
+                steady.beff, steady.entered_at_cycle, steady.windows, self.window
+            ));
+        } else {
+            out.push_str(&format!(
+                "b_eff(t): no steady window suffix yet ({} windows of {})\n",
+                metrics.beff_series().len(),
+                self.window
+            ));
+        }
+        Ok(out)
+    }
+}
+
 fn pair_streams(opts: &Options, geom: &Geometry) -> Result<[StreamSpec; 2], String> {
     let d1 = opts.u64_or("d1", 1).map_err(err)? % geom.banks();
     let d2 = opts.u64_or("d2", 1).map_err(err)? % geom.banks();
     let b1 = opts.u64_or("b1", 0).map_err(err)? % geom.banks();
     let b2 = opts.u64_or("b2", 0).map_err(err)? % geom.banks();
     Ok([
-        StreamSpec { start_bank: b1, distance: d1 },
-        StreamSpec { start_bank: b2, distance: d2 },
+        StreamSpec {
+            start_bank: b1,
+            distance: d1,
+        },
+        StreamSpec {
+            start_bank: b2,
+            distance: d2,
+        },
     ])
 }
 
@@ -114,13 +195,25 @@ pub fn cmd_trace(opts: &Options) -> Result<String, String> {
     let geom = geometry(opts)?;
     let specs = pair_streams(opts, &geom)?;
     let cycles = opts.u64_or("cycles", 36).map_err(err)?;
+    let obs = ObsRequest::from_opts(opts)?;
     let config = pair_config(opts, geom);
+    let ports = config.num_ports();
     let mut engine = Engine::new(config).with_trace(cycles);
     let mut workload = StreamWorkload::infinite(&geom, &specs);
-    for _ in 0..cycles {
-        engine.step(&mut workload);
+    if obs.enabled() {
+        let (mut metrics, mut events) = obs.observers(geom.banks(), ports);
+        for _ in 0..cycles {
+            engine.step_with(&mut workload, &mut Tee(&mut metrics, &mut events));
+        }
+        let mut out = engine.trace().expect("trace enabled").render_all();
+        out.push_str(&obs.finish(&metrics, &events)?);
+        Ok(out)
+    } else {
+        for _ in 0..cycles {
+            engine.step(&mut workload);
+        }
+        Ok(engine.trace().expect("trace enabled").render_all())
     }
-    Ok(engine.trace().expect("trace enabled").render_all())
 }
 
 /// `vecmem triad`: the §IV experiment.
@@ -146,13 +239,21 @@ pub fn cmd_triad(opts: &Options) -> Result<String, String> {
         return Ok(out);
     }
     let inc = opts.u64_or("inc", 1).map_err(err)?;
+    let obs = ObsRequest::from_opts(opts)?;
     let exp = if alone {
         TriadExperiment::paper_alone(inc)
     } else {
         TriadExperiment::paper(inc)
     };
-    let r = exp.run();
-    Ok(format!(
+    let (r, telemetry) = if obs.enabled() {
+        let (mut metrics, mut events) =
+            obs.observers(exp.sim.geometry.banks(), exp.sim.num_ports());
+        let r = exp.run_observed(&mut Tee(&mut metrics, &mut events));
+        (r, Some(obs.finish(&metrics, &events)?))
+    } else {
+        (exp.run(), None)
+    };
+    let mut out = format!(
         "INC = {}: {} clock periods; conflicts: bank {}, section {}, simultaneous {}; background grants {}\n",
         r.inc,
         r.cycles,
@@ -160,7 +261,11 @@ pub fn cmd_triad(opts: &Options) -> Result<String, String> {
         r.triad_conflicts.section,
         r.triad_conflicts.simultaneous,
         r.background_grants,
-    ))
+    );
+    if let Some(telemetry) = telemetry {
+        out.push_str(&telemetry);
+    }
+    Ok(out)
 }
 
 /// `vecmem random`: random-access bandwidth vs the classical models.
@@ -201,11 +306,17 @@ pub fn cmd_plan(opts: &Options) -> Result<String, String> {
             rep.return_number,
             rep.solo_bandwidth.to_string(),
             if rep.self_conflict_free { "yes" } else { "NO" },
-            if pair_is_safe(&geom, stride, 1) { "safe" } else { "conflicts" },
+            if pair_is_safe(&geom, stride, 1) {
+                "safe"
+            } else {
+                "conflicts"
+            },
         ));
     }
     if let Some(dim) = opts.string("pad") {
-        let dim: u64 = dim.parse().map_err(|_| "--pad takes an integer".to_string())?;
+        let dim: u64 = dim
+            .parse()
+            .map_err(|_| "--pad takes an integer".to_string())?;
         out.push_str(&format!(
             "pad dimension {dim} -> {} (relatively prime to {} banks)\n",
             pad_dimension(&geom, dim),
@@ -251,7 +362,11 @@ pub fn cmd_loop(opts: &Options) -> Result<String, String> {
         }
         Walk::Dimension { dim, inc }
     };
-    let spec = LoopSpec { kernel: Kernel::Copy, walk, n: 64 };
+    let spec = LoopSpec {
+        kernel: Kernel::Copy,
+        walk,
+        n: 64,
+    };
     let report = &spec.analyze(&geom, &[&array])[0];
     let mut out = format!(
         "array A({}) on m = {}, n_c = {}\nwalk: {:?}\nstride (eq. 33): {} -> distance {} (mod m), return number {}\nsolo b_eff = {}\n",
@@ -342,7 +457,10 @@ pub fn cmd_skew(opts: &Options) -> Result<String, String> {
         out.push_str(&format!("scheme: {}\n", scheme.name()));
         let rows = vecmem_skew::eval::stride_table(scheme.as_ref(), nc, max_stride, 2_000_000)
             .map_err(|e| e.to_string())?;
-        out.push_str(&format!("{:>7} {:>8} {:>14}\n", "stride", "solo", "vs unit-stride"));
+        out.push_str(&format!(
+            "{:>7} {:>8} {:>14}\n",
+            "stride", "solo", "vs unit-stride"
+        ));
         for r in rows {
             out.push_str(&format!(
                 "{:>7} {:>8} {:>14}\n",
@@ -364,11 +482,21 @@ mod tests {
         Options::parse(args.iter().map(ToString::to_string), flags).unwrap()
     }
 
-    const FLAGS: &[&str] = &["same-cpu", "cyclic", "alone", "consecutive", "full", "diagonal"];
+    const FLAGS: &[&str] = &[
+        "same-cpu",
+        "cyclic",
+        "alone",
+        "consecutive",
+        "full",
+        "diagonal",
+    ];
 
     #[test]
     fn predict_fig2() {
-        let o = opts(&["--banks", "12", "--nc", "3", "--d1", "1", "--d2", "7"], FLAGS);
+        let o = opts(
+            &["--banks", "12", "--nc", "3", "--d1", "1", "--d2", "7"],
+            FLAGS,
+        );
         let out = cmd_predict(&o).unwrap();
         assert!(out.contains("ConflictFree"), "{out}");
         assert!(out.contains("predicted b_eff = 2"));
@@ -387,12 +515,95 @@ mod tests {
     #[test]
     fn trace_renders_banks() {
         let o = opts(
-            &["--banks", "8", "--nc", "2", "--d1", "1", "--d2", "3", "--cycles", "12"],
+            &[
+                "--banks", "8", "--nc", "2", "--d1", "1", "--d2", "3", "--cycles", "12",
+            ],
             FLAGS,
         );
         let out = cmd_trace(&o).unwrap();
         assert_eq!(out.lines().count(), 8);
         assert!(out.contains("bank   0"));
+    }
+
+    #[test]
+    fn trace_with_telemetry_outputs() {
+        let dir = std::env::temp_dir().join("vecmem-cli-test-obs");
+        let metrics = dir.join("trace.json");
+        let events = dir.join("trace.jsonl");
+        let o = opts(
+            &[
+                "--banks",
+                "8",
+                "--nc",
+                "2",
+                "--d1",
+                "1",
+                "--d2",
+                "3",
+                "--cycles",
+                "64",
+                "--obs-window",
+                "8",
+                "--metrics-out",
+                metrics.to_str().unwrap(),
+                "--events-out",
+                events.to_str().unwrap(),
+            ],
+            FLAGS,
+        );
+        let out = cmd_trace(&o).unwrap();
+        assert!(out.contains("metrics ->"), "{out}");
+        assert!(out.contains("events ->"), "{out}");
+        assert!(out.contains("b_eff(t):"), "{out}");
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        assert!(json.contains("vecmem-obs/metrics-v1"));
+        let jsonl = std::fs::read_to_string(&events).unwrap();
+        assert!(jsonl.starts_with("{\"schema\":\"vecmem-obs/events-v1\""));
+        assert!(jsonl.contains("\"t\":\"grant\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_rejects_zero_window() {
+        let o = opts(
+            &[
+                "--banks",
+                "8",
+                "--nc",
+                "2",
+                "--obs-window",
+                "0",
+                "--metrics-out",
+                "x.json",
+            ],
+            FLAGS,
+        );
+        assert!(cmd_trace(&o).is_err());
+    }
+
+    #[test]
+    fn triad_with_telemetry_outputs() {
+        let dir = std::env::temp_dir().join("vecmem-cli-test-triad-obs");
+        let metrics = dir.join("triad.csv");
+        let o = opts(
+            &[
+                "--inc",
+                "1",
+                "--alone",
+                "--metrics-out",
+                metrics.to_str().unwrap(),
+                "--obs-window",
+                "128",
+            ],
+            FLAGS,
+        );
+        let out = cmd_triad(&o).unwrap();
+        assert!(out.contains("INC = 1"), "{out}");
+        assert!(out.contains("metrics ->"), "{out}");
+        let csv = std::fs::read_to_string(&metrics).unwrap();
+        assert!(csv.starts_with("metric,index,value"));
+        assert!(csv.contains("beff_window,"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -406,7 +617,9 @@ mod tests {
     #[test]
     fn random_reports_models() {
         let o = opts(
-            &["--banks", "16", "--nc", "4", "--ports", "4", "--cycles", "5000"],
+            &[
+                "--banks", "16", "--nc", "4", "--ports", "4", "--cycles", "5000",
+            ],
             FLAGS,
         );
         let out = cmd_random(&o).unwrap();
@@ -416,7 +629,19 @@ mod tests {
 
     #[test]
     fn plan_lists_strides() {
-        let o = opts(&["--banks", "16", "--nc", "4", "--max-stride", "4", "--pad", "64"], FLAGS);
+        let o = opts(
+            &[
+                "--banks",
+                "16",
+                "--nc",
+                "4",
+                "--max-stride",
+                "4",
+                "--pad",
+                "64",
+            ],
+            FLAGS,
+        );
         let out = cmd_plan(&o).unwrap();
         assert!(out.contains("pad dimension 64 -> 65"));
         // Stride 1 is safe against the unit-stride background; strides 2-4
@@ -432,7 +657,21 @@ mod tests {
     #[test]
     fn predict_sectioned_same_cpu() {
         let o = opts(
-            &["--banks", "12", "--sections", "2", "--nc", "2", "--d1", "1", "--d2", "1", "--b2", "3", "--same-cpu"],
+            &[
+                "--banks",
+                "12",
+                "--sections",
+                "2",
+                "--nc",
+                "2",
+                "--d1",
+                "1",
+                "--d2",
+                "1",
+                "--b2",
+                "3",
+                "--same-cpu",
+            ],
             FLAGS,
         );
         let out = cmd_predict(&o).unwrap();
@@ -455,7 +694,12 @@ mod tests {
 
     #[test]
     fn loop_analysis_row_walk() {
-        let o = opts(&["--banks", "16", "--nc", "4", "--dims", "64,64", "--dim", "2"], FLAGS);
+        let o = opts(
+            &[
+                "--banks", "16", "--nc", "4", "--dims", "64,64", "--dim", "2",
+            ],
+            FLAGS,
+        );
         let out = cmd_loop(&o).unwrap();
         assert!(out.contains("stride (eq. 33): 64"), "{out}");
         assert!(out.contains("pad the leading dimension 64 -> 65"), "{out}");
@@ -463,7 +707,18 @@ mod tests {
 
     #[test]
     fn loop_analysis_diagonal() {
-        let o = opts(&["--banks", "16", "--nc", "4", "--dims", "64,64", "--diagonal"], FLAGS);
+        let o = opts(
+            &[
+                "--banks",
+                "16",
+                "--nc",
+                "4",
+                "--dims",
+                "64,64",
+                "--diagonal",
+            ],
+            FLAGS,
+        );
         let out = cmd_loop(&o).unwrap();
         assert!(out.contains("stride (eq. 33): 65"), "{out}");
         assert!(out.contains("solo b_eff = 1"), "{out}");

@@ -37,14 +37,28 @@ COMMON OPTIONS:
   --ports P          port count (random)
   --seed S           RNG seed (random)
 
+TELEMETRY (trace, triad):
+  --metrics-out P    write a metrics snapshot (JSON; CSV when P ends in .csv)
+  --events-out P     write the cycle-level event log (JSONL)
+  --obs-window N     cycles per b_eff(t) window (default 64)
+  --obs-epsilon X    steady-state tolerance on window deltas (default 1e-9)
+
 EXAMPLES:
   vecmem predict --banks 12 --nc 3 --d1 1 --d2 7
   vecmem trace --banks 13 --nc 6 --d1 1 --d2 6 --cycles 40
   vecmem triad --sweep 16
+  vecmem triad --inc 8 --metrics-out triad8.json --events-out triad8.jsonl
   vecmem random --banks 64 --ports 8
 ";
 
-const BOOL_FLAGS: &[&str] = &["same-cpu", "cyclic", "alone", "consecutive", "full", "diagonal"];
+const BOOL_FLAGS: &[&str] = &[
+    "same-cpu",
+    "cyclic",
+    "alone",
+    "consecutive",
+    "full",
+    "diagonal",
+];
 
 fn main() {
     let mut argv = std::env::args().skip(1);

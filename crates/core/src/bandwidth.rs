@@ -119,7 +119,12 @@ mod tests {
         let p = predict_pair(&g, &s1, &s2, PortPlacement::SameCpu);
         match p {
             PairPrediction::Sectioned(a) => {
-                assert_eq!(a.class, SectionClass::SharedBanks { via: ConflictFreeRoute::Eq32 });
+                assert_eq!(
+                    a.class,
+                    SectionClass::SharedBanks {
+                        via: ConflictFreeRoute::Eq32
+                    }
+                );
             }
             other => panic!("expected sectioned analysis, got {other:?}"),
         }

@@ -128,8 +128,14 @@ mod tests {
             let geom = Geometry::unsectioned(m, nc).unwrap();
             for d1 in 1..m {
                 for d2 in 1..m {
-                    let s1 = StreamSpec { start_bank: 0, distance: d1 };
-                    let s2 = StreamSpec { start_bank: 0, distance: d2 };
+                    let s1 = StreamSpec {
+                        start_bank: 0,
+                        distance: d1,
+                    };
+                    let s2 = StreamSpec {
+                        start_bank: 0,
+                        distance: d2,
+                    };
                     if let PairClass::UniqueBarrier { canonical, beff } =
                         classify_pair(&geom, &s1, &s2, true)
                     {

@@ -77,10 +77,16 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = ModelError::SectionsDontDivideBanks { banks: 12, sections: 5 };
+        let e = ModelError::SectionsDontDivideBanks {
+            banks: 12,
+            sections: 5,
+        };
         assert!(e.to_string().contains("s = 5"));
         assert!(e.to_string().contains("m = 12"));
-        let e = ModelError::DistanceOutOfRange { distance: 20, banks: 16 };
+        let e = ModelError::DistanceOutOfRange {
+            distance: 20,
+            banks: 16,
+        };
         assert!(e.to_string().contains("20"));
     }
 

@@ -143,8 +143,7 @@ pub fn exact_pair_steady_sectioned(
             *b = b.saturating_sub(1);
         }
         let grant1 = busy[b1] == 0;
-        let same_path =
-            geom.section_of(b1 as u64) == geom.section_of(b2 as u64);
+        let same_path = geom.section_of(b1 as u64) == geom.section_of(b2 as u64);
         let grant2 = busy[b2] == 0 && !(grant1 && same_path);
         if grant1 {
             busy[b1] = nc;

@@ -64,7 +64,12 @@ impl Geometry {
         if bank_cycle == 0 {
             return Err(ModelError::ZeroBankCycle);
         }
-        Ok(Self { banks, sections, bank_cycle, mapping })
+        Ok(Self {
+            banks,
+            sections,
+            bank_cycle,
+            mapping,
+        })
     }
 
     /// Geometry without sections (`s = m`): every bank has its own path, so
@@ -138,7 +143,10 @@ impl Geometry {
     /// Validates a start-bank address for this geometry.
     pub fn check_start_bank(&self, start_bank: u64) -> Result<(), ModelError> {
         if start_bank >= self.banks {
-            return Err(ModelError::StartBankOutOfRange { start_bank, banks: self.banks });
+            return Err(ModelError::StartBankOutOfRange {
+                start_bank,
+                banks: self.banks,
+            });
         }
         Ok(())
     }
@@ -146,7 +154,10 @@ impl Geometry {
     /// Validates a distance (stride modulo `m`) for this geometry.
     pub fn check_distance(&self, distance: u64) -> Result<(), ModelError> {
         if distance >= self.banks {
-            return Err(ModelError::DistanceOutOfRange { distance, banks: self.banks });
+            return Err(ModelError::DistanceOutOfRange {
+                distance,
+                banks: self.banks,
+            });
         }
         Ok(())
     }
@@ -185,16 +196,28 @@ mod tests {
     #[test]
     fn invalid_geometries() {
         assert_eq!(Geometry::new(0, 1, 1).unwrap_err(), ModelError::ZeroBanks);
-        assert_eq!(Geometry::new(4, 0, 1).unwrap_err(), ModelError::ZeroSections);
+        assert_eq!(
+            Geometry::new(4, 0, 1).unwrap_err(),
+            ModelError::ZeroSections
+        );
         assert_eq!(
             Geometry::new(12, 5, 1).unwrap_err(),
-            ModelError::SectionsDontDivideBanks { banks: 12, sections: 5 }
+            ModelError::SectionsDontDivideBanks {
+                banks: 12,
+                sections: 5
+            }
         );
         assert_eq!(
             Geometry::new(4, 8, 1).unwrap_err(),
-            ModelError::MoreSectionsThanBanks { banks: 4, sections: 8 }
+            ModelError::MoreSectionsThanBanks {
+                banks: 4,
+                sections: 8
+            }
         );
-        assert_eq!(Geometry::new(4, 2, 0).unwrap_err(), ModelError::ZeroBankCycle);
+        assert_eq!(
+            Geometry::new(4, 2, 0).unwrap_err(),
+            ModelError::ZeroBankCycle
+        );
     }
 
     #[test]

@@ -76,7 +76,12 @@ pub fn canonicalize(geom: &Geometry, da: u64, db: u64) -> Option<CanonicalPair> 
         let d1 = g % m;
         let d2 = (k as u128 * (y % m) as u128 % m as u128) as u64;
         if d1 != 0 && d2 > d1 && m.is_multiple_of(d1) {
-            let cand = CanonicalPair { d1, d2, multiplier: k, swapped };
+            let cand = CanonicalPair {
+                d1,
+                d2,
+                multiplier: k,
+                swapped,
+            };
             // Prefer the orientation with the smaller canonical d1 so results
             // are deterministic regardless of argument order.
             match &best {

@@ -83,7 +83,10 @@ pub fn equal_distance_family(geom: &Geometry, d: u64, p: u64) -> Option<Vec<u64>
     let m = geom.banks();
     let nc = geom.bank_cycle();
     let d = d % m;
-    let spec = StreamSpec { start_bank: 0, distance: d };
+    let spec = StreamSpec {
+        start_bank: 0,
+        distance: d,
+    };
     let r = spec.return_number(geom);
     if p == 1 {
         return if r >= nc { Some(vec![0]) } else { None };
@@ -134,7 +137,10 @@ pub fn pairwise_screen(geom: &Geometry, specs: &[StreamSpec]) -> PairwiseScreen 
             pairs.push((i, j, class));
         }
     }
-    PairwiseScreen { pairs, all_pairs_conflict_free: all_cf }
+    PairwiseScreen {
+        pairs,
+        all_pairs_conflict_free: all_cf,
+    }
 }
 
 /// An upper bound on the aggregate bandwidth of `p` streams with distances
@@ -242,9 +248,18 @@ mod tests {
     fn pairwise_screen_matrix() {
         let geom = Geometry::unsectioned(12, 3).unwrap();
         let specs = [
-            StreamSpec { start_bank: 0, distance: 1 },
-            StreamSpec { start_bank: 1, distance: 7 },
-            StreamSpec { start_bank: 2, distance: 2 },
+            StreamSpec {
+                start_bank: 0,
+                distance: 1,
+            },
+            StreamSpec {
+                start_bank: 1,
+                distance: 7,
+            },
+            StreamSpec {
+                start_bank: 2,
+                distance: 2,
+            },
         ];
         let screen = pairwise_screen(&geom, &specs);
         assert_eq!(screen.pairs.len(), 3);
@@ -262,7 +277,7 @@ mod tests {
     #[test]
     fn upper_bound_combines_constraints() {
         let geom = Geometry::cray_xmp(); // m/nc = 4
-        // Six full-rate streams: capped by banks at 4.
+                                         // Six full-rate streams: capped by banks at 4.
         assert_eq!(bandwidth_upper_bound(&geom, &[1; 6], false), 4.0);
         // Two streams, one self-limited (d = 8, r = 2): 1 + 0.5.
         assert_eq!(bandwidth_upper_bound(&geom, &[1, 8], false), 1.5);

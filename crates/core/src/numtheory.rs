@@ -128,7 +128,11 @@ pub fn unit_multiplier_to(a: u64, target: u64, n: u64) -> Option<u64> {
     let g = gcd(a % n, n);
     if g == 0 {
         // a ≡ 0: only target ≡ 0 works, and then any unit does.
-        return if target.is_multiple_of(n) { Some(1) } else { None };
+        return if target.is_multiple_of(n) {
+            Some(1)
+        } else {
+            None
+        };
     }
     if !target.is_multiple_of(g) {
         return None;

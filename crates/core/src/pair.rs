@@ -310,7 +310,11 @@ mod tests {
         let g = geom(13, 6);
         let class = classify_pair(&g, &spec(&g, 0, 1), &spec(&g, 0, 6), true);
         match class {
-            PairClass::BarrierPossible { double_conflict_possible, barrier_beff, .. } => {
+            PairClass::BarrierPossible {
+                double_conflict_possible,
+                barrier_beff,
+                ..
+            } => {
                 assert!(double_conflict_possible);
                 assert_eq!(barrier_beff, Ratio::new(7, 6));
             }
@@ -327,7 +331,11 @@ mod tests {
         let g = geom(13, 4);
         let class = classify_pair(&g, &spec(&g, 0, 1), &spec(&g, 7, 3), true);
         match class {
-            PairClass::BarrierPossible { double_conflict_possible, barrier_beff, .. } => {
+            PairClass::BarrierPossible {
+                double_conflict_possible,
+                barrier_beff,
+                ..
+            } => {
                 assert!(!double_conflict_possible);
                 assert_eq!(barrier_beff, Ratio::new(4, 3));
             }
@@ -416,11 +424,21 @@ mod tests {
         // m'' = 12, and 7 ∉ {2, 3} (mod 12): no barrier. The literal reading
         // of eq. (17) would wrongly accept this case.
         let g = geom(24, 3);
-        let canonical = CanonicalPair { d1: 2, d2: 14, multiplier: 1, swapped: false };
+        let canonical = CanonicalPair {
+            d1: 2,
+            d2: 14,
+            multiplier: 1,
+            swapped: false,
+        };
         assert!(!barrier_condition(&g, &canonical));
         // m = 24, n_c = 4, d1 = 2, d2 = 8 (f = 2): d2' = 4 ≡ d1' + 3, c = 3 < 4.
         let g2 = geom(24, 4);
-        let canonical2 = CanonicalPair { d1: 2, d2: 8, multiplier: 1, swapped: false };
+        let canonical2 = CanonicalPair {
+            d1: 2,
+            d2: 8,
+            multiplier: 1,
+            swapped: false,
+        };
         assert!(barrier_condition(&g2, &canonical2));
     }
 

@@ -36,7 +36,10 @@ pub struct StrideReport {
 #[must_use]
 pub fn assess_stride(geom: &Geometry, stride: u64) -> StrideReport {
     let distance = stride % geom.banks();
-    let spec = StreamSpec { start_bank: 0, distance };
+    let spec = StreamSpec {
+        start_bank: 0,
+        distance,
+    };
     let r = spec.return_number(geom);
     let (num, den) = spec.solo_bandwidth_ratio(geom);
     StrideReport {
@@ -76,8 +79,14 @@ pub fn pad_dimension(geom: &Geometry, dim: u64) -> u64 {
 #[must_use]
 pub fn pair_is_safe(geom: &Geometry, da: u64, db: u64) -> bool {
     let m = geom.banks();
-    let s1 = StreamSpec { start_bank: 0, distance: da % m };
-    let s2 = StreamSpec { start_bank: 0, distance: db % m };
+    let s1 = StreamSpec {
+        start_bank: 0,
+        distance: da % m,
+    };
+    let s2 = StreamSpec {
+        start_bank: 0,
+        distance: db % m,
+    };
     // Start banks chosen worst-case here (0, 0): only Theorem 3's
     // synchronisation guarantees safety for arbitrary starts.
     matches!(classify_pair(geom, &s1, &s2, true), PairClass::ConflictFree)

@@ -24,7 +24,10 @@ impl Ratio {
         if g == 0 {
             return Self { num: 0, den: 1 };
         }
-        Self { num: num / g, den: den / g }
+        Self {
+            num: num / g,
+            den: den / g,
+        }
     }
 
     /// The integer `n` as a ratio.
@@ -65,7 +68,8 @@ impl Ratio {
     /// round-off).
     #[must_use]
     pub fn matches_counts(&self, grants: u64, cycles: u64) -> bool {
-        cycles != 0 && (self.num as u128) * (cycles as u128) == (grants as u128) * (self.den as u128)
+        cycles != 0
+            && (self.num as u128) * (cycles as u128) == (grants as u128) * (self.den as u128)
     }
 }
 

@@ -33,7 +33,8 @@ pub fn thm8_condition(geom: &Geometry, d1: u64, d2: u64) -> bool {
 /// cycle then always target different sections.
 #[must_use]
 pub fn thm9_condition(geom: &Geometry, d1: u64, d2: u64) -> bool {
-    conflict_free_condition(geom, d1, d2) && !(geom.bank_cycle() * (d1 % geom.banks())).is_multiple_of(geom.sections())
+    conflict_free_condition(geom, d1, d2)
+        && !(geom.bank_cycle() * (d1 % geom.banks())).is_multiple_of(geom.sections())
 }
 
 /// Eq. 32: when Theorem 9's section condition fails (`s | n_c·d1`),
@@ -148,20 +149,26 @@ pub fn analyze_sectioned_pair(
     }
     if thm9_condition(geom, d1, d2) {
         return SectionAnalysis {
-            class: SectionClass::SharedBanks { via: ConflictFreeRoute::Theorem9 },
+            class: SectionClass::SharedBanks {
+                via: ConflictFreeRoute::Theorem9,
+            },
             recommended_offset: Some((nc * d1) % m),
             linked_conflict_risk: true,
         };
     }
     if conflict_free_condition(geom, d1, d2) && eq32_condition(geom, d1, d2) {
         return SectionAnalysis {
-            class: SectionClass::SharedBanks { via: ConflictFreeRoute::Eq32 },
+            class: SectionClass::SharedBanks {
+                via: ConflictFreeRoute::Eq32,
+            },
             recommended_offset: Some(((nc + 1) * d1) % m),
             linked_conflict_risk: true,
         };
     }
     SectionAnalysis {
-        class: SectionClass::SharedBanks { via: ConflictFreeRoute::None },
+        class: SectionClass::SharedBanks {
+            via: ConflictFreeRoute::None,
+        },
         recommended_offset: None,
         linked_conflict_risk: false,
     }
@@ -184,7 +191,12 @@ mod tests {
         assert!(!thm9_condition(&g, 1, 1));
         assert!(eq32_condition(&g, 1, 1));
         let a = analyze_sectioned_pair(&g, &spec(&g, 0, 1), &spec(&g, 3, 1));
-        assert_eq!(a.class, SectionClass::SharedBanks { via: ConflictFreeRoute::Eq32 });
+        assert_eq!(
+            a.class,
+            SectionClass::SharedBanks {
+                via: ConflictFreeRoute::Eq32
+            }
+        );
         assert_eq!(a.recommended_offset, Some(3));
         assert!(a.linked_conflict_risk);
     }
@@ -209,7 +221,12 @@ mod tests {
         let g = Geometry::new(12, 4, 3).unwrap();
         assert!(thm9_condition(&g, 1, 7));
         let a = analyze_sectioned_pair(&g, &spec(&g, 0, 1), &spec(&g, 3, 7));
-        assert_eq!(a.class, SectionClass::SharedBanks { via: ConflictFreeRoute::Theorem9 });
+        assert_eq!(
+            a.class,
+            SectionClass::SharedBanks {
+                via: ConflictFreeRoute::Theorem9
+            }
+        );
         assert_eq!(a.recommended_offset, Some(3));
     }
 
@@ -267,7 +284,12 @@ mod tests {
         // even eq. 12 holds; no conflict-free route.
         let g = Geometry::new(12, 3, 3).unwrap();
         let a = analyze_sectioned_pair(&g, &spec(&g, 0, 1), &spec(&g, 5, 2));
-        assert_eq!(a.class, SectionClass::SharedBanks { via: ConflictFreeRoute::None });
+        assert_eq!(
+            a.class,
+            SectionClass::SharedBanks {
+                via: ConflictFreeRoute::None
+            }
+        );
         assert_eq!(a.recommended_offset, None);
     }
 }

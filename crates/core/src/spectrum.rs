@@ -70,8 +70,14 @@ pub fn distance_spectrum(geom: &Geometry) -> Spectrum {
     let mut spectrum = Spectrum::default();
     for d1 in 1..m {
         for d2 in 1..m {
-            let s1 = StreamSpec { start_bank: 0, distance: d1 };
-            let s2 = StreamSpec { start_bank: 0, distance: d2 };
+            let s1 = StreamSpec {
+                start_bank: 0,
+                distance: d1,
+            };
+            let s2 = StreamSpec {
+                start_bank: 0,
+                distance: d2,
+            };
             spectrum.record(&classify_pair(geom, &s1, &s2, true));
         }
     }
@@ -96,8 +102,14 @@ pub fn full_spectrum(geom: &Geometry) -> Spectrum {
                     for &d1 in slice {
                         for d2 in 1..m {
                             for b2 in 0..m {
-                                let s1 = StreamSpec { start_bank: 0, distance: d1 };
-                                let s2 = StreamSpec { start_bank: b2, distance: d2 };
+                                let s1 = StreamSpec {
+                                    start_bank: 0,
+                                    distance: d1,
+                                };
+                                let s2 = StreamSpec {
+                                    start_bank: b2,
+                                    distance: d2,
+                                };
                                 local.record(&classify_pair(geom, &s1, &s2, true));
                             }
                         }

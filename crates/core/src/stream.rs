@@ -24,7 +24,10 @@ impl StreamSpec {
     pub fn new(geom: &Geometry, start_bank: u64, distance: u64) -> Result<Self, ModelError> {
         geom.check_start_bank(start_bank)?;
         geom.check_distance(distance)?;
-        Ok(Self { start_bank, distance })
+        Ok(Self {
+            start_bank,
+            distance,
+        })
     }
 
     /// Creates a stream spec from an arbitrary storage address and stride,

@@ -1,0 +1,464 @@
+//! Cycle-level event stream: an in-memory recorder and a JSONL exporter.
+//!
+//! The JSONL format (`vecmem-obs/events-v1`) starts with a header line
+//! carrying the schema tag and run geometry, followed by one compact JSON
+//! object per event. Field `t` discriminates the event type:
+//!
+//! ```text
+//! {"schema":"vecmem-obs/events-v1","banks":16,"ports":2}
+//! {"t":"grant","cycle":3,"port":0,"bank":5,"wait":1,"hold":4}
+//! {"t":"delay","cycle":3,"port":1,"bank":5,"kind":"simultaneous"}
+//! {"t":"bank","cycle":3,"bank":5,"busy":1}
+//! {"t":"cycle","cycle":3,"grants":1,"busy_banks":4}
+//! ```
+//!
+//! Arbitration snapshots (`"t":"arb"`) list the competing `(port, bank)`
+//! pairs and are only recorded when enabled — they dominate log volume.
+
+use crate::json::{field_str, field_u64, Json};
+use std::io::{self, Write};
+use std::path::Path;
+use vecmem_banksim::{ConflictKind, PortId, Request, SimObserver};
+
+/// Schema tag written in the JSONL header line.
+pub const EVENTS_SCHEMA: &str = "vecmem-obs/events-v1";
+
+/// One recorded simulator event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// The requests competing at the start of a clock period.
+    Arbitration {
+        /// Clock period.
+        cycle: u64,
+        /// Cyclic-priority rotation offset in effect.
+        rotation: u64,
+        /// Competing `(port, bank)` pairs.
+        requests: Vec<(usize, u64)>,
+    },
+    /// A granted request.
+    Grant {
+        /// Clock period of the grant.
+        cycle: u64,
+        /// Granted port.
+        port: usize,
+        /// Target bank.
+        bank: u64,
+        /// Clock periods the request waited before this grant.
+        wait: u64,
+        /// Bank busy time (`n_c`) started by the grant.
+        hold: u64,
+    },
+    /// A delayed request.
+    Delay {
+        /// Clock period of the delay.
+        cycle: u64,
+        /// Delayed port.
+        port: usize,
+        /// Target bank.
+        bank: u64,
+        /// Conflict type that caused the delay.
+        kind: ConflictKind,
+    },
+    /// A bank busy/free transition.
+    BankBusy {
+        /// Clock period of the transition.
+        cycle: u64,
+        /// Bank address.
+        bank: u64,
+        /// `true` when the bank turned busy, `false` when it freed.
+        busy: bool,
+    },
+    /// End-of-period summary.
+    CycleEnd {
+        /// Clock period.
+        cycle: u64,
+        /// Requests granted this period.
+        grants: u64,
+        /// Banks still busy after this period.
+        busy_banks: u64,
+    },
+}
+
+/// Stable wire name of a [`ConflictKind`].
+#[must_use]
+pub fn kind_name(kind: ConflictKind) -> &'static str {
+    match kind {
+        ConflictKind::Bank => "bank",
+        ConflictKind::SimultaneousBank => "simultaneous",
+        ConflictKind::Section => "section",
+    }
+}
+
+fn kind_from_name(name: &str) -> Option<ConflictKind> {
+    match name {
+        "bank" => Some(ConflictKind::Bank),
+        "simultaneous" => Some(ConflictKind::SimultaneousBank),
+        "section" => Some(ConflictKind::Section),
+        _ => None,
+    }
+}
+
+impl Event {
+    /// Renders the event as one compact JSON line (no trailing newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        match self {
+            Event::Arbitration {
+                cycle,
+                rotation,
+                requests,
+            } => Json::obj([
+                ("t", Json::str("arb")),
+                ("cycle", Json::U64(*cycle)),
+                ("rotation", Json::U64(*rotation)),
+                (
+                    "requests",
+                    Json::Array(
+                        requests
+                            .iter()
+                            .map(|&(p, b)| Json::Array(vec![Json::U64(p as u64), Json::U64(b)]))
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Event::Grant {
+                cycle,
+                port,
+                bank,
+                wait,
+                hold,
+            } => Json::obj([
+                ("t", Json::str("grant")),
+                ("cycle", Json::U64(*cycle)),
+                ("port", Json::U64(*port as u64)),
+                ("bank", Json::U64(*bank)),
+                ("wait", Json::U64(*wait)),
+                ("hold", Json::U64(*hold)),
+            ]),
+            Event::Delay {
+                cycle,
+                port,
+                bank,
+                kind,
+            } => Json::obj([
+                ("t", Json::str("delay")),
+                ("cycle", Json::U64(*cycle)),
+                ("port", Json::U64(*port as u64)),
+                ("bank", Json::U64(*bank)),
+                ("kind", Json::str(kind_name(*kind))),
+            ]),
+            Event::BankBusy { cycle, bank, busy } => Json::obj([
+                ("t", Json::str("bank")),
+                ("cycle", Json::U64(*cycle)),
+                ("bank", Json::U64(*bank)),
+                ("busy", Json::U64(u64::from(*busy))),
+            ]),
+            Event::CycleEnd {
+                cycle,
+                grants,
+                busy_banks,
+            } => Json::obj([
+                ("t", Json::str("cycle")),
+                ("cycle", Json::U64(*cycle)),
+                ("grants", Json::U64(*grants)),
+                ("busy_banks", Json::U64(*busy_banks)),
+            ]),
+        }
+        .render()
+    }
+
+    /// Parses one JSONL line previously produced by [`Event::to_json_line`].
+    /// Returns `None` for header lines, blank lines and unknown types
+    /// (`"arb"` lines are summarised without their request list).
+    #[must_use]
+    pub fn from_json_line(line: &str) -> Option<Event> {
+        let cycle = field_u64(line, "cycle")?;
+        match field_str(line, "t")? {
+            "grant" => Some(Event::Grant {
+                cycle,
+                port: field_u64(line, "port")? as usize,
+                bank: field_u64(line, "bank")?,
+                wait: field_u64(line, "wait")?,
+                hold: field_u64(line, "hold")?,
+            }),
+            "delay" => Some(Event::Delay {
+                cycle,
+                port: field_u64(line, "port")? as usize,
+                bank: field_u64(line, "bank")?,
+                kind: kind_from_name(field_str(line, "kind")?)?,
+            }),
+            "bank" => Some(Event::BankBusy {
+                cycle,
+                bank: field_u64(line, "bank")?,
+                busy: field_u64(line, "busy")? != 0,
+            }),
+            "cycle" => Some(Event::CycleEnd {
+                cycle,
+                grants: field_u64(line, "grants")?,
+                busy_banks: field_u64(line, "busy_banks")?,
+            }),
+            "arb" => Some(Event::Arbitration {
+                cycle,
+                rotation: field_u64(line, "rotation")?,
+                requests: Vec::new(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// A [`SimObserver`] that records the event stream in memory.
+///
+/// Construct with [`EventLog::new`], hand it to
+/// `Engine::step_with`/`run_with`, then export with
+/// [`EventLog::write_jsonl`]. A bound on recorded events can be set with
+/// [`EventLog::with_limit`]; once reached, later events are counted in
+/// [`EventLog::dropped`] instead of stored, and the export reports the drop
+/// count in its header so truncation is never silent.
+#[derive(Debug, Clone)]
+pub struct EventLog {
+    banks: u64,
+    ports: u64,
+    record_arbitration: bool,
+    limit: usize,
+    events: Vec<Event>,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// A log for a run over `banks` banks and `ports` ports, without
+    /// arbitration snapshots and without a size limit.
+    #[must_use]
+    pub fn new(banks: u64, ports: u64) -> Self {
+        Self {
+            banks,
+            ports,
+            record_arbitration: false,
+            limit: usize::MAX,
+            events: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Also record per-cycle arbitration snapshots (`"t":"arb"` lines).
+    #[must_use]
+    pub fn with_arbitration(mut self) -> Self {
+        self.record_arbitration = true;
+        self
+    }
+
+    /// Caps the number of stored events; excess events are counted, not kept.
+    #[must_use]
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        self.limit = limit;
+        self
+    }
+
+    fn push(&mut self, event: Event) {
+        if self.events.len() < self.limit {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Recorded events, in emission order.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Events discarded after the limit was hit.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The JSONL header line (schema tag, geometry, drop count).
+    #[must_use]
+    pub fn header_line(&self) -> String {
+        Json::obj([
+            ("schema", Json::str(EVENTS_SCHEMA)),
+            ("banks", Json::U64(self.banks)),
+            ("ports", Json::U64(self.ports)),
+            ("dropped", Json::U64(self.dropped)),
+        ])
+        .render()
+    }
+
+    /// Writes the full log (header + one line per event) to `writer`.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from `writer`.
+    pub fn write_to(&self, writer: &mut impl Write) -> io::Result<()> {
+        writeln!(writer, "{}", self.header_line())?;
+        for event in &self.events {
+            writeln!(writer, "{}", event.to_json_line())?;
+        }
+        Ok(())
+    }
+
+    /// Writes the full log to the file at `path`, creating parent
+    /// directories as needed.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn write_jsonl(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = std::fs::File::create(path)?;
+        let mut writer = io::BufWriter::new(file);
+        self.write_to(&mut writer)?;
+        writer.flush()
+    }
+
+    /// Renders the whole log as a JSONL string.
+    #[must_use]
+    pub fn to_jsonl_string(&self) -> String {
+        let mut out = Vec::new();
+        self.write_to(&mut out)
+            .expect("writing to a Vec cannot fail");
+        String::from_utf8(out).expect("JSONL output is always UTF-8")
+    }
+}
+
+impl SimObserver for EventLog {
+    fn on_arbitration(&mut self, cycle: u64, rotation: usize, requests: &[(PortId, Request)]) {
+        if self.record_arbitration {
+            let requests = requests.iter().map(|&(p, r)| (p.0, r.bank)).collect();
+            self.push(Event::Arbitration {
+                cycle,
+                rotation: rotation as u64,
+                requests,
+            });
+        }
+    }
+
+    fn on_grant(&mut self, cycle: u64, port: PortId, bank: u64, wait: u64, hold: u64) {
+        self.push(Event::Grant {
+            cycle,
+            port: port.0,
+            bank,
+            wait,
+            hold,
+        });
+    }
+
+    fn on_delay(&mut self, cycle: u64, port: PortId, bank: u64, kind: ConflictKind) {
+        self.push(Event::Delay {
+            cycle,
+            port: port.0,
+            bank,
+            kind,
+        });
+    }
+
+    fn on_bank_busy(&mut self, cycle: u64, bank: u64, busy: bool) {
+        self.push(Event::BankBusy { cycle, bank, busy });
+    }
+
+    fn on_cycle_end(&mut self, cycle: u64, grants: u32, busy_banks: u32) {
+        self.push(Event::CycleEnd {
+            cycle,
+            grants: u64::from(grants),
+            busy_banks: u64::from(busy_banks),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_roundtrip_through_jsonl() {
+        let originals = vec![
+            Event::Grant {
+                cycle: 3,
+                port: 0,
+                bank: 5,
+                wait: 1,
+                hold: 4,
+            },
+            Event::Delay {
+                cycle: 3,
+                port: 1,
+                bank: 5,
+                kind: ConflictKind::SimultaneousBank,
+            },
+            Event::BankBusy {
+                cycle: 3,
+                bank: 5,
+                busy: true,
+            },
+            Event::BankBusy {
+                cycle: 7,
+                bank: 5,
+                busy: false,
+            },
+            Event::CycleEnd {
+                cycle: 3,
+                grants: 1,
+                busy_banks: 4,
+            },
+        ];
+        for original in originals {
+            let line = original.to_json_line();
+            assert_eq!(Event::from_json_line(&line), Some(original), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn log_records_and_exports() {
+        let mut log = EventLog::new(8, 2);
+        log.on_grant(0, PortId(0), 3, 0, 2);
+        log.on_delay(0, PortId(1), 3, ConflictKind::Bank);
+        log.on_cycle_end(0, 1, 1);
+        let text = log.to_jsonl_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains(EVENTS_SCHEMA));
+        assert!(lines[0].contains("\"banks\":8"));
+        assert!(lines[1].contains("\"t\":\"grant\""));
+        assert!(lines[2].contains("\"kind\":\"bank\""));
+        assert!(lines[3].contains("\"busy_banks\":1"));
+    }
+
+    #[test]
+    fn limit_counts_dropped_events() {
+        let mut log = EventLog::new(4, 1).with_limit(2);
+        for cycle in 0..5 {
+            log.on_cycle_end(cycle, 0, 0);
+        }
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.dropped(), 3);
+        assert!(log.header_line().contains("\"dropped\":3"));
+    }
+
+    #[test]
+    fn arbitration_only_when_enabled() {
+        let requests = [
+            (PortId(0), Request { bank: 1 }),
+            (PortId(1), Request { bank: 1 }),
+        ];
+        let mut quiet = EventLog::new(4, 2);
+        quiet.on_arbitration(0, 0, &requests);
+        assert!(quiet.events().is_empty());
+
+        let mut chatty = EventLog::new(4, 2).with_arbitration();
+        chatty.on_arbitration(0, 1, &requests);
+        assert_eq!(
+            chatty.events(),
+            &[Event::Arbitration {
+                cycle: 0,
+                rotation: 1,
+                requests: vec![(0, 1), (1, 1)]
+            }]
+        );
+        assert!(chatty.events()[0].to_json_line().contains("[[0,1],[1,1]]"));
+    }
+}

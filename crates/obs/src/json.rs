@@ -1,0 +1,181 @@
+//! Hand-rolled JSON value tree and renderer.
+//!
+//! The container ships no serialization crates, and the telemetry schemas
+//! are small and fixed, so a ~100-line value tree is the whole dependency.
+//! Keys keep insertion order; `f64` renders via Rust's shortest-roundtrip
+//! `Debug` formatting (non-finite values become `null`, as JSON requires).
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A float (non-finite renders as `null`).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    #[must_use]
+    pub fn obj<I, K>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (K, Json)>,
+        K: Into<String>,
+    {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds a string value.
+    #[must_use]
+    pub fn str(s: impl Into<String>) -> Self {
+        Json::Str(s.into())
+    }
+
+    /// Renders to compact JSON text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::F64(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Extracts the numeric value of `"key":<digits>` from a compact JSON line.
+///
+/// Only suitable for the flat single-line objects this crate itself emits —
+/// it is a field scanner, not a general parser.
+#[must_use]
+pub fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the string value of `"key":"…"` from a compact JSON line emitted
+/// by this crate (no escape handling — our field values never need it).
+#[must_use]
+pub fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":\"");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_values() {
+        let v = Json::obj([
+            ("name", Json::str("b_eff")),
+            ("value", Json::F64(1.5)),
+            ("n", Json::U64(42)),
+            ("flags", Json::Array(vec![Json::Bool(true), Json::Null])),
+        ]);
+        assert_eq!(
+            v.render(),
+            r#"{"name":"b_eff","value":1.5,"n":42,"flags":[true,null]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings_and_nulls_non_finite() {
+        assert_eq!(Json::str("a\"b\\c\nd").render(), r#""a\"b\\c\nd""#);
+        assert_eq!(Json::F64(f64::NAN).render(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn field_scanners_roundtrip() {
+        let line = r#"{"t":"grant","cycle":17,"port":2,"bank":11}"#;
+        assert_eq!(field_str(line, "t"), Some("grant"));
+        assert_eq!(field_u64(line, "cycle"), Some(17));
+        assert_eq!(field_u64(line, "bank"), Some(11));
+        assert_eq!(field_u64(line, "missing"), None);
+        assert_eq!(field_str(line, "cycle"), None);
+    }
+
+    #[test]
+    fn float_roundtrip_precision() {
+        let v = Json::F64(2.0 / 3.0);
+        let text = v.render();
+        let parsed: f64 = text.parse().unwrap();
+        assert_eq!(parsed, 2.0 / 3.0);
+    }
+}

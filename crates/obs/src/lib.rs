@@ -1,0 +1,61 @@
+//! # vecmem-obs
+//!
+//! Observability for the interleaved-memory simulator: everything that
+//! turns the zero-overhead [`SimObserver`](vecmem_banksim::SimObserver)
+//! hook stream of `vecmem-banksim` into numbers and files.
+//!
+//! * [`metrics`] — a [`MetricsRegistry`] observer aggregating per-bank
+//!   utilization gauges, per-port grant/conflict counters, wait-time
+//!   histograms and a rolling-window `b_eff(t)` series with steady-state
+//!   detection;
+//! * [`events`] — an [`EventLog`] observer recording the cycle-level event
+//!   stream and exporting it as versioned JSONL;
+//! * [`export`] — JSON / long-format-CSV snapshot writers
+//!   (`vecmem-obs/metrics-v1`);
+//! * [`profiler`] — a std-only hot-loop bench harness reporting simulated
+//!   cycles per second (`vecmem-bench/v1` reports);
+//! * [`json`] — the hand-rolled JSON writer the exporters share (the
+//!   container has no serialization crates).
+//!
+//! Observers compose with `vecmem_banksim::Tee`, so a run can feed the
+//! metrics registry and the event log simultaneously:
+//!
+//! ```
+//! use vecmem_analytic::{Geometry, StreamSpec};
+//! use vecmem_banksim::{Engine, SimConfig, StreamWorkload, Tee};
+//! use vecmem_obs::{EventLog, MetricsRegistry};
+//!
+//! let geom = Geometry::unsectioned(8, 4).unwrap();
+//! let config = SimConfig::single_cpu(geom, 2);
+//! let mut engine = Engine::new(config.clone());
+//! let specs = [
+//!     StreamSpec::new(&geom, 0, 1).unwrap(),
+//!     StreamSpec::new(&geom, 1, 2).unwrap(),
+//! ];
+//! let mut workload = StreamWorkload::infinite(&geom, &specs);
+//! let mut metrics = MetricsRegistry::new(8, 2);
+//! let mut events = EventLog::new(8, 2);
+//! let mut tee = Tee(&mut metrics, &mut events);
+//! for _ in 0..100 {
+//!     engine.step_with(&mut workload, &mut tee);
+//! }
+//! assert_eq!(metrics.cycles(), 100);
+//! assert_eq!(metrics.total_grants(), engine.stats().total_grants());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod events;
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod profiler;
+pub mod window;
+
+pub use events::{Event, EventLog, EVENTS_SCHEMA};
+pub use export::{metrics_to_csv, metrics_to_json, write_metrics, METRICS_SCHEMA};
+pub use json::Json;
+pub use metrics::{MetricsRegistry, MetricsSnapshot, PortMetrics, DEFAULT_EPSILON, DEFAULT_WINDOW};
+pub use profiler::{BenchResult, Profiler, ProfilerConfig, BENCH_SCHEMA};
+pub use window::{BeffWindow, SteadyEntry, WindowPoint};

@@ -1,0 +1,307 @@
+//! Metrics registry: per-bank utilization gauges, per-port counters,
+//! wait-time histograms and the rolling `b_eff(t)` series, all built from
+//! the observer hooks alone (no access to the engine's internal state).
+
+use crate::window::{BeffWindow, SteadyEntry, WindowPoint};
+use vecmem_banksim::{ConflictCounts, ConflictKind, PortId, SimObserver, WAIT_BUCKETS};
+
+/// Default rolling-window length (cycles) for the `b_eff(t)` series.
+pub const DEFAULT_WINDOW: u64 = 64;
+
+/// Default steady-state tolerance on consecutive window values.
+pub const DEFAULT_EPSILON: f64 = 1e-9;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BankGauge {
+    grants: u64,
+    busy_cycles: u64,
+    busy_since: Option<u64>,
+}
+
+/// Per-port counters mirrored from the event stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortMetrics {
+    /// Granted requests.
+    pub grants: u64,
+    /// Delayed port-cycles, by conflict kind.
+    pub conflicts: ConflictCounts,
+    /// Histogram of per-request wait times (last bucket is `8+`).
+    pub wait_histogram: [u64; WAIT_BUCKETS],
+    /// Longest single-request wait.
+    pub max_wait: u64,
+}
+
+/// A [`SimObserver`] that aggregates the stream into queryable metrics.
+///
+/// Everything here is derived purely from observer callbacks, which is what
+/// the equivalence tests exploit: the registry's view must agree with the
+/// engine's own [`SimStats`](vecmem_banksim::SimStats) bookkeeping.
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    banks: Vec<BankGauge>,
+    ports: Vec<PortMetrics>,
+    cycles: u64,
+    total_grants: u64,
+    window: BeffWindow,
+    epsilon: f64,
+}
+
+impl MetricsRegistry {
+    /// A registry for `banks` banks and `ports` ports with the default
+    /// window length and steady-state tolerance.
+    #[must_use]
+    pub fn new(banks: u64, ports: usize) -> Self {
+        Self::with_window(banks, ports, DEFAULT_WINDOW)
+    }
+
+    /// A registry with an explicit `b_eff(t)` window length (in cycles).
+    #[must_use]
+    pub fn with_window(banks: u64, ports: usize, window: u64) -> Self {
+        Self {
+            banks: vec![BankGauge::default(); banks as usize],
+            ports: vec![PortMetrics::default(); ports],
+            cycles: 0,
+            total_grants: 0,
+            window: BeffWindow::new(window),
+            epsilon: DEFAULT_EPSILON,
+        }
+    }
+
+    /// Sets the steady-state tolerance used by [`Self::steady_state`].
+    #[must_use]
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Elapsed clock periods.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Total granted requests across all ports.
+    #[must_use]
+    pub fn total_grants(&self) -> u64 {
+        self.total_grants
+    }
+
+    /// Whole-run mean grants per clock period — the observer-side
+    /// counterpart of `SimStats::effective_bandwidth`.
+    #[must_use]
+    pub fn effective_bandwidth(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.total_grants as f64 / self.cycles as f64
+    }
+
+    /// Per-port counters.
+    #[must_use]
+    pub fn ports(&self) -> &[PortMetrics] {
+        &self.ports
+    }
+
+    /// Busy cycles accumulated by `bank` so far (an interval still open at
+    /// the current cycle is counted up to the current cycle).
+    #[must_use]
+    pub fn bank_busy_cycles(&self, bank: u64) -> u64 {
+        let g = &self.banks[bank as usize];
+        g.busy_cycles
+            + g.busy_since
+                .map_or(0, |since| self.cycles.saturating_sub(since))
+    }
+
+    /// Fraction of elapsed cycles `bank` spent busy, in `[0, 1]`.
+    #[must_use]
+    pub fn bank_utilization(&self, bank: u64) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.bank_busy_cycles(bank) as f64 / self.cycles as f64
+    }
+
+    /// Grants serviced by `bank`.
+    #[must_use]
+    pub fn bank_grants(&self, bank: u64) -> u64 {
+        self.banks[bank as usize].grants
+    }
+
+    /// The completed `b_eff(t)` windows.
+    #[must_use]
+    pub fn beff_series(&self) -> &[WindowPoint] {
+        self.window.series()
+    }
+
+    /// Steady-state verdict over the window series (see
+    /// [`BeffWindow::steady_state`]).
+    #[must_use]
+    pub fn steady_state(&self) -> Option<SteadyEntry> {
+        self.window.steady_state(self.epsilon)
+    }
+
+    /// Takes an immutable snapshot for export.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            cycles: self.cycles,
+            total_grants: self.total_grants,
+            beff: self.effective_bandwidth(),
+            ports: self.ports.clone(),
+            bank_grants: self.banks.iter().map(|g| g.grants).collect(),
+            bank_utilization: (0..self.banks.len() as u64)
+                .map(|b| self.bank_utilization(b))
+                .collect(),
+            window: self.window.window(),
+            beff_series: self.window.series().to_vec(),
+            steady: self.steady_state(),
+            epsilon: self.epsilon,
+        }
+    }
+}
+
+impl SimObserver for MetricsRegistry {
+    fn on_grant(&mut self, _cycle: u64, port: PortId, bank: u64, wait: u64, _hold: u64) {
+        self.total_grants += 1;
+        if let Some(p) = self.ports.get_mut(port.0) {
+            p.grants += 1;
+            p.wait_histogram[(wait as usize).min(WAIT_BUCKETS - 1)] += 1;
+            p.max_wait = p.max_wait.max(wait);
+        }
+        if let Some(g) = self.banks.get_mut(bank as usize) {
+            g.grants += 1;
+        }
+    }
+
+    fn on_delay(&mut self, _cycle: u64, port: PortId, _bank: u64, kind: ConflictKind) {
+        if let Some(p) = self.ports.get_mut(port.0) {
+            p.conflicts.record(kind);
+        }
+    }
+
+    fn on_bank_busy(&mut self, cycle: u64, bank: u64, busy: bool) {
+        let Some(g) = self.banks.get_mut(bank as usize) else {
+            return;
+        };
+        if busy {
+            g.busy_since = Some(cycle);
+        } else if let Some(since) = g.busy_since.take() {
+            g.busy_cycles += cycle.saturating_sub(since);
+        }
+    }
+
+    fn on_cycle_end(&mut self, _cycle: u64, grants: u32, _busy_banks: u32) {
+        self.cycles += 1;
+        self.window.push_cycle(u64::from(grants));
+    }
+}
+
+/// Immutable export view of a [`MetricsRegistry`].
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Elapsed clock periods.
+    pub cycles: u64,
+    /// Total granted requests.
+    pub total_grants: u64,
+    /// Whole-run mean grants per clock period.
+    pub beff: f64,
+    /// Per-port counters.
+    pub ports: Vec<PortMetrics>,
+    /// Grants serviced per bank.
+    pub bank_grants: Vec<u64>,
+    /// Busy fraction per bank, in `[0, 1]`.
+    pub bank_utilization: Vec<f64>,
+    /// Window length (cycles) of the `b_eff(t)` series.
+    pub window: u64,
+    /// Completed `b_eff(t)` windows.
+    pub beff_series: Vec<WindowPoint>,
+    /// Steady-state verdict, if the series settled.
+    pub steady: Option<SteadyEntry>,
+    /// Tolerance used for the verdict.
+    pub epsilon: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_feed_ports_banks_and_totals() {
+        let mut m = MetricsRegistry::with_window(4, 2, 2);
+        m.on_grant(0, PortId(0), 1, 0, 3);
+        m.on_grant(0, PortId(1), 2, 2, 3);
+        m.on_cycle_end(0, 2, 2);
+        m.on_grant(1, PortId(0), 3, 0, 3);
+        m.on_cycle_end(1, 1, 3);
+        assert_eq!(m.total_grants(), 3);
+        assert_eq!(m.cycles(), 2);
+        assert!((m.effective_bandwidth() - 1.5).abs() < 1e-12);
+        assert_eq!(m.ports()[0].grants, 2);
+        assert_eq!(m.ports()[1].wait_histogram[2], 1);
+        assert_eq!(m.ports()[1].max_wait, 2);
+        assert_eq!(m.bank_grants(1), 1);
+        // One full window of 2 cycles closed with 3 grants.
+        assert_eq!(m.beff_series().len(), 1);
+        assert!((m.beff_series()[0].beff - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bank_utilization_tracks_transitions() {
+        let mut m = MetricsRegistry::with_window(2, 1, 64);
+        m.on_bank_busy(0, 0, true);
+        for cycle in 0..4 {
+            m.on_cycle_end(cycle, 0, 1);
+        }
+        m.on_bank_busy(4, 0, false);
+        for cycle in 4..8 {
+            m.on_cycle_end(cycle, 0, 0);
+        }
+        assert_eq!(m.bank_busy_cycles(0), 4);
+        assert!((m.bank_utilization(0) - 0.5).abs() < 1e-12);
+        // An interval still open counts up to "now".
+        m.on_bank_busy(8, 1, true);
+        m.on_cycle_end(8, 0, 1);
+        m.on_cycle_end(9, 0, 1);
+        assert_eq!(m.bank_busy_cycles(1), 2);
+    }
+
+    #[test]
+    fn delays_split_by_kind() {
+        let mut m = MetricsRegistry::new(4, 2);
+        m.on_delay(0, PortId(0), 1, ConflictKind::Bank);
+        m.on_delay(0, PortId(1), 1, ConflictKind::SimultaneousBank);
+        m.on_delay(1, PortId(1), 2, ConflictKind::Section);
+        assert_eq!(m.ports()[0].conflicts.bank, 1);
+        assert_eq!(m.ports()[1].conflicts.simultaneous, 1);
+        assert_eq!(m.ports()[1].conflicts.section, 1);
+    }
+
+    #[test]
+    fn out_of_range_indices_are_ignored() {
+        let mut m = MetricsRegistry::new(2, 1);
+        m.on_grant(0, PortId(9), 99, 0, 1);
+        m.on_delay(0, PortId(9), 99, ConflictKind::Bank);
+        m.on_bank_busy(0, 99, true);
+        m.on_cycle_end(0, 1, 0);
+        // The bogus port/bank land nowhere, but the grant still counts.
+        assert_eq!(m.total_grants(), 1);
+        assert_eq!(m.ports()[0].grants, 0);
+    }
+
+    #[test]
+    fn snapshot_captures_everything() {
+        let mut m = MetricsRegistry::with_window(2, 1, 1).with_epsilon(0.5);
+        for cycle in 0..4 {
+            m.on_grant(cycle, PortId(0), cycle % 2, 0, 1);
+            m.on_cycle_end(cycle, 1, 1);
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.cycles, 4);
+        assert_eq!(snap.total_grants, 4);
+        assert_eq!(snap.bank_grants, vec![2, 2]);
+        assert_eq!(snap.beff_series.len(), 4);
+        let steady = snap.steady.expect("constant series is steady");
+        assert_eq!(steady.entered_at_cycle, 0);
+        assert!((steady.beff - 1.0).abs() < 1e-12);
+    }
+}

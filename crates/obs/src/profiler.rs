@@ -1,0 +1,293 @@
+//! Hot-loop profiler: a dependency-free bench harness reporting simulated
+//! cycles (or elements) per wall-clock second.
+//!
+//! Replaces the external bench framework in the `crates/bench` benches:
+//! each measurement warms up briefly, then runs timed batches until a
+//! target duration is reached. Results print as a table and export as
+//! `BENCH_<set>.json` (schema `vecmem-bench/v1`) under
+//! `$VECMEM_BENCH_OUT` or `target/bench-reports/`.
+
+use crate::json::Json;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Cargo runs bench binaries with the *package* directory as the working
+/// directory, so a bare relative `target/` would land inside the member
+/// crate. Resolve against the enclosing workspace root instead — the first
+/// ancestor of the working directory holding a `Cargo.lock`.
+fn default_report_dir() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let root: &Path = cwd
+        .ancestors()
+        .find(|dir| dir.join("Cargo.lock").exists())
+        .unwrap_or(cwd.as_path());
+    root.join("target").join("bench-reports")
+}
+
+/// Schema tag written into bench reports.
+pub const BENCH_SCHEMA: &str = "vecmem-bench/v1";
+
+/// One measured benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Timed iterations executed.
+    pub iters: u64,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Work items (simulated cycles, predictions, …) per iteration, when
+    /// declared via [`Profiler::bench_with_elements`].
+    pub elements_per_iter: Option<u64>,
+    /// Derived throughput: elements per wall-clock second.
+    pub elements_per_sec: Option<f64>,
+}
+
+/// Timing parameters of a [`Profiler`].
+#[derive(Debug, Clone, Copy)]
+pub struct ProfilerConfig {
+    /// Warm-up time before measurement starts.
+    pub warmup: Duration,
+    /// Minimum total measured time per benchmark.
+    pub measure: Duration,
+}
+
+impl Default for ProfilerConfig {
+    fn default() -> Self {
+        Self {
+            warmup: Duration::from_millis(100),
+            measure: Duration::from_millis(400),
+        }
+    }
+}
+
+impl ProfilerConfig {
+    /// A faster configuration for smoke runs (used by bench self-tests).
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+        }
+    }
+}
+
+/// Collects [`BenchResult`]s for one benchmark set.
+#[derive(Debug)]
+pub struct Profiler {
+    set: String,
+    config: ProfilerConfig,
+    results: Vec<BenchResult>,
+}
+
+impl Profiler {
+    /// A profiler for the benchmark set `set` with default timing.
+    #[must_use]
+    pub fn new(set: impl Into<String>) -> Self {
+        Self::with_config(set, ProfilerConfig::default())
+    }
+
+    /// A profiler with explicit timing parameters.
+    #[must_use]
+    pub fn with_config(set: impl Into<String>, config: ProfilerConfig) -> Self {
+        Self {
+            set: set.into(),
+            config,
+            results: Vec::new(),
+        }
+    }
+
+    /// Default timing, or [`ProfilerConfig::quick`] when the
+    /// `VECMEM_BENCH_QUICK` environment variable is set — the smoke mode CI
+    /// uses to check the bench binaries still run.
+    #[must_use]
+    pub fn from_env(set: impl Into<String>) -> Self {
+        let config = if std::env::var_os("VECMEM_BENCH_QUICK").is_some() {
+            ProfilerConfig::quick()
+        } else {
+            ProfilerConfig::default()
+        };
+        Self::with_config(set, config)
+    }
+
+    /// Measures `f`, which performs one iteration of the workload per call.
+    pub fn bench(&mut self, name: impl Into<String>, f: impl FnMut()) -> &BenchResult {
+        self.run(name.into(), None, f)
+    }
+
+    /// Measures `f`, declaring that each call processes `elements` work
+    /// items so throughput can be reported as elements/second.
+    pub fn bench_with_elements(
+        &mut self,
+        name: impl Into<String>,
+        elements: u64,
+        f: impl FnMut(),
+    ) -> &BenchResult {
+        self.run(name.into(), Some(elements), f)
+    }
+
+    fn run(&mut self, name: String, elements: Option<u64>, mut f: impl FnMut()) -> &BenchResult {
+        // Warm-up: populate caches and let the first lazy allocations land.
+        let warmup_until = Instant::now() + self.config.warmup;
+        loop {
+            f();
+            if Instant::now() >= warmup_until {
+                break;
+            }
+        }
+        // Measure in growing batches until the time target is met.
+        let mut iters: u64 = 0;
+        let mut elapsed = Duration::ZERO;
+        let mut batch: u64 = 1;
+        while elapsed < self.config.measure {
+            let start = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            elapsed += start.elapsed();
+            iters += batch;
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+        let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+        let elements_per_sec = elements.map(|e| {
+            if ns_per_iter > 0.0 {
+                e as f64 * 1e9 / ns_per_iter
+            } else {
+                f64::INFINITY
+            }
+        });
+        self.results.push(BenchResult {
+            name,
+            iters,
+            ns_per_iter,
+            elements_per_iter: elements,
+            elements_per_sec,
+        });
+        self.results.last().expect("just pushed")
+    }
+
+    /// Measured results so far.
+    #[must_use]
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Renders a human-readable result table.
+    #[must_use]
+    pub fn report(&self) -> String {
+        let mut out = format!("== bench set `{}` ==\n", self.set);
+        for r in &self.results {
+            out.push_str(&format!(
+                "{:<40} {:>12.1} ns/iter ({} iters)",
+                r.name, r.ns_per_iter, r.iters
+            ));
+            if let Some(eps) = r.elements_per_sec {
+                out.push_str(&format!("  {:>12.3e} elem/s", eps));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the results as a `vecmem-bench/v1` JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let benches = self
+            .results
+            .iter()
+            .map(|r| {
+                Json::obj([
+                    ("name", Json::str(r.name.clone())),
+                    ("iters", Json::U64(r.iters)),
+                    ("ns_per_iter", Json::F64(r.ns_per_iter)),
+                    (
+                        "elements_per_iter",
+                        r.elements_per_iter.map_or(Json::Null, Json::U64),
+                    ),
+                    (
+                        "elements_per_sec",
+                        r.elements_per_sec.map_or(Json::Null, Json::F64),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("schema", Json::str(BENCH_SCHEMA)),
+            ("set", Json::str(self.set.clone())),
+            ("benches", Json::Array(benches)),
+        ])
+        .render()
+    }
+
+    /// Default output path: `$VECMEM_BENCH_OUT/BENCH_<set>.json` when the
+    /// environment variable is set, else `target/bench-reports/…`.
+    #[must_use]
+    pub fn default_output_path(&self) -> PathBuf {
+        let dir =
+            std::env::var_os("VECMEM_BENCH_OUT").map_or_else(default_report_dir, PathBuf::from);
+        dir.join(format!("BENCH_{}.json", self.set))
+    }
+
+    /// Writes the JSON report to [`Self::default_output_path`] and returns
+    /// the path written.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn write_json(&self) -> io::Result<PathBuf> {
+        let path = self.default_output_path();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Prints the table to stdout and writes the JSON report; the standard
+    /// tail call of every bench binary.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors from the JSON export.
+    pub fn finish(&self) -> io::Result<PathBuf> {
+        print!("{}", self.report());
+        let path = self.write_json()?;
+        println!("report: {}", path.display());
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut p = Profiler::with_config("selftest", ProfilerConfig::quick());
+        let mut counter = 0u64;
+        p.bench_with_elements("count", 10, || {
+            counter = std::hint::black_box(counter.wrapping_add(1));
+        });
+        assert_eq!(p.results().len(), 1);
+        let r = &p.results()[0];
+        assert!(r.iters > 0);
+        assert!(r.ns_per_iter >= 0.0);
+        assert_eq!(r.elements_per_iter, Some(10));
+        assert!(r.elements_per_sec.unwrap() > 0.0);
+        assert!(p.report().contains("count"));
+    }
+
+    #[test]
+    fn json_shape_is_versioned() {
+        let mut p = Profiler::with_config("shape", ProfilerConfig::quick());
+        p.bench("noop", || {
+            std::hint::black_box(0u64);
+        });
+        let json = p.to_json();
+        assert!(json.contains(&format!("\"schema\":\"{BENCH_SCHEMA}\"")));
+        assert!(json.contains("\"set\":\"shape\""));
+        assert!(json.contains("\"name\":\"noop\""));
+        assert!(json.contains("\"elements_per_iter\":null"));
+    }
+}

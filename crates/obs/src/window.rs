@@ -1,0 +1,188 @@
+//! Rolling-window effective-bandwidth series `b_eff(t)` and steady-state
+//! entry detection.
+//!
+//! The registry feeds per-cycle grant counts into a [`BeffWindow`]; every
+//! `window` cycles the mean grants-per-cycle of that window is appended to
+//! the series. Steady state is declared over the longest suffix of the
+//! series whose successive window values differ by less than `epsilon` —
+//! the cycle where that suffix starts is the measured transient length,
+//! mirroring the paper's observation that the triad settles into a periodic
+//! pattern after a start-up transient (§IV, Fig. 10).
+
+/// One point of the `b_eff(t)` series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowPoint {
+    /// First cycle covered by the window.
+    pub start_cycle: u64,
+    /// One past the last cycle covered by the window.
+    pub end_cycle: u64,
+    /// Mean grants per clock period inside the window.
+    pub beff: f64,
+}
+
+/// Steady-state verdict derived from the window series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SteadyEntry {
+    /// Cycle at which the steady suffix begins (= transient length).
+    pub entered_at_cycle: u64,
+    /// Mean `b_eff` over the steady suffix.
+    pub beff: f64,
+    /// Number of windows in the steady suffix.
+    pub windows: usize,
+}
+
+/// Accumulates per-cycle grant counts into fixed-size windows.
+#[derive(Debug, Clone)]
+pub struct BeffWindow {
+    window: u64,
+    cycles_in_window: u64,
+    grants_in_window: u64,
+    next_start: u64,
+    series: Vec<WindowPoint>,
+}
+
+impl BeffWindow {
+    /// A series with `window` cycles per point. `window` must be non-zero.
+    #[must_use]
+    pub fn new(window: u64) -> Self {
+        assert!(window > 0, "window length must be non-zero");
+        Self {
+            window,
+            cycles_in_window: 0,
+            grants_in_window: 0,
+            next_start: 0,
+            series: Vec::new(),
+        }
+    }
+
+    /// Window length in cycles.
+    #[must_use]
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Feeds the grant count of one clock period.
+    pub fn push_cycle(&mut self, grants: u64) {
+        self.grants_in_window += grants;
+        self.cycles_in_window += 1;
+        if self.cycles_in_window == self.window {
+            let start_cycle = self.next_start;
+            let end_cycle = start_cycle + self.window;
+            self.series.push(WindowPoint {
+                start_cycle,
+                end_cycle,
+                beff: self.grants_in_window as f64 / self.window as f64,
+            });
+            self.next_start = end_cycle;
+            self.cycles_in_window = 0;
+            self.grants_in_window = 0;
+        }
+    }
+
+    /// The completed windows so far (a trailing partial window is excluded).
+    #[must_use]
+    pub fn series(&self) -> &[WindowPoint] {
+        &self.series
+    }
+
+    /// Detects steady state: the longest suffix of the series in which each
+    /// consecutive pair of window values differs by less than `epsilon`.
+    /// Requires at least two windows in the suffix; returns `None` while the
+    /// run is still entirely transient (or too short to tell).
+    #[must_use]
+    pub fn steady_state(&self, epsilon: f64) -> Option<SteadyEntry> {
+        if self.series.len() < 2 {
+            return None;
+        }
+        let mut start = self.series.len() - 1;
+        while start > 0 {
+            let delta = (self.series[start].beff - self.series[start - 1].beff).abs();
+            if delta < epsilon {
+                start -= 1;
+            } else {
+                break;
+            }
+        }
+        let suffix = &self.series[start..];
+        if suffix.len() < 2 {
+            return None;
+        }
+        let mean = suffix.iter().map(|p| p.beff).sum::<f64>() / suffix.len() as f64;
+        Some(SteadyEntry {
+            entered_at_cycle: suffix[0].start_cycle,
+            beff: mean,
+            windows: suffix.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(window: &mut BeffWindow, grants_per_cycle: &[(u64, u64)]) {
+        for &(grants, cycles) in grants_per_cycle {
+            for _ in 0..cycles {
+                window.push_cycle(grants);
+            }
+        }
+    }
+
+    #[test]
+    fn windows_close_on_boundaries() {
+        let mut w = BeffWindow::new(4);
+        feed(&mut w, &[(2, 4), (1, 4), (1, 3)]);
+        // Third window is partial and must not appear.
+        assert_eq!(w.series().len(), 2);
+        assert_eq!(
+            w.series()[0],
+            WindowPoint {
+                start_cycle: 0,
+                end_cycle: 4,
+                beff: 2.0
+            }
+        );
+        assert_eq!(
+            w.series()[1],
+            WindowPoint {
+                start_cycle: 4,
+                end_cycle: 8,
+                beff: 1.0
+            }
+        );
+    }
+
+    #[test]
+    fn steady_state_finds_transient_boundary() {
+        let mut w = BeffWindow::new(10);
+        // Ramp (transient), then flat at 2 grants/cycle.
+        feed(&mut w, &[(0, 10), (1, 10), (2, 10), (2, 10), (2, 10)]);
+        let steady = w.steady_state(1e-9).expect("flat suffix present");
+        assert_eq!(steady.entered_at_cycle, 20);
+        assert_eq!(steady.windows, 3);
+        assert!((steady.beff - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_steady_state_while_ramping() {
+        let mut w = BeffWindow::new(5);
+        feed(&mut w, &[(0, 5), (2, 5), (4, 5)]);
+        assert_eq!(w.steady_state(1e-9), None);
+        // A single window can never qualify either.
+        let mut single = BeffWindow::new(5);
+        feed(&mut single, &[(1, 5)]);
+        assert_eq!(single.steady_state(1.0), None);
+    }
+
+    #[test]
+    fn epsilon_controls_tolerance() {
+        let mut w = BeffWindow::new(2);
+        feed(&mut w, &[(1, 2), (2, 2), (1, 2), (2, 2)]);
+        // Deltas of 0.5 (in grants/cycle units, window mean alternates 1,2).
+        assert_eq!(w.steady_state(0.5), None);
+        let loose = w.steady_state(1.5).expect("tolerant epsilon accepts all");
+        assert_eq!(loose.entered_at_cycle, 0);
+        assert_eq!(loose.windows, 4);
+        assert!((loose.beff - 1.5).abs() < 1e-12);
+    }
+}

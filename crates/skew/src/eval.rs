@@ -7,9 +7,7 @@
 
 use crate::scheme::BankMapping;
 use vecmem_analytic::Ratio;
-use vecmem_banksim::steady::{
-    measure_steady_state_workload, ObservableWorkload, SteadyStateError,
-};
+use vecmem_banksim::steady::{measure_steady_state_workload, ObservableWorkload, SteadyStateError};
 use vecmem_banksim::{PortId, Request, SimConfig, Workload};
 
 /// An infinite strided address stream evaluated through a bank mapping.
@@ -50,7 +48,12 @@ impl<'a, M: BankMapping + ?Sized> MappedStreamWorkload<'a, M> {
             })
             .collect();
         let issued = vec![0; streams.len()];
-        Self { mapping, streams, issued, index_period }
+        Self {
+            mapping,
+            streams,
+            issued,
+            index_period,
+        }
     }
 
     fn bank(&self, port: usize) -> u64 {
@@ -67,7 +70,9 @@ impl<M: BankMapping + ?Sized> Workload for MappedStreamWorkload<'_, M> {
         if port.0 >= self.streams.len() {
             return None;
         }
-        Some(Request { bank: self.bank(port.0) })
+        Some(Request {
+            bank: self.bank(port.0),
+        })
     }
 
     fn granted(&mut self, port: PortId, _now: u64) {
@@ -159,11 +164,18 @@ pub fn stride_table<M: BankMapping + ?Sized>(
             &pair_cfg,
             [
                 AddressStream { start: 0, stride },
-                AddressStream { start: 1, stride: 1 },
+                AddressStream {
+                    start: 1,
+                    stride: 1,
+                },
             ],
             max_cycles,
         )?;
-        rows.push(StrideRow { stride, solo, against_unit });
+        rows.push(StrideRow {
+            stride,
+            solo,
+            against_unit,
+        });
     }
     Ok(rows)
 }
@@ -209,7 +221,10 @@ mod tests {
         let plain = single_stream_bandwidth(
             &Interleaved { banks: 16 },
             &solo_cfg(16, 4),
-            AddressStream { start: 0, stride: 16 },
+            AddressStream {
+                start: 0,
+                stride: 16,
+            },
             100_000,
         )
         .unwrap();
@@ -217,7 +232,10 @@ mod tests {
         let folded = single_stream_bandwidth(
             &XorFold::new(16),
             &solo_cfg(16, 4),
-            AddressStream { start: 0, stride: 16 },
+            AddressStream {
+                start: 0,
+                stride: 16,
+            },
             100_000,
         )
         .unwrap();
@@ -233,7 +251,10 @@ mod tests {
         let beff = single_stream_bandwidth(
             &skew,
             &solo_cfg(m, 4),
-            AddressStream { start: 0, stride: m },
+            AddressStream {
+                start: 0,
+                stride: m,
+            },
             100_000,
         )
         .unwrap();
@@ -263,8 +284,13 @@ mod tests {
             (&XorFold::new(16), Ratio::new(128, 131)),
         ];
         for (scheme, want) in exact {
-            let mut w =
-                MappedStreamWorkload::new(scheme, vec![AddressStream { start: 0, stride: 1 }]);
+            let mut w = MappedStreamWorkload::new(
+                scheme,
+                vec![AddressStream {
+                    start: 0,
+                    stride: 1,
+                }],
+            );
             let ss = measure_steady_state_workload(&cfg, &mut w, 0, 100_000).unwrap();
             assert_eq!(ss.beff, want, "{}", scheme.name());
             assert!(ss.beff >= Ratio::new(9, 10), "{}", scheme.name());

@@ -28,7 +28,11 @@ impl LinearSkew {
     /// The classic square skew: rows of length `m`, rotation 1.
     #[must_use]
     pub fn classic(banks: u64) -> Self {
-        Self { banks, row_length: banks, skew: 1 }
+        Self {
+            banks,
+            row_length: banks,
+            skew: 1,
+        }
     }
 }
 
@@ -66,9 +70,18 @@ mod tests {
     fn classic_skew_rotates_rows() {
         let s = LinearSkew::classic(4);
         // Row 0: banks 0,1,2,3. Row 1: banks 1,2,3,0. Row 2: 2,3,0,1.
-        assert_eq!((0..4).map(|a| s.bank_of(a)).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
-        assert_eq!((4..8).map(|a| s.bank_of(a)).collect::<Vec<_>>(), vec![1, 2, 3, 0]);
-        assert_eq!((8..12).map(|a| s.bank_of(a)).collect::<Vec<_>>(), vec![2, 3, 0, 1]);
+        assert_eq!(
+            (0..4).map(|a| s.bank_of(a)).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(
+            (4..8).map(|a| s.bank_of(a)).collect::<Vec<_>>(),
+            vec![1, 2, 3, 0]
+        );
+        assert_eq!(
+            (8..12).map(|a| s.bank_of(a)).collect::<Vec<_>>(),
+            vec![2, 3, 0, 1]
+        );
     }
 
     #[test]
@@ -81,12 +94,20 @@ mod tests {
         let mut sorted = banks.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len() as u64, m, "column should touch all banks: {banks:?}");
+        assert_eq!(
+            sorted.len() as u64,
+            m,
+            "column should touch all banks: {banks:?}"
+        );
     }
 
     #[test]
     fn period_contract_holds() {
-        let s = LinearSkew { banks: 6, row_length: 10, skew: 2 };
+        let s = LinearSkew {
+            banks: 6,
+            row_length: 10,
+            skew: 2,
+        };
         let p = s.address_period();
         for a in 0..600 {
             assert_eq!(s.bank_of(a), s.bank_of(a + p), "a = {a}");
@@ -95,7 +116,11 @@ mod tests {
 
     #[test]
     fn zero_skew_is_plain_interleaving() {
-        let s = LinearSkew { banks: 8, row_length: 16, skew: 0 };
+        let s = LinearSkew {
+            banks: 8,
+            row_length: 16,
+            skew: 0,
+        };
         for a in 0..100 {
             assert_eq!(s.bank_of(a), a % 8);
         }

@@ -49,7 +49,12 @@ pub fn matrix_walks<M: BankMapping + ?Sized>(
     let geom = Geometry::unsectioned(mapping.banks(), bank_cycle).expect("geometry");
     let config = SimConfig::single_cpu(geom, 1);
     let walk = |stride: u64| {
-        single_stream_bandwidth(mapping, &config, AddressStream { start: 0, stride }, 5_000_000)
+        single_stream_bandwidth(
+            mapping,
+            &config,
+            AddressStream { start: 0, stride },
+            5_000_000,
+        )
     };
     Ok(MatrixWalks {
         column: walk(1)?,
@@ -79,7 +84,11 @@ pub fn compare_schemes(
     let mut rows = Vec::new();
     for &scheme in schemes {
         let walks = matrix_walks(scheme, bank_cycle, n)?;
-        rows.push(MatrixRow { scheme: scheme.name(), ld: n, walks });
+        rows.push(MatrixRow {
+            scheme: scheme.name(),
+            ld: n,
+            walks,
+        });
     }
     Ok(rows)
 }
@@ -128,7 +137,10 @@ mod tests {
     fn xor_fold_improves_worst_case() {
         let plain = matrix_walks(&Interleaved { banks: 16 }, 4, 16).unwrap();
         let fold = matrix_walks(&XorFold::new(16), 4, 16).unwrap();
-        assert!(fold.worst() > plain.worst(), "plain {plain:?} vs fold {fold:?}");
+        assert!(
+            fold.worst() > plain.worst(),
+            "plain {plain:?} vs fold {fold:?}"
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ impl PrimeInterleaved {
     /// power-of-two budget, e.g. 13 banks out of 16).
     #[must_use]
     pub fn largest_prime_at_most(n: u64) -> Option<Self> {
-        (2..=n).rev().find(|&p| is_prime(p)).map(|p| Self { banks: p })
+        (2..=n)
+            .rev()
+            .find(|&p| is_prime(p))
+            .map(|p| Self { banks: p })
     }
 }
 
@@ -83,7 +86,10 @@ mod tests {
 
     #[test]
     fn largest_prime_under_budget() {
-        assert_eq!(PrimeInterleaved::largest_prime_at_most(16).unwrap().banks, 13);
+        assert_eq!(
+            PrimeInterleaved::largest_prime_at_most(16).unwrap().banks,
+            13
+        );
         assert_eq!(PrimeInterleaved::largest_prime_at_most(8).unwrap().banks, 7);
         assert!(PrimeInterleaved::largest_prime_at_most(1).is_none());
     }

@@ -24,7 +24,10 @@ impl XorFold {
             banks.is_power_of_two() && banks > 1,
             "XOR folding needs a power-of-two bank count > 1, got {banks}"
         );
-        Self { banks, shift: banks.trailing_zeros() }
+        Self {
+            banks,
+            shift: banks.trailing_zeros(),
+        }
     }
 }
 

@@ -31,7 +31,11 @@ impl FortranArray {
     pub fn new(name: impl Into<String>, dims: Vec<u64>, base: u64) -> Self {
         assert!(!dims.is_empty(), "array needs at least one dimension");
         assert!(dims.iter().all(|&d| d > 0), "dimensions must be positive");
-        Self { name: name.into(), dims, base }
+        Self {
+            name: name.into(),
+            dims,
+            base,
+        }
     }
 
     /// Array name.

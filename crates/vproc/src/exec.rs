@@ -60,7 +60,10 @@ impl ProgramWorkload {
         let states = program
             .segments()
             .iter()
-            .map(|_| SegmentState { issued: 0, completed_at: None })
+            .map(|_| SegmentState {
+                issued: 0,
+                completed_at: None,
+            })
             .collect();
         let mut bg = vec![None; n_ports];
         for b in background {
@@ -115,7 +118,9 @@ impl Workload for ProgramWorkload {
     fn pending(&self, port: PortId, now: u64) -> Option<Request> {
         if let Some((start, stride, issued)) = self.background[port.0] {
             let addr = start as u128 + issued as u128 * stride as u128;
-            return Some(Request { bank: (addr % self.banks as u128) as u64 });
+            return Some(Request {
+                bank: (addr % self.banks as u128) as u64,
+            });
         }
         let id = self.current_segment(port)?;
         if now < self.port_ready_at[port.0] || !self.deps_ready(id, now) {
@@ -124,7 +129,9 @@ impl Workload for ProgramWorkload {
         let seg = self.program.segment(id);
         let state = &self.states[id.0];
         let addr = seg.start_address as u128 + state.issued as u128 * seg.stride as u128;
-        Some(Request { bank: (addr % self.banks as u128) as u64 })
+        Some(Request {
+            bank: (addr % self.banks as u128) as u64,
+        })
     }
 
     fn granted(&mut self, port: PortId, now: u64) {
@@ -161,7 +168,13 @@ mod tests {
     }
 
     fn simple_segment(port: usize, addr: u64, count: u64, deps: Vec<SegmentId>) -> Segment {
-        Segment { port: PortId(port), start_address: addr, stride: 1, count, deps }
+        Segment {
+            port: PortId(port),
+            start_address: addr,
+            stride: 1,
+            count,
+            deps,
+        }
     }
 
     #[test]
@@ -182,7 +195,10 @@ mod tests {
         let mut p = Program::new();
         let a = p.push(simple_segment(0, 0, 4, vec![]));
         let b = p.push(simple_segment(1, 8, 4, vec![a]));
-        let machine = MachineConfig { dep_latency: 5, ..MachineConfig::ideal() };
+        let machine = MachineConfig {
+            dep_latency: 5,
+            ..MachineConfig::ideal()
+        };
         let mut w = ProgramWorkload::new(&g, machine, p, &[], 2);
         let mut engine = Engine::new(SimConfig::single_cpu(g, 2));
         engine.run(&mut w, 1000);
@@ -197,7 +213,10 @@ mod tests {
         let mut p = Program::new();
         let a = p.push(simple_segment(0, 0, 2, vec![]));
         let b = p.push(simple_segment(0, 8, 2, vec![]));
-        let machine = MachineConfig { issue_overhead: 4, ..MachineConfig::ideal() };
+        let machine = MachineConfig {
+            issue_overhead: 4,
+            ..MachineConfig::ideal()
+        };
         let mut w = ProgramWorkload::new(&g, machine, p, &[], 1);
         let mut engine = Engine::new(SimConfig::single_cpu(g, 1));
         engine.run(&mut w, 1000);
@@ -211,7 +230,11 @@ mod tests {
         let g = geom();
         let mut p = Program::new();
         p.push(simple_segment(0, 0, 4, vec![]));
-        let bg = BackgroundStream { port: PortId(1), start_address: 8, stride: 1 };
+        let bg = BackgroundStream {
+            port: PortId(1),
+            start_address: 8,
+            stride: 1,
+        };
         let mut w = ProgramWorkload::new(&g, MachineConfig::ideal(), p, &[bg], 2);
         let mut engine = Engine::new(SimConfig::one_port_per_cpu(g, 2));
         let out = engine.run(&mut w, 1000);
@@ -226,7 +249,11 @@ mod tests {
         let g = geom();
         let mut p = Program::new();
         p.push(simple_segment(0, 0, 4, vec![]));
-        let bg = BackgroundStream { port: PortId(0), start_address: 8, stride: 1 };
+        let bg = BackgroundStream {
+            port: PortId(0),
+            start_address: 8,
+            stride: 1,
+        };
         let _ = ProgramWorkload::new(&g, MachineConfig::ideal(), p, &[bg], 1);
     }
 

@@ -36,9 +36,7 @@ impl IndexPattern {
     #[must_use]
     pub fn index(&self, k: u64, span: u64) -> u64 {
         match *self {
-            Self::Affine { a, c } => {
-                ((a as u128 * k as u128 + c as u128) % span as u128) as u64
-            }
+            Self::Affine { a, c } => ((a as u128 * k as u128 + c as u128) % span as u128) as u64,
             Self::PseudoRandom { seed } => {
                 // SplitMix64-style mix of (seed, k), reduced to the span —
                 // deterministic, stateless, well spread.
@@ -67,7 +65,14 @@ impl GatherWorkload {
     #[must_use]
     pub fn new(geom: &Geometry, base: u64, span: u64, pattern: IndexPattern, n: u64) -> Self {
         assert!(span > 0, "gather span must be positive");
-        Self { base, span, pattern, n, issued: 0, banks: geom.banks() }
+        Self {
+            base,
+            span,
+            pattern,
+            n,
+            issued: 0,
+            banks: geom.banks(),
+        }
     }
 }
 
@@ -77,7 +82,9 @@ impl Workload for GatherWorkload {
             return None;
         }
         let addr = self.base + self.pattern.index(self.issued, self.span);
-        Some(Request { bank: addr % self.banks })
+        Some(Request {
+            bank: addr % self.banks,
+        })
     }
 
     fn granted(&mut self, port: PortId, _now: u64) {
@@ -103,12 +110,7 @@ pub struct GatherResult {
 
 /// Runs a single-port gather on the given geometry and measures its rate.
 #[must_use]
-pub fn run_gather(
-    geom: &Geometry,
-    pattern: IndexPattern,
-    span: u64,
-    n: u64,
-) -> GatherResult {
+pub fn run_gather(geom: &Geometry, pattern: IndexPattern, span: u64, n: u64) -> GatherResult {
     let config = SimConfig::single_cpu(*geom, 1);
     let mut engine = Engine::new(config);
     let mut workload = GatherWorkload::new(geom, 0, span, pattern, n);
@@ -117,7 +119,11 @@ pub fn run_gather(
         RunOutcome::Finished(c) => c,
         RunOutcome::CyclesExhausted => panic!("gather did not finish in {bound} cycles"),
     };
-    GatherResult { n, cycles, bandwidth: n as f64 / cycles as f64 }
+    GatherResult {
+        n,
+        cycles,
+        bandwidth: n as f64 / cycles as f64,
+    }
 }
 
 #[cfg(test)]
@@ -131,12 +137,7 @@ mod tests {
     #[test]
     fn affine_unit_gather_is_a_stride() {
         // a = 1: the gather degenerates to unit stride -> full bandwidth.
-        let r = run_gather(
-            &geom(),
-            IndexPattern::Affine { a: 1, c: 0 },
-            1 << 20,
-            512,
-        );
+        let r = run_gather(&geom(), IndexPattern::Affine { a: 1, c: 0 }, 1 << 20, 512);
         assert_eq!(r.cycles, 512);
         assert!((r.bandwidth - 1.0).abs() < 1e-12);
     }
@@ -145,12 +146,7 @@ mod tests {
     fn affine_bad_multiplier_self_conflicts() {
         // a = 16 on 16 banks: every index lands in bank 0 (span a multiple
         // of m·a): bandwidth 1/n_c.
-        let r = run_gather(
-            &geom(),
-            IndexPattern::Affine { a: 16, c: 0 },
-            1 << 20,
-            256,
-        );
+        let r = run_gather(&geom(), IndexPattern::Affine { a: 16, c: 0 }, 1 << 20, 256);
         assert!(r.bandwidth <= 0.26, "got {}", r.bandwidth); // 1/n_c plus startup slack
     }
 
@@ -171,25 +167,10 @@ mod tests {
 
     #[test]
     fn pseudo_random_is_deterministic() {
-        let a = run_gather(
-            &geom(),
-            IndexPattern::PseudoRandom { seed: 7 },
-            1024,
-            1_000,
-        );
-        let b = run_gather(
-            &geom(),
-            IndexPattern::PseudoRandom { seed: 7 },
-            1024,
-            1_000,
-        );
+        let a = run_gather(&geom(), IndexPattern::PseudoRandom { seed: 7 }, 1024, 1_000);
+        let b = run_gather(&geom(), IndexPattern::PseudoRandom { seed: 7 }, 1024, 1_000);
         assert_eq!(a, b);
-        let c = run_gather(
-            &geom(),
-            IndexPattern::PseudoRandom { seed: 8 },
-            1024,
-            1_000,
-        );
+        let c = run_gather(&geom(), IndexPattern::PseudoRandom { seed: 8 }, 1024, 1_000);
         assert_ne!(a.cycles, c.cycles);
     }
 
@@ -216,12 +197,7 @@ mod tests {
     fn gather_slower_than_stride_on_average() {
         // The headline comparison: irregular indexing costs bandwidth even
         // with zero instruction overheads, purely from bank conflicts.
-        let strided = run_gather(
-            &geom(),
-            IndexPattern::Affine { a: 1, c: 0 },
-            1 << 20,
-            2_048,
-        );
+        let strided = run_gather(&geom(), IndexPattern::Affine { a: 1, c: 0 }, 1 << 20, 2_048);
         let random = run_gather(
             &geom(),
             IndexPattern::PseudoRandom { seed: 3 },

@@ -30,7 +30,11 @@ impl CommonBlock {
     /// An empty block starting at the given word address.
     #[must_use]
     pub fn at(base: u64) -> Self {
-        Self { base, arrays: Vec::new(), cursor: base }
+        Self {
+            base,
+            arrays: Vec::new(),
+            cursor: base,
+        }
     }
 
     /// Declares the next array in the block and returns it.

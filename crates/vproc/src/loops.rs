@@ -120,9 +120,21 @@ mod tests {
     #[test]
     fn eq33_strides_from_walks() {
         let a = matrix("A", 64, 64, 0);
-        let col = LoopSpec { kernel: Kernel::Copy, walk: Walk::Dimension { dim: 1, inc: 1 }, n: 64 };
-        let row = LoopSpec { kernel: Kernel::Copy, walk: Walk::Dimension { dim: 2, inc: 1 }, n: 64 };
-        let diag = LoopSpec { kernel: Kernel::Copy, walk: Walk::Diagonal, n: 64 };
+        let col = LoopSpec {
+            kernel: Kernel::Copy,
+            walk: Walk::Dimension { dim: 1, inc: 1 },
+            n: 64,
+        };
+        let row = LoopSpec {
+            kernel: Kernel::Copy,
+            walk: Walk::Dimension { dim: 2, inc: 1 },
+            n: 64,
+        };
+        let diag = LoopSpec {
+            kernel: Kernel::Copy,
+            walk: Walk::Diagonal,
+            n: 64,
+        };
         assert_eq!(col.stride(&a), 1);
         assert_eq!(row.stride(&a), 64);
         assert_eq!(diag.stride(&a), 65);
@@ -135,7 +147,11 @@ mod tests {
         let geom = Geometry::cray_xmp();
         let bad = matrix("A", 64, 64, 0);
         let good = matrix("A", 65, 64, 0);
-        let row = LoopSpec { kernel: Kernel::Copy, walk: Walk::Dimension { dim: 2, inc: 1 }, n: 64 };
+        let row = LoopSpec {
+            kernel: Kernel::Copy,
+            walk: Walk::Dimension { dim: 2, inc: 1 },
+            n: 64,
+        };
         let bad_report = &row.analyze(&geom, &[&bad])[0];
         assert_eq!(bad_report.return_number, 1);
         assert_eq!(bad_report.solo_bandwidth, Ratio::new(1, 4));
@@ -153,12 +169,18 @@ mod tests {
         let run = |ld: u64| {
             let a = matrix("A", ld, 64, 0);
             let b = matrix("B", ld, 64, a.len());
-            let spec =
-                LoopSpec { kernel: Kernel::Copy, walk: Walk::Dimension { dim: 2, inc: 1 }, n: 64 };
+            let spec = LoopSpec {
+                kernel: Kernel::Copy,
+                walk: Walk::Dimension { dim: 2, inc: 1 },
+                n: 64,
+            };
             let program = spec.compile(&machine, &[&a, &b]);
             let mut w = ProgramWorkload::new(&geom, machine, program, &[], 3);
             let mut engine = Engine::new(SimConfig::single_cpu(geom, 3));
-            engine.run(&mut w, 100_000).finished_cycles().expect("finishes")
+            engine
+                .run(&mut w, 100_000)
+                .finished_cycles()
+                .expect("finishes")
         };
         let unpadded = run(64);
         let padded = run(65);
@@ -174,13 +196,23 @@ mod tests {
         let machine = MachineConfig::ideal();
         let a = matrix("A", 16, 16, 0);
         let b = matrix("B", 16, 16, 256);
-        let spec = LoopSpec { kernel: Kernel::Dot, walk: Walk::Diagonal, n: 16 };
+        let spec = LoopSpec {
+            kernel: Kernel::Dot,
+            walk: Walk::Diagonal,
+            n: 16,
+        };
         // Diagonal stride 17 ≡ 1 (mod 16): full bandwidth.
-        assert_eq!(spec.analyze(&geom, &[&a])[0].solo_bandwidth, Ratio::integer(1));
+        assert_eq!(
+            spec.analyze(&geom, &[&a])[0].solo_bandwidth,
+            Ratio::integer(1)
+        );
         let program = spec.compile(&machine, &[&a, &b]);
         let mut w = ProgramWorkload::new(&geom, machine, program, &[], 3);
         let mut engine = Engine::new(SimConfig::single_cpu(geom, 3));
-        let cycles = engine.run(&mut w, 10_000).finished_cycles().expect("finishes");
+        let cycles = engine
+            .run(&mut w, 10_000)
+            .finished_cycles()
+            .expect("finishes");
         assert!(cycles <= 40, "diagonal dot too slow: {cycles}");
     }
 
@@ -190,7 +222,11 @@ mod tests {
         let machine = MachineConfig::ideal();
         let a = matrix("A", 64, 64, 0);
         let b = matrix("B", 65, 64, 64 * 64);
-        let spec = LoopSpec { kernel: Kernel::Copy, walk: Walk::Dimension { dim: 2, inc: 1 }, n: 64 };
+        let spec = LoopSpec {
+            kernel: Kernel::Copy,
+            walk: Walk::Dimension { dim: 2, inc: 1 },
+            n: 64,
+        };
         let _ = spec.compile(&machine, &[&a, &b]);
     }
 }

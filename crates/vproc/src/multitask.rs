@@ -151,7 +151,11 @@ mod tests {
     fn self_conflicting_increment_still_bad() {
         let good = multitask_paper(1, MachineConfig::cray_xmp());
         let bad = multitask_paper(8, MachineConfig::cray_xmp());
-        assert!(bad.cycles as f64 > 1.5 * good.cycles as f64,
-            "INC=8 ({}) should be much slower than INC=1 ({})", bad.cycles, good.cycles);
+        assert!(
+            bad.cycles as f64 > 1.5 * good.cycles as f64,
+            "INC=8 ({}) should be much slower than INC=1 ({})",
+            bad.cycles,
+            good.cycles
+        );
     }
 }

@@ -102,7 +102,13 @@ mod tests {
     use super::*;
 
     fn seg(port: usize, addr: u64, deps: Vec<SegmentId>) -> Segment {
-        Segment { port: PortId(port), start_address: addr, stride: 1, count: 4, deps }
+        Segment {
+            port: PortId(port),
+            start_address: addr,
+            stride: 1,
+            count: 4,
+            deps,
+        }
     }
 
     #[test]
@@ -133,7 +139,13 @@ mod tests {
     #[should_panic(expected = "empty segments")]
     fn zero_count_rejected() {
         let mut p = Program::new();
-        p.push(Segment { port: PortId(0), start_address: 0, stride: 1, count: 0, deps: vec![] });
+        p.push(Segment {
+            port: PortId(0),
+            start_address: 0,
+            stride: 1,
+            count: 0,
+            deps: vec![],
+        });
     }
 
     #[test]

@@ -54,12 +54,19 @@ fn triad_program_for_cpu(base: &TriadExperiment, cpu: usize, region: u64) -> Pro
 /// same way), and reports the scaling efficiency.
 #[must_use]
 pub fn scaled_triad(cpus: usize, banks_per_cpu: u64, inc: u64) -> ScalingResult {
-    assert!((1..=3).contains(&cpus), "trace digits and CPU count support 1..=3 CPUs");
+    assert!(
+        (1..=3).contains(&cpus),
+        "trace digits and CPU count support 1..=3 CPUs"
+    );
     let banks = banks_per_cpu * cpus as u64;
     let sections = banks / 4;
     let geom = Geometry::new(banks, sections.max(1), 4).expect("valid geometry");
     let ports: Vec<CpuId> = (0..cpus).flat_map(|c| [CpuId(c); 3]).collect();
-    let sim = SimConfig { geometry: geom, ports, priority: PriorityRule::Cyclic };
+    let sim = SimConfig {
+        geometry: geom,
+        ports,
+        priority: PriorityRule::Cyclic,
+    };
 
     let mut base = TriadExperiment::paper(inc);
     base.sim = sim.clone();
@@ -84,8 +91,7 @@ pub fn scaled_triad(cpus: usize, banks_per_cpu: u64, inc: u64) -> ScalingResult 
         }
     }
     let total_elements = program.total_elements();
-    let mut workload =
-        ProgramWorkload::new(&geom, base.machine, program, &[], sim.num_ports());
+    let mut workload = ProgramWorkload::new(&geom, base.machine, program, &[], sim.num_ports());
     let mut engine = Engine::new(sim);
     let bound = 16 * base.n * geom.bank_cycle() + 100_000;
     let cycles = match engine.run(&mut workload, bound) {

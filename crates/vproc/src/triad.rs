@@ -19,7 +19,9 @@ use crate::exec::{BackgroundStream, ProgramWorkload};
 use crate::layout::CommonBlock;
 use crate::machine::MachineConfig;
 use crate::program::{Program, Segment, SegmentId};
-use vecmem_banksim::{ConflictCounts, Engine, PortId, PriorityRule, RunOutcome, SimConfig};
+use vecmem_banksim::{
+    ConflictCounts, Engine, NoopObserver, PortId, PriorityRule, RunOutcome, SimConfig, SimObserver,
+};
 
 /// Parameters of one triad run.
 #[derive(Debug, Clone)]
@@ -61,7 +63,10 @@ impl TriadExperiment {
     /// Same but with the other CPU shut off (Fig. 10b).
     #[must_use]
     pub fn paper_alone(inc: u64) -> Self {
-        Self { with_background: false, ..Self::paper(inc) }
+        Self {
+            with_background: false,
+            ..Self::paper(inc)
+        }
     }
 
     /// Builds the triad's vector program (ports 0–2 of the first CPU).
@@ -79,13 +84,12 @@ impl TriadExperiment {
             let offset = k * self.machine.vector_length * self.inc;
             // Vector-register pressure: loads of strip k wait for the store
             // of strip k - lookahead to retire.
-            let pressure: Vec<SegmentId> = if self.machine.strip_lookahead != u64::MAX
-                && k >= self.machine.strip_lookahead
-            {
-                vec![stores[(k - self.machine.strip_lookahead) as usize]]
-            } else {
-                Vec::new()
-            };
+            let pressure: Vec<SegmentId> =
+                if self.machine.strip_lookahead != u64::MAX && k >= self.machine.strip_lookahead {
+                    vec![stores[(k - self.machine.strip_lookahead) as usize]]
+                } else {
+                    Vec::new()
+                };
             let load_c = program.push(Segment {
                 port: PortId(0),
                 start_address: c.base() + offset,
@@ -143,6 +147,14 @@ impl TriadExperiment {
     /// Runs the experiment and reports the triad's timing and conflicts.
     #[must_use]
     pub fn run(&self) -> TriadResult {
+        self.run_observed(&mut NoopObserver)
+    }
+
+    /// Like [`Self::run`], but streams every engine event into `observer`
+    /// (e.g. a `vecmem-obs` metrics registry or event log). With
+    /// [`NoopObserver`] this is exactly [`Self::run`].
+    #[must_use]
+    pub fn run_observed<O: SimObserver>(&self, observer: &mut O) -> TriadResult {
         let program = self.build_program();
         let background = self.background_streams();
         let mut workload = ProgramWorkload::new(
@@ -158,7 +170,7 @@ impl TriadExperiment {
         let bound = 4 * self.n * self.sim.geometry.bank_cycle()
             + 64 * (self.machine.dep_latency + self.machine.issue_overhead + 4)
             + 10_000;
-        let outcome = engine.run(&mut workload, bound);
+        let outcome = engine.run_with(&mut workload, bound, observer);
         let cycles = match outcome {
             RunOutcome::Finished(c) => c,
             RunOutcome::CyclesExhausted => panic!("triad did not finish within {bound} cycles"),
@@ -254,7 +266,10 @@ mod tests {
         let r = TriadExperiment::paper_alone(1).run();
         assert_eq!(r.triad_grants, 4 * 1024);
         assert!(r.cycles > 2 * 1024, "two port-0 loads per element floor");
-        assert_eq!(r.triad_conflicts.simultaneous, 0, "no other CPU -> no simultaneous");
+        assert_eq!(
+            r.triad_conflicts.simultaneous, 0,
+            "no other CPU -> no simultaneous"
+        );
     }
 
     #[test]

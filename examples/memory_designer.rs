@@ -39,11 +39,7 @@ fn main() {
             .take_while(|&p| capacity_check(&geom, p, false).possible())
             .last()
             .unwrap_or(0);
-        let random = measure_random_bandwidth(
-            &SimConfig::one_port_per_cpu(geom, 4),
-            7,
-            100_000,
-        );
+        let random = measure_random_bandwidth(&SimConfig::one_port_per_cpu(geom, 4), 7, 100_000);
         println!(
             "{:<42} {:>9.1}% {:>12} {:>14.3}",
             label,

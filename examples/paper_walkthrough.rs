@@ -41,15 +41,24 @@ fn main() {
 
     println!("\n== Theorem 2: disjoint access sets iff gcd(m,d1,d2) > 1 ==");
     let g12 = Geometry::unsectioned(12, 3).unwrap();
-    check("gcd(12,2,4) = 2 > 1: achievable", disjoint_sets_achievable(&g12, 2, 4));
-    check("gcd(12,1,7) = 1: not achievable", !disjoint_sets_achievable(&g12, 1, 7));
+    check(
+        "gcd(12,2,4) = 2 > 1: achievable",
+        disjoint_sets_achievable(&g12, 2, 4),
+    );
+    check(
+        "gcd(12,1,7) = 1: not achievable",
+        !disjoint_sets_achievable(&g12, 1, 7),
+    );
 
     println!("\n== Theorem 3: conflict-freeness (Fig. 2) ==");
     let s1 = StreamSpec::new(&g12, 0, 1).unwrap();
     let s2 = StreamSpec::new(&g12, 1, 7).unwrap();
     check("gcd(12, 6) = 6 >= 2*3", conflict_free_condition(&g12, 1, 7));
     let ss = measure_pair_cross_cpu(&g12, s1, s2, 100_000).unwrap();
-    check(&format!("simulated b_eff = {} = 2", ss.beff), ss.beff == Ratio::integer(2));
+    check(
+        &format!("simulated b_eff = {} = 2", ss.beff),
+        ss.beff == Ratio::integer(2),
+    );
     // Synchronization: every relative start works.
     let all_sync = (0..12).all(|b2| {
         let t2 = StreamSpec::new(&g12, b2, 7).unwrap();
@@ -84,7 +93,10 @@ fn main() {
     println!("  recommended relative start: (n_c + 1)*d1 = {offset}");
     let p2 = StreamSpec::new(&gsec, offset, 1).unwrap();
     let ss = measure_pair_same_cpu(&gsec, p1, p2, 100_000).unwrap();
-    check(&format!("sectioned b_eff = {} = 2", ss.beff), ss.beff == Ratio::integer(2));
+    check(
+        &format!("sectioned b_eff = {} = 2", ss.beff),
+        ss.beff == Ratio::integer(2),
+    );
 
     println!("\n== Appendix: isomorphism of distances ==");
     let g16b = Geometry::unsectioned(16, 4).unwrap();

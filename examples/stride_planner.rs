@@ -34,7 +34,11 @@ fn main() {
             rep.return_number,
             rep.solo_bandwidth.to_string(),
             if rep.self_conflict_free { "yes" } else { "NO" },
-            if pair_is_safe(&geom, stride, 1) { "safe" } else { "conflicts" },
+            if pair_is_safe(&geom, stride, 1) {
+                "safe"
+            } else {
+                "conflicts"
+            },
         );
     }
 

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints on the observability crates, and the
+# tier-1 verification command from ROADMAP.md. Run from anywhere inside
+# the repository; exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings (vecmem-obs, vecmem-prop)"
+cargo clippy -p vecmem-obs -p vecmem-prop --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> OK"

@@ -22,7 +22,10 @@ fn equal_distance_families_are_conflict_free() {
                 };
                 let specs: Vec<StreamSpec> = starts
                     .iter()
-                    .map(|&b| StreamSpec { start_bank: b, distance: d })
+                    .map(|&b| StreamSpec {
+                        start_bank: b,
+                        distance: d,
+                    })
                     .collect();
                 let config = SimConfig::single_cpu(geom, p as usize);
                 let ss = measure_steady_state(&config, &specs, MAX_CYCLES)
@@ -48,10 +51,17 @@ fn capacity_bound_is_respected_by_simulation() {
     // m/n_c = 4 words per clock period.
     let config = SimConfig::cray_xmp_dual();
     let specs: Vec<StreamSpec> = (0..6u64)
-        .map(|i| StreamSpec { start_bank: (i * 5) % 16, distance: 1 })
+        .map(|i| StreamSpec {
+            start_bank: (i * 5) % 16,
+            distance: 1,
+        })
         .collect();
     let ss = measure_steady_state(&config, &specs, MAX_CYCLES).unwrap();
-    assert!(ss.beff <= Ratio::integer(4), "capacity bound: got {}", ss.beff);
+    assert!(
+        ss.beff <= Ratio::integer(4),
+        "capacity bound: got {}",
+        ss.beff
+    );
     assert!(ss.beff < Ratio::integer(6));
 }
 
@@ -64,7 +74,10 @@ fn upper_bound_dominates_simulation() {
         let specs: Vec<StreamSpec> = ds
             .iter()
             .enumerate()
-            .map(|(i, &d)| StreamSpec { start_bank: (3 * i as u64) % 16, distance: d })
+            .map(|(i, &d)| StreamSpec {
+                start_bank: (3 * i as u64) % 16,
+                distance: d,
+            })
             .collect();
         let config = SimConfig::one_port_per_cpu(geom, ds.len());
         let ss = measure_steady_state(&config, &specs, MAX_CYCLES).unwrap();
@@ -85,9 +98,18 @@ fn upper_bound_dominates_simulation() {
 fn pairwise_screen_is_not_sufficient() {
     let geom = Geometry::unsectioned(8, 4).unwrap();
     let specs = [
-        StreamSpec { start_bank: 0, distance: 1 },
-        StreamSpec { start_bank: 4, distance: 1 },
-        StreamSpec { start_bank: 2, distance: 1 },
+        StreamSpec {
+            start_bank: 0,
+            distance: 1,
+        },
+        StreamSpec {
+            start_bank: 4,
+            distance: 1,
+        },
+        StreamSpec {
+            start_bank: 2,
+            distance: 1,
+        },
     ];
     // Pairs (0,1): gap 4/4 conflict-free by placement; but the screen uses
     // Theorem 3 which for d1 = d2 = 1 on m = 8 requires gcd(8,0) = 8 >= 8:
@@ -108,7 +130,10 @@ fn capacity_bound_is_achievable() {
     let starts = equal_distance_family(&geom, 1, 4).expect("4 unit streams fit in 16 banks");
     let specs: Vec<StreamSpec> = starts
         .iter()
-        .map(|&b| StreamSpec { start_bank: b, distance: 1 })
+        .map(|&b| StreamSpec {
+            start_bank: b,
+            distance: 1,
+        })
         .collect();
     let config = SimConfig::one_port_per_cpu(geom, 4);
     let ss = measure_steady_state(&config, &specs, MAX_CYCLES).unwrap();

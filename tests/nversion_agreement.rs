@@ -15,8 +15,14 @@ fn agree_everywhere(m: u64, nc: u64) {
     for d1 in 0..m {
         for d2 in 0..m {
             for b2 in 0..m {
-                let s1 = StreamSpec { start_bank: 0, distance: d1 };
-                let s2 = StreamSpec { start_bank: b2, distance: d2 };
+                let s1 = StreamSpec {
+                    start_bank: 0,
+                    distance: d1,
+                };
+                let s2 = StreamSpec {
+                    start_bank: b2,
+                    distance: d2,
+                };
                 let independent = exact_pair_steady(&geom, &s1, &s2);
                 let engine = measure_steady_state(&config, &[s1, s2], 5_000_000).unwrap();
                 assert_eq!(
@@ -67,8 +73,14 @@ fn agree_everywhere_sectioned(m: u64, s: u64, nc: u64) {
     for d1 in 0..m {
         for d2 in 0..m {
             for b2 in 0..m {
-                let s1 = StreamSpec { start_bank: 0, distance: d1 };
-                let s2 = StreamSpec { start_bank: b2, distance: d2 };
+                let s1 = StreamSpec {
+                    start_bank: 0,
+                    distance: d1,
+                };
+                let s2 = StreamSpec {
+                    start_bank: b2,
+                    distance: d2,
+                };
                 let independent = exact_pair_steady_sectioned(&geom, &s1, &s2);
                 let engine = measure_steady_state(&config, &[s1, s2], 5_000_000).unwrap();
                 assert_eq!(
@@ -115,13 +127,25 @@ fn paper_isomorphism_claims_for_fig10() {
     // And the isomorphic pairs deliver identical steady-state bandwidth.
     let direct = exact_pair_steady(
         &geom,
-        &StreamSpec { start_bank: 0, distance: 6 },
-        &StreamSpec { start_bank: 1, distance: 1 },
+        &StreamSpec {
+            start_bank: 0,
+            distance: 6,
+        },
+        &StreamSpec {
+            start_bank: 1,
+            distance: 1,
+        },
     );
     let canonical = exact_pair_steady(
         &geom,
-        &StreamSpec { start_bank: 0, distance: c6.map_bank(&geom, 6) },
-        &StreamSpec { start_bank: c6.map_bank(&geom, 1), distance: c6.map_bank(&geom, 1) },
+        &StreamSpec {
+            start_bank: 0,
+            distance: c6.map_bank(&geom, 6),
+        },
+        &StreamSpec {
+            start_bank: c6.map_bank(&geom, 1),
+            distance: c6.map_bank(&geom, 1),
+        },
     );
     // Note: the canonicalisation maps d=6 to 2 and d=1 to 3 with the SAME
     // multiplier, so mapping banks through c6 preserves behaviour exactly.

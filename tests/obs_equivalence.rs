@@ -1,0 +1,176 @@
+//! The zero-overhead observer contract, from the outside:
+//!
+//! 1. attaching a recording observer must not change the simulation — the
+//!    per-cycle outcomes and final statistics are bit-identical to a run
+//!    with `NoopObserver` (and to the legacy `step` entry point);
+//! 2. the observer's own view is complete — the bandwidth, grants and
+//!    conflicts a `MetricsRegistry` derives purely from the event stream
+//!    equal the engine's internal `SimStats` bookkeeping, over randomly
+//!    drawn geometries and stream pairs.
+
+use vecmem::analytic::{Geometry, StreamSpec};
+use vecmem::banksim::{Engine, PriorityRule, SimConfig, StreamWorkload, Tee};
+use vecmem_obs::{EventLog, MetricsRegistry};
+use vecmem_prop::prelude::*;
+
+fn scenarios() -> Vec<(SimConfig, [StreamSpec; 2])> {
+    let mut out = Vec::new();
+    for (m, s, nc, d1, d2, b2) in [
+        (12u64, 12u64, 3u64, 1u64, 7u64, 1u64), // Fig. 2, conflict-free
+        (13, 13, 6, 1, 6, 0),                   // Fig. 3, barrier
+        (12, 3, 3, 1, 1, 1),                    // Fig. 8, linked conflicts
+        (16, 4, 4, 2, 8, 5),                    // self-conflicting strides
+        (2, 2, 1, 1, 0, 0),                     // smallest legal system
+    ] {
+        let geom = Geometry::new(m, s, nc).unwrap();
+        let specs = [
+            StreamSpec {
+                start_bank: 0,
+                distance: d1,
+            },
+            StreamSpec {
+                start_bank: b2,
+                distance: d2,
+            },
+        ];
+        for priority in [PriorityRule::Fixed, PriorityRule::Cyclic] {
+            out.push((
+                SimConfig::one_port_per_cpu(geom, 2).with_priority(priority),
+                specs,
+            ));
+            out.push((
+                SimConfig::single_cpu(geom, 2).with_priority(priority),
+                specs,
+            ));
+        }
+    }
+    out
+}
+
+/// Attaching the full observer stack (metrics + event log via `Tee`) leaves
+/// every per-cycle outcome and the final statistics bit-identical.
+#[test]
+fn recording_observer_never_changes_results() {
+    const CYCLES: u64 = 2_000;
+    for (config, specs) in scenarios() {
+        let geom = config.geometry;
+        let ports = config.num_ports();
+
+        let mut plain_engine = Engine::new(config.clone());
+        let mut plain_workload = StreamWorkload::infinite(&geom, &specs);
+
+        let mut observed_engine = Engine::new(config.clone());
+        let mut observed_workload = StreamWorkload::infinite(&geom, &specs);
+        let mut metrics = MetricsRegistry::new(geom.banks(), ports);
+        let mut events = EventLog::new(geom.banks(), ports as u64);
+
+        for cycle in 0..CYCLES {
+            let plain = plain_engine.step(&mut plain_workload);
+            let observed = observed_engine
+                .step_with(&mut observed_workload, &mut Tee(&mut metrics, &mut events));
+            assert_eq!(
+                plain, observed,
+                "cycle {cycle} diverged under observation ({config:?}, {specs:?})"
+            );
+        }
+        assert_eq!(
+            plain_engine.stats(),
+            observed_engine.stats(),
+            "final stats diverged ({config:?}, {specs:?})"
+        );
+        assert_eq!(
+            plain_workload.state_signature(),
+            observed_workload.state_signature(),
+            "workload state diverged ({config:?}, {specs:?})"
+        );
+    }
+}
+
+/// The registry agrees with the engine's own bookkeeping on the scenario
+/// matrix: same grants, conflicts, waits and effective bandwidth.
+#[test]
+fn metrics_registry_mirrors_sim_stats_on_scenarios() {
+    const CYCLES: u64 = 2_000;
+    for (config, specs) in scenarios() {
+        let geom = config.geometry;
+        let ports = config.num_ports();
+        let mut engine = Engine::new(config.clone());
+        let mut workload = StreamWorkload::infinite(&geom, &specs);
+        let mut metrics = MetricsRegistry::new(geom.banks(), ports);
+        for _ in 0..CYCLES {
+            engine.step_with(&mut workload, &mut metrics);
+        }
+        let stats = engine.stats();
+        assert_eq!(metrics.cycles(), stats.cycles());
+        assert_eq!(metrics.total_grants(), stats.total_grants());
+        assert_eq!(
+            metrics.effective_bandwidth(),
+            stats.effective_bandwidth(),
+            "b_eff must match exactly ({config:?})"
+        );
+        for (port, (observed, internal)) in metrics.ports().iter().zip(stats.ports()).enumerate() {
+            assert_eq!(observed.grants, internal.grants, "port {port} grants");
+            assert_eq!(
+                observed.conflicts, internal.conflicts,
+                "port {port} conflicts"
+            );
+            assert_eq!(
+                observed.wait_histogram, internal.wait_histogram,
+                "port {port} wait histogram"
+            );
+            assert_eq!(observed.max_wait, internal.max_wait, "port {port} max wait");
+        }
+        // Bank-level accounting: every bank is busy for exactly n_c cycles
+        // per grant (runs end mid-hold, so observed busy time may lag by at
+        // most one partial hold per bank).
+        let nc = geom.bank_cycle();
+        for bank in 0..geom.banks() {
+            let busy = metrics.bank_busy_cycles(bank);
+            let expected = metrics.bank_grants(bank) * nc;
+            assert!(
+                busy <= expected && expected - busy < nc,
+                "bank {bank}: busy {busy} vs {} grants * n_c {nc}",
+                metrics.bank_grants(bank)
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property: over random geometries, stream pairs and priority rules,
+    /// the observer-derived effective bandwidth equals `SimStats`' exactly.
+    #[test]
+    fn observer_beff_matches_sim_stats(
+        m in 2u64..=24,
+        nc in 1u64..=6,
+        d1 in 0u64..24,
+        d2 in 0u64..24,
+        b2 in 0u64..24,
+        cyclic in 0u64..=1,
+    ) {
+        let geom = Geometry::unsectioned(m, nc).unwrap();
+        let priority = if cyclic == 1 { PriorityRule::Cyclic } else { PriorityRule::Fixed };
+        let config = SimConfig::one_port_per_cpu(geom, 2).with_priority(priority);
+        let specs = [
+            StreamSpec { start_bank: 0, distance: d1 % m },
+            StreamSpec { start_bank: b2 % m, distance: d2 % m },
+        ];
+        let mut engine = Engine::new(config);
+        let mut workload = StreamWorkload::infinite(&geom, &specs);
+        let mut metrics = MetricsRegistry::new(geom.banks(), 2);
+        for _ in 0..1_000 {
+            engine.step_with(&mut workload, &mut metrics);
+        }
+        prop_assert_eq!(metrics.cycles(), engine.stats().cycles());
+        prop_assert_eq!(metrics.total_grants(), engine.stats().total_grants());
+        prop_assert_eq!(metrics.effective_bandwidth(), engine.stats().effective_bandwidth());
+        for port in 0..2 {
+            prop_assert_eq!(
+                metrics.ports()[port].conflicts,
+                engine.stats().ports()[port].conflicts
+            );
+        }
+    }
+}

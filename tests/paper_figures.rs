@@ -44,8 +44,14 @@ fn fig4_double_conflict_mutual_delays() {
     // The barrier is NOT reached: both streams are delayed in the cycle
     // (mutual, "double" conflicts) and the bandwidth differs from 7/6.
     assert!(run.steady.beff < Ratio::integer(2));
-    assert!(run.steady.per_port[0] < Ratio::integer(1), "stream 1 also delayed");
-    assert!(run.steady.per_port[1] < Ratio::integer(1), "stream 2 also delayed");
+    assert!(
+        run.steady.per_port[0] < Ratio::integer(1),
+        "stream 1 also delayed"
+    );
+    assert!(
+        run.steady.per_port[1] < Ratio::integer(1),
+        "stream 2 also delayed"
+    );
     // Both delay directions appear in the trace.
     assert!(run.trace.contains('<'));
     assert!(run.trace.contains('>'));
@@ -65,7 +71,11 @@ fn fig6_inverted_barrier() {
     // The barrier is inverted: stream 2 runs free, stream 1 is delayed.
     assert_eq!(run.steady.per_port[1], Ratio::integer(1));
     assert!(run.steady.per_port[0] < Ratio::integer(1));
-    assert!(run.trace.contains('>'), "expected stream-1 delay marks:\n{}", run.trace);
+    assert!(
+        run.trace.contains('>'),
+        "expected stream-1 delay marks:\n{}",
+        run.trace
+    );
 }
 
 #[test]
@@ -82,7 +92,11 @@ fn fig8a_linked_conflict_fixed_priority() {
     // The linked conflict alternates bank and section conflicts.
     assert!(run.steady.conflicts_per_period.bank > 0);
     assert!(run.steady.conflicts_per_period.section > 0);
-    assert!(run.trace.contains('*'), "section-conflict marks expected:\n{}", run.trace);
+    assert!(
+        run.trace.contains('*'),
+        "section-conflict marks expected:\n{}",
+        run.trace
+    );
 }
 
 #[test]

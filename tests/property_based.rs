@@ -1,12 +1,13 @@
-//! Property-based tests (proptest) over the core invariants of the model
-//! and the simulator.
+//! Property-based tests over the core invariants of the model and the
+//! simulator, running on the in-repo `vecmem-prop` harness (same surface as
+//! `proptest`; deterministic per-test-name generation).
 
-use proptest::prelude::*;
 use vecmem::analytic::numtheory::{coprime, gcd};
 use vecmem::analytic::pair::{classify_pair, conflict_free_condition, PairClass};
 use vecmem::analytic::{predict_single, Geometry, Ratio, StreamSpec};
 use vecmem::banksim::steady::{measure_single, measure_steady_state};
 use vecmem::banksim::SimConfig;
+use vecmem_prop::prelude::*;
 
 fn geometry() -> impl Strategy<Value = Geometry> {
     (2u64..=24, 1u64..=6).prop_map(|(m, nc)| Geometry::unsectioned(m, nc).unwrap())

@@ -58,8 +58,14 @@ fn single_random_port_bandwidth_closed_form() {
     let b = measure_random_bandwidth(&config, 21, 400_000);
     let estimate = 1.0 / (1.0 + (3.0 + 2.0 + 1.0) / 16.0);
     assert!(b > 0.25 && b < 1.0);
-    assert!((b - estimate).abs() < 0.05, "measured {b}, estimate ~{estimate}");
-    assert!(b >= estimate - 1e-3, "estimate should be a (near) lower bound");
+    assert!(
+        (b - estimate).abs() < 0.05,
+        "measured {b}, estimate ~{estimate}"
+    );
+    assert!(
+        b >= estimate - 1e-3,
+        "estimate should be a (near) lower bound"
+    );
 }
 
 #[test]
@@ -72,7 +78,10 @@ fn vector_mode_dominates_random_mode_everywhere() {
             .expect("family exists");
         let specs: Vec<vecmem::StreamSpec> = starts
             .iter()
-            .map(|&b| vecmem::StreamSpec { start_bank: b, distance: 1 })
+            .map(|&b| vecmem::StreamSpec {
+                start_bank: b,
+                distance: 1,
+            })
             .collect();
         let config = SimConfig::one_port_per_cpu(geom, p);
         let vector = vecmem::banksim::measure_steady_state(&config, &specs, 1_000_000)

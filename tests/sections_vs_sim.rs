@@ -20,12 +20,21 @@ fn validate_recommended_offsets(m: u64, s: u64, nc: u64) {
     let mut recommended = 0;
     for d1 in 1..m {
         for d2 in 1..m {
-            let s1 = StreamSpec { start_bank: 0, distance: d1 };
-            let s2_probe = StreamSpec { start_bank: 0, distance: d2 };
+            let s1 = StreamSpec {
+                start_bank: 0,
+                distance: d1,
+            };
+            let s2_probe = StreamSpec {
+                start_bank: 0,
+                distance: d2,
+            };
             let analysis = analyze_sectioned_pair(&geom, &s1, &s2_probe);
             if let Some(offset) = analysis.recommended_offset {
                 recommended += 1;
-                let s2 = StreamSpec { start_bank: offset % m, distance: d2 };
+                let s2 = StreamSpec {
+                    start_bank: offset % m,
+                    distance: d2,
+                };
                 let ss = measure_steady_state(&config, &[s1, s2], MAX_CYCLES)
                     .expect("sectioned runs converge");
                 assert_eq!(
@@ -37,7 +46,10 @@ fn validate_recommended_offsets(m: u64, s: u64, nc: u64) {
             }
         }
     }
-    assert!(recommended > 0, "sweep should exercise some recommendations");
+    assert!(
+        recommended > 0,
+        "sweep should exercise some recommendations"
+    );
 }
 
 #[test]
@@ -70,8 +82,14 @@ fn theorem9_offset_is_conflict_free_fig7_family() {
     let ss = measure_steady_state(
         &config,
         &[
-            StreamSpec { start_bank: 0, distance: 1 },
-            StreamSpec { start_bank: offset, distance: 7 },
+            StreamSpec {
+                start_bank: 0,
+                distance: 1,
+            },
+            StreamSpec {
+                start_bank: offset,
+                distance: 7,
+            },
         ],
         MAX_CYCLES,
     )
@@ -88,8 +106,14 @@ fn eq32_offset_is_conflict_free_fig7() {
     let ss = measure_steady_state(
         &config,
         &[
-            StreamSpec { start_bank: 0, distance: 1 },
-            StreamSpec { start_bank: 3, distance: 1 },
+            StreamSpec {
+                start_bank: 0,
+                distance: 1,
+            },
+            StreamSpec {
+                start_bank: 3,
+                distance: 1,
+            },
         ],
         MAX_CYCLES,
     )
@@ -108,17 +132,19 @@ fn fully_disjoint_pairs_simulate_to_two() {
     for d1 in 1..12 {
         for d2 in 1..12 {
             for b2 in 0..12 {
-                let s1 = StreamSpec { start_bank: 0, distance: d1 };
-                let s2 = StreamSpec { start_bank: b2, distance: d2 };
+                let s1 = StreamSpec {
+                    start_bank: 0,
+                    distance: d1,
+                };
+                let s2 = StreamSpec {
+                    start_bank: b2,
+                    distance: d2,
+                };
                 let analysis = analyze_sectioned_pair(&geom, &s1, &s2);
                 if analysis.class == SectionClass::FullyDisjoint {
                     found += 1;
                     let ss = measure_steady_state(&config, &[s1, s2], MAX_CYCLES).unwrap();
-                    assert_eq!(
-                        ss.beff,
-                        Ratio::integer(2),
-                        "d1={d1} d2={d2} b2={b2}"
-                    );
+                    assert_eq!(ss.beff, Ratio::integer(2), "d1={d1} d2={d2} b2={b2}");
                 }
             }
         }
@@ -132,11 +158,22 @@ fn linked_conflict_risk_is_real() {
     // a start position where the fixed rule stays below bandwidth 2 even
     // though the recommended offset achieves 2.
     let geom = Geometry::new(12, 3, 3).unwrap();
-    let s1 = StreamSpec { start_bank: 0, distance: 1 };
-    let s2 = StreamSpec { start_bank: 1, distance: 1 };
+    let s1 = StreamSpec {
+        start_bank: 0,
+        distance: 1,
+    };
+    let s2 = StreamSpec {
+        start_bank: 1,
+        distance: 1,
+    };
     let analysis = analyze_sectioned_pair(&geom, &s1, &s2);
     assert!(analysis.linked_conflict_risk);
-    assert_eq!(analysis.class, SectionClass::SharedBanks { via: ConflictFreeRoute::Eq32 });
+    assert_eq!(
+        analysis.class,
+        SectionClass::SharedBanks {
+            via: ConflictFreeRoute::Eq32
+        }
+    );
     let config = SimConfig::single_cpu(geom, 2);
     let bad = measure_steady_state(&config, &[s1, s2], MAX_CYCLES).unwrap();
     assert_eq!(bad.beff, Ratio::new(3, 2), "the linked conflict");
@@ -144,7 +181,10 @@ fn linked_conflict_risk_is_real() {
         &config,
         &[
             s1,
-            StreamSpec { start_bank: analysis.recommended_offset.unwrap(), distance: 1 },
+            StreamSpec {
+                start_bank: analysis.recommended_offset.unwrap(),
+                distance: 1,
+            },
         ],
         MAX_CYCLES,
     )

@@ -6,25 +6,23 @@
 //! clock period, at most one grant per (CPU, section) per clock period,
 //! and delayed ports always retry the same request.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 use vecmem::analytic::Geometry;
 use vecmem::banksim::{
-    ConflictKind, Engine, PortId, PortOutcome, PriorityRule, Request, SimConfig, Workload,
+    ConflictKind, Engine, PortId, PortOutcome, PriorityRule, Request, SimConfig, SmallRng, Workload,
 };
 
 /// A deliberately nasty workload: per-port random banks with heavy
 /// collision bias (small bank range), plus random idling.
 struct AdversarialWorkload {
     current: Vec<Option<u64>>,
-    rng: StdRng,
+    rng: SmallRng,
     banks: u64,
 }
 
 impl AdversarialWorkload {
     fn new(ports: usize, banks: u64, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SmallRng::seed_from_u64(seed);
         let current = (0..ports)
             .map(|_| {
                 if rng.gen_bool(0.8) {
@@ -34,12 +32,20 @@ impl AdversarialWorkload {
                 }
             })
             .collect();
-        Self { current, rng, banks }
+        Self {
+            current,
+            rng,
+            banks,
+        }
     }
 
     fn refresh(&mut self, port: usize) {
         self.current[port] = if self.rng.gen_bool(0.9) {
-            let range = if self.rng.gen_bool(0.5) { self.banks.min(4) } else { self.banks };
+            let range = if self.rng.gen_bool(0.5) {
+                self.banks.min(4)
+            } else {
+                self.banks
+            };
             Some(self.rng.gen_range(0..range))
         } else {
             None

@@ -77,8 +77,14 @@ fn xor_fold_pair_behaviour_against_unit_stride() {
         &Interleaved { banks: 16 },
         &cfg,
         [
-            AddressStream { start: 0, stride: 16 },
-            AddressStream { start: 1, stride: 1 },
+            AddressStream {
+                start: 0,
+                stride: 16,
+            },
+            AddressStream {
+                start: 1,
+                stride: 1,
+            },
         ],
         5_000_000,
     )
@@ -87,8 +93,14 @@ fn xor_fold_pair_behaviour_against_unit_stride() {
         &XorFold::new(16),
         &cfg,
         [
-            AddressStream { start: 0, stride: 16 },
-            AddressStream { start: 1, stride: 1 },
+            AddressStream {
+                start: 0,
+                stride: 16,
+            },
+            AddressStream {
+                start: 1,
+                stride: 1,
+            },
         ],
         5_000_000,
     )
@@ -113,8 +125,14 @@ fn all_schemes_respect_capacity_bound() {
             scheme.as_ref(),
             &cfg,
             [
-                AddressStream { start: 0, stride: 1 },
-                AddressStream { start: 2, stride: 1 },
+                AddressStream {
+                    start: 0,
+                    stride: 1,
+                },
+                AddressStream {
+                    start: 2,
+                    stride: 1,
+                },
             ],
             5_000_000,
         )

@@ -26,10 +26,15 @@ fn validate(m: u64, s: u64, nc: u64) {
             let mut any_case = false;
             let mut found_conflict_free = false;
             for b2 in 0..m {
-                let s1 = StreamSpec { start_bank: 0, distance: d1 };
-                let s2 = StreamSpec { start_bank: b2, distance: d2 };
-                if !access_sets_disjoint(&geom, &s1, &s2)
-                    || section_sets_disjoint(&geom, &s1, &s2)
+                let s1 = StreamSpec {
+                    start_bank: 0,
+                    distance: d1,
+                };
+                let s2 = StreamSpec {
+                    start_bank: b2,
+                    distance: d2,
+                };
+                if !access_sets_disjoint(&geom, &s1, &s2) || section_sets_disjoint(&geom, &s1, &s2)
                 {
                     continue;
                 }
@@ -79,10 +84,16 @@ fn theorem8_witness_case() {
     // class. Verify by brute force that SOME relative start reaches 2.
     let geom = Geometry::new(12, 2, 2).unwrap();
     let config = SimConfig::single_cpu(geom, 2);
-    let s1 = StreamSpec { start_bank: 0, distance: 4 };
+    let s1 = StreamSpec {
+        start_bank: 0,
+        distance: 4,
+    };
     let mut best = Ratio::integer(0);
     for b2 in (2..12).step_by(4) {
-        let s2 = StreamSpec { start_bank: b2, distance: 4 };
+        let s2 = StreamSpec {
+            start_bank: b2,
+            distance: 4,
+        };
         assert!(access_sets_disjoint(&geom, &s1, &s2));
         assert!(!section_sets_disjoint(&geom, &s1, &s2));
         let steady = measure_steady_state(&config, &[s1, s2], 2_000_000).unwrap();
@@ -95,5 +106,8 @@ fn theorem8_witness_case() {
     // path: b_eff can never exceed 1... unless their grant instants
     // interleave. The search reports what is actually achievable:
     assert!(best <= Ratio::integer(2));
-    assert!(best >= Ratio::integer(1), "path sharing must still allow 1.0");
+    assert!(
+        best >= Ratio::integer(1),
+        "path sharing must still allow 1.0"
+    );
 }

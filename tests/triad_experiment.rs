@@ -15,7 +15,10 @@ fn fig10_best_increments_are_1_6_11() {
     ranked.sort_unstable();
     let top4: Vec<u64> = ranked.iter().take(4).map(|&(_, inc)| inc).collect();
     for want in [1u64, 6, 11] {
-        assert!(top4.contains(&want), "increment {want} missing from top 4: {top4:?}");
+        assert!(
+            top4.contains(&want),
+            "increment {want} missing from top 4: {top4:?}"
+        );
     }
     assert!(ranked[4].0 as f64 > 1.05 * ranked[2].0 as f64);
 }
@@ -32,7 +35,10 @@ fn fig10_inc2_and_inc3_severely_slower() {
     let f2 = r2.cycles as f64 / r1.cycles as f64;
     let f3 = r3.cycles as f64 / r1.cycles as f64;
     assert!(f2 > 1.3, "INC=2 slowdown {f2:.2} should exceed 30%");
-    assert!(f3 > f2, "INC=3 ({f3:.2}x) should be worse than INC=2 ({f2:.2}x)");
+    assert!(
+        f3 > f2,
+        "INC=3 ({f3:.2}x) should be worse than INC=2 ({f2:.2}x)"
+    );
     assert!(f3 > 1.8, "INC=3 slowdown {f3:.2} should be severe");
 }
 
@@ -103,5 +109,8 @@ fn background_throughput_reflects_barrier_direction() {
     // compare grants per cycle.
     let r2 = TriadExperiment::paper(2).run();
     let bg_rate = r2.background_grants as f64 / r2.cycles as f64;
-    assert!(bg_rate > 2.0, "background should keep >2/3 of its rate, got {bg_rate:.2}");
+    assert!(
+        bg_rate > 2.0,
+        "background should keep >2/3 of its rate, got {bg_rate:.2}"
+    );
 }
