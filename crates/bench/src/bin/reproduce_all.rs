@@ -21,11 +21,11 @@ fn main() {
     fs::create_dir_all(dir).expect("create results dir");
 
     println!("Figures 2-9 (traces + exact steady states):");
-    for figure in vecmem_bench::figures::all_figures() {
-        let run = figure.run(36);
+    let figures = vecmem_bench::figures::all_figures();
+    for run in vecmem_bench::figures::run_all(&figures, 36) {
         write(
             dir,
-            &format!("fig{:0>2}.txt", figure.id),
+            &format!("fig{:0>2}.txt", run.figure.id),
             &vecmem_bench::figures::report(&run),
         );
     }
@@ -36,7 +36,12 @@ fn main() {
     write(dir, "fig10.csv", &vecmem_bench::csv::fig10_csv(&fig10));
 
     println!("Theorem sweep (m = 16, n_c = 4):");
-    let rows = vecmem_bench::tables::theorem_table(16, 4);
+    let (rows, report) = vecmem_bench::tables::theorem_table_report(16, 4);
+    println!(
+        "  {} scenarios, cache hit rate {:.1}%",
+        report.scenarios,
+        report.cache.hit_rate() * 100.0
+    );
     write(
         dir,
         "table_theorems_m16_nc4.txt",

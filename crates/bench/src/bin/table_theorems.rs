@@ -8,7 +8,16 @@ fn main() {
     let nums: Vec<u64> = args.iter().filter_map(|a| a.parse().ok()).collect();
     let m = nums.first().copied().unwrap_or(13);
     let nc = nums.get(1).copied().unwrap_or(4);
-    let rows = vecmem_bench::tables::theorem_table(m, nc);
+    let (rows, report) = vecmem_bench::tables::theorem_table_report(m, nc);
+    // Stderr so the stdout table/CSV contract is unchanged.
+    eprintln!(
+        "sweep: {} scenarios on {} thread(s), cache hit rate {:.1}% ({} hits, {} misses)",
+        report.scenarios,
+        report.threads,
+        report.cache.hit_rate() * 100.0,
+        report.cache.hits,
+        report.cache.misses,
+    );
     if csv {
         print!("{}", vecmem_bench::csv::theorems_csv(&rows));
     } else {

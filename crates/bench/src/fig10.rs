@@ -7,7 +7,8 @@
 //! * (c) bank conflicts, (d) section conflicts, (e) simultaneous conflicts
 //!   encountered by the triad (from the contended run).
 
-use vecmem_vproc::triad::{sweep_increments, TriadResult};
+use vecmem_exec::{triad_sweep, Runner};
+use vecmem_vproc::triad::TriadResult;
 
 /// The five Fig. 10 series.
 #[derive(Debug, Clone)]
@@ -18,12 +19,17 @@ pub struct Fig10 {
     pub alone: Vec<TriadResult>,
 }
 
-/// Runs the full sweep.
+/// Runs the full sweep: both series (`2 · max_inc` independent triad
+/// simulations) as one batch on the shared `vecmem-exec` runner.
 #[must_use]
 pub fn run(max_inc: u64) -> Fig10 {
+    let mut scenarios = triad_sweep(max_inc, true);
+    scenarios.extend(triad_sweep(max_inc, false));
+    let mut results = Runner::new().run(&scenarios);
+    let alone = results.split_off(max_inc as usize);
     Fig10 {
-        contended: sweep_increments(max_inc, true),
-        alone: sweep_increments(max_inc, false),
+        contended: results,
+        alone,
     }
 }
 

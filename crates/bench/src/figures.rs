@@ -5,8 +5,8 @@
 //! steady-state bandwidth, alongside the value the paper reports.
 
 use vecmem_analytic::{Geometry, Ratio, SectionMapping, StreamSpec};
-use vecmem_banksim::steady::measure_steady_state_workload;
-use vecmem_banksim::{Engine, PriorityRule, SimConfig, SimStats, SteadyState, StreamWorkload};
+use vecmem_banksim::{PriorityRule, SimConfig, SimStats, SteadyState};
+use vecmem_exec::{Runner, Scenario, TraceScenario};
 
 /// Where the two ports live.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,28 +58,48 @@ impl Figure {
         cfg.with_priority(self.priority)
     }
 
+    /// The figure as a `vecmem-exec` scenario: trace `trace_cycles` cycles
+    /// and measure the exact steady state (10 M-cycle budget).
+    #[must_use]
+    pub fn scenario(&self, trace_cycles: u64) -> TraceScenario {
+        TraceScenario {
+            config: self.config(),
+            streams: self.streams.to_vec(),
+            trace_cycles,
+            max_cycles: 10_000_000,
+        }
+    }
+
     /// Runs the scenario: records `trace_cycles` cycles of trace and
     /// measures the exact steady state.
     #[must_use]
     pub fn run(&self, trace_cycles: u64) -> FigureRun {
-        let config = self.config();
-        let mut engine = Engine::new(config.clone()).with_trace(trace_cycles);
-        let mut workload = StreamWorkload::infinite(&self.geometry, &self.streams);
-        for _ in 0..trace_cycles {
-            engine.step(&mut workload);
-        }
-        let trace = engine.trace().expect("trace enabled").render_all();
-        let stats = engine.stats().clone();
-        let mut fresh = StreamWorkload::infinite(&self.geometry, &self.streams);
-        let steady = measure_steady_state_workload(&config, &mut fresh, 0, 10_000_000)
-            .expect("figure scenarios converge");
+        let outcome = self.scenario(trace_cycles).execute();
         FigureRun {
             figure: self.clone(),
-            trace,
-            steady,
-            stats,
+            trace: outcome.trace,
+            steady: outcome.steady.expect("figure scenarios converge"),
+            stats: outcome.stats,
         }
     }
+}
+
+/// Runs a batch of figures on the shared `vecmem-exec` runner (one
+/// [`TraceScenario`] each, results in submission order).
+#[must_use]
+pub fn run_all(figures: &[Figure], trace_cycles: u64) -> Vec<FigureRun> {
+    let scenarios: Vec<TraceScenario> = figures.iter().map(|f| f.scenario(trace_cycles)).collect();
+    Runner::new()
+        .run(&scenarios)
+        .into_iter()
+        .zip(figures)
+        .map(|(outcome, figure)| FigureRun {
+            figure: figure.clone(),
+            trace: outcome.trace,
+            steady: outcome.steady.expect("figure scenarios converge"),
+            stats: outcome.stats,
+        })
+        .collect()
 }
 
 /// Fig. 2: conflict-free access, `m = 12`, `n_c = 3`, `d1 = 1 ⊕ d2 = 7`.
@@ -327,6 +347,19 @@ mod tests {
                     figure.id, paper, run.steady.beff
                 );
             }
+        }
+    }
+
+    #[test]
+    fn run_all_matches_individual_runs() {
+        let figures = vec![fig2(), fig3(), fig7()];
+        let batch = run_all(&figures, 24);
+        assert_eq!(batch.len(), 3);
+        for (batched, figure) in batch.iter().zip(&figures) {
+            let single = figure.run(24);
+            assert_eq!(batched.figure.id, figure.id);
+            assert_eq!(batched.trace, single.trace);
+            assert_eq!(batched.steady, single.steady);
         }
     }
 

@@ -8,9 +8,10 @@
 
 use vecmem_analytic::pair::{classify_pair, PairClass};
 use vecmem_analytic::{Geometry, Ratio, SectionMapping, StreamSpec};
-use vecmem_banksim::steady::{measure_steady_state, sweep_start_banks};
+use vecmem_banksim::steady::measure_steady_state;
 use vecmem_banksim::{hellerman_bandwidth, measure_random_bandwidth};
-use vecmem_banksim::{PriorityRule, SimConfig};
+use vecmem_banksim::{PriorityRule, SimConfig, SteadyState};
+use vecmem_exec::{ExecReport, ResultCache, Runner, SweepBuilder};
 use vecmem_skew::{eval, BankMapping, Interleaved, LinearSkew, PrimeInterleaved, XorFold};
 
 /// One row of the theorem-validation table.
@@ -33,96 +34,104 @@ pub struct TheoremRow {
 
 /// Sweeps all distance pairs on a geometry and validates Theorems 2–7.
 ///
-/// The sweep is embarrassingly parallel over `d1`; it fans out across the
-/// available cores with scoped threads (each simulating a disjoint slice
-/// of the design space).
+/// The sweep runs on the shared `vecmem-exec` work-stealing runner with
+/// isomorphism-keyed caching: start-bank sweeps of coprime-scaled distance
+/// pairs are equivalent under the paper Appendix's bank renumbering, so
+/// each equivalence class simulates once.
 #[must_use]
 pub fn theorem_table(m: u64, nc: u64) -> Vec<TheoremRow> {
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let d1s: Vec<u64> = (1..m).collect();
-    let chunk = d1s.len().div_ceil(threads).max(1);
-    let mut rows: Vec<TheoremRow> = std::thread::scope(|scope| {
-        let handles: Vec<_> = d1s
-            .chunks(chunk)
-            .map(|slice| scope.spawn(move || theorem_rows_for(m, nc, slice)))
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("sweep thread"))
-            .collect()
-    });
-    rows.sort_by_key(|r| (r.d1, r.d2));
-    rows
+    theorem_table_report(m, nc).0
 }
 
-fn theorem_rows_for(m: u64, nc: u64, d1s: &[u64]) -> Vec<TheoremRow> {
+/// Like [`theorem_table`], but also reports the execution-layer counters
+/// (scenario count, threads, cache hits/misses) of the sweep.
+#[must_use]
+pub fn theorem_table_report(m: u64, nc: u64) -> (Vec<TheoremRow>, ExecReport) {
     let geom = Geometry::unsectioned(m, nc).unwrap();
-    let config = SimConfig::one_port_per_cpu(geom, 2);
-    let mut rows = Vec::new();
-    for &d1 in d1s {
-        for d2 in d1..m {
-            let s1 = StreamSpec {
-                start_bank: 0,
-                distance: d1,
-            };
-            let s2 = StreamSpec {
-                start_bank: 0,
-                distance: d2,
-            };
-            let class = classify_pair(&geom, &s1, &s2, true);
-            let sweep = sweep_start_banks(&config, d1, d2, 5_000_000).expect("converges");
-            let min = sweep.iter().map(|s| s.beff).min().expect("nonempty");
-            let max = sweep.iter().map(|s| s.beff).max().expect("nonempty");
-            let (predicted, ok) = match class {
-                PairClass::ConflictFree => (
-                    Some(Ratio::integer(2)),
-                    sweep.iter().all(|s| s.beff == Ratio::integer(2)),
-                ),
-                PairClass::UniqueBarrier { beff, .. } => {
-                    // Unique: every nondisjoint start reaches the barrier;
-                    // starts that make the access sets disjoint reach 2.
-                    let ok = sweep.iter().enumerate().all(|(b2, s)| {
-                        let spec2 = StreamSpec {
-                            start_bank: b2 as u64,
-                            distance: d2,
-                        };
-                        if vecmem_analytic::stream::access_sets_disjoint(&geom, &s1, &spec2) {
-                            s.beff == Ratio::integer(2)
-                        } else {
-                            s.beff == beff
-                        }
-                    });
-                    (Some(beff), ok)
+    let plan = SweepBuilder::new(geom)
+        .d2_upper_triangle()
+        .all_start_banks()
+        .cycle_budget(5_000_000)
+        .build();
+    let cache = ResultCache::new();
+    let (outcomes, report) = Runner::new().run_cached(&plan.scenarios, &cache);
+    // The plan's innermost loop is b2 over 0..m: each consecutive block of
+    // m outcomes is one (d1, d2) pair's start-bank sweep, and the blocks
+    // arrive in (d1, d2) order.
+    let rows = plan
+        .points
+        .chunks(m as usize)
+        .zip(outcomes.chunks(m as usize))
+        .map(|(points, states)| {
+            let sweep: Vec<SteadyState> = states
+                .iter()
+                .map(|s| s.clone().expect("converges"))
+                .collect();
+            theorem_row(&geom, points[0].d1, points[0].d2, &sweep)
+        })
+        .collect();
+    (rows, report)
+}
+
+fn theorem_row(geom: &Geometry, d1: u64, d2: u64, sweep: &[SteadyState]) -> TheoremRow {
+    let s1 = StreamSpec {
+        start_bank: 0,
+        distance: d1,
+    };
+    let s2 = StreamSpec {
+        start_bank: 0,
+        distance: d2,
+    };
+    let class = classify_pair(geom, &s1, &s2, true);
+    let min = sweep.iter().map(|s| s.beff).min().expect("nonempty");
+    let max = sweep.iter().map(|s| s.beff).max().expect("nonempty");
+    let (predicted, ok) = match class {
+        PairClass::ConflictFree => (
+            Some(Ratio::integer(2)),
+            sweep.iter().all(|s| s.beff == Ratio::integer(2)),
+        ),
+        PairClass::UniqueBarrier { beff, .. } => {
+            // Unique: every nondisjoint start reaches the barrier;
+            // starts that make the access sets disjoint reach 2.
+            let ok = sweep.iter().enumerate().all(|(b2, s)| {
+                let spec2 = StreamSpec {
+                    start_bank: b2 as u64,
+                    distance: d2,
+                };
+                if vecmem_analytic::stream::access_sets_disjoint(geom, &s1, &spec2) {
+                    s.beff == Ratio::integer(2)
+                } else {
+                    s.beff == beff
                 }
-                PairClass::BarrierPossible { .. } | PairClass::Conflicting => {
-                    // Only the upper bound is predicted: < 2 for nondisjoint
-                    // starts.
-                    let ok = sweep.iter().enumerate().all(|(b2, s)| {
-                        let spec2 = StreamSpec {
-                            start_bank: b2 as u64,
-                            distance: d2,
-                        };
-                        if vecmem_analytic::stream::access_sets_disjoint(&geom, &s1, &spec2) {
-                            s.beff == Ratio::integer(2)
-                        } else {
-                            s.beff < Ratio::integer(2)
-                        }
-                    });
-                    (None, ok)
-                }
-                PairClass::SelfLimited | PairClass::DisjointSets => (None, true),
-            };
-            rows.push(TheoremRow {
-                d1,
-                d2,
-                class: format!("{}", ClassName(&class)),
-                predicted,
-                simulated: (min, max),
-                ok,
             });
+            (Some(beff), ok)
         }
+        PairClass::BarrierPossible { .. } | PairClass::Conflicting => {
+            // Only the upper bound is predicted: < 2 for nondisjoint
+            // starts.
+            let ok = sweep.iter().enumerate().all(|(b2, s)| {
+                let spec2 = StreamSpec {
+                    start_bank: b2 as u64,
+                    distance: d2,
+                };
+                if vecmem_analytic::stream::access_sets_disjoint(geom, &s1, &spec2) {
+                    s.beff == Ratio::integer(2)
+                } else {
+                    s.beff < Ratio::integer(2)
+                }
+            });
+            (None, ok)
+        }
+        PairClass::SelfLimited | PairClass::DisjointSets => (None, true),
+    };
+    TheoremRow {
+        d1,
+        d2,
+        class: format!("{}", ClassName(&class)),
+        predicted,
+        simulated: (min, max),
+        ok,
     }
-    rows
 }
 
 struct ClassName<'a>(&'a PairClass);
@@ -398,6 +407,19 @@ mod tests {
         for r in &rows {
             assert!(r.ok, "row failed: {r:?}");
         }
+    }
+
+    #[test]
+    fn theorem_table_report_hits_cache() {
+        // m = 8 has φ(8) = 4 units: coprime-scaled start-bank sweeps are
+        // isomorphic, so a healthy fraction of the 28 · 8 scenarios must
+        // replay from the cache rather than simulate.
+        let (rows, report) = theorem_table_report(8, 2);
+        assert_eq!(rows.len(), 28);
+        assert_eq!(report.scenarios, 28 * 8);
+        assert_eq!(report.cache.hits + report.cache.misses, 28 * 8);
+        assert!(report.cache.hits > 0, "{report:?}");
+        assert!(report.cache.hit_rate() > 0.0);
     }
 
     #[test]

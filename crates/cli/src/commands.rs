@@ -10,11 +10,15 @@ use vecmem_banksim::{
     hellerman_asymptotic, hellerman_bandwidth, measure_random_bandwidth, Engine, PriorityRule,
     SimConfig, StreamWorkload, Tee,
 };
+use vecmem_exec::{
+    export_exec_telemetry, triad_sweep, ResultCache, Runner, Scenario, SteadyScenario,
+    TraceScenario,
+};
 use vecmem_obs::{write_metrics, EventLog, MetricsRegistry};
 use vecmem_skew::{BankMapping, Interleaved, LinearSkew, PrimeInterleaved, XorFold};
 use vecmem_vproc::gather::{run_gather, IndexPattern};
 use vecmem_vproc::loops::{LoopSpec, Walk};
-use vecmem_vproc::triad::{sweep_increments, TriadExperiment};
+use vecmem_vproc::triad::TriadExperiment;
 use vecmem_vproc::{FortranArray, Kernel};
 
 /// Common geometry options: `--banks`, `--sections`, `--nc`, `--consecutive`.
@@ -171,13 +175,27 @@ pub fn cmd_predict(opts: &Options) -> Result<String, String> {
     Ok(out)
 }
 
-/// `vecmem steady`: exact simulated steady state of a stream pair.
+/// `vecmem steady`: exact simulated steady state of a stream pair, run
+/// through the `vecmem-exec` layer (`--cycle-budget N` bounds the cyclic-
+/// state search; a pair that does not converge exits non-zero).
 pub fn cmd_steady(opts: &Options) -> Result<String, String> {
     let geom = geometry(opts)?;
     let specs = pair_streams(opts, &geom)?;
     let config = pair_config(opts, geom);
-    let ss = measure_steady_state(&config, &specs, 10_000_000).map_err(|e| e.to_string())?;
-    Ok(format!(
+    let budget = opts.u64_or("cycle-budget", 10_000_000).map_err(err)?;
+    let ports = config.num_ports();
+    let scenario = SteadyScenario {
+        config,
+        streams: specs.to_vec(),
+        max_cycles: budget,
+    };
+    let cache = ResultCache::new();
+    let (mut outcomes, report) = Runner::new().run_cached(&[scenario], &cache);
+    let ss = outcomes
+        .pop()
+        .expect("one scenario")
+        .map_err(|e| e.to_string())?;
+    let mut out = format!(
         "b_eff = {} (per stream: {}, {})\ntransient {} cycles, period {} cycles\nconflicts per period: bank {}, simultaneous {}, section {}\n",
         ss.beff,
         ss.per_port[0],
@@ -187,32 +205,57 @@ pub fn cmd_steady(opts: &Options) -> Result<String, String> {
         ss.conflicts_per_period.bank,
         ss.conflicts_per_period.simultaneous,
         ss.conflicts_per_period.section,
-    ))
+    );
+    if let Some(path) = opts.string("metrics-out") {
+        let mut metrics = MetricsRegistry::new(geom.banks(), ports);
+        export_exec_telemetry(&mut metrics, &report);
+        write_metrics(path, &metrics.snapshot()).map_err(|e| format!("writing {path}: {e}"))?;
+        out.push_str(&format!("metrics -> {path}\n"));
+    }
+    Ok(out)
 }
 
-/// `vecmem trace`: paper-style ASCII trace of a stream pair.
+/// `vecmem trace`: paper-style ASCII trace of a stream pair, followed by
+/// the pair's exact steady state (`--cycle-budget N` bounds the search; a
+/// pair that does not converge exits non-zero).
 pub fn cmd_trace(opts: &Options) -> Result<String, String> {
     let geom = geometry(opts)?;
     let specs = pair_streams(opts, &geom)?;
     let cycles = opts.u64_or("cycles", 36).map_err(err)?;
+    let budget = opts.u64_or("cycle-budget", 10_000_000).map_err(err)?;
     let obs = ObsRequest::from_opts(opts)?;
     let config = pair_config(opts, geom);
     let ports = config.num_ports();
-    let mut engine = Engine::new(config).with_trace(cycles);
-    let mut workload = StreamWorkload::infinite(&geom, &specs);
+    let steady_line = |ss: &vecmem_banksim::SteadyState| {
+        format!(
+            "steady: b_eff = {} (transient {} cycles, period {})\n",
+            ss.beff, ss.transient, ss.period
+        )
+    };
     if obs.enabled() {
+        let mut engine = Engine::new(config.clone()).with_trace(cycles);
+        let mut workload = StreamWorkload::infinite(&geom, &specs);
         let (mut metrics, mut events) = obs.observers(geom.banks(), ports);
         for _ in 0..cycles {
             engine.step_with(&mut workload, &mut Tee(&mut metrics, &mut events));
         }
         let mut out = engine.trace().expect("trace enabled").render_all();
+        let ss = measure_steady_state(&config, &specs, budget).map_err(|e| e.to_string())?;
+        out.push_str(&steady_line(&ss));
         out.push_str(&obs.finish(&metrics, &events)?);
         Ok(out)
     } else {
-        for _ in 0..cycles {
-            engine.step(&mut workload);
-        }
-        Ok(engine.trace().expect("trace enabled").render_all())
+        let scenario = TraceScenario {
+            config,
+            streams: specs.to_vec(),
+            trace_cycles: cycles,
+            max_cycles: budget,
+        };
+        let outcome = scenario.execute();
+        let ss = outcome.steady.map_err(|e| e.to_string())?;
+        let mut out = outcome.trace;
+        out.push_str(&steady_line(&ss));
+        Ok(out)
     }
 }
 
@@ -221,7 +264,7 @@ pub fn cmd_triad(opts: &Options) -> Result<String, String> {
     let max_inc = opts.u64_or("sweep", 0).map_err(err)?;
     let alone = opts.flag("alone");
     if max_inc > 0 {
-        let results = sweep_increments(max_inc, !alone);
+        let results = Runner::new().run(&triad_sweep(max_inc, !alone));
         let mut out = format!(
             "{:>4} {:>10} {:>9} {:>9} {:>9}\n",
             "INC", "cycles", "bank", "section", "simult."
@@ -413,7 +456,9 @@ pub fn cmd_gather(opts: &Options) -> Result<String, String> {
 pub fn cmd_spectrum(opts: &Options) -> Result<String, String> {
     let geom = geometry(opts)?;
     let s = if opts.flag("full") {
-        vecmem_analytic::spectrum::full_spectrum(&geom)
+        // The full (d1, d2, b2) census is cubic in m: fan it out over the
+        // shared work-stealing runner, one slice per d1.
+        vecmem_exec::full_spectrum(&geom, &Runner::new())
     } else {
         vecmem_analytic::spectrum::distance_spectrum(&geom)
     };
@@ -521,8 +566,74 @@ mod tests {
             FLAGS,
         );
         let out = cmd_trace(&o).unwrap();
-        assert_eq!(out.lines().count(), 8);
+        // 8 bank rows plus the appended steady-state line.
+        assert_eq!(out.lines().count(), 9);
         assert!(out.contains("bank   0"));
+        assert!(out.contains("steady: b_eff = "), "{out}");
+    }
+
+    #[test]
+    fn steady_respects_cycle_budget() {
+        // A starved budget cannot reach the cyclic state: the command must
+        // report the error (non-zero exit) rather than panic.
+        let base = ["--banks", "13", "--nc", "6", "--d1", "1", "--d2", "6"];
+        let mut starved: Vec<&str> = base.to_vec();
+        starved.extend(["--cycle-budget", "2"]);
+        let e = cmd_steady(&opts(&starved, FLAGS)).unwrap_err();
+        assert!(e.contains("steady state"), "{e}");
+        let mut ample: Vec<&str> = base.to_vec();
+        ample.extend(["--cycle-budget", "100000"]);
+        let out = cmd_steady(&opts(&ample, FLAGS)).unwrap();
+        assert!(out.contains("b_eff = 7/6"), "{out}");
+    }
+
+    #[test]
+    fn trace_respects_cycle_budget() {
+        let o = opts(
+            &[
+                "--banks",
+                "13",
+                "--nc",
+                "6",
+                "--d1",
+                "1",
+                "--d2",
+                "6",
+                "--cycles",
+                "12",
+                "--cycle-budget",
+                "2",
+            ],
+            FLAGS,
+        );
+        assert!(cmd_trace(&o).is_err());
+    }
+
+    #[test]
+    fn steady_exports_exec_telemetry() {
+        let dir = std::env::temp_dir().join("vecmem-cli-test-steady-exec");
+        let metrics = dir.join("steady.json");
+        let o = opts(
+            &[
+                "--banks",
+                "12",
+                "--nc",
+                "3",
+                "--d1",
+                "1",
+                "--d2",
+                "7",
+                "--metrics-out",
+                metrics.to_str().unwrap(),
+            ],
+            FLAGS,
+        );
+        let out = cmd_steady(&o).unwrap();
+        assert!(out.contains("metrics ->"), "{out}");
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        assert!(json.contains("\"exec_scenarios\":1"), "{json}");
+        assert!(json.contains("exec_cache_misses"), "{json}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

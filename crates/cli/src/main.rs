@@ -34,10 +34,12 @@ COMMON OPTIONS:
   --same-cpu         place both ports on one CPU (section conflicts)
   --cyclic           cyclic (rotating) priority rule (default fixed)
   --cycles N         cycles to trace / sample
+  --cycle-budget N   max cycles of the steady-state search (steady, trace;
+                     default 10000000; exits non-zero if not converged)
   --ports P          port count (random)
   --seed S           RNG seed (random)
 
-TELEMETRY (trace, triad):
+TELEMETRY (trace, triad; steady exports sweep-execution counters):
   --metrics-out P    write a metrics snapshot (JSON; CSV when P ends in .csv)
   --events-out P     write the cycle-level event log (JSONL)
   --obs-window N     cycles per b_eff(t) window (default 64)

@@ -21,6 +21,56 @@ use crate::geometry::Geometry;
 use crate::numtheory::{coprime, gcd, unit_multiplier_to};
 use crate::stream::StreamSpec;
 
+/// The lexicographically smallest image of `streams` under all unit
+/// renumberings `b ↦ k·b (mod m)`, `gcd(k, m) = 1`, comparing the flattened
+/// `(distance, start_bank)` sequence port by port.
+///
+/// Two stream sets with the same canonical image are *isomorphic*: the
+/// renumbering is a bijection of banks that commutes with every step of the
+/// simulator's dynamics, so bank conflicts, simultaneous bank conflicts and
+/// the entire cyclic state (per-port bandwidths, period, transient) coincide.
+/// This is the Appendix relation `d1 ⊕ d2 ≡ k·d1 ⊕ k·d2 (mod m)` extended to
+/// explicit start banks and any number of streams.
+///
+/// **Scope**: valid only for unsectioned geometries (`s = m`) — the
+/// renumbering does not commute with the bank→section mapping. Callers (e.g.
+/// `vecmem-exec`'s result cache) must fall back to the identity for
+/// sectioned systems. Port order is *never* permuted: priority sits with the
+/// port index, so only the bank relabelling is quotiented out.
+#[must_use]
+pub fn canonical_streams(geom: &Geometry, streams: &[StreamSpec]) -> Vec<StreamSpec> {
+    let m = geom.banks();
+    let flatten = |k: u64| -> Vec<StreamSpec> {
+        streams
+            .iter()
+            .map(|s| StreamSpec {
+                distance: (k as u128 * (s.distance % m) as u128 % m as u128) as u64,
+                start_bank: (k as u128 * (s.start_bank % m) as u128 % m as u128) as u64,
+            })
+            .collect()
+    };
+    let order_key = |specs: &[StreamSpec]| -> Vec<u64> {
+        specs
+            .iter()
+            .flat_map(|s| [s.distance, s.start_bank])
+            .collect()
+    };
+    let mut best = flatten(1);
+    let mut best_key = order_key(&best);
+    for k in 2..m {
+        if !coprime(k, m) {
+            continue;
+        }
+        let cand = flatten(k);
+        let key = order_key(&cand);
+        if key < best_key {
+            best = cand;
+            best_key = key;
+        }
+    }
+    best
+}
+
 /// A distance pair brought into the canonical form required by the barrier
 /// theorems: `d1 | m` and `d2 > d1`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -183,6 +233,99 @@ mod tests {
         for k in 0..20 {
             assert_eq!(mapped.bank_at(&g, k), c.map_bank(&g, s.bank_at(&g, k)));
         }
+    }
+
+    #[test]
+    fn canonical_streams_identifies_appendix_pairs() {
+        // 1 ⊕ 3 ≡ 5 ⊕ 15 ≡ 11 ⊕ 1 (mod 16): all three orbit representatives
+        // collapse onto one canonical image (start banks 0 are fixed points).
+        let g = geom(16);
+        let mk = |d1: u64, d2: u64| {
+            canonical_streams(
+                &g,
+                &[
+                    StreamSpec {
+                        start_bank: 0,
+                        distance: d1,
+                    },
+                    StreamSpec {
+                        start_bank: 0,
+                        distance: d2,
+                    },
+                ],
+            )
+        };
+        assert_eq!(mk(1, 3), mk(5, 15));
+        assert_eq!(mk(1, 3), mk(11, 1));
+        // Non-isomorphic pairs stay apart: 1 ⊕ 2 has gcd profile (1, 2),
+        // 1 ⊕ 3 has (1, 1).
+        assert_ne!(mk(1, 3), mk(1, 2));
+    }
+
+    #[test]
+    fn canonical_streams_is_idempotent_and_in_orbit() {
+        let g = geom(12);
+        for d1 in 0..12u64 {
+            for d2 in 0..12u64 {
+                for b2 in 0..12u64 {
+                    let specs = [
+                        StreamSpec {
+                            start_bank: 3,
+                            distance: d1,
+                        },
+                        StreamSpec {
+                            start_bank: b2,
+                            distance: d2,
+                        },
+                    ];
+                    let canon = canonical_streams(&g, &specs);
+                    // Idempotent: canonicalising the canonical form is a no-op.
+                    assert_eq!(canonical_streams(&g, &canon), canon);
+                    // In-orbit: some unit k maps the original onto it.
+                    let witness = (1..12).filter(|&k| coprime(k, 12)).any(|k| {
+                        specs.iter().zip(&canon).all(|(s, c)| {
+                            c.distance == k * (s.distance % 12) % 12
+                                && c.start_bank == k * (s.start_bank % 12) % 12
+                        })
+                    });
+                    assert!(witness, "no unit maps {specs:?} onto {canon:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_streams_respects_port_order() {
+        // (d1, d2) = (2, 3) and (3, 2) are different scenarios (priority sits
+        // with port 0) and must not collapse.
+        let g = geom(16);
+        let a = canonical_streams(
+            &g,
+            &[
+                StreamSpec {
+                    start_bank: 0,
+                    distance: 2,
+                },
+                StreamSpec {
+                    start_bank: 0,
+                    distance: 3,
+                },
+            ],
+        );
+        let b = canonical_streams(
+            &g,
+            &[
+                StreamSpec {
+                    start_bank: 0,
+                    distance: 3,
+                },
+                StreamSpec {
+                    start_bank: 0,
+                    distance: 2,
+                },
+            ],
+        );
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -50,6 +50,17 @@ impl Spectrum {
         (self.disjoint_sets + self.conflict_free) as f64 / self.total() as f64
     }
 
+    /// Adds another spectrum's counts into this one (used to merge the
+    /// per-`d1` partial sums of a fanned-out census).
+    pub fn merge(&mut self, other: &Spectrum) {
+        self.self_limited += other.self_limited;
+        self.disjoint_sets += other.disjoint_sets;
+        self.conflict_free += other.conflict_free;
+        self.unique_barrier += other.unique_barrier;
+        self.barrier_possible += other.barrier_possible;
+        self.conflicting += other.conflicting;
+    }
+
     fn record(&mut self, class: &PairClass) {
         match class {
             PairClass::SelfLimited => self.self_limited += 1,
@@ -84,52 +95,43 @@ pub fn distance_spectrum(geom: &Geometry) -> Spectrum {
     spectrum
 }
 
+/// Classifies the `(d1, d2, b2)` triples for the given `d1` values: the
+/// per-slice worker of the full design-space census. `vecmem-exec` fans
+/// these slices out over its runner; summing the partial spectra with
+/// [`Spectrum::merge`] yields the full census.
+#[must_use]
+pub fn full_spectrum_slice(geom: &Geometry, d1s: &[u64]) -> Spectrum {
+    let m = geom.banks();
+    let mut local = Spectrum::default();
+    for &d1 in d1s {
+        for d2 in 1..m {
+            for b2 in 0..m {
+                let s1 = StreamSpec {
+                    start_bank: 0,
+                    distance: d1,
+                };
+                let s2 = StreamSpec {
+                    start_bank: b2,
+                    distance: d2,
+                };
+                local.record(&classify_pair(geom, &s1, &s2, true));
+            }
+        }
+    }
+    local
+}
+
 /// Classifies all `(d1, d2, b2)` triples — the full design space including
-/// relative start positions. Fans out over the available cores (the sweep
-/// is embarrassingly parallel over `d1`).
+/// relative start positions — in a single thread.
+///
+/// The parallel version lives in `vecmem-exec` (`full_spectrum` there fans
+/// the [`full_spectrum_slice`] workers out over its work-stealing runner);
+/// this serial form remains as the reference implementation the runner's
+/// determinism tests compare against.
 #[must_use]
 pub fn full_spectrum(geom: &Geometry) -> Spectrum {
-    let m = geom.banks();
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let d1s: Vec<u64> = (1..m).collect();
-    let chunk = d1s.len().div_ceil(threads).max(1);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = d1s
-            .chunks(chunk)
-            .map(|slice| {
-                scope.spawn(move || {
-                    let mut local = Spectrum::default();
-                    for &d1 in slice {
-                        for d2 in 1..m {
-                            for b2 in 0..m {
-                                let s1 = StreamSpec {
-                                    start_bank: 0,
-                                    distance: d1,
-                                };
-                                let s2 = StreamSpec {
-                                    start_bank: b2,
-                                    distance: d2,
-                                };
-                                local.record(&classify_pair(geom, &s1, &s2, true));
-                            }
-                        }
-                    }
-                    local
-                })
-            })
-            .collect();
-        let mut total = Spectrum::default();
-        for h in handles {
-            let local = h.join().expect("spectrum thread");
-            total.self_limited += local.self_limited;
-            total.disjoint_sets += local.disjoint_sets;
-            total.conflict_free += local.conflict_free;
-            total.unique_barrier += local.unique_barrier;
-            total.barrier_possible += local.barrier_possible;
-            total.conflicting += local.conflicting;
-        }
-        total
-    })
+    let d1s: Vec<u64> = (1..geom.banks()).collect();
+    full_spectrum_slice(geom, &d1s)
 }
 
 /// Sweeps bank counts at fixed `n_c` and reports each geometry's

@@ -1,0 +1,333 @@
+//! The [`Scenario`] abstraction: one self-contained unit of sweep work.
+//!
+//! Every sweep-shaped artefact of the reproduction — the theorem tables,
+//! the figure traces, the spectrum census, the Fig. 10 triad series, the
+//! cross-validation suites — decomposes into independent scenarios. A
+//! scenario knows how to *execute* itself and (when the physics allows)
+//! how to *canonicalise* itself into a cache key such that key-equal
+//! scenarios are guaranteed to produce identical outcomes.
+
+use vecmem_analytic::isomorphism::canonical_streams;
+use vecmem_analytic::spectrum::{full_spectrum_slice, Spectrum};
+use vecmem_analytic::{Geometry, SectionMapping, StreamSpec};
+use vecmem_banksim::steady::{measure_steady_state, SteadyStateError};
+use vecmem_banksim::{Engine, PriorityRule, SimConfig, SimStats, SteadyState, StreamWorkload};
+use vecmem_vproc::triad::{TriadExperiment, TriadResult};
+
+/// A unit of sweep work executable on the [`Runner`](crate::Runner).
+///
+/// `execute` must be deterministic and depend only on the scenario's own
+/// state: the runner relies on this for submission-order determinism across
+/// thread counts, and the cache relies on it to replay key-equal scenarios.
+pub trait Scenario: Sync {
+    /// Result of executing the scenario.
+    type Output: Send + Clone;
+    /// Canonical cache key; scenarios with equal keys MUST produce equal
+    /// outputs.
+    type Key: std::hash::Hash + Eq + Clone + Send;
+
+    /// The canonical key, or `None` when the scenario must not be cached.
+    fn key(&self) -> Option<Self::Key>;
+
+    /// Runs the scenario to completion.
+    fn execute(&self) -> Self::Output;
+}
+
+/// Outcome of a steady-state scenario: the exact cyclic state, or the
+/// (deterministic) failure to find one within the cycle budget.
+pub type SteadyOutcome = Result<SteadyState, SteadyStateError>;
+
+/// Canonical identity of a [`SteadyScenario`] (and the trace prefix of a
+/// [`TraceScenario`]): geometry, port topology, priority rule, cycle budget
+/// and the isomorphism-normalised streams.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SteadyKey {
+    banks: u64,
+    sections: u64,
+    bank_cycle: u64,
+    mapping: SectionMapping,
+    ports: Vec<usize>,
+    priority: PriorityRule,
+    streams: Vec<StreamSpec>,
+    max_cycles: u64,
+}
+
+fn steady_key(config: &SimConfig, streams: &[StreamSpec], max_cycles: u64) -> SteadyKey {
+    let geom = &config.geometry;
+    // The unit renumbering of the Appendix commutes with the simulator's
+    // dynamics only when every bank has its own access path (s = m); for
+    // sectioned systems the identity (exact dedup) is the safe quotient.
+    let streams = if geom.is_unsectioned() {
+        canonical_streams(geom, streams)
+    } else {
+        streams.to_vec()
+    };
+    SteadyKey {
+        banks: geom.banks(),
+        sections: geom.sections(),
+        bank_cycle: geom.bank_cycle(),
+        mapping: geom.mapping(),
+        ports: config.ports.iter().map(|c| c.0).collect(),
+        priority: config.priority,
+        streams,
+        max_cycles,
+    }
+}
+
+/// Exact cyclic-state measurement of a set of infinite streams — the
+/// workhorse scenario behind the theorem tables, the start-bank sweeps and
+/// the cross-validation suites.
+#[derive(Debug, Clone)]
+pub struct SteadyScenario {
+    /// Memory geometry, port topology and priority rule.
+    pub config: SimConfig,
+    /// One stream per configured port.
+    pub streams: Vec<StreamSpec>,
+    /// Bound on the cyclic-state search.
+    pub max_cycles: u64,
+}
+
+impl SteadyScenario {
+    /// Two streams on ports of different CPUs (the §III-B setting).
+    #[must_use]
+    pub fn cross_cpu(geom: Geometry, s1: StreamSpec, s2: StreamSpec, max_cycles: u64) -> Self {
+        Self {
+            config: SimConfig::one_port_per_cpu(geom, 2),
+            streams: vec![s1, s2],
+            max_cycles,
+        }
+    }
+
+    /// Two streams on ports of the same CPU (section conflicts possible).
+    #[must_use]
+    pub fn same_cpu(geom: Geometry, s1: StreamSpec, s2: StreamSpec, max_cycles: u64) -> Self {
+        Self {
+            config: SimConfig::single_cpu(geom, 2),
+            streams: vec![s1, s2],
+            max_cycles,
+        }
+    }
+}
+
+impl Scenario for SteadyScenario {
+    type Output = SteadyOutcome;
+    type Key = SteadyKey;
+
+    fn key(&self) -> Option<SteadyKey> {
+        Some(steady_key(&self.config, &self.streams, self.max_cycles))
+    }
+
+    fn execute(&self) -> SteadyOutcome {
+        measure_steady_state(&self.config, &self.streams, self.max_cycles)
+    }
+}
+
+/// Outcome of a [`TraceScenario`]: the paper-style ASCII trace of the
+/// first cycles, the statistics of the traced run, and the exact steady
+/// state measured on a fresh workload.
+#[derive(Debug, Clone)]
+pub struct TraceOutcome {
+    /// ASCII trace in the paper's visual layout.
+    pub trace: String,
+    /// Raw statistics of the traced prefix.
+    pub stats: SimStats,
+    /// Exact steady state (independent of the traced prefix).
+    pub steady: SteadyOutcome,
+}
+
+/// A figure-style scenario: trace the first cycles of a stream pair and
+/// measure the exact steady state.
+///
+/// Trace output names concrete banks, which the isomorphism renumbers —
+/// so the cache key is the *exact* scenario (no canonicalisation): only
+/// byte-identical repeats replay from the cache.
+#[derive(Debug, Clone)]
+pub struct TraceScenario {
+    /// Memory geometry, port topology and priority rule.
+    pub config: SimConfig,
+    /// One stream per configured port.
+    pub streams: Vec<StreamSpec>,
+    /// Number of cycles to trace.
+    pub trace_cycles: u64,
+    /// Bound on the cyclic-state search.
+    pub max_cycles: u64,
+}
+
+/// Exact (un-normalised) identity of a [`TraceScenario`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TraceKey {
+    steady: SteadyKey,
+    exact_streams: Vec<StreamSpec>,
+    trace_cycles: u64,
+}
+
+impl Scenario for TraceScenario {
+    type Output = TraceOutcome;
+    type Key = TraceKey;
+
+    fn key(&self) -> Option<TraceKey> {
+        let mut steady = steady_key(&self.config, &self.streams, self.max_cycles);
+        // Replace the canonicalised streams with the literal ones: the
+        // rendered trace is not invariant under bank renumbering.
+        steady.streams = self.streams.clone();
+        Some(TraceKey {
+            steady,
+            exact_streams: self.streams.clone(),
+            trace_cycles: self.trace_cycles,
+        })
+    }
+
+    fn execute(&self) -> TraceOutcome {
+        let mut engine = Engine::new(self.config.clone()).with_trace(self.trace_cycles);
+        let mut workload = StreamWorkload::infinite(&self.config.geometry, &self.streams);
+        for _ in 0..self.trace_cycles {
+            engine.step(&mut workload);
+        }
+        let trace = engine.trace().expect("trace enabled").render_all();
+        let stats = engine.stats().clone();
+        let mut fresh = StreamWorkload::infinite(&self.config.geometry, &self.streams);
+        let steady = vecmem_banksim::steady::measure_steady_state_workload(
+            &self.config,
+            &mut fresh,
+            0,
+            self.max_cycles,
+        );
+        TraceOutcome {
+            trace,
+            stats,
+            steady,
+        }
+    }
+}
+
+/// One point of the Fig. 10 triad series: the §IV experiment at a given
+/// loop increment, with or without the other CPU's background streams.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TriadScenario {
+    /// Fortran loop increment (`1..=16` in the paper).
+    pub inc: u64,
+    /// Whether the other CPU runs its three unit-stride streams.
+    pub with_background: bool,
+}
+
+impl Scenario for TriadScenario {
+    type Output = TriadResult;
+    type Key = TriadScenario;
+
+    fn key(&self) -> Option<Self::Key> {
+        // Sectioned X-MP geometry: no isomorphism quotient, exact dedup only.
+        Some(self.clone())
+    }
+
+    fn execute(&self) -> TriadResult {
+        let exp = if self.with_background {
+            TriadExperiment::paper(self.inc)
+        } else {
+            TriadExperiment::paper_alone(self.inc)
+        };
+        exp.run()
+    }
+}
+
+/// One slice of the full design-space census of
+/// [`vecmem_analytic::spectrum`]: classifies all `(d1, d2, b2)` triples for
+/// the held `d1` values.
+#[derive(Debug, Clone)]
+pub struct SpectrumScenario {
+    /// Geometry under census.
+    pub geom: Geometry,
+    /// The `d1` values this slice covers.
+    pub d1s: Vec<u64>,
+}
+
+impl Scenario for SpectrumScenario {
+    type Output = Spectrum;
+    type Key = (Geometry, Vec<u64>);
+
+    fn key(&self) -> Option<Self::Key> {
+        Some((self.geom, self.d1s.clone()))
+    }
+
+    fn execute(&self) -> Spectrum {
+        full_spectrum_slice(&self.geom, &self.d1s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecmem_analytic::Ratio;
+
+    fn spec(b: u64, d: u64) -> StreamSpec {
+        StreamSpec {
+            start_bank: b,
+            distance: d,
+        }
+    }
+
+    #[test]
+    fn steady_scenario_reproduces_fig3() {
+        let geom = Geometry::unsectioned(13, 6).unwrap();
+        let s = SteadyScenario::cross_cpu(geom, spec(0, 1), spec(0, 6), 100_000);
+        let ss = s.execute().unwrap();
+        assert_eq!(ss.beff, Ratio::new(7, 6));
+    }
+
+    #[test]
+    fn isomorphic_scenarios_share_a_key() {
+        // m = 16: 1 ⊕ 3 ≡ 5 ⊕ 15 (Appendix example), with start banks
+        // renumbered alongside.
+        let geom = Geometry::unsectioned(16, 4).unwrap();
+        let a = SteadyScenario::cross_cpu(geom, spec(0, 1), spec(0, 3), 100_000);
+        // 5·13 ≡ 1, 15·13 ≡ 3 (mod 16): (5, 15) is in the (1, 3) orbit.
+        let b = SteadyScenario::cross_cpu(geom, spec(0, 5), spec(0, 15), 100_000);
+        assert_eq!(a.key(), b.key());
+        // And the outcomes agree in full (the cache-soundness contract).
+        assert_eq!(a.execute(), b.execute());
+        // A genuinely different pair gets a different key.
+        let c = SteadyScenario::cross_cpu(geom, spec(0, 1), spec(0, 2), 100_000);
+        assert_ne!(a.key(), c.key());
+    }
+
+    #[test]
+    fn sectioned_scenarios_use_exact_keys() {
+        let geom = Geometry::new(12, 3, 3).unwrap();
+        // 5 is a unit mod 12, so unsectioned these would collapse; with
+        // sections they must not.
+        let a = SteadyScenario::same_cpu(geom, spec(0, 1), spec(1, 1), 100_000);
+        let b = SteadyScenario::same_cpu(geom, spec(0, 5), spec(5, 5), 100_000);
+        assert_ne!(a.key(), b.key());
+    }
+
+    #[test]
+    fn cross_and_same_cpu_keys_differ() {
+        let geom = Geometry::unsectioned(12, 3).unwrap();
+        let a = SteadyScenario::cross_cpu(geom, spec(0, 1), spec(0, 7), 10_000);
+        let b = SteadyScenario::same_cpu(geom, spec(0, 1), spec(0, 7), 10_000);
+        assert_ne!(a.key(), b.key());
+    }
+
+    #[test]
+    fn trace_scenario_keys_are_exact() {
+        let geom = Geometry::unsectioned(16, 4).unwrap();
+        let mk = |d1: u64, d2: u64| TraceScenario {
+            config: SimConfig::one_port_per_cpu(geom, 2),
+            streams: vec![spec(0, d1), spec(0, d2)],
+            trace_cycles: 16,
+            max_cycles: 100_000,
+        };
+        // Isomorphic but not identical: traces differ, keys must too.
+        assert_ne!(mk(1, 3).key(), mk(5, 15).key());
+        assert_eq!(mk(1, 3).key(), mk(1, 3).key());
+    }
+
+    #[test]
+    fn spectrum_scenario_matches_serial_census() {
+        let geom = Geometry::unsectioned(12, 3).unwrap();
+        let s = SpectrumScenario {
+            geom,
+            d1s: (1..12).collect(),
+        };
+        assert_eq!(s.execute(), vecmem_analytic::spectrum::full_spectrum(&geom));
+    }
+}

@@ -1,0 +1,296 @@
+//! Declarative construction of scenario batches.
+//!
+//! The sweeps of the reproduction are all rectangles (or triangles) over
+//! `(d1, d2, b1, b2)`: "all distance pairs of geometry G", "all start
+//! banks of this pair", "increments 1..=16". [`SweepBuilder`] turns those
+//! descriptions into an ordered batch of [`SteadyScenario`]s plus the
+//! coordinate of every point, ready for [`Runner::run`](crate::Runner) —
+//! the iteration order (`d1` outermost, then `d2`, then `b2`) is part of
+//! the contract, so migrated callers reproduce their historical row order
+//! bit for bit.
+
+use vecmem_analytic::{Geometry, StreamSpec};
+use vecmem_banksim::{PriorityRule, SimConfig};
+
+use crate::scenario::{SteadyScenario, TriadScenario};
+
+/// Coordinates of one sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SweepPoint {
+    /// First stream's distance.
+    pub d1: u64,
+    /// Second stream's distance.
+    pub d2: u64,
+    /// First stream's start bank.
+    pub b1: u64,
+    /// Second stream's start bank.
+    pub b2: u64,
+}
+
+/// An ordered batch of steady-state scenarios with their coordinates.
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    /// Coordinate of each scenario, in batch order.
+    pub points: Vec<SweepPoint>,
+    /// The scenarios, in the same order.
+    pub scenarios: Vec<SteadyScenario>,
+}
+
+impl SweepPlan {
+    /// Number of points in the plan.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// True when the plan is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+}
+
+/// How the second distance ranges relative to the first.
+#[derive(Debug, Clone)]
+enum D2Range {
+    /// `1 <= d2 < m` (full rectangle).
+    Full,
+    /// `d1 <= d2 < m` (upper triangle; the symmetric half).
+    FromD1,
+    /// Explicit values.
+    Values(Vec<u64>),
+}
+
+/// Builder for steady-state sweeps over a single geometry.
+#[derive(Debug, Clone)]
+pub struct SweepBuilder {
+    geom: Geometry,
+    same_cpu: bool,
+    priority: PriorityRule,
+    d1s: Vec<u64>,
+    d2: D2Range,
+    b1: u64,
+    all_start_banks: bool,
+    b2: u64,
+    max_cycles: u64,
+}
+
+impl SweepBuilder {
+    /// A sweep over `geom` with the defaults of the §III experiments:
+    /// streams on different CPUs, fixed priority, `d1` and `d2` over the
+    /// full `1..m` rectangle, start banks 0, and a 5 M-cycle budget.
+    #[must_use]
+    pub fn new(geom: Geometry) -> Self {
+        Self {
+            geom,
+            same_cpu: false,
+            priority: PriorityRule::default(),
+            d1s: (1..geom.banks()).collect(),
+            d2: D2Range::Full,
+            b1: 0,
+            all_start_banks: false,
+            b2: 0,
+            max_cycles: 5_000_000,
+        }
+    }
+
+    /// Puts both streams on ports of the same CPU (section conflicts
+    /// become possible when `s < m`).
+    #[must_use]
+    pub fn same_cpu(mut self) -> Self {
+        self.same_cpu = true;
+        self
+    }
+
+    /// Sets the arbitration rule.
+    #[must_use]
+    pub fn priority(mut self, rule: PriorityRule) -> Self {
+        self.priority = rule;
+        self
+    }
+
+    /// Restricts `d1` to the given values (default `1..m`).
+    #[must_use]
+    pub fn d1_values(mut self, d1s: impl IntoIterator<Item = u64>) -> Self {
+        self.d1s = d1s.into_iter().collect();
+        self
+    }
+
+    /// Restricts `d2` to the given values (default `1..m`).
+    #[must_use]
+    pub fn d2_values(mut self, d2s: impl IntoIterator<Item = u64>) -> Self {
+        self.d2 = D2Range::Values(d2s.into_iter().collect());
+        self
+    }
+
+    /// Sweeps only `d2 >= d1` (the classification is symmetric in the
+    /// distances, so the theorem tables cover the upper triangle).
+    #[must_use]
+    pub fn d2_upper_triangle(mut self) -> Self {
+        self.d2 = D2Range::FromD1;
+        self
+    }
+
+    /// Fixes the first stream's start bank (default 0).
+    #[must_use]
+    pub fn b1(mut self, b1: u64) -> Self {
+        self.b1 = b1;
+        self
+    }
+
+    /// Sweeps the second stream's start bank over all `m` positions
+    /// (innermost loop), as `sweep_start_banks` does.
+    #[must_use]
+    pub fn all_start_banks(mut self) -> Self {
+        self.all_start_banks = true;
+        self
+    }
+
+    /// Fixes the second stream's start bank (default 0).
+    #[must_use]
+    pub fn b2(mut self, b2: u64) -> Self {
+        self.all_start_banks = false;
+        self.b2 = b2;
+        self
+    }
+
+    /// Sets the cyclic-state search budget per point.
+    #[must_use]
+    pub fn cycle_budget(mut self, max_cycles: u64) -> Self {
+        self.max_cycles = max_cycles;
+        self
+    }
+
+    /// Materialises the plan: `d1` outermost, then `d2`, then `b2`.
+    #[must_use]
+    pub fn build(&self) -> SweepPlan {
+        let m = self.geom.banks();
+        let config = if self.same_cpu {
+            SimConfig::single_cpu(self.geom, 2)
+        } else {
+            SimConfig::one_port_per_cpu(self.geom, 2)
+        }
+        .with_priority(self.priority);
+        let mut points = Vec::new();
+        let mut scenarios = Vec::new();
+        for &d1 in &self.d1s {
+            let d2s: Vec<u64> = match &self.d2 {
+                D2Range::Full => (1..m).collect(),
+                D2Range::FromD1 => (d1..m).collect(),
+                D2Range::Values(v) => v.clone(),
+            };
+            for d2 in d2s {
+                let b2s: Vec<u64> = if self.all_start_banks {
+                    (0..m).collect()
+                } else {
+                    vec![self.b2]
+                };
+                for b2 in b2s {
+                    points.push(SweepPoint {
+                        d1,
+                        d2,
+                        b1: self.b1,
+                        b2,
+                    });
+                    scenarios.push(SteadyScenario {
+                        config: config.clone(),
+                        streams: vec![
+                            StreamSpec {
+                                start_bank: self.b1,
+                                distance: d1 % m,
+                            },
+                            StreamSpec {
+                                start_bank: b2,
+                                distance: d2 % m,
+                            },
+                        ],
+                        max_cycles: self.max_cycles,
+                    });
+                }
+            }
+        }
+        SweepPlan { points, scenarios }
+    }
+}
+
+/// The Fig. 10 increment sweep: `INC = 1..=max_inc`, contended or alone.
+#[must_use]
+pub fn triad_sweep(max_inc: u64, with_background: bool) -> Vec<TriadScenario> {
+    (1..=max_inc)
+        .map(|inc| TriadScenario {
+            inc,
+            with_background,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scenario;
+
+    #[test]
+    fn full_rectangle_shape_and_order() {
+        let geom = Geometry::unsectioned(8, 2).unwrap();
+        let plan = SweepBuilder::new(geom).build();
+        assert_eq!(plan.len(), 7 * 7);
+        // d1 outermost, d2 inner, b2 fixed at 0.
+        assert_eq!(
+            plan.points[0],
+            SweepPoint {
+                d1: 1,
+                d2: 1,
+                b1: 0,
+                b2: 0
+            }
+        );
+        assert_eq!(plan.points[7].d1, 2);
+        assert!(plan.points.iter().all(|p| p.b2 == 0));
+    }
+
+    #[test]
+    fn upper_triangle_with_start_banks() {
+        let geom = Geometry::unsectioned(8, 2).unwrap();
+        let plan = SweepBuilder::new(geom)
+            .d2_upper_triangle()
+            .all_start_banks()
+            .build();
+        // Sum over d1 of (m - d1) pairs, each with m start banks.
+        let pairs: usize = (1..8).map(|d1| 8 - d1).sum();
+        assert_eq!(plan.len(), pairs * 8);
+        // Innermost loop is b2.
+        assert_eq!(plan.points[0].b2, 0);
+        assert_eq!(plan.points[1].b2, 1);
+        assert!(plan.points.iter().all(|p| p.d2 >= p.d1));
+    }
+
+    #[test]
+    fn plan_scenarios_match_sweep_start_banks() {
+        let geom = Geometry::unsectioned(8, 2).unwrap();
+        let config = SimConfig::one_port_per_cpu(geom, 2);
+        let plan = SweepBuilder::new(geom)
+            .d1_values([3])
+            .d2_values([5])
+            .all_start_banks()
+            .cycle_budget(100_000)
+            .build();
+        let direct =
+            vecmem_banksim::steady::sweep_start_banks(&config, 3, 5, 100_000).expect("converges");
+        let planned: Vec<_> = plan
+            .scenarios
+            .iter()
+            .map(|s| s.execute().expect("converges"))
+            .collect();
+        assert_eq!(planned, direct);
+    }
+
+    #[test]
+    fn triad_sweep_covers_increments() {
+        let s = triad_sweep(16, true);
+        assert_eq!(s.len(), 16);
+        assert_eq!(s[0].inc, 1);
+        assert_eq!(s[15].inc, 16);
+        assert!(s.iter().all(|t| t.with_background));
+        assert!(triad_sweep(4, false).iter().all(|t| !t.with_background));
+    }
+}

@@ -1,0 +1,71 @@
+//! Bridges execution-layer counters into the `vecmem-obs` metrics
+//! registry, so `--metrics-out` snapshots carry sweep-execution telemetry
+//! (cache hit/miss totals, hit rate, runner shape) alongside the
+//! cycle-level simulation metrics.
+
+use vecmem_obs::MetricsRegistry;
+
+use crate::runner::ExecReport;
+
+/// Counter: cache lookups answered without simulating.
+pub const CACHE_HITS: &str = "exec_cache_hits";
+/// Counter: cache lookups that executed the scenario.
+pub const CACHE_MISSES: &str = "exec_cache_misses";
+/// Counter: scenarios submitted to the runner.
+pub const SCENARIOS: &str = "exec_scenarios";
+/// Gauge: cache hit rate of the last exported batch, in `[0, 1]`.
+pub const CACHE_HIT_RATE: &str = "exec_cache_hit_rate";
+/// Gauge: worker threads of the last exported batch.
+pub const THREADS: &str = "exec_threads";
+/// Gauge: steal-chunk size of the last exported batch.
+pub const CHUNK_SIZE: &str = "exec_chunk_size";
+/// Gauge: scenarios still queued per worker at batch start (the depth of
+/// the steal queue each thread contends for).
+pub const QUEUE_DEPTH: &str = "exec_queue_depth";
+
+/// Folds one batch's [`ExecReport`] into `registry`: counters accumulate
+/// across batches, gauges reflect the most recent batch.
+pub fn export_exec_telemetry(registry: &mut MetricsRegistry, report: &ExecReport) {
+    registry.add_counter(CACHE_HITS, report.cache.hits);
+    registry.add_counter(CACHE_MISSES, report.cache.misses);
+    registry.add_counter(SCENARIOS, report.scenarios);
+    registry.set_gauge(CACHE_HIT_RATE, report.cache.hit_rate());
+    registry.set_gauge(THREADS, report.threads as f64);
+    registry.set_gauge(CHUNK_SIZE, report.chunk as f64);
+    let depth = if report.threads == 0 {
+        0.0
+    } else {
+        report.scenarios as f64 / report.threads as f64
+    };
+    registry.set_gauge(QUEUE_DEPTH, depth);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheStats;
+
+    #[test]
+    fn report_lands_in_registry() {
+        let mut registry = MetricsRegistry::new(1, 1);
+        let report = ExecReport {
+            scenarios: 40,
+            threads: 4,
+            chunk: 8,
+            cache: CacheStats {
+                hits: 30,
+                misses: 10,
+            },
+        };
+        export_exec_telemetry(&mut registry, &report);
+        assert_eq!(registry.counter(CACHE_HITS), Some(30));
+        assert_eq!(registry.counter(CACHE_MISSES), Some(10));
+        assert_eq!(registry.counter(SCENARIOS), Some(40));
+        assert_eq!(registry.gauge(CACHE_HIT_RATE), Some(0.75));
+        assert_eq!(registry.gauge(QUEUE_DEPTH), Some(10.0));
+        // Counters accumulate over batches; gauges track the latest.
+        export_exec_telemetry(&mut registry, &report);
+        assert_eq!(registry.counter(CACHE_HITS), Some(60));
+        assert_eq!(registry.gauge(CACHE_HIT_RATE), Some(0.75));
+    }
+}

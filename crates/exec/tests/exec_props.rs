@@ -1,0 +1,131 @@
+//! Property tests for the execution layer (satellite of the vecmem-exec PR):
+//!
+//! * cache soundness — a result replayed through the isomorphism-normalised
+//!   cache equals the direct simulation of the very scenario it replays for,
+//!   over randomised `(m, n_c, d1, d2, b1, b2)`;
+//! * runner determinism — the output vector is identical for thread counts
+//!   1, 2 and `available_parallelism`.
+
+use vecmem_exec::{ResultCache, Runner, Scenario, SteadyScenario, SweepBuilder};
+use vecmem_prop::prelude::*;
+
+use vecmem_analytic::{Geometry, StreamSpec};
+
+const MAX_CYCLES: u64 = 500_000;
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn spec(start_bank: u64, distance: u64) -> StreamSpec {
+    StreamSpec {
+        start_bank,
+        distance,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The cache-soundness contract end to end: take a random scenario,
+    /// renumber its banks by a random unit `k` (the Appendix isomorphism),
+    /// and replay the renumbered scenario from the cache entry the original
+    /// populated. The replayed outcome must equal the renumbered scenario's
+    /// own direct simulation.
+    #[test]
+    fn cached_isomorph_equals_direct_simulation(
+        m in 2u64..=20,
+        nc in 1u64..=6,
+        d1 in 0u64..=40,
+        d2 in 0u64..=40,
+        b1 in 0u64..=40,
+        b2 in 0u64..=40,
+        k_seed in 1u64..=40,
+    ) {
+        let geom = Geometry::unsectioned(m, nc).unwrap();
+        let base = SteadyScenario::cross_cpu(
+            geom,
+            spec(b1 % m, d1 % m),
+            spec(b2 % m, d2 % m),
+            MAX_CYCLES,
+        );
+        // A unit of Z_m: scan forward from the seed until gcd(k, m) = 1
+        // (k = 1 always qualifies, so this terminates).
+        let mut k = k_seed % m;
+        while k == 0 || gcd(k, m) != 1 {
+            k = (k + 1) % m;
+        }
+        let scaled = SteadyScenario::cross_cpu(
+            geom,
+            spec((k * (b1 % m)) % m, (k * (d1 % m)) % m),
+            spec((k * (b2 % m)) % m, (k * (d2 % m)) % m),
+            MAX_CYCLES,
+        );
+        prop_assert_eq!(
+            base.key(), scaled.key(),
+            "unit k={} must not change the canonical key", k
+        );
+
+        let direct = scaled.execute();
+        let cache = ResultCache::new();
+        let scenarios = [base, scaled];
+        let (outcomes, report) = Runner::with_threads(1).run_cached(&scenarios, &cache);
+        prop_assert_eq!(report.cache.misses, 1, "the pair shares one key");
+        prop_assert_eq!(report.cache.hits, 1, "the isomorph must replay");
+        prop_assert_eq!(&outcomes[1], &direct, "replayed != direct for k={}", k);
+        prop_assert_eq!(&outcomes[0], &scenarios[0].execute());
+    }
+
+    /// On sectioned geometries the cache must NOT conflate unit-scaled
+    /// scenarios: the quotient is exact identity, and every cached replay
+    /// still equals direct execution.
+    #[test]
+    fn sectioned_cache_replays_exact_scenarios_only(
+        s_idx in 0usize..=2,
+        d1 in 1u64..=40,
+        d2 in 1u64..=40,
+        b2 in 0u64..=40,
+    ) {
+        let (m, s, nc) = [(12, 2, 2), (12, 3, 3), (16, 4, 4)][s_idx];
+        let geom = Geometry::new(m, s, nc).unwrap();
+        let scenario =
+            SteadyScenario::same_cpu(geom, spec(0, d1 % m), spec(b2 % m, d2 % m), MAX_CYCLES);
+        let direct = scenario.execute();
+        let cache = ResultCache::new();
+        let batch = [scenario.clone(), scenario];
+        let (outcomes, report) = Runner::with_threads(1).run_cached(&batch, &cache);
+        prop_assert_eq!(report.cache.misses, 1);
+        prop_assert_eq!(report.cache.hits, 1, "the exact repeat must replay");
+        prop_assert_eq!(&outcomes[0], &direct);
+        prop_assert_eq!(&outcomes[1], &direct);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Submission-order determinism: the same sweep, run with 1, 2 and
+    /// `available_parallelism` threads, yields identical output vectors.
+    #[test]
+    fn runner_output_is_identical_across_thread_counts(
+        m in 4u64..=16,
+        nc in 1u64..=5,
+    ) {
+        let geom = Geometry::unsectioned(m, nc).unwrap();
+        let plan = SweepBuilder::new(geom)
+            .d1_values(1..m.min(6))
+            .all_start_banks()
+            .cycle_budget(MAX_CYCLES)
+            .build();
+        prop_assert!(!plan.is_empty());
+        let serial = Runner::with_threads(1).run(&plan.scenarios);
+        let two = Runner::with_threads(2).chunk(3).run(&plan.scenarios);
+        let wide = Runner::new().run(&plan.scenarios);
+        prop_assert_eq!(&serial, &two, "m={} nc={}: 1 vs 2 threads", m, nc);
+        prop_assert_eq!(&serial, &wide, "m={} nc={}: 1 vs default threads", m, nc);
+    }
+}

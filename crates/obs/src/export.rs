@@ -79,6 +79,24 @@ pub fn metrics_to_json(snapshot: &MetricsSnapshot) -> String {
         ("beff_series", Json::Array(series)),
         ("steady", steady),
         ("epsilon", Json::F64(snapshot.epsilon)),
+        (
+            "counters",
+            Json::obj(
+                snapshot
+                    .counters
+                    .iter()
+                    .map(|(k, &v)| (k.clone(), Json::U64(v))),
+            ),
+        ),
+        (
+            "gauges",
+            Json::obj(
+                snapshot
+                    .gauges
+                    .iter()
+                    .map(|(k, &v)| (k.clone(), Json::F64(v))),
+            ),
+        ),
     ])
     .render()
 }
@@ -127,6 +145,14 @@ pub fn metrics_to_csv(snapshot: &MetricsSnapshot) -> String {
     if let Some(s) = &snapshot.steady {
         push_u(&mut out, "steady_entered_at_cycle", 0, s.entered_at_cycle);
         let _ = writeln!(out, "steady_beff,0,{:?}", s.beff);
+    }
+    // Named counters/gauges keep the three-field shape; their names are
+    // snake_case identifiers by convention (no commas).
+    for (name, &v) in &snapshot.counters {
+        push_u(&mut out, name, 0, v);
+    }
+    for (name, &v) in &snapshot.gauges {
+        let _ = writeln!(out, "{name},0,{v:?}");
     }
     out
 }
@@ -178,6 +204,24 @@ mod tests {
         assert!(text.contains("\"beff\":1.0"));
         assert!(text.contains("\"beff_series\":[{"));
         assert!(text.contains("\"steady\":{"));
+    }
+
+    #[test]
+    fn named_metrics_reach_both_formats() {
+        let mut m = MetricsRegistry::with_window(2, 1, 2);
+        m.on_cycle_end(0, 0, 0);
+        m.add_counter("exec_cache_hits", 7);
+        m.set_gauge("exec_cache_hit_rate", 0.25);
+        let snap = m.snapshot();
+        let json = metrics_to_json(&snap);
+        assert!(json.contains("\"counters\":{\"exec_cache_hits\":7}"));
+        assert!(json.contains("\"gauges\":{\"exec_cache_hit_rate\":0.25}"));
+        let csv = metrics_to_csv(&snap);
+        assert!(csv.contains("exec_cache_hits,0,7"));
+        assert!(csv.contains("exec_cache_hit_rate,0,0.25"));
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), 3, "bad row: {line}");
+        }
     }
 
     #[test]

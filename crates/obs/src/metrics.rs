@@ -3,6 +3,7 @@
 //! the observer hooks alone (no access to the engine's internal state).
 
 use crate::window::{BeffWindow, SteadyEntry, WindowPoint};
+use std::collections::BTreeMap;
 use vecmem_banksim::{ConflictCounts, ConflictKind, PortId, SimObserver, WAIT_BUCKETS};
 
 /// Default rolling-window length (cycles) for the `b_eff(t)` series.
@@ -44,6 +45,8 @@ pub struct MetricsRegistry {
     total_grants: u64,
     window: BeffWindow,
     epsilon: f64,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
 }
 
 impl MetricsRegistry {
@@ -64,6 +67,8 @@ impl MetricsRegistry {
             total_grants: 0,
             window: BeffWindow::new(window),
             epsilon: DEFAULT_EPSILON,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
         }
     }
 
@@ -140,6 +145,43 @@ impl MetricsRegistry {
         self.window.steady_state(self.epsilon)
     }
 
+    /// Adds `delta` to the named free-form counter (created at 0). Used by
+    /// layers above the engine — e.g. `vecmem-exec` exports its sweep
+    /// cache's hit/miss totals here so `--metrics-out` snapshots carry
+    /// execution telemetry alongside the simulation metrics.
+    pub fn add_counter(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets the named free-form gauge to `value`.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Current value of a named counter, if it was ever touched.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Current value of a named gauge, if set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// All named counters, sorted by name.
+    #[must_use]
+    pub fn counters(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    /// All named gauges, sorted by name.
+    #[must_use]
+    pub fn gauges(&self) -> &BTreeMap<String, f64> {
+        &self.gauges
+    }
+
     /// Takes an immutable snapshot for export.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -156,6 +198,8 @@ impl MetricsRegistry {
             beff_series: self.window.series().to_vec(),
             steady: self.steady_state(),
             epsilon: self.epsilon,
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
         }
     }
 }
@@ -219,6 +263,10 @@ pub struct MetricsSnapshot {
     pub steady: Option<SteadyEntry>,
     /// Tolerance used for the verdict.
     pub epsilon: f64,
+    /// Named free-form counters (e.g. sweep-execution telemetry).
+    pub counters: BTreeMap<String, u64>,
+    /// Named free-form gauges.
+    pub gauges: BTreeMap<String, f64>,
 }
 
 #[cfg(test)]
@@ -286,6 +334,21 @@ mod tests {
         // The bogus port/bank land nowhere, but the grant still counts.
         assert_eq!(m.total_grants(), 1);
         assert_eq!(m.ports()[0].grants, 0);
+    }
+
+    #[test]
+    fn named_counters_and_gauges() {
+        let mut m = MetricsRegistry::new(2, 1);
+        assert_eq!(m.counter("exec_cache_hits"), None);
+        m.add_counter("exec_cache_hits", 3);
+        m.add_counter("exec_cache_hits", 2);
+        m.set_gauge("exec_cache_hit_rate", 0.6);
+        m.set_gauge("exec_cache_hit_rate", 0.8);
+        assert_eq!(m.counter("exec_cache_hits"), Some(5));
+        assert_eq!(m.gauge("exec_cache_hit_rate"), Some(0.8));
+        let snap = m.snapshot();
+        assert_eq!(snap.counters.get("exec_cache_hits"), Some(&5));
+        assert_eq!(snap.gauges.get("exec_cache_hit_rate"), Some(&0.8));
     }
 
     #[test]

@@ -8,11 +8,29 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
-echo "==> cargo clippy -D warnings (vecmem-obs, vecmem-prop)"
-cargo clippy -p vecmem-obs -p vecmem-prop --all-targets -- -D warnings
+echo "==> cargo clippy -D warnings (vecmem-obs, vecmem-prop, vecmem-exec)"
+cargo clippy -p vecmem-obs -p vecmem-prop -p vecmem-exec --all-targets -- -D warnings
 
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
+
+echo "==> smoke: figure/table binaries (small geometries, golden diffs)"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+for fig in 02 03 04 05 06 07 08 09; do
+  ./target/release/"fig$fig" > "$smoke_dir/fig$fig.txt"
+  diff -u "results/fig$fig.txt" "$smoke_dir/fig$fig.txt" \
+    || { echo "fig$fig drifted from results/fig$fig.txt"; exit 1; }
+done
+echo "    fig02-fig09 match the golden traces"
+./target/release/fig10 3 > "$smoke_dir/fig10.txt"
+grep -q "INC" "$smoke_dir/fig10.txt" || { echo "fig10 smoke output empty"; exit 1; }
+./target/release/table_theorems 8 2 > "$smoke_dir/theorems.txt" 2> "$smoke_dir/theorems.log"
+grep -q " 0 mismatches" "$smoke_dir/theorems.txt" \
+  || { echo "table_theorems 8 2 reported mismatches"; cat "$smoke_dir/theorems.txt"; exit 1; }
+grep -q "cache hit rate" "$smoke_dir/theorems.log" \
+  || { echo "table_theorems did not log its cache hit rate"; exit 1; }
+echo "    fig10 + table_theorems smoke OK"
 
 echo "==> OK"

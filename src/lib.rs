@@ -11,13 +11,17 @@
 //!   memory system with vector access ports;
 //! * [`vproc`] — vector-processor model (Cray X-MP style) used for the
 //!   paper's §IV triad experiment;
-//! * [`skew`] — bank-skewing schemes (the conclusion's suggested remedy).
+//! * [`skew`] — bank-skewing schemes (the conclusion's suggested remedy);
+//! * [`exec`] — execution layer: deterministic work-stealing runner,
+//!   isomorphism-keyed result cache and declarative sweep builder shared by
+//!   every table/figure generator and heavy test sweep.
 //!
 //! See the `examples/` directory for runnable entry points and
 //! `crates/bench` for the harnesses regenerating every figure of the paper.
 
 pub use vecmem_analytic as analytic;
 pub use vecmem_banksim as banksim;
+pub use vecmem_exec as exec;
 pub use vecmem_skew as skew;
 pub use vecmem_vproc as vproc;
 

@@ -9,60 +9,75 @@ use vecmem_analytic::pair::{classify_pair, PairClass};
 use vecmem_analytic::{Geometry, Ratio, StreamSpec};
 use vecmem_banksim::steady::measure_steady_state;
 use vecmem_banksim::SimConfig;
+use vecmem_exec::{ResultCache, Runner, SweepBuilder};
 
 const MAX_CYCLES: u64 = 2_000_000;
 
 /// Sweeps all (d1, d2, b2) for one geometry and checks every prediction.
+///
+/// The sweep runs on the shared `vecmem-exec` runner with isomorphism-keyed
+/// caching: coprime-scaled triples simulate once and replay. Every point is
+/// still asserted against its own analytic class, so a cache that conflated
+/// non-isomorphic scenarios would fail here loudly.
 fn validate_geometry(m: u64, nc: u64) {
     let geom = Geometry::unsectioned(m, nc).unwrap();
-    let config = SimConfig::one_port_per_cpu(geom, 2);
-    for d1 in 0..m {
-        for d2 in 0..m {
-            // Sweep BOTH orders: the hardware priority sits with port 0, so
-            // (d1, d2) and (d2, d1) are not equivalent at eq. 28's equality
-            // boundary (the swapped canonicalisation must flip the priority
-            // flag — a bug caught exactly here once).
-            for b2 in 0..m {
-                let s1 = StreamSpec::new(&geom, 0, d1).unwrap();
-                let s2 = StreamSpec::new(&geom, b2, d2).unwrap();
-                let class = classify_pair(&geom, &s1, &s2, true);
-                let steady = measure_steady_state(&config, &[s1, s2], MAX_CYCLES)
-                    .unwrap_or_else(|e| panic!("m={m} nc={nc} d1={d1} d2={d2} b2={b2}: {e}"));
-                let ctx = format!(
-                    "m={m} nc={nc} d1={d1} d2={d2} b2={b2}: class={class:?}, simulated={}",
-                    steady.beff
-                );
-                match class {
-                    PairClass::DisjointSets => {
-                        assert_eq!(steady.beff, Ratio::integer(2), "{ctx}");
-                        assert!(steady.conflict_free(), "{ctx}");
-                    }
-                    PairClass::ConflictFree => {
-                        // Theorem 3 + synchronisation: b_eff = 2 from any
-                        // start banks.
-                        assert_eq!(steady.beff, Ratio::integer(2), "{ctx}");
-                        assert!(steady.conflict_free(), "{ctx}");
-                    }
-                    PairClass::UniqueBarrier { beff, .. } => {
-                        assert_eq!(steady.beff, beff, "{ctx}");
-                    }
-                    PairClass::BarrierPossible { barrier_beff, .. } => {
-                        // Not unique: the steady state is either the barrier
-                        // (in one of the two directions) or some other
-                        // conflicting cycle — but never conflict-free full
-                        // bandwidth.
-                        assert!(steady.beff < Ratio::integer(2), "{ctx}");
-                        let _ = barrier_beff;
-                    }
-                    PairClass::Conflicting => {
-                        assert!(steady.beff < Ratio::integer(2), "{ctx}");
-                    }
-                    PairClass::SelfLimited => {
-                        // At least one stream cannot exceed r/n_c even alone;
-                        // the pair can never reach 2.
-                        assert!(steady.beff < Ratio::integer(2), "{ctx}");
-                    }
-                }
+    // Sweep BOTH orders: the hardware priority sits with port 0, so
+    // (d1, d2) and (d2, d1) are not equivalent at eq. 28's equality
+    // boundary (the swapped canonicalisation must flip the priority
+    // flag — a bug caught exactly here once).
+    let plan = SweepBuilder::new(geom)
+        .d1_values(0..m)
+        .d2_values(0..m)
+        .all_start_banks()
+        .cycle_budget(MAX_CYCLES)
+        .build();
+    let cache = ResultCache::new();
+    let (outcomes, report) = Runner::new().run_cached(&plan.scenarios, &cache);
+    assert!(
+        report.cache.hits > 0,
+        "m={m}: φ(m) > 1, some triples must replay from the cache: {report:?}"
+    );
+    for (point, outcome) in plan.points.iter().zip(&outcomes) {
+        let (d1, d2, b2) = (point.d1, point.d2, point.b2);
+        let s1 = StreamSpec::new(&geom, 0, d1).unwrap();
+        let s2 = StreamSpec::new(&geom, b2, d2).unwrap();
+        let class = classify_pair(&geom, &s1, &s2, true);
+        let steady = outcome
+            .clone()
+            .unwrap_or_else(|e| panic!("m={m} nc={nc} d1={d1} d2={d2} b2={b2}: {e}"));
+        let ctx = format!(
+            "m={m} nc={nc} d1={d1} d2={d2} b2={b2}: class={class:?}, simulated={}",
+            steady.beff
+        );
+        match class {
+            PairClass::DisjointSets => {
+                assert_eq!(steady.beff, Ratio::integer(2), "{ctx}");
+                assert!(steady.conflict_free(), "{ctx}");
+            }
+            PairClass::ConflictFree => {
+                // Theorem 3 + synchronisation: b_eff = 2 from any
+                // start banks.
+                assert_eq!(steady.beff, Ratio::integer(2), "{ctx}");
+                assert!(steady.conflict_free(), "{ctx}");
+            }
+            PairClass::UniqueBarrier { beff, .. } => {
+                assert_eq!(steady.beff, beff, "{ctx}");
+            }
+            PairClass::BarrierPossible { barrier_beff, .. } => {
+                // Not unique: the steady state is either the barrier
+                // (in one of the two directions) or some other
+                // conflicting cycle — but never conflict-free full
+                // bandwidth.
+                assert!(steady.beff < Ratio::integer(2), "{ctx}");
+                let _ = barrier_beff;
+            }
+            PairClass::Conflicting => {
+                assert!(steady.beff < Ratio::integer(2), "{ctx}");
+            }
+            PairClass::SelfLimited => {
+                // At least one stream cannot exceed r/n_c even alone;
+                // the pair can never reach 2.
+                assert!(steady.beff < Ratio::integer(2), "{ctx}");
             }
         }
     }

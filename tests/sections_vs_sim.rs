@@ -9,15 +9,19 @@ use vecmem::analytic::sections::{
 use vecmem::analytic::{Geometry, Ratio, StreamSpec};
 use vecmem::banksim::steady::measure_steady_state;
 use vecmem::banksim::SimConfig;
+use vecmem::exec::{Runner, SteadyScenario};
 
 const MAX_CYCLES: u64 = 2_000_000;
 
 /// For every distance pair on a sectioned geometry: if the analysis
 /// recommends a start offset, verify it is conflict-free.
+///
+/// The analysis pass is cheap and serial; the simulations of all the
+/// recommended placements run as one batch on the `vecmem-exec` runner.
 fn validate_recommended_offsets(m: u64, s: u64, nc: u64) {
     let geom = Geometry::new(m, s, nc).unwrap();
-    let config = SimConfig::single_cpu(geom, 2);
-    let mut recommended = 0;
+    let mut contexts = Vec::new();
+    let mut scenarios = Vec::new();
     for d1 in 1..m {
         for d2 in 1..m {
             let s1 = StreamSpec {
@@ -30,26 +34,26 @@ fn validate_recommended_offsets(m: u64, s: u64, nc: u64) {
             };
             let analysis = analyze_sectioned_pair(&geom, &s1, &s2_probe);
             if let Some(offset) = analysis.recommended_offset {
-                recommended += 1;
                 let s2 = StreamSpec {
                     start_bank: offset % m,
                     distance: d2,
                 };
-                let ss = measure_steady_state(&config, &[s1, s2], MAX_CYCLES)
-                    .expect("sectioned runs converge");
-                assert_eq!(
-                    ss.beff,
-                    Ratio::integer(2),
+                contexts.push(format!(
                     "m={m} s={s} nc={nc} d1={d1} d2={d2} offset={offset}: {analysis:?}"
-                );
-                assert!(ss.conflict_free());
+                ));
+                scenarios.push(SteadyScenario::same_cpu(geom, s1, s2, MAX_CYCLES));
             }
         }
     }
     assert!(
-        recommended > 0,
+        !scenarios.is_empty(),
         "sweep should exercise some recommendations"
     );
+    for (outcome, ctx) in Runner::new().run(&scenarios).into_iter().zip(&contexts) {
+        let ss = outcome.expect("sectioned runs converge");
+        assert_eq!(ss.beff, Ratio::integer(2), "{ctx}");
+        assert!(ss.conflict_free(), "{ctx}");
+    }
 }
 
 #[test]
@@ -127,8 +131,8 @@ fn fully_disjoint_pairs_simulate_to_two() {
     // Wherever the analysis says FullyDisjoint, the simulation must show
     // zero conflicts (given no self-conflicts).
     let geom = Geometry::new(12, 2, 2).unwrap();
-    let config = SimConfig::single_cpu(geom, 2);
-    let mut found = 0;
+    let mut contexts = Vec::new();
+    let mut scenarios = Vec::new();
     for d1 in 1..12 {
         for d2 in 1..12 {
             for b2 in 0..12 {
@@ -142,14 +146,16 @@ fn fully_disjoint_pairs_simulate_to_two() {
                 };
                 let analysis = analyze_sectioned_pair(&geom, &s1, &s2);
                 if analysis.class == SectionClass::FullyDisjoint {
-                    found += 1;
-                    let ss = measure_steady_state(&config, &[s1, s2], MAX_CYCLES).unwrap();
-                    assert_eq!(ss.beff, Ratio::integer(2), "d1={d1} d2={d2} b2={b2}");
+                    contexts.push(format!("d1={d1} d2={d2} b2={b2}"));
+                    scenarios.push(SteadyScenario::same_cpu(geom, s1, s2, MAX_CYCLES));
                 }
             }
         }
     }
-    assert!(found > 0);
+    assert!(!scenarios.is_empty());
+    for (outcome, ctx) in Runner::new().run(&scenarios).into_iter().zip(&contexts) {
+        assert_eq!(outcome.unwrap().beff, Ratio::integer(2), "{ctx}");
+    }
 }
 
 #[test]
