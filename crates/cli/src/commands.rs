@@ -15,6 +15,7 @@ use vecmem_exec::{
     TraceScenario,
 };
 use vecmem_obs::{write_metrics, EventLog, MetricsRegistry};
+use vecmem_oracle::{explore, sweep, DiffOutcome, ExploreConfig, SweepBounds};
 use vecmem_skew::{BankMapping, Interleaved, LinearSkew, PrimeInterleaved, XorFold};
 use vecmem_vproc::gather::{run_gather, IndexPattern};
 use vecmem_vproc::loops::{LoopSpec, Walk};
@@ -519,6 +520,128 @@ pub fn cmd_skew(opts: &Options) -> Result<String, String> {
     Ok(out)
 }
 
+/// `vecmem verify` — hold the optimized engine to account against the
+/// naive reference oracle and the paper's theorems.
+///
+/// Modes: `--diff` (single scenario, lockstep, dump on divergence),
+/// `--random N` (coverage-guided exploration of the sectioned space),
+/// `--exhaustive` (default: full small-geometry conformance sweep).
+/// Exits non-zero on any divergence or theorem violation.
+pub fn cmd_verify(opts: &Options) -> Result<String, String> {
+    if opts.flag("diff") {
+        return verify_diff(opts);
+    }
+    if opts.string("random").is_some() {
+        return verify_random(opts);
+    }
+    verify_exhaustive(opts)
+}
+
+fn verify_exhaustive(opts: &Options) -> Result<String, String> {
+    let max_ports = opts.u64_or("max-ports", 3).map_err(err)?;
+    let bounds = SweepBounds {
+        max_banks: opts.u64_or("max-banks", 16).map_err(err)?,
+        max_nc: opts.u64_or("max-nc", 4).map_err(err)?,
+        max_ports: usize::try_from(max_ports).map_err(|e| e.to_string())?,
+        steady_budget: opts.u64_or("cycle-budget", 500_000).map_err(err)?,
+    };
+    let runner = Runner::new();
+    let start = std::time::Instant::now();
+    let report = sweep(&bounds, &runner);
+    let elapsed = start.elapsed();
+
+    let mut out = format!(
+        "exhaustive conformance sweep: m <= {}, nc <= {}, p <= {}\n",
+        bounds.max_banks, bounds.max_nc, bounds.max_ports
+    );
+    out.push_str(&format!(
+        "  points enumerated   {:>9}\n  simulated (misses)  {:>9}\n  \
+         cache replays       {:>9}  (hit rate {:.1}%)\n",
+        report.enumerated,
+        report.executed,
+        report.replayed,
+        100.0 * report.hit_rate()
+    ));
+    out.push_str(&format!(
+        "  theorem checks: Thm1 {}  Thm2 {}  Thm3 {} (skipped {})  III-A {}\n",
+        report.thm1_checked,
+        report.thm2_checked,
+        report.thm3_checked,
+        report.thm3_skipped,
+        report.iiia_checked
+    ));
+    out.push_str(&format!(
+        "  divergences {}  violations {}  not converged {}\n  \
+         elapsed {:.2?} on {} thread(s)\n",
+        report.divergence_count,
+        report.violation_count,
+        report.not_converged,
+        elapsed,
+        runner.threads()
+    ));
+    if report.clean() {
+        out.push_str("verdict: CLEAN\n");
+        Ok(out)
+    } else {
+        for v in report.divergences.iter().chain(report.violations.iter()) {
+            out.push_str(&format!("\n{v}\n"));
+        }
+        out.push_str("verdict: FAILED\n");
+        Err(out)
+    }
+}
+
+fn verify_random(opts: &Options) -> Result<String, String> {
+    let cfg = ExploreConfig {
+        cases: opts.u64_or("random", 200).map_err(err)?,
+        seed: opts.u64_or("seed", 1).map_err(err)?,
+        steady_budget: opts.u64_or("cycle-budget", 200_000).map_err(err)?,
+        ..ExploreConfig::default()
+    };
+    let mut registry = MetricsRegistry::new(1, 1);
+    let start = std::time::Instant::now();
+    let report = explore(&cfg, &mut registry);
+    let elapsed = start.elapsed();
+
+    let mut out = format!(
+        "coverage-guided random exploration: {} cases, seed {}\n",
+        cfg.cases, cfg.seed
+    );
+    out.push_str(&format!(
+        "  distinct signatures {:>5}  (fresh on {} cases)\n  \
+         not converged       {:>5}\n  divergences         {:>5}\n  elapsed {:.2?}\n",
+        report.distinct, report.fresh, report.not_converged, report.divergence_count, elapsed
+    ));
+    out.push_str("  coverage (sections / gcd class / conflict-kind bits -> cases):\n");
+    for (name, count) in registry.counters_with_prefix("oracle.explore.sig.") {
+        let sig = name.trim_start_matches("oracle.explore.sig.");
+        out.push_str(&format!("    {sig:<12} {count:>5}\n"));
+    }
+    if report.clean() {
+        out.push_str("verdict: CLEAN\n");
+        Ok(out)
+    } else {
+        for v in &report.divergences {
+            out.push_str(&format!("\n{v}\n"));
+        }
+        out.push_str("verdict: FAILED\n");
+        Err(out)
+    }
+}
+
+fn verify_diff(opts: &Options) -> Result<String, String> {
+    let geom = geometry(opts)?;
+    let streams = pair_streams(opts, &geom)?;
+    let config = pair_config(opts, geom);
+    let cycles = opts.u64_or("cycles", 10_000).map_err(err)?;
+    match vecmem_oracle::conform::diff_single(&config, &streams, cycles) {
+        DiffOutcome::Match { cycles, grants } => Ok(format!(
+            "engines agree over {cycles} cycles ({grants} grants on each side)\n"
+        )),
+        DiffOutcome::Diverged(d) => Err(format!("{d}")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -534,6 +657,8 @@ mod tests {
         "consecutive",
         "full",
         "diagonal",
+        "exhaustive",
+        "diff",
     ];
 
     #[test]
@@ -580,7 +705,7 @@ mod tests {
         let mut starved: Vec<&str> = base.to_vec();
         starved.extend(["--cycle-budget", "2"]);
         let e = cmd_steady(&opts(&starved, FLAGS)).unwrap_err();
-        assert!(e.contains("steady state"), "{e}");
+        assert!(e.contains("no cyclic state"), "{e}");
         let mut ample: Vec<&str> = base.to_vec();
         ample.extend(["--cycle-budget", "100000"]);
         let out = cmd_steady(&opts(&ample, FLAGS)).unwrap();
@@ -854,5 +979,47 @@ mod tests {
     fn figure_command_rejects_unknown() {
         let o = Options::parse(vec!["99".to_string()], FLAGS).unwrap();
         assert!(cmd_figure(&o).is_err());
+    }
+
+    #[test]
+    fn verify_diff_fig2_matches() {
+        let o = opts(
+            &[
+                "--diff", "--banks", "12", "--nc", "3", "--d1", "1", "--d2", "7", "--cycles",
+                "2000",
+            ],
+            FLAGS,
+        );
+        let out = cmd_verify(&o).unwrap();
+        assert!(out.contains("engines agree over 2000 cycles"), "{out}");
+    }
+
+    #[test]
+    fn verify_exhaustive_tiny_bounds_clean() {
+        let o = opts(
+            &[
+                "--exhaustive",
+                "--max-banks",
+                "5",
+                "--max-nc",
+                "2",
+                "--max-ports",
+                "2",
+            ],
+            FLAGS,
+        );
+        let out = cmd_verify(&o).unwrap();
+        assert!(out.contains("verdict: CLEAN"), "{out}");
+        assert!(out.contains("divergences 0  violations 0"), "{out}");
+    }
+
+    #[test]
+    fn verify_random_reports_coverage() {
+        let o = opts(&["--random", "30", "--seed", "5"], FLAGS);
+        let out = cmd_verify(&o).unwrap();
+        assert!(out.contains("verdict: CLEAN"), "{out}");
+        assert!(out.contains("distinct signatures"), "{out}");
+        // Counter names are trimmed to their signature suffix in the table.
+        assert!(!out.contains("oracle.explore.sig."), "{out}");
     }
 }

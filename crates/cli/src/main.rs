@@ -23,6 +23,8 @@ COMMANDS:
   loop      analyse a Fortran loop (--dims J1,J2 --dim K --inc N | --diagonal)
   gather    index-vector (gather) bandwidth vs unit stride
   figure    regenerate a paper trace figure: vecmem figure 3
+  verify    differential oracle + theorem conformance
+            [--exhaustive (default) | --random N | --diff]
 
 COMMON OPTIONS:
   --banks M          number of banks (default 16)
@@ -37,7 +39,16 @@ COMMON OPTIONS:
   --cycle-budget N   max cycles of the steady-state search (steady, trace;
                      default 10000000; exits non-zero if not converged)
   --ports P          port count (random)
-  --seed S           RNG seed (random)
+  --seed S           RNG seed (random, verify --random)
+
+VERIFY OPTIONS:
+  --exhaustive       full small-geometry conformance sweep (the default)
+  --max-banks M      sweep bound on m (default 16)
+  --max-nc N         sweep bound on n_c (default 4)
+  --max-ports P      sweep bound on port count (default 3)
+  --random N         N coverage-guided random differential cases
+  --diff             lockstep-diff one scenario (common stream options
+                     apply; prints the first divergent cycle with a dump)
 
 TELEMETRY (trace, triad; steady exports sweep-execution counters):
   --metrics-out P    write a metrics snapshot (JSON; CSV when P ends in .csv)
@@ -60,6 +71,8 @@ const BOOL_FLAGS: &[&str] = &[
     "consecutive",
     "full",
     "diagonal",
+    "exhaustive",
+    "diff",
 ];
 
 fn main() {
@@ -87,6 +100,7 @@ fn main() {
         "loop" => commands::cmd_loop(&opts),
         "gather" => commands::cmd_gather(&opts),
         "figure" => commands::cmd_figure(&opts),
+        "verify" => commands::cmd_verify(&opts),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             return;

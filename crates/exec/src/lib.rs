@@ -30,8 +30,8 @@ pub mod telemetry;
 pub use cache::{CacheStats, ResultCache};
 pub use runner::{ExecReport, Runner, DEFAULT_CHUNK};
 pub use scenario::{
-    Scenario, SpectrumScenario, SteadyKey, SteadyOutcome, SteadyScenario, TraceKey, TraceOutcome,
-    TraceScenario, TriadScenario,
+    steady_key, Scenario, SpectrumScenario, SteadyKey, SteadyOutcome, SteadyScenario, TraceKey,
+    TraceOutcome, TraceScenario, TriadScenario,
 };
 pub use sweep::{triad_sweep, SweepBuilder, SweepPlan, SweepPoint};
 pub use telemetry::export_exec_telemetry;

@@ -52,7 +52,15 @@ pub struct SteadyKey {
     max_cycles: u64,
 }
 
-fn steady_key(config: &SimConfig, streams: &[StreamSpec], max_cycles: u64) -> SteadyKey {
+/// Canonical [`SteadyKey`] for an arbitrary `(config, streams, budget)`
+/// triple — the exact quotient used by [`SteadyScenario::key`].
+///
+/// Exposed so that external differential harnesses (`vecmem-oracle`) key
+/// their own scenarios with byte-identical canonicalisation: a bug in the
+/// quotient then shows up as a cross-member divergence instead of silently
+/// splitting the cache.
+#[must_use]
+pub fn steady_key(config: &SimConfig, streams: &[StreamSpec], max_cycles: u64) -> SteadyKey {
     let geom = &config.geometry;
     // The unit renumbering of the Appendix commutes with the simulator's
     // dynamics only when every bank has its own access path (s = m); for

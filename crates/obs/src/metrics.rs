@@ -176,6 +176,19 @@ impl MetricsRegistry {
         &self.counters
     }
 
+    /// Counters whose name starts with `prefix`, in name order. Namespaced
+    /// counter families ("oracle.explore.*", "exec.*") report themselves
+    /// through this without the caller walking the whole map.
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.counters
+            .range(prefix.to_string()..)
+            .take_while(move |(name, _)| name.starts_with(prefix))
+            .map(|(name, &value)| (name.as_str(), value))
+    }
+
     /// All named gauges, sorted by name.
     #[must_use]
     pub fn gauges(&self) -> &BTreeMap<String, f64> {
@@ -349,6 +362,22 @@ mod tests {
         let snap = m.snapshot();
         assert_eq!(snap.counters.get("exec_cache_hits"), Some(&5));
         assert_eq!(snap.gauges.get("exec_cache_hit_rate"), Some(&0.8));
+    }
+
+    #[test]
+    fn prefix_scan_isolates_counter_families() {
+        let mut m = MetricsRegistry::new(2, 1);
+        m.add_counter("oracle.explore.cases", 10);
+        m.add_counter("oracle.explore.fresh", 4);
+        m.add_counter("oracle.sweep.points", 7);
+        m.add_counter("exec.cache.hits", 3);
+        let explore: Vec<(&str, u64)> = m.counters_with_prefix("oracle.explore.").collect();
+        assert_eq!(
+            explore,
+            vec![("oracle.explore.cases", 10), ("oracle.explore.fresh", 4)]
+        );
+        assert_eq!(m.counters_with_prefix("oracle.").count(), 3);
+        assert_eq!(m.counters_with_prefix("nothing.").count(), 0);
     }
 
     #[test]

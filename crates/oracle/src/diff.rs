@@ -1,0 +1,310 @@
+//! Lockstep differential harness: the optimized [`Engine`] against the
+//! naive [`RefEngine`], cycle by cycle.
+//!
+//! Both engines simulate the same configuration and streams. Every clock
+//! period the harness compares, port by port, the requested bank and the
+//! grant/delay outcome (including the conflict kind), plus the full
+//! per-bank busy residues and the rotating-priority offset. The first
+//! mismatch aborts the run with a [`Divergence`] carrying a rendered
+//! bank/port state dump; agreement over the full horizon returns
+//! [`DiffOutcome::Match`].
+//!
+//! Because both simulators are deterministic and the compared residues +
+//! stream positions + rotation form the complete dynamic state, agreement
+//! through one transient plus one full period of the cyclic steady state
+//! implies agreement forever.
+
+use crate::engine::{RefConfig, RefEngine, RefOutcome, RefPriority};
+use vecmem_analytic::StreamSpec;
+use vecmem_banksim::{ConflictKind, Engine, PortOutcome, PriorityRule, SimConfig, StreamWorkload};
+
+/// Builds the [`RefConfig`] mirroring a simulator configuration.
+#[must_use]
+pub fn mirror_config(config: &SimConfig) -> RefConfig {
+    RefConfig {
+        geometry: config.geometry,
+        port_cpus: config.ports.iter().map(|c| c.0).collect(),
+        priority: match config.priority {
+            PriorityRule::Fixed => RefPriority::Fixed,
+            PriorityRule::Cyclic => RefPriority::Cyclic,
+        },
+    }
+}
+
+/// First divergent cycle, with a rendered state dump for reproduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Clock period (0-based) of the first disagreement.
+    pub cycle: u64,
+    /// Human-readable bank/port state dump of both engines at that cycle.
+    pub report: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "divergence at cycle {}\n{}", self.cycle, self.report)
+    }
+}
+
+/// Result of a lockstep comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffOutcome {
+    /// Both engines agreed on every compared cycle.
+    Match {
+        /// Clock periods compared.
+        cycles: u64,
+        /// Total grants observed (identical on both sides).
+        grants: u64,
+    },
+    /// The engines disagreed; payload reports the first divergent cycle.
+    Diverged(Divergence),
+}
+
+impl DiffOutcome {
+    /// True when the engines agreed over the whole horizon.
+    #[must_use]
+    pub fn matched(&self) -> bool {
+        matches!(self, Self::Match { .. })
+    }
+
+    /// The divergence, if any.
+    #[must_use]
+    pub fn divergence(&self) -> Option<&Divergence> {
+        match self {
+            Self::Match { .. } => None,
+            Self::Diverged(d) => Some(d),
+        }
+    }
+}
+
+/// Grant totals of the `b_eff`-only fast mode (see [`run_beff`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BeffDiff {
+    /// Clock periods simulated.
+    pub cycles: u64,
+    /// Total grants of the optimized engine.
+    pub engine_grants: u64,
+    /// Total grants of the reference engine.
+    pub oracle_grants: u64,
+}
+
+impl BeffDiff {
+    /// True when both engines delivered the same number of grants.
+    #[must_use]
+    pub fn matches(&self) -> bool {
+        self.engine_grants == self.oracle_grants
+    }
+}
+
+fn kind_of(outcome: PortOutcome) -> RefOutcome {
+    match outcome {
+        PortOutcome::Granted => RefOutcome::Granted,
+        PortOutcome::Delayed(ConflictKind::Bank) => RefOutcome::BankConflict,
+        PortOutcome::Delayed(ConflictKind::Section) => RefOutcome::SectionConflict,
+        PortOutcome::Delayed(ConflictKind::SimultaneousBank) => {
+            RefOutcome::SimultaneousBankConflict
+        }
+    }
+}
+
+fn outcome_name(o: RefOutcome) -> &'static str {
+    match o {
+        RefOutcome::Granted => "granted",
+        RefOutcome::BankConflict => "bank-conflict",
+        RefOutcome::SectionConflict => "section-conflict",
+        RefOutcome::SimultaneousBankConflict => "simultaneous-bank",
+    }
+}
+
+/// One engine's half of the state compared at a cycle, borrowed for the
+/// divergence dump.
+struct SideState<'a> {
+    view: &'a [(u64, RefOutcome)],
+    residues: &'a [u64],
+    rotation: usize,
+}
+
+/// Renders the full dual state dump at a divergent cycle.
+fn render_dump(config: &SimConfig, cycle: u64, engine: SideState, oracle: SideState) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let g = &config.geometry;
+    let _ = writeln!(
+        s,
+        "geometry m={} s={} nc={} priority={:?} ports={:?}",
+        g.banks(),
+        g.sections(),
+        g.bank_cycle(),
+        config.priority,
+        config.ports.iter().map(|c| c.0).collect::<Vec<_>>(),
+    );
+    let _ = writeln!(s, "cycle {cycle}:");
+    let _ = writeln!(
+        s,
+        "  port cpu | engine: bank outcome | oracle: bank outcome"
+    );
+    for (p, (e, o)) in engine.view.iter().zip(oracle.view).enumerate() {
+        let marker = if e == o { ' ' } else { '*' };
+        let _ = writeln!(
+            s,
+            " {marker}{p:>4} {cpu:>3} | {eb:>4} {eo:<17} | {ob:>4} {oo}",
+            cpu = config.ports[p].0,
+            eb = e.0,
+            eo = outcome_name(e.1),
+            ob = o.0,
+            oo = outcome_name(o.1),
+        );
+    }
+    let _ = writeln!(s, "  bank residues (remaining busy periods):");
+    let _ = writeln!(s, "    engine: {:?}", engine.residues);
+    let _ = writeln!(s, "    oracle: {:?}", oracle.residues);
+    let _ = writeln!(
+        s,
+        "  rotation: engine={} oracle={}",
+        engine.rotation, oracle.rotation
+    );
+    s
+}
+
+/// Steps a pre-built reference engine against a fresh optimized engine in
+/// lockstep for `cycles` clock periods.
+///
+/// The `oracle` must have been built from [`mirror_config`]`(config)` and
+/// the same `streams` (possibly with a seeded bug, which is the point of
+/// taking it as an argument).
+pub fn run_pair_against(
+    mut oracle: RefEngine,
+    config: &SimConfig,
+    streams: &[StreamSpec],
+    cycles: u64,
+) -> DiffOutcome {
+    let mut engine = Engine::new(config.clone());
+    let mut workload = StreamWorkload::infinite(&config.geometry, streams);
+    let ports = config.num_ports();
+    let mut grants = 0u64;
+    for cycle in 0..cycles {
+        let outcomes = engine.step(&mut workload);
+        let oracle_steps = oracle.step();
+        // Normalise the engine's (port, request, outcome) list to per-port
+        // order; with infinite streams every port is active every cycle.
+        let mut engine_view = vec![(u64::MAX, RefOutcome::Granted); ports];
+        for &(port, req, outcome) in &outcomes {
+            engine_view[port.0] = (req.bank, kind_of(outcome));
+        }
+        let engine_residues: Vec<u64> = engine
+            .bank_residues()
+            .iter()
+            .map(|&r| u64::from(r))
+            .collect();
+        let oracle_residues = oracle.bank_residues();
+        let oracle_view: Vec<(u64, RefOutcome)> =
+            oracle_steps.iter().map(|s| (s.bank, s.outcome)).collect();
+        let agree = engine_view == oracle_view
+            && engine_residues == oracle_residues
+            && engine.rotation() == oracle.rotation();
+        if !agree {
+            let report = render_dump(
+                config,
+                cycle,
+                SideState {
+                    view: &engine_view,
+                    residues: &engine_residues,
+                    rotation: engine.rotation(),
+                },
+                SideState {
+                    view: &oracle_view,
+                    residues: &oracle_residues,
+                    rotation: oracle.rotation(),
+                },
+            );
+            return DiffOutcome::Diverged(Divergence { cycle, report });
+        }
+        grants += oracle_steps.iter().filter(|s| s.outcome.granted()).count() as u64;
+    }
+    DiffOutcome::Match { cycles, grants }
+}
+
+/// Lockstep comparison over `cycles` clock periods with a fresh, faithful
+/// reference engine.
+pub fn run_pair(config: &SimConfig, streams: &[StreamSpec], cycles: u64) -> DiffOutcome {
+    let oracle = RefEngine::new(mirror_config(config), streams);
+    run_pair_against(oracle, config, streams, cycles)
+}
+
+/// `b_eff`-only fast mode for long runs: both engines simulate `cycles`
+/// periods independently (no per-cycle comparison) and only the grant
+/// totals are diffed.
+pub fn run_beff(config: &SimConfig, streams: &[StreamSpec], cycles: u64) -> BeffDiff {
+    let mut engine = Engine::new(config.clone());
+    let mut workload = StreamWorkload::infinite(&config.geometry, streams);
+    for _ in 0..cycles {
+        engine.step(&mut workload);
+    }
+    let mut oracle = RefEngine::new(mirror_config(config), streams);
+    let oracle_grants = oracle.run(cycles);
+    BeffDiff {
+        cycles,
+        engine_grants: engine.stats().total_grants(),
+        oracle_grants,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecmem_analytic::Geometry;
+
+    fn spec(g: &Geometry, b: u64, d: u64) -> StreamSpec {
+        StreamSpec::new(g, b, d).unwrap()
+    }
+
+    #[test]
+    fn fig2_pair_matches() {
+        // Fig. 2: m = 12, n_c = 3, d1 = 1, d2 = 7 — conflict-free pair.
+        let g = Geometry::unsectioned(12, 3).unwrap();
+        let cfg = SimConfig::one_port_per_cpu(g, 2);
+        let out = run_pair(&cfg, &[spec(&g, 0, 1), spec(&g, 1, 7)], 2000);
+        assert!(out.matched(), "{out:?}");
+    }
+
+    #[test]
+    fn contested_cyclic_pair_matches() {
+        let g = Geometry::unsectioned(8, 4).unwrap();
+        let cfg = SimConfig::one_port_per_cpu(g, 2).with_priority(PriorityRule::Cyclic);
+        let out = run_pair(&cfg, &[spec(&g, 0, 2), spec(&g, 0, 2)], 2000);
+        assert!(out.matched(), "{out:?}");
+    }
+
+    #[test]
+    fn sectioned_same_cpu_matches() {
+        let g = Geometry::new(16, 4, 4).unwrap();
+        let cfg = SimConfig::single_cpu(g, 2);
+        let out = run_pair(&cfg, &[spec(&g, 0, 1), spec(&g, 2, 5)], 2000);
+        assert!(out.matched(), "{out:?}");
+    }
+
+    #[test]
+    fn beff_fast_mode_agrees() {
+        let g = Geometry::unsectioned(13, 6).unwrap();
+        let cfg = SimConfig::one_port_per_cpu(g, 2);
+        let d = run_beff(&cfg, &[spec(&g, 0, 1), spec(&g, 0, 6)], 10_000);
+        assert!(d.matches(), "{d:?}");
+    }
+
+    #[cfg(feature = "bug_injection")]
+    #[test]
+    fn seeded_bug_is_detected() {
+        use crate::engine::InjectedBug;
+        let g = Geometry::unsectioned(8, 2).unwrap();
+        let cfg = SimConfig::one_port_per_cpu(g, 2);
+        let streams = [spec(&g, 0, 1), spec(&g, 0, 1)];
+        let oracle =
+            RefEngine::new(mirror_config(&cfg), &streams).with_bug(InjectedBug::InvertedPriority);
+        let out = run_pair_against(oracle, &cfg, &streams, 100);
+        let div = out.divergence().expect("must diverge");
+        // Both ports contest bank 0 at cycle 0; the inverted arbiter grants
+        // the wrong port immediately.
+        assert_eq!(div.cycle, 0);
+        assert!(div.report.contains("simultaneous-bank"));
+    }
+}

@@ -1,0 +1,482 @@
+//! `RefEngine`: a deliberately naive, obviously-correct reference
+//! simulator written straight from the paper's conflict rules.
+//!
+//! The implementation is an independent second version of the memory
+//! system, sharing only the `core` geometry/stream types with the
+//! optimized [`vecmem_banksim::Engine`] — no arbiter, workload or
+//! statistics code is reused. Everything is spelled out in the most
+//! literal form the paper allows:
+//!
+//! * each bank carries a **busy countdown** of remaining clock periods
+//!   (`n_c` at the grant, decremented at the start of every cycle);
+//! * each port holds one strided stream and retries its current element
+//!   **in order** until granted (paper §II: a delayed request stays at the
+//!   head of its port);
+//! * arbitration walks the ports **in explicit priority order** and
+//!   greedily claims access paths and banks: a request to a busy bank is a
+//!   *bank conflict*; a request whose CPU already spent its path to the
+//!   bank's section this cycle is a *section conflict*; a request to an
+//!   inactive bank already claimed by another CPU this cycle is a
+//!   *simultaneous bank conflict* (paper §II's taxonomy).
+//!
+//! The greedy walk is equivalent to the optimized engine's three-phase
+//! arbitration because the walk visits ports best-rank first: every path
+//! and every bank is always claimed by the best-ranked eligible port, and
+//! the busy-bank check precedes the path check exactly as phase 1 precedes
+//! phase 2.
+
+use vecmem_analytic::{Geometry, StreamSpec};
+
+/// Priority rule mirrored from the paper (§II): fixed port order, or a
+/// rotating order that advances whenever the priority was exercised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefPriority {
+    /// Port 0 always holds the highest priority.
+    Fixed,
+    /// Rotating priority: the offset advances after every contested cycle
+    /// (a cycle in which some port lost a section or simultaneous-bank
+    /// arbitration), passing the top slot on.
+    Cyclic,
+}
+
+/// A seeded arbiter fault, compiled in only with the `bug_injection`
+/// feature. Used by the golden tests to prove the differential harness
+/// catches real divergences.
+#[cfg(feature = "bug_injection")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedBug {
+    /// The priority comparison is inverted: the *lowest*-priority port wins
+    /// every contested arbitration.
+    InvertedPriority,
+    /// The cyclic rotation never advances, silently degrading the rotating
+    /// rule to a fixed one.
+    StuckRotation,
+}
+
+/// Static description of the reference system: geometry, the CPU each port
+/// belongs to, and the priority rule.
+#[derive(Debug, Clone)]
+pub struct RefConfig {
+    /// Memory geometry (banks, sections, bank cycle time).
+    pub geometry: Geometry,
+    /// `port_cpus[i]` is the CPU owning port `i`.
+    pub port_cpus: Vec<usize>,
+    /// Arbitration priority rule.
+    pub priority: RefPriority,
+}
+
+impl RefConfig {
+    /// All ports on one CPU (section conflicts possible between them).
+    #[must_use]
+    pub fn single_cpu(geometry: Geometry, ports: usize, priority: RefPriority) -> Self {
+        Self {
+            geometry,
+            port_cpus: vec![0; ports],
+            priority,
+        }
+    }
+
+    /// One port per CPU (the multiprocessor setting of §III-B).
+    #[must_use]
+    pub fn one_port_per_cpu(geometry: Geometry, ports: usize, priority: RefPriority) -> Self {
+        Self {
+            geometry,
+            port_cpus: (0..ports).collect(),
+            priority,
+        }
+    }
+}
+
+/// Outcome of one port in one clock period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefOutcome {
+    /// The request was granted; the bank starts its busy interval.
+    Granted,
+    /// The addressed bank was still busy (paper: *bank conflict*).
+    BankConflict,
+    /// The port's CPU already used its path to the bank's section this
+    /// cycle (paper: *section conflict*).
+    SectionConflict,
+    /// Another CPU claimed the same inactive bank this cycle (paper:
+    /// *simultaneous bank conflict*).
+    SimultaneousBankConflict,
+}
+
+impl RefOutcome {
+    /// True for the granted outcome.
+    #[must_use]
+    pub fn granted(&self) -> bool {
+        matches!(self, Self::Granted)
+    }
+}
+
+/// One port's view of one simulated clock period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefStep {
+    /// Bank the port requested this cycle.
+    pub bank: u64,
+    /// What happened to the request.
+    pub outcome: RefOutcome,
+}
+
+/// The naive reference engine. One infinite strided stream per port.
+#[derive(Debug, Clone)]
+pub struct RefEngine {
+    config: RefConfig,
+    /// `busy[j]`: clock periods bank `j` remains unavailable, counted down
+    /// at the start of every cycle; a grant sets it to `n_c`.
+    busy: Vec<u64>,
+    /// Current bank of each port's stream (the element being retried).
+    current_bank: Vec<u64>,
+    /// Distance of each port's stream.
+    distance: Vec<u64>,
+    rotation: usize,
+    cycle: u64,
+    grants: Vec<u64>,
+    /// Delayed port-cycles per port: `[bank, section, simultaneous]`.
+    delays: Vec<[u64; 3]>,
+    #[cfg(feature = "bug_injection")]
+    bug: Option<InjectedBug>,
+}
+
+impl RefEngine {
+    /// A fresh engine with one infinite stream per port.
+    ///
+    /// # Panics
+    /// If `streams.len() != config.port_cpus.len()`.
+    #[must_use]
+    pub fn new(config: RefConfig, streams: &[StreamSpec]) -> Self {
+        assert_eq!(streams.len(), config.port_cpus.len(), "one stream per port");
+        let banks = config.geometry.banks() as usize;
+        let ports = config.port_cpus.len();
+        Self {
+            busy: vec![0; banks],
+            current_bank: streams.iter().map(|s| s.start_bank).collect(),
+            distance: streams.iter().map(|s| s.distance).collect(),
+            rotation: 0,
+            cycle: 0,
+            grants: vec![0; ports],
+            delays: vec![[0; 3]; ports],
+            config,
+            #[cfg(feature = "bug_injection")]
+            bug: None,
+        }
+    }
+
+    /// Seeds an arbiter fault (golden-test support).
+    #[cfg(feature = "bug_injection")]
+    #[must_use]
+    pub fn with_bug(mut self, bug: InjectedBug) -> Self {
+        self.bug = Some(bug);
+        self
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &RefConfig {
+        &self.config
+    }
+
+    /// Clock periods simulated so far.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Current rotating-priority offset.
+    #[must_use]
+    pub fn rotation(&self) -> usize {
+        self.rotation
+    }
+
+    /// Grants accumulated by each port.
+    #[must_use]
+    pub fn grants(&self) -> &[u64] {
+        &self.grants
+    }
+
+    /// Total grants across all ports.
+    #[must_use]
+    pub fn total_grants(&self) -> u64 {
+        self.grants.iter().sum()
+    }
+
+    /// Delayed port-cycles per port as `[bank, section, simultaneous]`.
+    #[must_use]
+    pub fn delays(&self) -> &[[u64; 3]] {
+        &self.delays
+    }
+
+    /// Remaining busy periods of every bank *after* the last simulated
+    /// cycle, in the same convention as
+    /// [`Engine::bank_residues`](vecmem_banksim::Engine::bank_residues):
+    /// the number of upcoming clock periods the bank is still unavailable.
+    #[must_use]
+    pub fn bank_residues(&self) -> Vec<u64> {
+        // The countdown holds `n_c - (elapsed since grant)` and is one
+        // ahead of the optimized engine's `free_at - now` because it is
+        // decremented at the start of the next cycle rather than on read.
+        self.busy.iter().map(|&c| c.saturating_sub(1)).collect()
+    }
+
+    /// Priority rank of a port; lower wins. Written independently of the
+    /// optimized arbiter: under the rotating rule the port whose index
+    /// equals the rotation offset holds rank 0.
+    fn rank(&self, port: usize) -> usize {
+        let p = self.config.port_cpus.len();
+        match self.config.priority {
+            RefPriority::Fixed => port,
+            RefPriority::Cyclic => (port + p - self.rotation % p) % p,
+        }
+    }
+
+    /// Ports in the order the arbiter serves them this cycle (best first).
+    fn service_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.config.port_cpus.len()).collect();
+        order.sort_by_key(|&i| self.rank(i));
+        #[cfg(feature = "bug_injection")]
+        if self.bug == Some(InjectedBug::InvertedPriority) {
+            order.reverse();
+        }
+        order
+    }
+
+    /// Simulates one clock period; returns each port's request and outcome.
+    pub fn step(&mut self) -> Vec<RefStep> {
+        let geom = self.config.geometry;
+        let nc = geom.bank_cycle();
+        let ports = self.config.port_cpus.len();
+
+        // Banks age at the start of the cycle: a bank granted at cycle `t`
+        // holds `n_c`, so it rejects requests at `t+1 .. t+n_c-1` and is
+        // free again at `t + n_c`.
+        for b in &mut self.busy {
+            *b = b.saturating_sub(1);
+        }
+
+        let mut steps: Vec<Option<RefStep>> = vec![None; ports];
+        // Access paths (cpu, section) and inactive banks claimed so far
+        // this cycle, in the literal list form the paper's rules suggest.
+        let mut paths_used: Vec<(usize, u64)> = Vec::with_capacity(ports);
+        let mut banks_claimed: Vec<u64> = Vec::with_capacity(ports);
+        let mut contested = false;
+
+        for port in self.service_order() {
+            let bank = self.current_bank[port];
+            let cpu = self.config.port_cpus[port];
+            let section = geom.section_of(bank);
+            let outcome = if self.busy[bank as usize] > 0 {
+                self.delays[port][0] += 1;
+                RefOutcome::BankConflict
+            } else if paths_used.contains(&(cpu, section)) {
+                self.delays[port][1] += 1;
+                contested = true;
+                RefOutcome::SectionConflict
+            } else if banks_claimed.contains(&bank) {
+                self.delays[port][2] += 1;
+                contested = true;
+                RefOutcome::SimultaneousBankConflict
+            } else {
+                paths_used.push((cpu, section));
+                banks_claimed.push(bank);
+                self.grants[port] += 1;
+                self.current_bank[port] = (bank + self.distance[port]) % geom.banks();
+                RefOutcome::Granted
+            };
+            steps[port] = Some(RefStep { bank, outcome });
+        }
+
+        // Granted banks start their busy interval only after the whole
+        // cycle is arbitrated: the busy check above must see the state at
+        // the start of the cycle, while same-cycle collisions on an
+        // inactive bank are section / simultaneous-bank conflicts.
+        for &bank in &banks_claimed {
+            self.busy[bank as usize] = nc;
+        }
+
+        if self.config.priority == RefPriority::Cyclic && contested {
+            let advance = {
+                #[cfg(feature = "bug_injection")]
+                {
+                    self.bug != Some(InjectedBug::StuckRotation)
+                }
+                #[cfg(not(feature = "bug_injection"))]
+                {
+                    true
+                }
+            };
+            if advance {
+                self.rotation = (self.rotation + 1) % ports.max(1);
+            }
+        }
+        self.cycle += 1;
+        steps
+            .into_iter()
+            .map(|s| s.expect("every port served"))
+            .collect()
+    }
+
+    /// Runs `cycles` clock periods; returns total grants over the run (the
+    /// numerator of the naive effective-bandwidth estimate).
+    pub fn run(&mut self, cycles: u64) -> u64 {
+        let before = self.total_grants();
+        for _ in 0..cycles {
+            self.step();
+        }
+        self.total_grants() - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom(m: u64, nc: u64) -> Geometry {
+        Geometry::unsectioned(m, nc).unwrap()
+    }
+
+    fn spec(g: &Geometry, b: u64, d: u64) -> StreamSpec {
+        StreamSpec::new(g, b, d).unwrap()
+    }
+
+    #[test]
+    fn unit_stride_full_bandwidth() {
+        let g = geom(8, 4);
+        let mut e = RefEngine::new(
+            RefConfig::single_cpu(g, 1, RefPriority::Fixed),
+            &[spec(&g, 0, 1)],
+        );
+        assert_eq!(e.run(32), 32);
+        assert_eq!(e.delays()[0], [0, 0, 0]);
+    }
+
+    #[test]
+    fn self_conflicting_stream_throttled() {
+        // §III-A: m = 8, n_c = 4, d = 4: r = 2 < n_c so b_eff = 1/2.
+        let g = geom(8, 4);
+        let mut e = RefEngine::new(
+            RefConfig::single_cpu(g, 1, RefPriority::Fixed),
+            &[spec(&g, 0, 4)],
+        );
+        assert_eq!(e.run(32), 16);
+        assert!(e.delays()[0][0] > 0, "expected bank conflicts");
+    }
+
+    #[test]
+    fn bank_hold_time_respected() {
+        // d = 0 hammers one bank: grants every n_c cycles.
+        let g = geom(4, 3);
+        let mut e = RefEngine::new(
+            RefConfig::single_cpu(g, 1, RefPriority::Fixed),
+            &[spec(&g, 0, 0)],
+        );
+        // Grants at cycles 0, 3, 6; delays at 1, 2, 4, 5, 7, 8.
+        assert_eq!(e.run(9), 3);
+        assert_eq!(e.delays()[0][0], 6);
+    }
+
+    #[test]
+    fn simultaneous_bank_conflict_priority() {
+        // Two CPUs hit the same inactive bank: fixed priority grants port 0.
+        let g = geom(8, 2);
+        let mut e = RefEngine::new(
+            RefConfig::one_port_per_cpu(g, 2, RefPriority::Fixed),
+            &[spec(&g, 3, 1), spec(&g, 3, 1)],
+        );
+        let out = e.step();
+        assert_eq!(out[0].outcome, RefOutcome::Granted);
+        assert_eq!(out[1].outcome, RefOutcome::SimultaneousBankConflict);
+    }
+
+    #[test]
+    fn same_cpu_collision_is_section_conflict() {
+        // With s = m each bank is its own section: a same-CPU collision on
+        // one bank is a section (path) conflict, as in the paper.
+        let g = geom(8, 2);
+        let mut e = RefEngine::new(
+            RefConfig::single_cpu(g, 2, RefPriority::Fixed),
+            &[spec(&g, 3, 1), spec(&g, 3, 1)],
+        );
+        let out = e.step();
+        assert_eq!(out[0].outcome, RefOutcome::Granted);
+        assert_eq!(out[1].outcome, RefOutcome::SectionConflict);
+    }
+
+    #[test]
+    fn sectioned_path_conflict_across_banks() {
+        // m = 4, s = 2 cyclic: banks 1 and 3 share section 1; one CPU has a
+        // single path to it.
+        let g = Geometry::new(4, 2, 2).unwrap();
+        let mut e = RefEngine::new(
+            RefConfig::single_cpu(g, 2, RefPriority::Fixed),
+            &[spec(&g, 1, 1), spec(&g, 3, 1)],
+        );
+        let out = e.step();
+        assert_eq!(out[0].outcome, RefOutcome::Granted);
+        assert_eq!(out[1].outcome, RefOutcome::SectionConflict);
+    }
+
+    #[test]
+    fn cyclic_rotation_advances_only_when_contested() {
+        let g = geom(8, 2);
+        let mut e = RefEngine::new(
+            RefConfig::one_port_per_cpu(g, 2, RefPriority::Cyclic),
+            &[spec(&g, 0, 1), spec(&g, 0, 1)],
+        );
+        // Cycle 0 contested (same inactive bank): rotation advances.
+        e.step();
+        assert_eq!(e.rotation(), 1);
+        // The loser retries bank 0 (busy), the winner moved on: a pure bank
+        // conflict does not advance the rotation.
+        e.step();
+        assert_eq!(e.rotation(), 1);
+    }
+
+    #[test]
+    fn in_order_retry_until_granted() {
+        let g = geom(4, 3);
+        let mut e = RefEngine::new(
+            RefConfig::one_port_per_cpu(g, 2, RefPriority::Fixed),
+            &[spec(&g, 0, 1), spec(&g, 0, 2)],
+        );
+        // Port 1 loses bank 0 at cycle 0, then retries it against the busy
+        // interval (cycles 1, 2) before winning at cycle 3.
+        let c0 = e.step();
+        assert_eq!(c0[1].outcome, RefOutcome::SimultaneousBankConflict);
+        for _ in 0..2 {
+            let c = e.step();
+            assert_eq!(c[1].bank, 0);
+            assert_eq!(c[1].outcome, RefOutcome::BankConflict);
+        }
+        let c3 = e.step();
+        assert_eq!(c3[1].bank, 0);
+        assert_eq!(c3[1].outcome, RefOutcome::Granted);
+    }
+
+    #[cfg(feature = "bug_injection")]
+    #[test]
+    fn inverted_priority_bug_flips_winner() {
+        let g = geom(8, 2);
+        let mut e = RefEngine::new(
+            RefConfig::one_port_per_cpu(g, 2, RefPriority::Fixed),
+            &[spec(&g, 3, 1), spec(&g, 3, 1)],
+        )
+        .with_bug(InjectedBug::InvertedPriority);
+        let out = e.step();
+        assert_eq!(out[0].outcome, RefOutcome::SimultaneousBankConflict);
+        assert_eq!(out[1].outcome, RefOutcome::Granted);
+    }
+
+    #[cfg(feature = "bug_injection")]
+    #[test]
+    fn stuck_rotation_bug_freezes_cyclic_rule() {
+        let g = geom(8, 2);
+        let mut e = RefEngine::new(
+            RefConfig::one_port_per_cpu(g, 2, RefPriority::Cyclic),
+            &[spec(&g, 0, 1), spec(&g, 0, 1)],
+        )
+        .with_bug(InjectedBug::StuckRotation);
+        e.step();
+        assert_eq!(e.rotation(), 0);
+    }
+}

@@ -40,6 +40,32 @@ where
     }
 }
 
+/// A strategy drawing uniformly from a fixed list of values (the
+/// proptest `sample::select` shape). Useful for enum-like choices — section
+/// mappings, priority rules, divisor lists — that ranges cannot express.
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    values: Vec<T>,
+}
+
+/// Uniform choice among `values`.
+///
+/// # Panics
+/// If `values` is empty.
+#[must_use]
+pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+    assert!(!values.is_empty(), "select requires at least one value");
+    Select { values }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.values[rng.bounded(self.values.len() as u64) as usize].clone()
+    }
+}
+
 impl Strategy for Range<u64> {
     type Value = u64;
 
@@ -138,5 +164,27 @@ mod tests {
     fn full_u64_range_does_not_overflow() {
         let mut rng = TestRng::seed_from_u64(9);
         let _ = (0u64..=u64::MAX).generate(&mut rng);
+    }
+
+    #[test]
+    fn select_draws_every_value() {
+        let strat = select(vec![2u64, 3, 5]);
+        let mut rng = TestRng::seed_from_u64(7);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            match strat.generate(&mut rng) {
+                2 => seen[0] = true,
+                3 => seen[1] = true,
+                5 => seen[2] = true,
+                other => panic!("unexpected value {other}"),
+            }
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn select_rejects_empty_list() {
+        let _ = select(Vec::<u64>::new());
     }
 }

@@ -8,8 +8,9 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
-echo "==> cargo clippy -D warnings (vecmem-obs, vecmem-prop, vecmem-exec)"
+echo "==> cargo clippy -D warnings (vecmem-obs, vecmem-prop, vecmem-exec, vecmem-oracle)"
 cargo clippy -p vecmem-obs -p vecmem-prop -p vecmem-exec --all-targets -- -D warnings
+cargo clippy -p vecmem-oracle --all-targets --all-features -- -D warnings
 
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
@@ -32,5 +33,16 @@ grep -q " 0 mismatches" "$smoke_dir/theorems.txt" \
 grep -q "cache hit rate" "$smoke_dir/theorems.log" \
   || { echo "table_theorems did not log its cache hit rate"; exit 1; }
 echo "    fig10 + table_theorems smoke OK"
+
+echo "==> verify: differential oracle + theorem conformance (see TESTING.md)"
+./target/release/vecmem verify --exhaustive > "$smoke_dir/verify.txt" \
+  || { echo "vecmem verify --exhaustive failed"; cat "$smoke_dir/verify.txt"; exit 1; }
+grep -q "divergences 0  violations 0  not converged 0" "$smoke_dir/verify.txt" \
+  || { echo "exhaustive sweep not clean"; cat "$smoke_dir/verify.txt"; exit 1; }
+./target/release/vecmem verify --random 200 --seed 42 > "$smoke_dir/verify-random.txt" \
+  || { echo "vecmem verify --random failed"; cat "$smoke_dir/verify-random.txt"; exit 1; }
+grep -q "verdict: CLEAN" "$smoke_dir/verify-random.txt" \
+  || { echo "random exploration not clean"; cat "$smoke_dir/verify-random.txt"; exit 1; }
+echo "    exhaustive sweep + 200 random cases: zero divergences"
 
 echo "==> OK"

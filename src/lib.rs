@@ -14,7 +14,10 @@
 //! * [`skew`] — bank-skewing schemes (the conclusion's suggested remedy);
 //! * [`exec`] — execution layer: deterministic work-stealing runner,
 //!   isomorphism-keyed result cache and declarative sweep builder shared by
-//!   every table/figure generator and heavy test sweep.
+//!   every table/figure generator and heavy test sweep;
+//! * [`oracle`] — differential verification: a naive reference simulator,
+//!   a lockstep diff harness, the exhaustive small-geometry conformance
+//!   sweep and a coverage-guided random explorer (`vecmem verify`).
 //!
 //! See the `examples/` directory for runnable entry points and
 //! `crates/bench` for the harnesses regenerating every figure of the paper.
@@ -22,6 +25,7 @@
 pub use vecmem_analytic as analytic;
 pub use vecmem_banksim as banksim;
 pub use vecmem_exec as exec;
+pub use vecmem_oracle as oracle;
 pub use vecmem_skew as skew;
 pub use vecmem_vproc as vproc;
 

@@ -1,0 +1,157 @@
+//! Golden tests for the differential oracle harness.
+//!
+//! The clean half pins that the optimized `banksim::Engine` and the naive
+//! `oracle::RefEngine` agree in lockstep on the paper's own scenarios.
+//! The seeded half proves the harness has teeth: with the `bug_injection`
+//! feature (enabled for this test by the root dev-dependency) a known
+//! arbiter fault is compiled into the *oracle*, and the differ must catch
+//! it at the exact hand-computed cycle where the fault first changes an
+//! arbitration decision — with a state dump naming the disagreeing port.
+
+use vecmem::banksim::{PriorityRule, SimConfig};
+use vecmem::oracle::{
+    mirror_config, run_beff, run_pair, run_pair_against, DiffOutcome, InjectedBug, RefEngine,
+};
+use vecmem::{Geometry, SectionMapping, StreamSpec};
+
+fn pair(b1: u64, d1: u64, b2: u64, d2: u64) -> Vec<StreamSpec> {
+    vec![
+        StreamSpec {
+            start_bank: b1,
+            distance: d1,
+        },
+        StreamSpec {
+            start_bank: b2,
+            distance: d2,
+        },
+    ]
+}
+
+/// Fig. 2 of the paper (m = 12, n_c = 3, d1 = 1, d2 = 7): after a short
+/// transient costing three delays, the pair runs conflict-free at
+/// b_eff = 2; both engines agree cycle by cycle on the exact grant total.
+#[test]
+fn engines_agree_on_fig2() {
+    let geom = Geometry::unsectioned(12, 3).unwrap();
+    let config = SimConfig::one_port_per_cpu(geom, 2);
+    let streams = pair(0, 1, 0, 7);
+    match run_pair(&config, &streams, 4_000) {
+        DiffOutcome::Match { cycles, grants } => {
+            assert_eq!(cycles, 4_000);
+            assert_eq!(
+                grants,
+                2 * 4_000 - 3,
+                "two grants a cycle minus the transient"
+            );
+        }
+        DiffOutcome::Diverged(d) => panic!("unexpected divergence:\n{d}"),
+    }
+}
+
+/// A heavily contested cyclic-priority scenario and a sectioned same-CPU
+/// scenario: still lockstep-identical.
+#[test]
+fn engines_agree_under_contention_and_sections() {
+    let geom = Geometry::unsectioned(8, 2).unwrap();
+    let config = SimConfig::one_port_per_cpu(geom, 2).with_priority(PriorityRule::Cyclic);
+    assert!(
+        run_pair(&config, &pair(0, 1, 0, 1), 4_000).matched(),
+        "contested cyclic pair diverged"
+    );
+
+    let sect = Geometry::with_mapping(16, 4, 4, SectionMapping::Consecutive).unwrap();
+    let config = SimConfig::single_cpu(sect, 2);
+    assert!(
+        run_pair(&config, &pair(0, 1, 3, 5), 4_000).matched(),
+        "sectioned same-CPU pair diverged"
+    );
+}
+
+/// The `b_eff`-only fast mode agrees on grant totals for Fig. 3's pair
+/// (m = 13, n_c = 6, d1 = 1, d2 = 6).
+#[test]
+fn fast_mode_grant_totals_agree() {
+    let geom = Geometry::unsectioned(13, 6).unwrap();
+    let config = SimConfig::one_port_per_cpu(geom, 2);
+    let diff = run_beff(&config, &pair(0, 1, 0, 6), 50_000);
+    assert!(
+        diff.matches(),
+        "grant totals diverged: engine {} vs oracle {}",
+        diff.engine_grants,
+        diff.oracle_grants
+    );
+}
+
+/// Golden divergence, inverted priority. m = 8, n_c = 2, fixed priority,
+/// streams (0,1) and (6,3) on distinct CPUs:
+///
+/// * cycle 0 — port 0 takes bank 0, port 1 takes bank 6: disjoint banks,
+///   both granted, so the inverted service order is invisible;
+/// * cycle 1 — both ports want bank 1 (0+1 and 6+3 mod 8). First
+///   simultaneous-bank tie: the true arbiter grants port 0, the inverted
+///   oracle grants port 1.
+///
+/// The differ must flag exactly cycle 1 and mark both ports in the dump.
+#[test]
+fn inverted_priority_is_caught_at_cycle_one() {
+    let geom = Geometry::unsectioned(8, 2).unwrap();
+    let config = SimConfig::one_port_per_cpu(geom, 2);
+    let streams = pair(0, 1, 6, 3);
+    assert!(
+        run_pair(&config, &streams, 4_000).matched(),
+        "scenario must be clean without the injected bug"
+    );
+
+    let oracle =
+        RefEngine::new(mirror_config(&config), &streams).with_bug(InjectedBug::InvertedPriority);
+    let d = match run_pair_against(oracle, &config, &streams, 4_000) {
+        DiffOutcome::Diverged(d) => d,
+        DiffOutcome::Match { .. } => panic!("differ failed to catch the inverted priority"),
+    };
+    assert_eq!(d.cycle, 1, "wrong divergence cycle:\n{}", d.report);
+    assert!(d.report.contains("cycle 1:"), "{}", d.report);
+    assert!(d.report.contains("simultaneous-bank"), "{}", d.report);
+    assert!(
+        d.report.contains('*'),
+        "dump must mark the ports:\n{}",
+        d.report
+    );
+    assert!(d.report.contains("bank residues"), "{}", d.report);
+}
+
+/// Golden divergence, stuck rotation. m = 4, n_c = 1, cyclic priority,
+/// both streams camped on bank 0 (d = 0). Cycle 0 is a simultaneous-bank
+/// tie at rotation 0: port 0 wins in *both* engines, so the per-port
+/// outcomes still agree — but the contested cycle advances the true
+/// engine's rotation to 1 while the stuck oracle stays at 0. Because the
+/// lockstep differ compares the complete dynamic state (including the
+/// rotation counter), it flags the fault at cycle 0, one cycle before it
+/// would first flip a grant decision.
+#[test]
+fn stuck_rotation_is_caught_at_cycle_zero() {
+    let geom = Geometry::unsectioned(4, 1).unwrap();
+    let config = SimConfig::one_port_per_cpu(geom, 2).with_priority(PriorityRule::Cyclic);
+    let streams = pair(0, 0, 0, 0);
+    assert!(
+        run_pair(&config, &streams, 4_000).matched(),
+        "scenario must be clean without the injected bug"
+    );
+
+    let oracle =
+        RefEngine::new(mirror_config(&config), &streams).with_bug(InjectedBug::StuckRotation);
+    let d = match run_pair_against(oracle, &config, &streams, 4_000) {
+        DiffOutcome::Diverged(d) => d,
+        DiffOutcome::Match { .. } => panic!("differ failed to catch the stuck rotation"),
+    };
+    assert_eq!(d.cycle, 0, "wrong divergence cycle:\n{}", d.report);
+    assert!(
+        d.report.contains("rotation: engine=1 oracle=0"),
+        "dump must expose the rotation disagreement:\n{}",
+        d.report
+    );
+    assert!(
+        d.report.contains("simultaneous-bank"),
+        "dump must show the contested access that should have rotated:\n{}",
+        d.report
+    );
+}
