@@ -1,17 +1,19 @@
 //! The cycle-accurate simulation engine.
 //!
-//! Drives a [`Workload`] against the configured memory system one clock
-//! period at a time: collect pending requests, arbitrate (see
-//! [`crate::arbiter`]), grant or delay, account statistics, optionally
-//! record a trace.
+//! A thin, stats- and trace-keeping wrapper around the pure
+//! [`step`](vecmem_simcore::step::step) kernel of `vecmem-simcore`: the
+//! kernel owns the per-cycle semantics (arbitration, grants, delays,
+//! observer events, bank aging) and records each cycle's per-port outcomes
+//! into the [`SimState`]; the engine replays those outcomes into its
+//! [`SimStats`] and optional [`TraceRecorder`].
 
-use crate::arbiter::arbitrate;
-use crate::config::{PriorityRule, SimConfig};
+use crate::config::SimConfig;
 use crate::observe::{NoopObserver, SimObserver};
 use crate::request::{PortId, PortOutcome, Request};
 use crate::stats::SimStats;
 use crate::trace::TraceRecorder;
 use crate::workload::Workload;
+use vecmem_simcore::{step::step, CycleEvents, SimState};
 
 /// Result of [`Engine::run`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,32 +40,19 @@ impl RunOutcome {
 #[derive(Debug, Clone)]
 pub struct Engine {
     config: SimConfig,
-    /// `free_at[j]`: first clock period at which bank `j` may be granted
-    /// again.
-    free_at: Vec<u64>,
-    now: u64,
-    rotation: usize,
+    state: SimState,
     stats: SimStats,
     trace: Option<TraceRecorder>,
-    scratch: Vec<(PortId, Request)>,
-    /// Clock periods the current head request of each port has waited.
-    current_wait: Vec<u64>,
 }
 
 impl Engine {
     /// A fresh engine for the given configuration.
     #[must_use]
     pub fn new(config: SimConfig) -> Self {
-        let banks = config.geometry.banks() as usize;
-        let ports = config.num_ports();
         Self {
-            free_at: vec![0; banks],
-            now: 0,
-            rotation: 0,
-            stats: SimStats::new(ports),
+            state: SimState::new(&config),
+            stats: SimStats::new(config.num_ports()),
             trace: None,
-            scratch: Vec::with_capacity(ports),
-            current_wait: vec![0; ports],
             config,
         }
     }
@@ -81,10 +70,17 @@ impl Engine {
         &self.config
     }
 
+    /// The packed simulator state (residues, rotation, wait counters and
+    /// the last cycle's per-port outcomes).
+    #[must_use]
+    pub fn state(&self) -> &SimState {
+        &self.state
+    }
+
     /// Current clock period.
     #[must_use]
     pub fn now(&self) -> u64 {
-        self.now
+        self.state.now()
     }
 
     /// Accumulated statistics.
@@ -102,23 +98,55 @@ impl Engine {
     /// Current cyclic-priority rotation offset.
     #[must_use]
     pub fn rotation(&self) -> usize {
-        self.rotation
+        self.state.rotation()
     }
 
     /// True when `bank` is still active at the current clock period.
     #[must_use]
     pub fn bank_busy(&self, bank: u64) -> bool {
-        self.now < self.free_at[bank as usize]
+        self.state.residue(bank) > 0
     }
 
     /// Remaining busy periods of every bank at the current clock period —
     /// part of the state signature for cyclic-state detection.
     #[must_use]
     pub fn bank_residues(&self) -> Vec<u8> {
-        self.free_at
-            .iter()
-            .map(|&f| f.saturating_sub(self.now) as u8)
-            .collect()
+        self.state.residues_vec()
+    }
+
+    /// One kernel step plus the engine's bookkeeping: statistics and trace
+    /// marks replayed from the per-port outcomes the kernel left in the
+    /// state. Delays are recorded before grants so that, within one clock
+    /// period, a grant's digit wins the trace cell over a competitor's
+    /// delay mark (the paper's figures show e.g. "1<<<<<222222": the digit
+    /// at the grant cycle, delay marks over the remaining busy cells).
+    fn step_kernel<W: Workload, O: SimObserver>(
+        &mut self,
+        workload: &mut W,
+        observer: &mut O,
+    ) -> CycleEvents {
+        let now = self.state.now();
+        let events = step(&self.config, &mut self.state, workload, observer);
+        let hold = self.config.geometry.bank_cycle();
+        for ev in self.state.outcomes() {
+            if let PortOutcome::Delayed(kind) = ev.outcome {
+                self.stats.record_conflict(ev.port, kind);
+                if let Some(t) = self.trace.as_mut() {
+                    t.mark_delay(ev.request.bank, now, ev.port, kind);
+                }
+            }
+        }
+        for ev in self.state.outcomes() {
+            if ev.outcome == PortOutcome::Granted {
+                self.stats.record_grant(ev.port);
+                self.stats.record_wait(ev.port, ev.wait);
+                if let Some(t) = self.trace.as_mut() {
+                    t.mark_grant(ev.request.bank, now, hold, ev.port);
+                }
+            }
+        }
+        self.stats.tick();
+        events
     }
 
     /// Simulates one clock period and returns each active port's outcome.
@@ -135,109 +163,18 @@ impl Engine {
     /// The observer is a generic parameter so the disabled
     /// ([`NoopObserver`]) path compiles to exactly the unobserved engine:
     /// the callbacks inline to nothing and the `O::ENABLED`-gated
-    /// bookkeeping below is removed as dead code.
+    /// bookkeeping is removed as dead code.
     pub fn step_with<W: Workload, O: SimObserver>(
         &mut self,
         workload: &mut W,
         observer: &mut O,
     ) -> Vec<(PortId, Request, PortOutcome)> {
-        if O::ENABLED {
-            // Banks whose busy interval expired exactly now transition to
-            // free; `free_at == 0` means "never granted", not a transition.
-            for (bank, &free) in self.free_at.iter().enumerate() {
-                if free == self.now && free != 0 {
-                    observer.on_bank_busy(self.now, bank as u64, false);
-                }
-            }
-        }
-        self.scratch.clear();
-        for p in 0..self.config.num_ports() {
-            let port = PortId(p);
-            if let Some(req) = workload.pending(port, self.now) {
-                debug_assert!(
-                    req.bank < self.config.geometry.banks(),
-                    "request bank out of range"
-                );
-                self.scratch.push((port, req));
-            }
-        }
-        if O::ENABLED {
-            observer.on_arbitration(self.now, self.rotation, &self.scratch);
-        }
-        let free_at = &self.free_at;
-        let now = self.now;
-        let outcomes = arbitrate(
-            &self.config,
-            self.rotation,
-            |bank| now < free_at[bank as usize],
-            &self.scratch,
-        );
-        let nc = self.config.geometry.bank_cycle();
-        // Record delays before grants so that, within one clock period, a
-        // grant's digit wins the trace cell over a competitor's delay mark
-        // (the paper's figures show e.g. "1<<<<<222222": the digit at the
-        // grant cycle, delay marks over the remaining busy cells).
-        for &(port, req, outcome) in &outcomes {
-            if let PortOutcome::Delayed(kind) = outcome {
-                self.stats.record_conflict(port, kind);
-                self.current_wait[port.0] += 1;
-                if let Some(t) = self.trace.as_mut() {
-                    t.mark_delay(req.bank, self.now, port, kind);
-                }
-                if O::ENABLED {
-                    observer.on_delay(self.now, port, req.bank, kind);
-                }
-            }
-        }
-        for &(port, req, outcome) in &outcomes {
-            match outcome {
-                PortOutcome::Granted => {
-                    self.free_at[req.bank as usize] = self.now + nc;
-                    self.stats.record_grant(port);
-                    if O::ENABLED {
-                        observer.on_grant(self.now, port, req.bank, self.current_wait[port.0], nc);
-                        observer.on_bank_busy(self.now, req.bank, true);
-                    }
-                    self.stats.record_wait(port, self.current_wait[port.0]);
-                    self.current_wait[port.0] = 0;
-                    if let Some(t) = self.trace.as_mut() {
-                        t.mark_grant(req.bank, self.now, nc, port);
-                    }
-                    workload.granted(port, self.now);
-                }
-                PortOutcome::Delayed(_) => {}
-            }
-        }
-        self.stats.tick();
-        if O::ENABLED {
-            let grants = outcomes
-                .iter()
-                .filter(|&&(_, _, o)| o == PortOutcome::Granted)
-                .count() as u32;
-            let busy = self.free_at.iter().filter(|&&f| f > self.now).count() as u32;
-            observer.on_cycle_end(self.now, grants, busy);
-        }
-        if self.config.priority == PriorityRule::Cyclic {
-            // The rotating priority advances whenever it was exercised: any
-            // clock period in which a port lost an arbitration (section or
-            // simultaneous bank conflict) passes the top priority on. A
-            // per-cycle rotation would resonate with the bank cycle time
-            // (e.g. p = n_c = 2 keeps the same port on top at every grant
-            // instant, starving the other); advancing on conflict makes the
-            // rule starvation-free.
-            let contested = outcomes.iter().any(|&(_, _, o)| {
-                matches!(
-                    o,
-                    PortOutcome::Delayed(crate::request::ConflictKind::Section)
-                        | PortOutcome::Delayed(crate::request::ConflictKind::SimultaneousBank)
-                )
-            });
-            if contested {
-                self.rotation = (self.rotation + 1) % self.config.num_ports().max(1);
-            }
-        }
-        self.now += 1;
-        outcomes
+        self.step_kernel(workload, observer);
+        self.state
+            .outcomes()
+            .iter()
+            .map(|ev| (ev.port, ev.request, ev.outcome))
+            .collect()
     }
 
     /// Runs until the workload finishes or `max_cycles` elapse.
@@ -246,22 +183,23 @@ impl Engine {
     }
 
     /// Observed variant of [`Self::run`]: every cycle is reported to
-    /// `observer` via [`Self::step_with`].
+    /// `observer`. Loops the kernel directly, without materialising the
+    /// per-cycle outcome vectors [`Self::step_with`] returns.
     pub fn run_with<W: Workload, O: SimObserver>(
         &mut self,
         workload: &mut W,
         max_cycles: u64,
         observer: &mut O,
     ) -> RunOutcome {
-        let deadline = self.now + max_cycles;
-        while self.now < deadline {
+        let deadline = self.state.now() + max_cycles;
+        while self.state.now() < deadline {
             if workload.is_finished() {
-                return RunOutcome::Finished(self.now);
+                return RunOutcome::Finished(self.state.now());
             }
-            self.step_with(workload, observer);
+            self.step_kernel(workload, observer);
         }
         if workload.is_finished() {
-            RunOutcome::Finished(self.now)
+            RunOutcome::Finished(self.state.now())
         } else {
             RunOutcome::CyclesExhausted
         }
@@ -389,5 +327,19 @@ mod tests {
         assert_eq!(p.wait_histogram[2], 2);
         assert_eq!(p.max_wait, 2);
         assert_eq!(p.mean_wait(), 4.0 / 3.0);
+    }
+
+    #[test]
+    fn step_with_outcomes_match_state_outcomes() {
+        let g = geom(8, 2);
+        let mut engine = Engine::new(SimConfig::one_port_per_cpu(g, 2));
+        let s1 = StreamSpec::new(&g, 0, 0).unwrap();
+        let s2 = StreamSpec::new(&g, 0, 0).unwrap();
+        let mut w = StreamWorkload::infinite(&g, &[s1, s2]);
+        let out = engine.step(&mut w);
+        assert_eq!(out.len(), engine.state().outcomes().len());
+        for (o, ev) in out.iter().zip(engine.state().outcomes()) {
+            assert_eq!(*o, (ev.port, ev.request, ev.outcome));
+        }
     }
 }

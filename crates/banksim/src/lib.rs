@@ -41,19 +41,19 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
-pub mod arbiter;
-pub mod config;
+// The simulation core — packed state, step kernel, arbitration, observer
+// hooks, statistics vocabulary and cyclic-state detection — lives in
+// `vecmem-simcore`; its modules are re-exported here so the historical
+// `vecmem_banksim::arbiter::…` (etc.) paths keep working.
+pub use vecmem_simcore::{arbiter, config, observe, request, state, stats, step, workload};
+
 pub mod engine;
-pub mod observe;
 pub mod random;
-pub mod request;
 pub mod rng;
-pub mod stats;
 pub mod steady;
 pub mod streams;
 pub mod trace;
 pub mod transient;
-pub mod workload;
 
 pub use config::{PriorityRule, SimConfig};
 pub use engine::{Engine, RunOutcome};
@@ -71,4 +71,5 @@ pub use steady::{
 pub use streams::{StreamLength, StreamWorkload, StridedStream};
 pub use trace::TraceRecorder;
 pub use transient::{finite_vector_bandwidth, transient_profile, TransientProfile};
+pub use vecmem_simcore::{CycleEvents, PortEvent, SimState};
 pub use workload::Workload;

@@ -1,152 +1,20 @@
-//! Exact steady-state (cyclic state) effective bandwidth.
+//! Exact steady-state (cyclic state) effective bandwidth of strided
+//! streams.
 //!
-//! Paper §III, assumption 1: "the possible memory states are finite, and
-//! some cyclic state will be reached. Neglecting startup times, we compute
-//! the effective bandwidth for the cyclic state." The simulator realises
-//! this literally: the full simulator state — remaining bank busy times,
-//! each stream's current position, and the priority rotation — is hashed
-//! each clock period, and as soon as a state repeats, the bandwidth over
-//! one period of the cycle is exact and final.
+//! The detector itself — Brent's cycle-finding over the packed simulator
+//! state's incremental hash, in O(state) memory — lives in
+//! [`vecmem_simcore::steady`] and is re-exported here together with its
+//! result and error types. This module adds the stream-level entry points
+//! the paper's figures are phrased in: one [`StreamSpec`] per port, start
+//! bank sweeps, and start-time offsets.
 
 use crate::config::SimConfig;
-use crate::engine::Engine;
-use crate::request::PortId;
-use crate::stats::ConflictCounts;
 use crate::streams::{StreamWorkload, StridedStream};
-use crate::workload::Workload;
-use std::collections::HashMap;
-use vecmem_analytic::{Geometry, Ratio, StreamSpec};
+use vecmem_analytic::{Geometry, StreamSpec};
 
-/// Measured cyclic state of a set of infinite streams.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SteadyState {
-    /// Exact effective bandwidth `b_eff` (grants per clock period over one
-    /// period of the cyclic state).
-    pub beff: Ratio,
-    /// Clock periods before the cyclic state is first entered.
-    pub transient: u64,
-    /// Length of the cycle in clock periods.
-    pub period: u64,
-    /// Total grants within one period.
-    pub grants_per_period: u64,
-    /// Per-port exact bandwidth within the cycle.
-    pub per_port: Vec<Ratio>,
-    /// Conflicts per period, by kind.
-    pub conflicts_per_period: ConflictCounts,
-}
-
-impl SteadyState {
-    /// True when no conflicts occur in the cyclic state (i.e. the streams
-    /// run at full bandwidth forever once synchronised).
-    #[must_use]
-    pub fn conflict_free(&self) -> bool {
-        self.conflicts_per_period.total() == 0
-    }
-}
-
-/// Error from the steady-state measurements.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SteadyStateError {
-    /// No cyclic state found within the cycle budget (should not happen for
-    /// valid stream workloads; the state space is finite).
-    NotConverged {
-        /// Cycles simulated before giving up.
-        cycles: u64,
-    },
-}
-
-impl std::fmt::Display for SteadyStateError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Self::NotConverged { cycles } => {
-                write!(f, "no cyclic state within {cycles} cycles")
-            }
-        }
-    }
-}
-
-impl std::error::Error for SteadyStateError {}
-
-/// A workload whose full dynamic state can be summarised for cyclic-state
-/// detection. The signature, together with the engine's bank residues and
-/// priority rotation, must determine all future behaviour.
-pub trait ObservableWorkload: Workload {
-    /// Compact encoding of the workload state.
-    fn state_signature(&self) -> Vec<u64>;
-}
-
-impl ObservableWorkload for StreamWorkload {
-    fn state_signature(&self) -> Vec<u64> {
-        StreamWorkload::state_signature(self)
-    }
-}
-
-#[derive(Clone)]
-struct Snapshot {
-    cycle: u64,
-    grants: Vec<u64>,
-    conflicts: ConflictCounts,
-}
-
-/// Runs any observable workload until the simulator state recurs and
-/// returns the exact cyclic-state bandwidth. `warmup` cycles are simulated
-/// first (use this to get past start-time offsets that are not part of the
-/// state signature).
-pub fn measure_steady_state_workload<W: ObservableWorkload>(
-    config: &SimConfig,
-    workload: &mut W,
-    warmup: u64,
-    max_cycles: u64,
-) -> Result<SteadyState, SteadyStateError> {
-    let mut engine = Engine::new(config.clone());
-    for _ in 0..warmup {
-        engine.step(workload);
-    }
-    let mut seen: HashMap<Vec<u64>, Snapshot> = HashMap::new();
-    loop {
-        let mut key: Vec<u64> = engine.bank_residues().iter().map(|&r| r as u64).collect();
-        key.extend(workload.state_signature());
-        key.push(engine.rotation() as u64);
-        let grants: Vec<u64> = (0..config.num_ports())
-            .map(|p| engine.stats().port(PortId(p)).grants)
-            .collect();
-        let snapshot = Snapshot {
-            cycle: engine.now(),
-            grants,
-            conflicts: engine.stats().total_conflicts(),
-        };
-        if let Some(first) = seen.get(&key) {
-            let period = snapshot.cycle - first.cycle;
-            let per_port: Vec<Ratio> = snapshot
-                .grants
-                .iter()
-                .zip(&first.grants)
-                .map(|(&now, &then)| Ratio::new(now - then, period))
-                .collect();
-            let grants_per_period: u64 = snapshot
-                .grants
-                .iter()
-                .zip(&first.grants)
-                .map(|(&now, &then)| now - then)
-                .sum();
-            return Ok(SteadyState {
-                beff: Ratio::new(grants_per_period, period),
-                transient: first.cycle,
-                period,
-                grants_per_period,
-                per_port,
-                conflicts_per_period: snapshot.conflicts - first.conflicts,
-            });
-        }
-        if engine.now() >= max_cycles + warmup {
-            return Err(SteadyStateError::NotConverged {
-                cycles: engine.now(),
-            });
-        }
-        seen.insert(key, snapshot);
-        engine.step(workload);
-    }
-}
+pub use vecmem_simcore::steady::{
+    measure_steady_state_workload, ObservableWorkload, SteadyState, SteadyStateError,
+};
 
 /// Runs infinite streams until the simulator state recurs and returns the
 /// exact cyclic-state bandwidth.
@@ -244,8 +112,8 @@ pub fn measure_steady_state_with_delays(
             .map(|&(spec, at)| StridedStream::infinite(&geom, spec).starting_at(at))
             .collect(),
     );
-    // Advance past all start offsets first so the state key (which does not
-    // include absolute time) is valid.
+    // Advance past all start offsets first so the state core (which does
+    // not include absolute time) is valid.
     let warmup = specs.iter().map(|&(_, at)| at).max().unwrap_or(0);
     measure_steady_state_workload(config, &mut workload, warmup, max_cycles)
 }
@@ -253,6 +121,12 @@ pub fn measure_steady_state_with_delays(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::Engine;
+    use crate::request::PortId;
+    use crate::rng::SmallRng;
+    use crate::stats::ConflictCounts;
+    use std::collections::HashMap;
+    use vecmem_analytic::Ratio;
 
     fn geom(m: u64, nc: u64) -> Geometry {
         Geometry::unsectioned(m, nc).unwrap()
@@ -260,6 +134,71 @@ mod tests {
 
     fn spec(g: &Geometry, b: u64, d: u64) -> StreamSpec {
         StreamSpec::new(g, b, d).unwrap()
+    }
+
+    #[derive(Clone)]
+    struct Snapshot {
+        cycle: u64,
+        grants: Vec<u64>,
+        conflicts: ConflictCounts,
+    }
+
+    /// The pre-Brent detector, retained verbatim as the differential
+    /// reference: hash every visited state into a map and report the
+    /// window between the two visits of the first repeated state. O(cycles)
+    /// memory — the cost the production solver exists to avoid.
+    fn reference_measure<W: ObservableWorkload>(
+        config: &SimConfig,
+        workload: &mut W,
+        warmup: u64,
+        max_cycles: u64,
+    ) -> Result<SteadyState, SteadyStateError> {
+        let mut engine = Engine::new(config.clone());
+        for _ in 0..warmup {
+            engine.step(workload);
+        }
+        let mut seen: HashMap<Vec<u64>, Snapshot> = HashMap::new();
+        loop {
+            let mut key: Vec<u64> = engine.bank_residues().iter().map(|&r| r as u64).collect();
+            key.extend(workload.state_signature());
+            key.push(engine.rotation() as u64);
+            let grants: Vec<u64> = (0..config.num_ports())
+                .map(|p| engine.stats().port(PortId(p)).grants)
+                .collect();
+            let snapshot = Snapshot {
+                cycle: engine.now(),
+                grants,
+                conflicts: engine.stats().total_conflicts(),
+            };
+            if let Some(first) = seen.get(&key) {
+                let period = snapshot.cycle - first.cycle;
+                let per_port: Vec<Ratio> = snapshot
+                    .grants
+                    .iter()
+                    .zip(&first.grants)
+                    .map(|(&now, &then)| Ratio::new(now - then, period))
+                    .collect();
+                let grants_per_period: u64 = snapshot
+                    .grants
+                    .iter()
+                    .zip(&first.grants)
+                    .map(|(&now, &then)| now - then)
+                    .sum();
+                return Ok(SteadyState {
+                    beff: Ratio::new(grants_per_period, period),
+                    transient: first.cycle,
+                    period,
+                    grants_per_period,
+                    per_port,
+                    conflicts_per_period: snapshot.conflicts - first.conflicts,
+                });
+            }
+            if engine.now() >= max_cycles + warmup {
+                return Err(SteadyStateError::NotConverged { cycles: max_cycles });
+            }
+            seen.insert(key, snapshot);
+            engine.step(workload);
+        }
     }
 
     #[test]
@@ -361,5 +300,108 @@ mod tests {
         let ss = measure_pair_cross_cpu(&g, spec(&g, 0, 1), spec(&g, 0, 7), 10_000).unwrap();
         assert!(ss.period > 0);
         assert_eq!(ss.grants_per_period, 2 * ss.period);
+    }
+
+    #[test]
+    fn not_converged_reports_the_budget_from_every_entry_point() {
+        // One semantics for `NotConverged::cycles`: the exhausted search
+        // budget, regardless of how much warmup the entry point inserted.
+        let g = geom(16, 4);
+        let cfg = SimConfig::one_port_per_cpu(g, 2);
+        let budget = 2;
+        let specs = [spec(&g, 0, 1), spec(&g, 0, 3)];
+
+        let via_specs = measure_steady_state(&cfg, &specs, budget).unwrap_err();
+        assert_eq!(via_specs, SteadyStateError::NotConverged { cycles: budget });
+
+        // The delayed entry point warms up 5 cycles first; the reported
+        // budget must not be inflated by them.
+        let via_delays =
+            measure_steady_state_with_delays(&cfg, &[(specs[0], 0), (specs[1], 5)], budget)
+                .unwrap_err();
+        assert_eq!(
+            via_delays,
+            SteadyStateError::NotConverged { cycles: budget }
+        );
+        assert_eq!(via_delays.to_string(), "no cyclic state within 2 cycles");
+    }
+
+    /// Satellite property: on random geometries and stream sets, Brent's
+    /// bounded-memory detector returns bitwise-identical results to the
+    /// retained hash-map reference detector.
+    #[test]
+    fn brent_matches_reference_detector_on_random_systems() {
+        let mut rng = SmallRng::seed_from_u64(0x5eed_0bed);
+        for case in 0..60 {
+            let m = rng.gen_range_inclusive(2..=24);
+            let nc = rng.gen_range_inclusive(1..=6);
+            let ports = rng.gen_range_inclusive(1..=3) as usize;
+            let g = geom(m, nc);
+            let cfg = if rng.gen_bool(0.5) {
+                SimConfig::single_cpu(g, ports)
+            } else {
+                SimConfig::one_port_per_cpu(g, ports)
+            };
+            let specs: Vec<StreamSpec> = (0..ports)
+                .map(|_| spec(&g, rng.gen_range(0..m), rng.gen_range(0..m)))
+                .collect();
+            let warmup = rng.gen_range(0..4);
+            let label =
+                format!("case {case}: m={m} nc={nc} ports={ports} specs={specs:?} warmup={warmup}");
+
+            let mut w1 = StreamWorkload::infinite(&g, &specs);
+            let brent = measure_steady_state_workload(&cfg, &mut w1, warmup, 500_000);
+            let mut w2 = StreamWorkload::infinite(&g, &specs);
+            let reference = reference_measure(&cfg, &mut w2, warmup, 500_000);
+
+            let (b, r) = (brent.unwrap(), reference.unwrap());
+            assert_eq!(b.beff, r.beff, "{label}");
+            assert_eq!(b.transient, r.transient, "{label}");
+            assert_eq!(b.period, r.period, "{label}");
+            assert_eq!(b.grants_per_period, r.grants_per_period, "{label}");
+            assert_eq!(b.per_port, r.per_port, "{label}");
+            assert_eq!(b.conflicts_per_period, r.conflicts_per_period, "{label}");
+        }
+    }
+
+    /// Cyclic priority exercises the rotation word of the state core; the
+    /// two detectors must still agree exactly.
+    #[test]
+    fn brent_matches_reference_under_cyclic_priority() {
+        use crate::config::PriorityRule;
+        let mut rng = SmallRng::seed_from_u64(0xc1c1_0bed);
+        for case in 0..20 {
+            let m = rng.gen_range_inclusive(2..=16);
+            let nc = rng.gen_range_inclusive(1..=4);
+            let g = geom(m, nc);
+            let cfg = SimConfig::one_port_per_cpu(g, 2).with_priority(PriorityRule::Cyclic);
+            let specs = vec![
+                spec(&g, rng.gen_range(0..m), rng.gen_range(0..m)),
+                spec(&g, rng.gen_range(0..m), rng.gen_range(0..m)),
+            ];
+            let label = format!("case {case}: m={m} nc={nc} specs={specs:?}");
+
+            let mut w1 = StreamWorkload::infinite(&g, &specs);
+            let b = measure_steady_state_workload(&cfg, &mut w1, 0, 500_000).unwrap();
+            let mut w2 = StreamWorkload::infinite(&g, &specs);
+            let r = reference_measure(&cfg, &mut w2, 0, 500_000).unwrap();
+            assert_eq!(
+                (
+                    b.beff,
+                    b.transient,
+                    b.period,
+                    &b.per_port,
+                    b.conflicts_per_period
+                ),
+                (
+                    r.beff,
+                    r.transient,
+                    r.period,
+                    &r.per_port,
+                    r.conflicts_per_period
+                ),
+                "{label}"
+            );
+        }
     }
 }

@@ -8,6 +8,7 @@
 //! notes is equivalent to a relative position in space).
 
 use crate::request::{PortId, Request};
+use crate::steady::ObservableWorkload;
 use crate::workload::Workload;
 use vecmem_analytic::{Geometry, StreamSpec};
 
@@ -144,6 +145,18 @@ impl Workload for StreamWorkload {
 
     fn is_finished(&self) -> bool {
         self.streams.iter().all(StridedStream::done)
+    }
+}
+
+impl ObservableWorkload for StreamWorkload {
+    fn signature_len(&self) -> usize {
+        self.streams.len()
+    }
+
+    fn write_signature(&self, out: &mut [u64]) {
+        for (slot, s) in out.iter_mut().zip(&self.streams) {
+            *slot = s.current_bank().unwrap_or(s.banks);
+        }
     }
 }
 

@@ -3,11 +3,13 @@
 //!
 //! Both engines simulate the same configuration and streams. Every clock
 //! period the harness compares, port by port, the requested bank and the
-//! grant/delay outcome (including the conflict kind), plus the full
-//! per-bank busy residues and the rotating-priority offset. The first
-//! mismatch aborts the run with a [`Divergence`] carrying a rendered
-//! bank/port state dump; agreement over the full horizon returns
-//! [`DiffOutcome::Match`].
+//! grant/delay outcome (including the conflict kind); the reference
+//! engine's bank residues and rotation are then lifted into a canonical
+//! packed [`SimState`] via [`SimState::pack`], so the full-state check is
+//! one `PartialEq` against the optimized engine's state and both sides
+//! share one dump format ([`SimState::render`]). The first mismatch aborts
+//! the run with a [`Divergence`] carrying the rendered dual dump;
+//! agreement over the full horizon returns [`DiffOutcome::Match`].
 //!
 //! Because both simulators are deterministic and the compared residues +
 //! stream positions + rotation form the complete dynamic state, agreement
@@ -16,7 +18,9 @@
 
 use crate::engine::{RefConfig, RefEngine, RefOutcome, RefPriority};
 use vecmem_analytic::StreamSpec;
-use vecmem_banksim::{ConflictKind, Engine, PortOutcome, PriorityRule, SimConfig, StreamWorkload};
+use vecmem_banksim::{
+    ConflictKind, Engine, PortOutcome, PriorityRule, SimConfig, SimState, StreamWorkload,
+};
 
 /// Builds the [`RefConfig`] mirroring a simulator configuration.
 #[must_use]
@@ -116,16 +120,25 @@ fn outcome_name(o: RefOutcome) -> &'static str {
     }
 }
 
-/// One engine's half of the state compared at a cycle, borrowed for the
-/// divergence dump.
-struct SideState<'a> {
-    view: &'a [(u64, RefOutcome)],
-    residues: &'a [u64],
-    rotation: usize,
+/// Lifts the reference engine's state into the canonical packed form in
+/// place, so the full-state comparison is one `PartialEq` and the dump
+/// comes from one renderer.
+fn repack_oracle_state(oracle: &RefEngine, residue_buf: &mut Vec<u8>, packed: &mut SimState) {
+    residue_buf.clear();
+    residue_buf.extend(oracle.bank_residues().iter().map(|&r| r as u8));
+    packed.repack(residue_buf, &[], oracle.rotation());
 }
 
-/// Renders the full dual state dump at a divergent cycle.
-fn render_dump(config: &SimConfig, cycle: u64, engine: SideState, oracle: SideState) -> String {
+/// Renders the full dual state dump at a divergent cycle. Both sides use
+/// the canonical [`SimState::render`] format.
+fn render_dump(
+    config: &SimConfig,
+    cycle: u64,
+    engine_view: &[(u64, RefOutcome)],
+    oracle_view: &[(u64, RefOutcome)],
+    engine_state: &SimState,
+    oracle_state: &SimState,
+) -> String {
     use std::fmt::Write as _;
     let mut s = String::new();
     let g = &config.geometry;
@@ -143,7 +156,7 @@ fn render_dump(config: &SimConfig, cycle: u64, engine: SideState, oracle: SideSt
         s,
         "  port cpu | engine: bank outcome | oracle: bank outcome"
     );
-    for (p, (e, o)) in engine.view.iter().zip(oracle.view).enumerate() {
+    for (p, (e, o)) in engine_view.iter().zip(oracle_view).enumerate() {
         let marker = if e == o { ' ' } else { '*' };
         let _ = writeln!(
             s,
@@ -155,14 +168,9 @@ fn render_dump(config: &SimConfig, cycle: u64, engine: SideState, oracle: SideSt
             oo = outcome_name(o.1),
         );
     }
-    let _ = writeln!(s, "  bank residues (remaining busy periods):");
-    let _ = writeln!(s, "    engine: {:?}", engine.residues);
-    let _ = writeln!(s, "    oracle: {:?}", oracle.residues);
-    let _ = writeln!(
-        s,
-        "  rotation: engine={} oracle={}",
-        engine.rotation, oracle.rotation
-    );
+    let _ = writeln!(s, "  state (rotation, remaining bank busy periods):");
+    let _ = writeln!(s, "    engine: {}", engine_state.render());
+    let _ = writeln!(s, "    oracle: {}", oracle_state.render());
     s
 }
 
@@ -182,40 +190,43 @@ pub fn run_pair_against(
     let mut workload = StreamWorkload::infinite(&config.geometry, streams);
     let ports = config.num_ports();
     let mut grants = 0u64;
+    // Reused across cycles: the per-port views and the canonical packed
+    // copy of the oracle's state (updated in place — the hot loop of the
+    // exhaustive conformance sweep allocates nothing per cycle beyond what
+    // the naive reference engine itself does).
+    let mut engine_view = vec![(u64::MAX, RefOutcome::Granted); ports];
+    let mut oracle_view = vec![(u64::MAX, RefOutcome::Granted); ports];
+    let mut residue_buf: Vec<u8> = Vec::with_capacity(config.geometry.banks() as usize);
+    let mut oracle_state = SimState::new(config);
     for cycle in 0..cycles {
-        let outcomes = engine.step(&mut workload);
+        engine.run_with(&mut workload, 1, &mut vecmem_banksim::observe::NoopObserver);
         let oracle_steps = oracle.step();
-        // Normalise the engine's (port, request, outcome) list to per-port
-        // order; with infinite streams every port is active every cycle.
-        let mut engine_view = vec![(u64::MAX, RefOutcome::Granted); ports];
-        for &(port, req, outcome) in &outcomes {
-            engine_view[port.0] = (req.bank, kind_of(outcome));
+        // Normalise the engine's per-port events to per-port order; with
+        // infinite streams every port is active every cycle.
+        engine_view
+            .iter_mut()
+            .for_each(|v| *v = (u64::MAX, RefOutcome::Granted));
+        for ev in engine.state().outcomes() {
+            engine_view[ev.port.0] = (ev.request.bank, kind_of(ev.outcome));
         }
-        let engine_residues: Vec<u64> = engine
-            .bank_residues()
-            .iter()
-            .map(|&r| u64::from(r))
-            .collect();
-        let oracle_residues = oracle.bank_residues();
-        let oracle_view: Vec<(u64, RefOutcome)> =
-            oracle_steps.iter().map(|s| (s.bank, s.outcome)).collect();
+        oracle_view
+            .iter_mut()
+            .for_each(|v| *v = (u64::MAX, RefOutcome::Granted));
+        for (slot, s) in oracle_view.iter_mut().zip(&oracle_steps) {
+            *slot = (s.bank, s.outcome);
+        }
+        repack_oracle_state(&oracle, &mut residue_buf, &mut oracle_state);
         let agree = engine_view == oracle_view
-            && engine_residues == oracle_residues
-            && engine.rotation() == oracle.rotation();
+            && engine.state().hash() == oracle_state.hash()
+            && *engine.state() == oracle_state;
         if !agree {
             let report = render_dump(
                 config,
                 cycle,
-                SideState {
-                    view: &engine_view,
-                    residues: &engine_residues,
-                    rotation: engine.rotation(),
-                },
-                SideState {
-                    view: &oracle_view,
-                    residues: &oracle_residues,
-                    rotation: oracle.rotation(),
-                },
+                &engine_view,
+                &oracle_view,
+                engine.state(),
+                &oracle_state,
             );
             return DiffOutcome::Diverged(Divergence { cycle, report });
         }

@@ -24,11 +24,86 @@ pub fn priority_rank(rule: PriorityRule, rotation: usize, n_ports: usize, port: 
     }
 }
 
-/// Arbitrates one clock period.
+/// Arbitrates one clock period without allocating: one outcome per request
+/// is pushed into `outcomes` (which is cleared first), in input order.
 ///
 /// `bank_busy(bank)` reports whether a bank is still active; `requests`
-/// holds the pending request of every active port this cycle. Returns one
-/// outcome per request, in input order.
+/// holds the pending request of every active port this cycle. The port
+/// count is small (one to a few per CPU), so the phase-2/3 group scans are
+/// plain O(p²) passes over the request slice — no sorting, no temporary
+/// group tables.
+pub fn arbitrate_into(
+    config: &SimConfig,
+    rotation: usize,
+    bank_busy: impl Fn(u64) -> bool,
+    requests: &[(PortId, Request)],
+    outcomes: &mut Vec<PortOutcome>,
+) {
+    let n = config.num_ports();
+    let rank = |p: PortId| priority_rank(config.priority, rotation, n, p);
+
+    // Phase 1: bank conflicts. Everything else is tentatively granted.
+    outcomes.clear();
+    for &(_, req) in requests {
+        outcomes.push(if bank_busy(req.bank) {
+            PortOutcome::Delayed(ConflictKind::Bank)
+        } else {
+            PortOutcome::Granted
+        });
+    }
+
+    // Phase 2: section conflicts within each CPU. A tentative grant loses
+    // to any phase-1 survivor of the same (cpu, section) group with a
+    // better rank. Requests already marked `Delayed(Section)` by this pass
+    // still count as phase-1 survivors for later comparisons, so the scan
+    // order does not matter.
+    for i in 0..requests.len() {
+        if outcomes[i] != PortOutcome::Granted {
+            continue;
+        }
+        let (port, req) = requests[i];
+        let cpu = config.cpu_of(port);
+        let section = config.geometry.section_of(req.bank);
+        let loses = requests.iter().enumerate().any(|(j, &(p, r))| {
+            j != i
+                && outcomes[j] != PortOutcome::Delayed(ConflictKind::Bank)
+                && config.cpu_of(p) == cpu
+                && config.geometry.section_of(r.bank) == section
+                && rank(p) < rank(port)
+        });
+        if loses {
+            outcomes[i] = PortOutcome::Delayed(ConflictKind::Section);
+        }
+    }
+
+    // Phase 3: simultaneous bank conflicts across CPUs. A remaining grant
+    // loses to any phase-2 survivor (granted, or already demoted to
+    // `Delayed(SimultaneousBank)` by this pass) on the same bank with a
+    // better rank.
+    for i in 0..requests.len() {
+        if outcomes[i] != PortOutcome::Granted {
+            continue;
+        }
+        let (port, req) = requests[i];
+        let loses = requests.iter().enumerate().any(|(j, &(p, r))| {
+            j != i
+                && matches!(
+                    outcomes[j],
+                    PortOutcome::Granted | PortOutcome::Delayed(ConflictKind::SimultaneousBank)
+                )
+                && r.bank == req.bank
+                && rank(p) < rank(port)
+        });
+        if loses {
+            outcomes[i] = PortOutcome::Delayed(ConflictKind::SimultaneousBank);
+        }
+    }
+}
+
+/// Arbitrates one clock period, returning a fresh outcome list.
+///
+/// Convenience wrapper over [`arbitrate_into`] for callers outside the hot
+/// path; the step kernel uses the in-place form with a reused buffer.
 #[must_use]
 pub fn arbitrate(
     config: &SimConfig,
@@ -36,89 +111,12 @@ pub fn arbitrate(
     bank_busy: impl Fn(u64) -> bool,
     requests: &[(PortId, Request)],
 ) -> Vec<(PortId, Request, PortOutcome)> {
-    let n = config.num_ports();
-    let rank = |p: PortId| priority_rank(config.priority, rotation, n, p);
-
-    let mut outcome: Vec<Option<PortOutcome>> = vec![None; requests.len()];
-
-    // Phase 1: bank conflicts.
-    for (i, (_, req)) in requests.iter().enumerate() {
-        if bank_busy(req.bank) {
-            outcome[i] = Some(PortOutcome::Delayed(ConflictKind::Bank));
-        }
-    }
-
-    // Phase 2: section conflicts within each CPU.
-    // Group the surviving requests by (cpu, section).
-    let survivors: Vec<usize> = (0..requests.len())
-        .filter(|&i| outcome[i].is_none())
-        .collect();
-    let mut keyed: Vec<(usize, (usize, u64))> = survivors
-        .iter()
-        .map(|&i| {
-            let (port, req) = requests[i];
-            (
-                i,
-                (config.cpu_of(port).0, config.geometry.section_of(req.bank)),
-            )
-        })
-        .collect();
-    keyed.sort_by_key(|&(_, key)| key);
-    let mut path_winners: Vec<usize> = Vec::with_capacity(keyed.len());
-    let mut g = 0;
-    while g < keyed.len() {
-        let key = keyed[g].1;
-        let mut end = g;
-        while end < keyed.len() && keyed[end].1 == key {
-            end += 1;
-        }
-        let winner = keyed[g..end]
-            .iter()
-            .map(|&(i, _)| i)
-            .min_by_key(|&i| rank(requests[i].0))
-            .expect("group is nonempty");
-        for &(i, _) in &keyed[g..end] {
-            if i == winner {
-                path_winners.push(i);
-            } else {
-                outcome[i] = Some(PortOutcome::Delayed(ConflictKind::Section));
-            }
-        }
-        g = end;
-    }
-
-    // Phase 3: simultaneous bank conflicts across CPUs.
-    let mut by_bank: Vec<(u64, usize)> = path_winners
-        .iter()
-        .map(|&i| (requests[i].1.bank, i))
-        .collect();
-    by_bank.sort_unstable();
-    let mut g = 0;
-    while g < by_bank.len() {
-        let bank = by_bank[g].0;
-        let mut end = g;
-        while end < by_bank.len() && by_bank[end].0 == bank {
-            end += 1;
-        }
-        let winner = by_bank[g..end]
-            .iter()
-            .map(|&(_, i)| i)
-            .min_by_key(|&i| rank(requests[i].0))
-            .expect("group is nonempty");
-        for &(_, i) in &by_bank[g..end] {
-            outcome[i] = Some(if i == winner {
-                PortOutcome::Granted
-            } else {
-                PortOutcome::Delayed(ConflictKind::SimultaneousBank)
-            });
-        }
-        g = end;
-    }
-
+    let mut outcomes = Vec::with_capacity(requests.len());
+    arbitrate_into(config, rotation, bank_busy, requests, &mut outcomes);
     requests
         .iter()
-        .zip(outcome)
-        .map(|(&(port, req), o)| (port, req, o.expect("every request gets an outcome")))
+        .zip(outcomes)
+        .map(|(&(port, req), o)| (port, req, o))
         .collect()
 }
 
@@ -228,6 +226,22 @@ mod tests {
         let out = arbitrate(&c, 0, |b| b == 3, &[req(0, 1), req(1, 3)]);
         assert_eq!(out[0].2, PortOutcome::Granted);
         assert_eq!(out[1].2, PortOutcome::Delayed(ConflictKind::Bank));
+    }
+
+    #[test]
+    fn arbitrate_into_reuses_buffer_across_cycles() {
+        let c = SimConfig::one_port_per_cpu(Geometry::unsectioned(8, 2).unwrap(), 2);
+        let mut buf = Vec::new();
+        arbitrate_into(&c, 0, never_busy, &[req(0, 3), req(1, 3)], &mut buf);
+        assert_eq!(
+            buf,
+            vec![
+                PortOutcome::Granted,
+                PortOutcome::Delayed(ConflictKind::SimultaneousBank)
+            ]
+        );
+        arbitrate_into(&c, 0, |b| b == 1, &[req(0, 1)], &mut buf);
+        assert_eq!(buf, vec![PortOutcome::Delayed(ConflictKind::Bank)]);
     }
 
     #[test]

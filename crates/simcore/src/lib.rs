@@ -1,0 +1,53 @@
+//! Pure simulation core of the interleaved-memory model of Oed & Lange
+//! (1985), "On the Effective Bandwidth of Interleaved Memories in Vector
+//! Processor Systems".
+//!
+//! This crate is the innermost simulation layer: everything needed to
+//! advance the memory system by one clock period, and nothing else — no
+//! stream generators, no random workloads, no figure drivers. It exists so
+//! that every consumer of cycle-level simulation (the bank-conflict
+//! simulator `vecmem-banksim`, the skewing evaluator `vecmem-skew`, the
+//! experiment runner `vecmem-exec`, the differential oracle
+//! `vecmem-oracle`, and the CLI) shares one state representation, one step
+//! kernel, and one cyclic-state detector:
+//!
+//! * [`state::SimState`] — the packed dynamic state: priority rotation,
+//!   per-bank busy residues (one byte each, bounded by `n_c`), workload
+//!   position slots and wait counters in a single contiguous buffer, with
+//!   an incrementally maintained 64-bit hash of the behaviour-determining
+//!   core;
+//! * [`step::step`] — the one kernel that simulates a clock period:
+//!   collect pending requests, arbitrate ([`arbiter`]), apply delays and
+//!   grants, notify the [`observe::SimObserver`], age the banks;
+//! * [`steady`] — Brent's cycle-finding over the state hash: exact
+//!   effective bandwidth of the cyclic state in O(state) memory;
+//! * [`config`], [`request`], [`stats`], [`workload`] — the shared
+//!   vocabulary types these are written in.
+//!
+//! Layering: `vecmem-simcore` sits on `vecmem-analytic` (geometry and
+//! exact rationals) and knows nothing about who drives it. Downstream,
+//! `vecmem-banksim` wraps the kernel in the stats- and trace-keeping
+//! [`Engine`](https://docs.rs/vecmem-banksim), and `skew`/`exec`/`oracle`
+//! build on both.
+
+pub mod arbiter;
+pub mod config;
+pub mod observe;
+pub mod request;
+pub mod state;
+pub mod stats;
+pub mod steady;
+pub mod step;
+pub mod workload;
+
+pub use arbiter::{arbitrate, arbitrate_into, priority_rank};
+pub use config::{PriorityRule, SimConfig};
+pub use observe::{NoopObserver, SimObserver, Tee};
+pub use request::{ConflictKind, CpuId, PortId, PortOutcome, Request};
+pub use state::{PortEvent, SimState};
+pub use stats::{ConflictCounts, PortStats, SimStats, WAIT_BUCKETS};
+pub use steady::{
+    measure_steady_state_workload, ObservableWorkload, SteadyState, SteadyStateError,
+};
+pub use step::{step, CycleEvents};
+pub use workload::Workload;

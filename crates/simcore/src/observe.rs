@@ -1,14 +1,14 @@
 //! Zero-overhead observation hooks for the simulation engine.
 //!
-//! [`crate::engine::Engine::step_with`] invokes a [`SimObserver`] at every
-//! interesting point of a clock period: before arbitration, on every grant
-//! and delay, on bank busy/free transitions, and at the end of the cycle.
-//! The observer is a *generic* parameter, so the hook monomorphises away
-//! entirely for the default [`NoopObserver`] — `Engine::step` compiles to
-//! exactly the code it had before the hook existed (the no-op callbacks
-//! inline to nothing and the `ENABLED`-gated bookkeeping folds to dead
-//! code). Instrumentation therefore costs nothing unless a real observer
-//! is attached.
+//! The [`step`](crate::step::step) kernel invokes a [`SimObserver`] at
+//! every interesting point of a clock period: before arbitration, on every
+//! grant and delay, on bank busy/free transitions, and at the end of the
+//! cycle. The observer is a *generic* parameter, so the hook monomorphises
+//! away entirely for the default [`NoopObserver`] — an unobserved step
+//! compiles to exactly the code it would have without the hook (the no-op
+//! callbacks inline to nothing and the `ENABLED`-gated bookkeeping folds
+//! to dead code). Instrumentation therefore costs nothing unless a real
+//! observer is attached.
 //!
 //! Rich observers (metrics registries, structured event logs, exporters)
 //! live in the `vecmem-obs` crate; this module defines only the contract
@@ -177,10 +177,10 @@ mod tests {
 
     #[test]
     fn noop_is_disabled() {
-        assert!(!NoopObserver::ENABLED);
-        assert!(Counter::ENABLED);
-        assert!(<Tee<Counter, NoopObserver>>::ENABLED);
-        assert!(!<Tee<NoopObserver, NoopObserver>>::ENABLED);
+        const { assert!(!NoopObserver::ENABLED) };
+        const { assert!(Counter::ENABLED) };
+        const { assert!(<Tee<Counter, NoopObserver>>::ENABLED) };
+        const { assert!(!<Tee<NoopObserver, NoopObserver>>::ENABLED) };
     }
 
     #[test]

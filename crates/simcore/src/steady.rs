@@ -1,0 +1,421 @@
+//! Exact steady-state (cyclic state) effective bandwidth, in bounded
+//! memory.
+//!
+//! Paper §III, assumption 1: "the possible memory states are finite, and
+//! some cyclic state will be reached. Neglecting startup times, we compute
+//! the effective bandwidth for the cyclic state." The solver realises this
+//! literally: the full simulator state — remaining bank busy times, each
+//! stream's reduced position, and the priority rotation — is a [`SimState`]
+//! core, and as soon as a core recurs, the bandwidth over one period of the
+//! cycle is exact and final.
+//!
+//! Recurrence is found with a multi-anchor variant of **Brent's
+//! cycle-finding algorithm** over the state's incrementally maintained
+//! hash:
+//!
+//! * the searching cursor keeps snapshots of itself at every power-of-two
+//!   step count and compares each new state against *all* of them (a scan
+//!   of one `u64` hash per snapshot). The first match is provably exactly
+//!   one period `λ` behind the cursor: had the distance been `k·λ` with
+//!   `k ≥ 2`, the same snapshot would already have matched `λ` steps
+//!   earlier. This finds `λ` in `μ' + λ` steps, where `μ'` is the first
+//!   power of two ≥ the transient length `μ`;
+//! * every cursor carries cumulative per-port grant and conflict
+//!   counters, so the difference between the cursor and the matched
+//!   snapshot is one full period of window statistics — period sums are
+//!   phase-independent, so no replay pass is needed;
+//! * the exact transient `μ` comes from walking two cursors `λ` apart
+//!   until they meet. When the match was against the start snapshot the
+//!   transient is zero and this phase is skipped entirely; otherwise the
+//!   leading cursor starts from the latest snapshot at or before `λ`, so
+//!   the pre-advance costs at most `λ/2` steps.
+//!
+//! Equality is checked hash-first (one `u64` compare per cycle per
+//! snapshot) and confirmed on the full core, so a hash collision can never
+//! produce a wrong answer — only a skipped candidate. Memory use is
+//! O(state · log transient): one snapshot per power of two, independent of
+//! how many cycles the transient takes, where the previous detector kept a
+//! hash map entry (state key + per-port grant vector) for *every*
+//! simulated cycle.
+
+use crate::config::SimConfig;
+use crate::observe::NoopObserver;
+use crate::request::PortOutcome;
+use crate::state::SimState;
+use crate::stats::ConflictCounts;
+use crate::step::step;
+use crate::workload::Workload;
+use vecmem_analytic::Ratio;
+
+/// Measured cyclic state of a set of infinite streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SteadyState {
+    /// Exact effective bandwidth `b_eff` (grants per clock period over one
+    /// period of the cyclic state).
+    pub beff: Ratio,
+    /// Clock periods before the cyclic state is first entered.
+    pub transient: u64,
+    /// Length of the cycle in clock periods.
+    pub period: u64,
+    /// Total grants within one period.
+    pub grants_per_period: u64,
+    /// Per-port exact bandwidth within the cycle.
+    pub per_port: Vec<Ratio>,
+    /// Conflicts per period, by kind.
+    pub conflicts_per_period: ConflictCounts,
+}
+
+impl SteadyState {
+    /// True when no conflicts occur in the cyclic state (i.e. the streams
+    /// run at full bandwidth forever once synchronised).
+    #[must_use]
+    pub fn conflict_free(&self) -> bool {
+        self.conflicts_per_period.total() == 0
+    }
+}
+
+/// Error from the steady-state measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SteadyStateError {
+    /// No cyclic state found within the cycle budget (should not happen for
+    /// valid stream workloads; the state space is finite).
+    NotConverged {
+        /// The exhausted cycle budget (the `max_cycles` the caller allowed
+        /// for the search, not counting warmup).
+        cycles: u64,
+    },
+}
+
+impl std::fmt::Display for SteadyStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotConverged { cycles } => {
+                write!(f, "no cyclic state within {cycles} cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SteadyStateError {}
+
+/// A workload whose full dynamic state can be summarised for cyclic-state
+/// detection. The signature, together with the bank residues and priority
+/// rotation, must determine all future behaviour.
+pub trait ObservableWorkload: Workload {
+    /// Number of `u64` slots the signature occupies. Must be constant over
+    /// the workload's lifetime.
+    fn signature_len(&self) -> usize;
+
+    /// Writes the current signature into `out`, which has exactly
+    /// [`signature_len`](Self::signature_len) slots.
+    fn write_signature(&self, out: &mut [u64]);
+
+    /// Compact encoding of the workload state, as an owned vector.
+    fn state_signature(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.signature_len()];
+        self.write_signature(&mut out);
+        out
+    }
+}
+
+impl<W: ObservableWorkload + ?Sized> ObservableWorkload for &mut W {
+    fn signature_len(&self) -> usize {
+        (**self).signature_len()
+    }
+    fn write_signature(&self, out: &mut [u64]) {
+        (**self).write_signature(out);
+    }
+}
+
+impl<W: Workload + ?Sized> Workload for &mut W {
+    fn pending(&self, port: crate::request::PortId, now: u64) -> Option<crate::request::Request> {
+        (**self).pending(port, now)
+    }
+    fn granted(&mut self, port: crate::request::PortId, now: u64) {
+        (**self).granted(port, now);
+    }
+    fn is_finished(&self) -> bool {
+        (**self).is_finished()
+    }
+}
+
+/// One deterministic replayable trajectory: a state plus the workload
+/// driving it, with the workload's signature mirrored into the state's
+/// position slots after every step so the state core alone decides
+/// recurrence. The cursor also carries cumulative per-port grant and
+/// conflict counters so any two points on the same trajectory define a
+/// window of statistics by subtraction.
+struct Cursor<'c, W> {
+    config: &'c SimConfig,
+    state: SimState,
+    workload: W,
+    sig_buf: Vec<u64>,
+    per_port: Vec<u64>,
+    conflicts: ConflictCounts,
+}
+
+/// A saved cursor position: the trajectory step count (post-warmup), the
+/// state, the workload, and the cumulative counters at that point.
+struct Snapshot<W> {
+    pos: u64,
+    state: SimState,
+    workload: W,
+    per_port: Vec<u64>,
+    conflicts: ConflictCounts,
+}
+
+impl<'c, W: ObservableWorkload + Clone> Cursor<'c, W> {
+    fn new(config: &'c SimConfig, workload: W) -> Self {
+        let sig_len = workload.signature_len();
+        let mut cursor = Self {
+            config,
+            state: SimState::with_signature_slots(config, sig_len),
+            workload,
+            sig_buf: vec![0u64; sig_len],
+            per_port: vec![0u64; config.num_ports()],
+            conflicts: ConflictCounts::default(),
+        };
+        cursor.sync();
+        cursor
+    }
+
+    fn sync(&mut self) {
+        self.workload.write_signature(&mut self.sig_buf);
+        self.state.sync_signature(&self.sig_buf);
+    }
+
+    fn advance(&mut self) {
+        step(
+            self.config,
+            &mut self.state,
+            &mut self.workload,
+            &mut NoopObserver,
+        );
+        self.sync();
+        for ev in &self.state.outcomes {
+            match ev.outcome {
+                PortOutcome::Granted => self.per_port[ev.port.0] += 1,
+                PortOutcome::Delayed(kind) => self.conflicts.record(kind),
+            }
+        }
+    }
+
+    fn advance_by(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.advance();
+        }
+    }
+
+    fn snapshot(&self, pos: u64) -> Snapshot<W> {
+        Snapshot {
+            pos,
+            state: self.state.clone(),
+            workload: self.workload.clone(),
+            per_port: self.per_port.clone(),
+            conflicts: self.conflicts,
+        }
+    }
+
+    fn restore(config: &'c SimConfig, snap: &Snapshot<W>) -> Self {
+        let sig_len = snap.workload.signature_len();
+        Self {
+            config,
+            state: snap.state.clone(),
+            workload: snap.workload.clone(),
+            sig_buf: vec![0u64; sig_len],
+            per_port: snap.per_port.clone(),
+            conflicts: snap.conflicts,
+        }
+    }
+}
+
+/// Runs any observable workload until the simulator state recurs and
+/// returns the exact cyclic-state bandwidth. `warmup` cycles are simulated
+/// first (use this to get past start-time offsets that are not part of the
+/// state signature); `max_cycles` bounds the post-warmup search.
+///
+/// The caller's workload is read (and cloned) but left untouched; the
+/// search replays pristine clones internally.
+pub fn measure_steady_state_workload<W: ObservableWorkload + Clone>(
+    config: &SimConfig,
+    workload: &mut W,
+    warmup: u64,
+    max_cycles: u64,
+) -> Result<SteadyState, SteadyStateError> {
+    let not_converged = SteadyStateError::NotConverged { cycles: max_cycles };
+
+    // Search cursor: pristine workload advanced through warmup, then
+    // stepped while racing against snapshots of its own past taken at
+    // every power-of-two step count. The first recurrence is provably
+    // exactly one period behind the cursor (a distance of k·λ with k ≥ 2
+    // would have matched the same snapshot λ steps sooner).
+    let mut hare = Cursor::new(config, workload.clone());
+    hare.advance_by(warmup);
+    let mut snaps: Vec<Snapshot<W>> = vec![hare.snapshot(0)];
+    let mut snap_hashes: Vec<u64> = vec![hare.state.hash()];
+    let mut pos: u64 = 0;
+    let mut next_snap: u64 = 1;
+    let (lambda, matched) = loop {
+        if pos >= max_cycles {
+            return Err(not_converged);
+        }
+        hare.advance();
+        pos += 1;
+        let h = hare.state.hash();
+        let mut found = None;
+        for (i, &sh) in snap_hashes.iter().enumerate() {
+            if sh == h && snaps[i].state == hare.state {
+                found = Some(i);
+                break;
+            }
+        }
+        if let Some(i) = found {
+            break (pos - snaps[i].pos, i);
+        }
+        if pos == next_snap {
+            snaps.push(hare.snapshot(pos));
+            snap_hashes.push(h);
+            next_snap *= 2;
+        }
+    };
+
+    // One full period of window statistics, by subtraction: period sums
+    // are phase-independent, so the window [matched.pos, pos) is as good
+    // as [μ, μ+λ).
+    let anchor = &snaps[matched];
+    let per_port_grants: Vec<u64> = hare
+        .per_port
+        .iter()
+        .zip(&anchor.per_port)
+        .map(|(&a, &b)| a - b)
+        .collect();
+    let conflicts = hare.conflicts - anchor.conflicts;
+
+    // Transient μ: the first post-warmup cycle whose state lies on the
+    // cycle. A match against the start snapshot means the trajectory was
+    // cyclic from the start; otherwise two cursors λ apart meet exactly at
+    // μ, with the leading cursor restored from the latest snapshot at or
+    // before λ (the snapshot at step 1 always exists here, since a match
+    // at pos 1 can only be against the start snapshot).
+    let mu = if anchor.pos == 0 {
+        0
+    } else {
+        let near = snaps
+            .iter()
+            .rev()
+            .find(|s| s.pos <= lambda)
+            .expect("start snapshot is at pos 0");
+        let mut ahead = Cursor::restore(config, near);
+        ahead.advance_by(lambda - near.pos);
+        let mut behind = Cursor::restore(config, &snaps[0]);
+        let mut mu: u64 = 0;
+        while !(ahead.state.hash() == behind.state.hash() && ahead.state == behind.state) {
+            ahead.advance();
+            behind.advance();
+            mu += 1;
+        }
+        mu
+    };
+
+    let grants_per_period: u64 = per_port_grants.iter().sum();
+    Ok(SteadyState {
+        beff: Ratio::new(grants_per_period, lambda),
+        transient: warmup + mu,
+        period: lambda,
+        grants_per_period,
+        per_port: per_port_grants
+            .iter()
+            .map(|&g| Ratio::new(g, lambda))
+            .collect(),
+        conflicts_per_period: conflicts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{PortId, Request};
+    use vecmem_analytic::Geometry;
+
+    /// Port p cycles through banks `p, p + d, p + 2d, …` (mod m).
+    #[derive(Clone)]
+    struct Strides {
+        m: u64,
+        d: Vec<u64>,
+        pos: Vec<u64>,
+    }
+
+    impl Strides {
+        fn new(m: u64, d: &[u64]) -> Self {
+            Self {
+                m,
+                d: d.to_vec(),
+                pos: (0..d.len() as u64).collect(),
+            }
+        }
+    }
+
+    impl Workload for Strides {
+        fn pending(&self, port: PortId, _now: u64) -> Option<Request> {
+            self.pos.get(port.0).map(|&bank| Request { bank })
+        }
+        fn granted(&mut self, port: PortId, _now: u64) {
+            self.pos[port.0] = (self.pos[port.0] + self.d[port.0]) % self.m;
+        }
+        fn is_finished(&self) -> bool {
+            false
+        }
+    }
+
+    impl ObservableWorkload for Strides {
+        fn signature_len(&self) -> usize {
+            self.pos.len()
+        }
+        fn write_signature(&self, out: &mut [u64]) {
+            out.copy_from_slice(&self.pos);
+        }
+    }
+
+    #[test]
+    fn unit_stride_single_stream_full_bandwidth() {
+        let cfg = SimConfig::single_cpu(Geometry::unsectioned(16, 4).unwrap(), 1);
+        let mut w = Strides::new(16, &[1]);
+        let ss = measure_steady_state_workload(&cfg, &mut w, 0, 10_000).unwrap();
+        assert_eq!(ss.beff, Ratio::integer(1));
+        assert!(ss.conflict_free());
+        assert_eq!(ss.grants_per_period, ss.period);
+    }
+
+    #[test]
+    fn self_conflicting_stream_quarter_bandwidth() {
+        // d = 0: one bank hammered forever, b_eff = 1 / n_c.
+        let cfg = SimConfig::single_cpu(Geometry::unsectioned(8, 4).unwrap(), 1);
+        let mut w = Strides::new(8, &[0]);
+        let ss = measure_steady_state_workload(&cfg, &mut w, 0, 10_000).unwrap();
+        assert_eq!(ss.beff, Ratio::new(1, 4));
+        assert_eq!(ss.period, 4);
+        assert_eq!(ss.conflicts_per_period.bank, 3);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_the_budget() {
+        let cfg = SimConfig::single_cpu(Geometry::unsectioned(16, 4).unwrap(), 1);
+        let mut w = Strides::new(16, &[1]);
+        // The 16-bank unit stride needs more than 3 search cycles.
+        let err = measure_steady_state_workload(&cfg, &mut w, 0, 3).unwrap_err();
+        assert_eq!(err, SteadyStateError::NotConverged { cycles: 3 });
+        assert_eq!(err.to_string(), "no cyclic state within 3 cycles");
+        // Warmup does not inflate the reported budget.
+        let err = measure_steady_state_workload(&cfg, &mut w, 100, 3).unwrap_err();
+        assert_eq!(err, SteadyStateError::NotConverged { cycles: 3 });
+    }
+
+    #[test]
+    fn caller_workload_left_untouched() {
+        let cfg = SimConfig::single_cpu(Geometry::unsectioned(8, 2).unwrap(), 1);
+        let mut w = Strides::new(8, &[3]);
+        let before = w.state_signature();
+        let _ = measure_steady_state_workload(&cfg, &mut w, 0, 10_000).unwrap();
+        assert_eq!(w.state_signature(), before);
+    }
+}

@@ -1,0 +1,256 @@
+//! The one step kernel: simulate a single clock period.
+//!
+//! Everything that advances the memory model by one cycle — the engine,
+//! the steady-state detector, the differential oracle — funnels through
+//! [`step`]. The kernel owns the canonical event order of a clock period:
+//!
+//! 1. report the busy→free transitions queued by the previous cycle's
+//!    aging pass;
+//! 2. collect each port's pending request (ascending port order);
+//! 3. observer: [`on_arbitration`](crate::observe::SimObserver::on_arbitration);
+//! 4. arbitrate ([`arbitrate_into`]) against the current bank residues;
+//! 5. delays, in input order: count the conflict, bump the port's wait
+//!    counter, [`on_delay`](crate::observe::SimObserver::on_delay);
+//! 6. record the per-port [`PortEvent`]s (input order) into
+//!    [`SimState::outcomes`];
+//! 7. grants, in input order: mark the bank busy for `n_c` periods,
+//!    [`on_grant`](crate::observe::SimObserver::on_grant) and
+//!    [`on_bank_busy`](crate::observe::SimObserver::on_bank_busy), reset
+//!    the wait counter, advance the workload;
+//! 8. observer: [`on_cycle_end`](crate::observe::SimObserver::on_cycle_end)
+//!    with the grant count and the number of banks busy *during* the cycle;
+//! 9. under cyclic priority, advance the rotation if the cycle was
+//!    contested (a section or simultaneous-bank delay occurred);
+//! 10. age every busy bank by one period and advance the clock.
+//!
+//! The kernel is allocation-free: scratch vectors live in the
+//! [`SimState`] and are reused cycle after cycle.
+
+use crate::arbiter::arbitrate_into;
+use crate::config::{PriorityRule, SimConfig};
+use crate::observe::SimObserver;
+use crate::request::{ConflictKind, PortId, PortOutcome};
+use crate::state::{PortEvent, SimState};
+use crate::stats::ConflictCounts;
+use crate::workload::Workload;
+
+/// What one simulated clock period produced, in aggregate. Per-port detail
+/// is available from [`SimState::outcomes`] until the next step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CycleEvents {
+    /// Requests granted this cycle.
+    pub grants: u32,
+    /// Delays recorded this cycle, by conflict kind.
+    pub conflicts: ConflictCounts,
+    /// Whether priority arbitration was exercised (a section or
+    /// simultaneous-bank conflict occurred) — the condition under which
+    /// cyclic priority rotates.
+    pub contested: bool,
+}
+
+/// Simulates one clock period of `config`'s memory system.
+///
+/// Pure with respect to its inputs: the entire evolving state lives in
+/// `state` (and in the workload, whose observable part the caller mirrors
+/// into the state's position slots when it needs recurrence detection).
+///
+/// # Panics
+/// If the workload presents a request for a bank outside the geometry.
+pub fn step<W: Workload + ?Sized, O: SimObserver>(
+    config: &SimConfig,
+    state: &mut SimState,
+    workload: &mut W,
+    observer: &mut O,
+) -> CycleEvents {
+    let now = state.now();
+    let banks = u64::from(state.banks());
+
+    // 1. Busy→free transitions queued by the previous cycle's aging pass.
+    if O::ENABLED {
+        for &bank in &state.just_freed {
+            observer.on_bank_busy(now, bank, false);
+        }
+    }
+
+    // 2. Collect pending requests, ascending port order.
+    let mut pending = std::mem::take(&mut state.pending);
+    pending.clear();
+    for p in 0..config.num_ports() {
+        let port = PortId(p);
+        if let Some(req) = workload.pending(port, now) {
+            assert!(
+                req.bank < banks,
+                "workload requested bank {} of {banks}",
+                req.bank
+            );
+            pending.push((port, req));
+        }
+    }
+
+    // 3–4. Arbitrate.
+    if O::ENABLED {
+        observer.on_arbitration(now, state.rotation(), &pending);
+    }
+    let mut kinds = std::mem::take(&mut state.kinds);
+    arbitrate_into(
+        config,
+        state.rotation(),
+        |b| state.residue(b) > 0,
+        &pending,
+        &mut kinds,
+    );
+
+    // 5. Delays.
+    let mut conflicts = ConflictCounts::default();
+    let mut contested = false;
+    for (i, &(port, req)) in pending.iter().enumerate() {
+        if let PortOutcome::Delayed(kind) = kinds[i] {
+            conflicts.record(kind);
+            contested |= kind != ConflictKind::Bank;
+            state.bump_wait(port);
+            if O::ENABLED {
+                observer.on_delay(now, port, req.bank, kind);
+            }
+        }
+    }
+
+    // 6. Per-port events, input order. A delayed port reports its running
+    // wait (including this cycle); a granted port its completed wait.
+    let mut outcomes = std::mem::take(&mut state.outcomes);
+    outcomes.clear();
+    for (i, &(port, req)) in pending.iter().enumerate() {
+        outcomes.push(PortEvent {
+            port,
+            request: req,
+            outcome: kinds[i],
+            wait: state.wait(port),
+        });
+    }
+    state.outcomes = outcomes;
+
+    // 7. Grants.
+    let mut grants = 0u32;
+    let hold = config.geometry.bank_cycle();
+    for (i, &(port, req)) in pending.iter().enumerate() {
+        if kinds[i] == PortOutcome::Granted {
+            grants += 1;
+            let wait = state.wait(port);
+            state.set_residue(req.bank, hold as u8);
+            if O::ENABLED {
+                observer.on_grant(now, port, req.bank, wait, hold);
+                observer.on_bank_busy(now, req.bank, true);
+            }
+            state.reset_wait(port);
+            workload.granted(port, now);
+        }
+    }
+
+    // 8. End of cycle: banks busy *during* this period (grants included,
+    // aging not yet applied).
+    if O::ENABLED {
+        observer.on_cycle_end(now, grants, state.busy_banks());
+    }
+
+    // 9. Cyclic priority rotates only when arbitration was exercised.
+    if config.priority == PriorityRule::Cyclic && contested {
+        let n = config.num_ports().max(1);
+        state.set_rotation((state.rotation() + 1) % n);
+    }
+
+    // 10. Age the banks and advance the clock.
+    state.decrement_residues();
+    state.pending = pending;
+    state.kinds = kinds;
+    state.advance_now();
+
+    CycleEvents {
+        grants,
+        conflicts,
+        contested,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::NoopObserver;
+    use crate::request::Request;
+    use vecmem_analytic::Geometry;
+
+    /// Every port requests a fixed bank forever.
+    #[derive(Clone)]
+    struct FixedBanks(Vec<u64>);
+
+    impl Workload for FixedBanks {
+        fn pending(&self, port: PortId, _now: u64) -> Option<Request> {
+            self.0.get(port.0).map(|&bank| Request { bank })
+        }
+        fn granted(&mut self, _port: PortId, _now: u64) {}
+        fn is_finished(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn single_stream_holds_bank_for_bank_cycle() {
+        let cfg = SimConfig::single_cpu(Geometry::unsectioned(8, 3).unwrap(), 1);
+        let mut st = SimState::new(&cfg);
+        let mut w = FixedBanks(vec![2]);
+        // Cycle 0: grant, bank 2 held for nc = 3 → residue 2 after aging.
+        let ev = step(&cfg, &mut st, &mut w, &mut NoopObserver);
+        assert_eq!(ev.grants, 1);
+        assert_eq!(st.residue(2), 2);
+        assert_eq!(st.outcomes().len(), 1);
+        assert_eq!(st.outcomes()[0].outcome, PortOutcome::Granted);
+        // Cycles 1–2: bank conflict against its own residue.
+        let ev = step(&cfg, &mut st, &mut w, &mut NoopObserver);
+        assert_eq!(ev.grants, 0);
+        assert_eq!(ev.conflicts.bank, 1);
+        assert_eq!(st.outcomes()[0].wait, 1);
+        let ev = step(&cfg, &mut st, &mut w, &mut NoopObserver);
+        assert_eq!(ev.conflicts.bank, 1);
+        // Cycle 3: free again, granted with completed wait 2.
+        let ev = step(&cfg, &mut st, &mut w, &mut NoopObserver);
+        assert_eq!(ev.grants, 1);
+        assert_eq!(st.outcomes()[0].wait, 2);
+        assert_eq!(st.wait(PortId(0)), 0);
+        assert_eq!(st.now(), 4);
+    }
+
+    #[test]
+    fn contested_cycle_rotates_cyclic_priority() {
+        let cfg = SimConfig::one_port_per_cpu(Geometry::unsectioned(8, 2).unwrap(), 2)
+            .with_priority(PriorityRule::Cyclic);
+        let mut st = SimState::new(&cfg);
+        let mut w = FixedBanks(vec![4, 4]);
+        let ev = step(&cfg, &mut st, &mut w, &mut NoopObserver);
+        assert!(ev.contested);
+        assert_eq!(ev.conflicts.simultaneous, 1);
+        assert_eq!(st.rotation(), 1);
+        // Pure bank conflicts do not rotate.
+        let ev = step(&cfg, &mut st, &mut w, &mut NoopObserver);
+        assert!(!ev.contested);
+        assert_eq!(ev.conflicts.bank, 2);
+        assert_eq!(st.rotation(), 1);
+    }
+
+    #[test]
+    fn hash_stays_consistent_across_steps() {
+        let cfg = SimConfig::one_port_per_cpu(Geometry::unsectioned(13, 4).unwrap(), 2);
+        let mut st = SimState::new(&cfg);
+        let mut w = FixedBanks(vec![3, 3]);
+        for _ in 0..25 {
+            step(&cfg, &mut st, &mut w, &mut NoopObserver);
+            assert_eq!(st.hash(), st.recompute_hash());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requested bank")]
+    fn out_of_range_bank_rejected() {
+        let cfg = SimConfig::single_cpu(Geometry::unsectioned(4, 2).unwrap(), 1);
+        let mut st = SimState::new(&cfg);
+        let mut w = FixedBanks(vec![9]);
+        step(&cfg, &mut st, &mut w, &mut NoopObserver);
+    }
+}

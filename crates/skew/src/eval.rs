@@ -20,6 +20,10 @@ pub struct AddressStream {
 }
 
 /// Strided address streams routed through a [`BankMapping`].
+///
+/// `Clone` is implemented manually (the steady-state solver replays
+/// pristine clones of the workload): the mapping reference is shared, the
+/// per-stream positions are copied.
 pub struct MappedStreamWorkload<'a, M: BankMapping + ?Sized> {
     mapping: &'a M,
     streams: Vec<AddressStream>,
@@ -85,9 +89,24 @@ impl<M: BankMapping + ?Sized> Workload for MappedStreamWorkload<'_, M> {
     }
 }
 
+impl<M: BankMapping + ?Sized> Clone for MappedStreamWorkload<'_, M> {
+    fn clone(&self) -> Self {
+        Self {
+            mapping: self.mapping,
+            streams: self.streams.clone(),
+            issued: self.issued.clone(),
+            index_period: self.index_period.clone(),
+        }
+    }
+}
+
 impl<M: BankMapping + ?Sized> ObservableWorkload for MappedStreamWorkload<'_, M> {
-    fn state_signature(&self) -> Vec<u64> {
-        self.issued.clone()
+    fn signature_len(&self) -> usize {
+        self.issued.len()
+    }
+
+    fn write_signature(&self, out: &mut [u64]) {
+        out.copy_from_slice(&self.issued);
     }
 }
 

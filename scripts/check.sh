@@ -8,13 +8,20 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
-echo "==> cargo clippy -D warnings (vecmem-obs, vecmem-prop, vecmem-exec, vecmem-oracle)"
-cargo clippy -p vecmem-obs -p vecmem-prop -p vecmem-exec --all-targets -- -D warnings
+echo "==> cargo clippy -D warnings (vecmem-simcore, vecmem-obs, vecmem-prop, vecmem-exec, vecmem-oracle)"
+cargo clippy -p vecmem-simcore -p vecmem-obs -p vecmem-prop -p vecmem-exec --all-targets -- -D warnings
 cargo clippy -p vecmem-oracle --all-targets --all-features -- -D warnings
 
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
+# The seeded-fault arbiter variants must keep compiling and passing.
+cargo test -q -p vecmem-oracle --features bug_injection
+
+echo "==> bench smoke: steady-state solver throughput (quick mode)"
+VECMEM_BENCH_QUICK=1 cargo bench -q -p vecmem-bench --bench steady_throughput > /dev/null \
+  || { echo "steady_throughput bench smoke failed"; exit 1; }
+echo "    steady_throughput quick run OK"
 
 echo "==> smoke: figure/table binaries (small geometries, golden diffs)"
 smoke_dir="$(mktemp -d)"

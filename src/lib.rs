@@ -7,8 +7,16 @@
 //! The workspace is organised as:
 //!
 //! * [`analytic`] — the paper's analytical model (Theorems 1–9, eq. 29/32);
+//! * [`simcore`] — the pure simulation core: the packed
+//!   [`simcore::SimState`] (bank residues, priority rotation, workload
+//!   positions, wait counters in one hashed buffer), the single
+//!   [`simcore::step::step`] kernel every simulator path funnels through,
+//!   and bounded-memory cyclic-state detection (Brent's algorithm over the
+//!   state's incremental hash);
 //! * [`banksim`] — cycle-accurate simulator of the interleaved, sectioned
-//!   memory system with vector access ports;
+//!   memory system with vector access ports, built on [`simcore`]: the
+//!   stats/trace-keeping engine, strided streams, steady-state entry
+//!   points, random workloads;
 //! * [`vproc`] — vector-processor model (Cray X-MP style) used for the
 //!   paper's §IV triad experiment;
 //! * [`skew`] — bank-skewing schemes (the conclusion's suggested remedy);
@@ -26,6 +34,7 @@ pub use vecmem_analytic as analytic;
 pub use vecmem_banksim as banksim;
 pub use vecmem_exec as exec;
 pub use vecmem_oracle as oracle;
+pub use vecmem_simcore as simcore;
 pub use vecmem_skew as skew;
 pub use vecmem_vproc as vproc;
 

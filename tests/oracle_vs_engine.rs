@@ -116,7 +116,11 @@ fn inverted_priority_is_caught_at_cycle_one() {
         "dump must mark the ports:\n{}",
         d.report
     );
-    assert!(d.report.contains("bank residues"), "{}", d.report);
+    assert!(
+        d.report.contains("remaining bank busy periods"),
+        "{}",
+        d.report
+    );
 }
 
 /// Golden divergence, stuck rotation. m = 4, n_c = 1, cyclic priority,
@@ -145,7 +149,7 @@ fn stuck_rotation_is_caught_at_cycle_zero() {
     };
     assert_eq!(d.cycle, 0, "wrong divergence cycle:\n{}", d.report);
     assert!(
-        d.report.contains("rotation: engine=1 oracle=0"),
+        d.report.contains("engine: rotation=1") && d.report.contains("oracle: rotation=0"),
         "dump must expose the rotation disagreement:\n{}",
         d.report
     );
