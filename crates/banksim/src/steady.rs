@@ -22,6 +22,10 @@ pub use vecmem_simcore::steady::{
 /// `specs[i]` is the stream of port `i`; every port of the configuration
 /// must have a stream. `max_cycles` bounds the search (the cycle is
 /// normally found within a few `lcm`-scale periods).
+///
+/// # Errors
+/// Returns a [`SteadyStateError`] when the simulator state does not recur
+/// within `max_cycles`.
 pub fn measure_steady_state(
     config: &SimConfig,
     specs: &[StreamSpec],
@@ -38,6 +42,10 @@ pub fn measure_steady_state(
 
 /// Convenience wrapper: two infinite streams on ports of *different* CPUs
 /// over an unsectioned view (the §III-B "equal sections and banks" setting).
+///
+/// # Errors
+/// Returns a [`SteadyStateError`] when no cyclic state is found within
+/// `max_cycles`.
 pub fn measure_pair_cross_cpu(
     geom: &Geometry,
     s1: StreamSpec,
@@ -50,6 +58,10 @@ pub fn measure_pair_cross_cpu(
 
 /// Convenience wrapper: two infinite streams on ports of the *same* CPU
 /// (section conflicts possible when `s < m`).
+///
+/// # Errors
+/// Returns a [`SteadyStateError`] when no cyclic state is found within
+/// `max_cycles`.
 pub fn measure_pair_same_cpu(
     geom: &Geometry,
     s1: StreamSpec,
@@ -61,6 +73,10 @@ pub fn measure_pair_same_cpu(
 }
 
 /// Measures a single stream's steady state (validates §III-A).
+///
+/// # Errors
+/// Returns a [`SteadyStateError`] when no cyclic state is found within
+/// `max_cycles`.
 pub fn measure_single(
     geom: &Geometry,
     spec: StreamSpec,
@@ -74,6 +90,10 @@ pub fn measure_single(
 /// `m` positions and reports each steady state. Used to verify the
 /// "synchronization" claim of Theorem 3 and the uniqueness claims of
 /// Theorems 6/7.
+///
+/// # Errors
+/// Returns a [`SteadyStateError`] when any start position fails to reach a
+/// cyclic state within `max_cycles`.
 pub fn sweep_start_banks(
     config: &SimConfig,
     d1: u64,
@@ -99,6 +119,10 @@ pub fn sweep_start_banks(
 
 /// Like [`measure_steady_state`] but with per-stream start-cycle offsets
 /// (relative positions in *time* rather than space).
+///
+/// # Errors
+/// Returns a [`SteadyStateError`] when the simulator state does not recur
+/// within `max_cycles`.
 pub fn measure_steady_state_with_delays(
     config: &SimConfig,
     specs: &[(StreamSpec, u64)],

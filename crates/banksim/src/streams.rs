@@ -158,6 +158,12 @@ impl ObservableWorkload for StreamWorkload {
             *slot = s.current_bank().unwrap_or(s.banks);
         }
     }
+
+    fn signature_bound(&self) -> Option<u64> {
+        // A slot holds the stream's current bank (`< m`) or `m` itself as
+        // the finished marker, so `m` is the inclusive bound.
+        self.streams.iter().map(|s| s.banks).max()
+    }
 }
 
 #[cfg(test)]

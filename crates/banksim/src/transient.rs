@@ -29,6 +29,10 @@ pub struct TransientProfile {
 }
 
 /// Measures the transient for every relative start position of a pair.
+///
+/// # Errors
+/// Returns a [`SteadyStateError`] when any start position fails to reach a
+/// cyclic state within `max_cycles`.
 pub fn transient_profile(
     config: &SimConfig,
     d1: u64,

@@ -546,6 +546,7 @@ fn verify_exhaustive(opts: &Options) -> Result<String, String> {
         steady_budget: opts.u64_or("cycle-budget", 500_000).map_err(err)?,
     };
     let runner = Runner::new();
+    // vecmem-lint: allow(L1) -- elapsed time is printed for the operator only, never part of results
     let start = std::time::Instant::now();
     let report = sweep(&bounds, &runner);
     let elapsed = start.elapsed();
@@ -599,6 +600,7 @@ fn verify_random(opts: &Options) -> Result<String, String> {
         ..ExploreConfig::default()
     };
     let mut registry = MetricsRegistry::new(1, 1);
+    // vecmem-lint: allow(L1) -- elapsed time is printed for the operator only, never part of results
     let start = std::time::Instant::now();
     let report = explore(&cfg, &mut registry);
     let elapsed = start.elapsed();

@@ -43,6 +43,10 @@ impl Geometry {
     }
 
     /// Like [`Geometry::new`] but with an explicit [`SectionMapping`].
+    ///
+    /// # Errors
+    /// Same contract as [`Geometry::new`]: `banks`, `sections` and
+    /// `bank_cycle` must be positive, with `sections` dividing `banks`.
     pub fn with_mapping(
         banks: u64,
         sections: u64,
@@ -75,6 +79,9 @@ impl Geometry {
     /// Geometry without sections (`s = m`): every bank has its own path, so
     /// section conflicts cannot occur. This is the setting of §III-B
     /// "Equal Number of Sections and Banks".
+    ///
+    /// # Errors
+    /// Returns an error unless `banks > 0` and `bank_cycle > 0`.
     pub fn unsectioned(banks: u64, bank_cycle: u64) -> Result<Self, ModelError> {
         Self::new(banks, banks, bank_cycle)
     }
@@ -141,6 +148,9 @@ impl Geometry {
     }
 
     /// Validates a start-bank address for this geometry.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::StartBankOutOfRange`] when `start_bank >= m`.
     pub fn check_start_bank(&self, start_bank: u64) -> Result<(), ModelError> {
         if start_bank >= self.banks {
             return Err(ModelError::StartBankOutOfRange {
@@ -152,6 +162,9 @@ impl Geometry {
     }
 
     /// Validates a distance (stride modulo `m`) for this geometry.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::DistanceOutOfRange`] when `distance >= m`.
     pub fn check_distance(&self, distance: u64) -> Result<(), ModelError> {
         if distance >= self.banks {
             return Err(ModelError::DistanceOutOfRange {

@@ -21,6 +21,10 @@ pub struct StreamSpec {
 
 impl StreamSpec {
     /// Creates a stream spec, validating both fields against the geometry.
+    ///
+    /// # Errors
+    /// Returns an error when `start_bank` or `distance` lies outside
+    /// `0..m` for the geometry.
     pub fn new(geom: &Geometry, start_bank: u64, distance: u64) -> Result<Self, ModelError> {
         geom.check_start_bank(start_bank)?;
         geom.check_distance(distance)?;

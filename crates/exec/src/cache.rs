@@ -108,7 +108,7 @@ impl<K: Hash + Eq, V: Clone> ResultCache<K, V> {
     #[must_use]
     pub fn len(&self) -> usize {
         self.shards
-            .iter()
+            .iter() // vecmem-lint: allow(L1) -- shards is a Vec (fixed order); the sum is order-independent
             .map(|s| s.lock().expect("cache shard").len())
             .sum()
     }

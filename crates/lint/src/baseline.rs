@@ -1,0 +1,333 @@
+//! The ratchet: a committed `lint-baseline.toml` freezing the set of
+//! pre-existing violations per (rule, file).
+//!
+//! The contract is strict in both directions:
+//!
+//! * a file with **more** violations of a rule than its baseline entry
+//!   fails the run (new debt is rejected);
+//! * a file with **fewer** fails too, reporting the entry as *stale* — the
+//!   fix must be banked by rewriting the baseline (`--write-baseline`), so
+//!   the ratchet only ever tightens;
+//! * entries for files that no longer exist (or rules that no longer fire
+//!   at all) are stale for the same reason.
+//!
+//! The format is a deliberately tiny TOML subset (`[[entry]]` tables with
+//! `rule`/`file`/`count` keys) written and parsed here with no external
+//! dependency, in sorted order so diffs stay reviewable.
+
+use crate::rules::Violation;
+use std::collections::BTreeMap;
+
+/// Parsed baseline: `(rule, file) -> allowed count`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String), u64>,
+}
+
+/// One discrepancy between the current run and the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RatchetBreak {
+    /// More violations than the baseline allows; payload lists them all
+    /// for that (rule, file) so the offending lines are visible.
+    New {
+        /// Rule id.
+        rule: String,
+        /// File path.
+        file: String,
+        /// Violations found.
+        found: u64,
+        /// Violations the baseline allows.
+        allowed: u64,
+    },
+    /// Fewer violations than recorded: the entry must be ratcheted down.
+    Stale {
+        /// Rule id.
+        rule: String,
+        /// File path.
+        file: String,
+        /// Violations found.
+        found: u64,
+        /// Violations the baseline still records.
+        allowed: u64,
+    },
+}
+
+impl std::fmt::Display for RatchetBreak {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::New {
+                rule,
+                file,
+                found,
+                allowed,
+            } => write!(
+                f,
+                "{file}: {rule}: {found} violation(s), baseline allows {allowed} — fix the new ones"
+            ),
+            Self::Stale {
+                rule,
+                file,
+                found,
+                allowed,
+            } => write!(
+                f,
+                "{file}: {rule}: baseline records {allowed} but only {found} fire — stale entry; \
+                 bank the fix with --write-baseline"
+            ),
+        }
+    }
+}
+
+impl Baseline {
+    /// Builds a baseline that freezes exactly the given violations.
+    #[must_use]
+    pub fn from_violations(violations: &[Violation]) -> Self {
+        let mut entries: BTreeMap<(String, String), u64> = BTreeMap::new();
+        for v in violations {
+            *entries
+                .entry((v.rule.to_string(), v.file.clone()))
+                .or_insert(0) += 1;
+        }
+        Self { entries }
+    }
+
+    /// Number of (rule, file) entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the baseline holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total violations the baseline tolerates.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.entries.values().sum()
+    }
+
+    /// Parses the committed baseline file.
+    ///
+    /// # Errors
+    /// Returns a message naming the offending line when the file deviates
+    /// from the `[[entry]]` / `key = value` subset this module writes.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = BTreeMap::new();
+        let mut cur: Option<(Option<String>, Option<String>, Option<u64>)> = None;
+        let mut flush = |cur: &mut Option<(Option<String>, Option<String>, Option<u64>)>,
+                         lineno: usize|
+         -> Result<(), String> {
+            if let Some((rule, file, count)) = cur.take() {
+                match (rule, file, count) {
+                    (Some(r), Some(f), Some(c)) => {
+                        entries.insert((r, f), c);
+                        Ok(())
+                    }
+                    _ => Err(format!(
+                        "line {lineno}: [[entry]] missing rule, file or count"
+                    )),
+                }
+            } else {
+                Ok(())
+            }
+        };
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = n + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[entry]]" {
+                flush(&mut cur, lineno)?;
+                cur = Some((None, None, None));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "line {lineno}: expected `key = value`, got `{line}`"
+                ));
+            };
+            let Some(slot) = cur.as_mut() else {
+                return Err(format!("line {lineno}: `{line}` outside an [[entry]]"));
+            };
+            let key = key.trim();
+            let value = value.trim();
+            match key {
+                "rule" => slot.0 = Some(unquote(value, lineno)?),
+                "file" => slot.1 = Some(unquote(value, lineno)?),
+                "count" => {
+                    slot.2 = Some(value.parse().map_err(|_| {
+                        format!("line {lineno}: count `{value}` is not an integer")
+                    })?);
+                }
+                other => return Err(format!("line {lineno}: unknown key `{other}`")),
+            }
+        }
+        flush(&mut cur, text.lines().count())?;
+        Ok(Self { entries })
+    }
+
+    /// Renders the baseline in its canonical sorted form.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from(
+            "# lint-baseline.toml — the vecmem-lint ratchet.\n\
+             #\n\
+             # Each entry freezes the number of pre-existing violations of one rule\n\
+             # in one file. New violations fail the gate; fixing one makes the entry\n\
+             # stale, which also fails until the baseline is rewritten — so the\n\
+             # baseline only ever shrinks. Regenerate with:\n\
+             #\n\
+             #     cargo run --release -p vecmem-lint -- --workspace --write-baseline\n",
+        );
+        for ((rule, file), count) in &self.entries {
+            let _ = write!(
+                s,
+                "\n[[entry]]\nrule = \"{rule}\"\nfile = \"{file}\"\ncount = {count}\n"
+            );
+        }
+        s
+    }
+
+    /// Diffs the current violations against the baseline. Returns the
+    /// ratchet breaks (empty = gate passes) and, for convenience, the
+    /// number of violations absorbed by baseline entries.
+    #[must_use]
+    pub fn diff(&self, violations: &[Violation]) -> (Vec<RatchetBreak>, u64) {
+        let current = Self::from_violations(violations);
+        let mut breaks = Vec::new();
+        let mut absorbed = 0u64;
+        for ((rule, file), &found) in &current.entries {
+            let allowed = self
+                .entries
+                .get(&(rule.clone(), file.clone()))
+                .copied()
+                .unwrap_or(0);
+            match found.cmp(&allowed) {
+                std::cmp::Ordering::Greater => breaks.push(RatchetBreak::New {
+                    rule: rule.clone(),
+                    file: file.clone(),
+                    found,
+                    allowed,
+                }),
+                std::cmp::Ordering::Less => breaks.push(RatchetBreak::Stale {
+                    rule: rule.clone(),
+                    file: file.clone(),
+                    found,
+                    allowed,
+                }),
+                std::cmp::Ordering::Equal => absorbed += found,
+            }
+        }
+        for ((rule, file), &allowed) in &self.entries {
+            if !current.entries.contains_key(&(rule.clone(), file.clone())) {
+                breaks.push(RatchetBreak::Stale {
+                    rule: rule.clone(),
+                    file: file.clone(),
+                    found: 0,
+                    allowed,
+                });
+            }
+        }
+        (breaks, absorbed)
+    }
+}
+
+fn unquote(value: &str, lineno: usize) -> Result<String, String> {
+    value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("line {lineno}: expected a quoted string, got `{value}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: &'static str, file: &str, line: u32) -> Violation {
+        Violation {
+            rule,
+            file: file.to_string(),
+            line,
+            message: String::new(),
+            hint: "",
+        }
+    }
+
+    #[test]
+    fn roundtrip_render_parse() {
+        let b = Baseline::from_violations(&[
+            v("L3", "a.rs", 1),
+            v("L3", "a.rs", 9),
+            v("L5", "b.rs", 2),
+        ]);
+        let parsed = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.total(), 3);
+        assert_eq!(parsed.len(), 2);
+    }
+
+    #[test]
+    fn equal_counts_pass_and_absorb() {
+        let base = Baseline::from_violations(&[v("L3", "a.rs", 1), v("L3", "a.rs", 2)]);
+        let (breaks, absorbed) = base.diff(&[v("L3", "a.rs", 7), v("L3", "a.rs", 8)]);
+        assert!(breaks.is_empty());
+        assert_eq!(absorbed, 2);
+    }
+
+    #[test]
+    fn extra_violation_breaks_the_ratchet() {
+        let base = Baseline::from_violations(&[v("L3", "a.rs", 1)]);
+        let (breaks, _) = base.diff(&[v("L3", "a.rs", 1), v("L3", "a.rs", 2)]);
+        assert_eq!(
+            breaks,
+            vec![RatchetBreak::New {
+                rule: "L3".into(),
+                file: "a.rs".into(),
+                found: 2,
+                allowed: 1,
+            }]
+        );
+    }
+
+    #[test]
+    fn fixed_violation_makes_entry_stale() {
+        let base = Baseline::from_violations(&[v("L3", "a.rs", 1), v("L3", "a.rs", 2)]);
+        let (breaks, _) = base.diff(&[v("L3", "a.rs", 1)]);
+        assert!(matches!(
+            breaks[0],
+            RatchetBreak::Stale {
+                found: 1,
+                allowed: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn entry_that_never_fires_is_stale() {
+        let base = Baseline::from_violations(&[v("L5", "gone.rs", 3)]);
+        let (breaks, _) = base.diff(&[]);
+        assert!(matches!(
+            &breaks[0],
+            RatchetBreak::Stale {
+                found: 0,
+                allowed: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(Baseline::parse("count = 3\n").is_err());
+        assert!(Baseline::parse("[[entry]]\nrule = \"L3\"\n").is_err());
+        assert!(Baseline::parse("[[entry]]\nrule = L3\nfile = \"a\"\ncount = 1\n").is_err());
+        assert!(Baseline::parse("[[entry]]\nrule = \"L3\"\nfile = \"a\"\ncount = x\n").is_err());
+    }
+}

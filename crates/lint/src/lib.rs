@@ -1,0 +1,34 @@
+//! `vecmem-lint`: the workspace invariant linter.
+//!
+//! The simulator's correctness story rests on conventions that ordinary
+//! compilation never checks: the step kernel must stay allocation-free,
+//! result-producing code must be deterministic across thread counts and
+//! hash-map iteration orders, seeded faults must never leak into release
+//! builds, and public fallible APIs must document how they fail. This
+//! crate turns those conventions into five checked rules (see
+//! [`rules`]) over a [lightweight Rust tokenizer](tokens) — no `syn`, no
+//! external dependencies, in keeping with the workspace's std-only policy.
+//!
+//! * **Suppressions** are inline and audited:
+//!   `// vecmem-lint: allow(L3) -- reason` (rule L0 rejects reason-less
+//!   ones).
+//! * **Markers** opt regions into the purity rule:
+//!   `//! vecmem-lint: alloc-free` (whole module) or
+//!   `// vecmem-lint: alloc-free` directly above a `fn`.
+//! * **The ratchet** ([`baseline`]) freezes pre-existing debt in
+//!   `lint-baseline.toml`; new violations fail, and fixed ones must be
+//!   banked by rewriting the baseline, so the count only goes down.
+//!
+//! The `vecmem-lint` binary (`src/main.rs`) drives [`workspace`] over the
+//! repository; `scripts/check.sh` runs it as a gate.
+
+pub mod baseline;
+pub mod rules;
+pub mod source;
+pub mod tokens;
+pub mod workspace;
+
+pub use baseline::{Baseline, RatchetBreak};
+pub use rules::{check_file, collect_gated_items, FileContext, Violation, ALL_RULES};
+pub use source::SourceFile;
+pub use workspace::{apply_baseline, discover_crates, lint_workspace, LintRun};

@@ -1,0 +1,187 @@
+//! CLI for the workspace invariant linter.
+//!
+//! ```text
+//! vecmem-lint --workspace [--root DIR] [--baseline FILE] [--write-baseline | --no-baseline]
+//! ```
+//!
+//! Exit codes: 0 clean (all violations absorbed by the baseline), 1 gate
+//! failure (new or stale entries), 2 usage or IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use vecmem_lint::{apply_baseline, lint_workspace, Baseline};
+
+const USAGE: &str = "\
+usage: vecmem-lint --workspace [options]
+
+Lints every workspace crate's src/ tree against the five vecmem rules
+(L1 determinism, L2 purity, L3 panic policy, L4 feature hygiene, L5 doc
+contract; L0 audits the suppressions themselves) and diffs the result
+against the committed ratchet baseline.
+
+options:
+  --workspace          lint the whole workspace (required today)
+  --root DIR           workspace root (default: nearest ancestor with
+                       both Cargo.toml and crates/)
+  --baseline FILE      ratchet file (default: <root>/lint-baseline.toml)
+  --write-baseline     rewrite the baseline to the current violations
+  --no-baseline        report raw violations, exit 1 if any
+  -h, --help           this help";
+
+struct Args {
+    workspace: bool,
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
+    no_baseline: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        root: None,
+        baseline: None,
+        write_baseline: false,
+        no_baseline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "--root" => args.root = Some(PathBuf::from(it.next().ok_or("--root needs a value")?)),
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a value")?));
+            }
+            "--write-baseline" => args.write_baseline = true,
+            "--no-baseline" => args.no_baseline = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if !args.workspace {
+        return Err("missing --workspace (the only supported mode)".to_string());
+    }
+    if args.write_baseline && args.no_baseline {
+        return Err("--write-baseline conflicts with --no-baseline".to_string());
+    }
+    Ok(args)
+}
+
+/// Walks up from the current directory to the first directory holding
+/// both `Cargo.toml` and `crates/`.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("vecmem-lint: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(root) = args.root.or_else(find_root) else {
+        eprintln!("vecmem-lint: no workspace root found (looked for Cargo.toml + crates/)");
+        return ExitCode::from(2);
+    };
+    let run = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("vecmem-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.no_baseline {
+        for v in &run.violations {
+            println!("{v}");
+        }
+        println!(
+            "vecmem-lint: {} file(s), {} violation(s), {} suppressed",
+            run.files,
+            run.violations.len(),
+            run.suppressed
+        );
+        return if run.violations.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    let baseline_path = args
+        .baseline
+        .unwrap_or_else(|| root.join("lint-baseline.toml"));
+
+    if args.write_baseline {
+        let baseline = Baseline::from_violations(&run.violations);
+        if let Err(e) = std::fs::write(&baseline_path, baseline.render()) {
+            eprintln!("vecmem-lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "vecmem-lint: wrote {} ({} entries, {} violation(s) frozen)",
+            baseline_path.display(),
+            baseline.len(),
+            baseline.total()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = if baseline_path.is_file() {
+        match std::fs::read_to_string(&baseline_path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| Baseline::parse(&t))
+        {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("vecmem-lint: bad baseline {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Baseline::default()
+    };
+
+    let outcome = apply_baseline(&baseline, &run);
+    if outcome.breaks.is_empty() {
+        println!(
+            "vecmem-lint: clean — {} file(s), {} baselined violation(s), {} suppressed",
+            run.files, outcome.absorbed, run.suppressed
+        );
+        return ExitCode::SUCCESS;
+    }
+    // Show every violation for files whose ratchet broke, then the breaks.
+    for b in &outcome.breaks {
+        if let vecmem_lint::RatchetBreak::New { rule, file, .. } = b {
+            for v in run
+                .violations
+                .iter()
+                .filter(|v| v.rule == *rule && v.file == *file)
+            {
+                println!("{v}");
+            }
+        }
+    }
+    for b in &outcome.breaks {
+        eprintln!("vecmem-lint: {b}");
+    }
+    eprintln!(
+        "vecmem-lint: gate FAILED ({} break(s))",
+        outcome.breaks.len()
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,407 @@
+//! The per-file source model rules operate on: tokens plus derived
+//! structure (test regions, feature-gated regions, alloc-free regions,
+//! suppressions).
+//!
+//! Regions are tracked as inclusive line spans, derived from a single
+//! brace-matching scan over the token stream. The derivation is heuristic
+//! — it does not build an AST — but it is conservative in the direction
+//! that matters for each rule (see the individual region notes).
+
+use crate::tokens::{tokenize, Tok, TokKind};
+
+/// The whole-file marker (`//! vecmem-lint: alloc-free`) or the
+/// function-level marker (`// vecmem-lint: alloc-free` immediately above a
+/// `fn`).
+pub const ALLOC_FREE_MARKER: &str = "vecmem-lint: alloc-free";
+
+/// Prefix of an inline suppression comment.
+pub const SUPPRESS_PREFIX: &str = "vecmem-lint: allow(";
+
+/// An inclusive 1-based line span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First line of the span.
+    pub start: u32,
+    /// Last line of the span.
+    pub end: u32,
+}
+
+impl Span {
+    /// True when `line` falls inside the span.
+    #[must_use]
+    pub fn contains(&self, line: u32) -> bool {
+        self.start <= line && line <= self.end
+    }
+}
+
+/// One parsed `// vecmem-lint: allow(RULE, …) -- reason` comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Line of the comment itself.
+    pub comment_line: u32,
+    /// Line the suppression applies to: the comment's own line when it
+    /// trails code, otherwise the next line holding code.
+    pub applies_to: u32,
+    /// Uppercased rule ids inside `allow(…)`.
+    pub rules: Vec<String>,
+    /// The justification after `--`, trimmed. Empty means malformed.
+    pub reason: String,
+}
+
+/// A tokenized source file with its derived regions.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path as reported in diagnostics (workspace-relative).
+    pub rel: String,
+    /// Token stream.
+    pub toks: Vec<Tok>,
+    /// Spans of `#[cfg(test)]` items (test modules, test-only impls).
+    pub test_spans: Vec<Span>,
+    /// Spans gated on `#[cfg(… feature = "<name>" …)]`, with the feature.
+    pub feature_spans: Vec<(String, Span)>,
+    /// True when the whole file is marked alloc-free.
+    pub alloc_free_file: bool,
+    /// Function bodies marked alloc-free by a preceding marker comment.
+    pub alloc_free_spans: Vec<Span>,
+    /// Inline suppressions, in source order.
+    pub suppressions: Vec<Suppression>,
+}
+
+impl SourceFile {
+    /// Tokenizes and derives all regions.
+    #[must_use]
+    pub fn parse(rel: &str, src: &str) -> Self {
+        let toks = tokenize(src);
+        let test_spans = attribute_spans(&toks, &|attr| attr.iter().any(|t| t.is_ident("test")));
+        let feature_spans = feature_attribute_spans(&toks);
+        let (alloc_free_file, alloc_free_spans) = alloc_free_regions(&toks);
+        let suppressions = collect_suppressions(&toks);
+        Self {
+            rel: rel.to_string(),
+            toks,
+            test_spans,
+            feature_spans,
+            alloc_free_file,
+            alloc_free_spans,
+            suppressions,
+        }
+    }
+
+    /// True when `line` lies in a `#[cfg(test)]` region.
+    #[must_use]
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_spans.iter().any(|s| s.contains(line))
+    }
+
+    /// True when `line` lies in a region gated on the named feature.
+    #[must_use]
+    pub fn in_feature(&self, feature: &str, line: u32) -> bool {
+        self.feature_spans
+            .iter()
+            .any(|(f, s)| f == feature && s.contains(line))
+    }
+
+    /// True when `line` is inside an alloc-free region (whole-file marker
+    /// or a marked function body).
+    #[must_use]
+    pub fn in_alloc_free(&self, line: u32) -> bool {
+        self.alloc_free_file || self.alloc_free_spans.iter().any(|s| s.contains(line))
+    }
+
+    /// The suppression covering `rule` at `line`, if any.
+    #[must_use]
+    pub fn suppression_for(&self, rule: &str, line: u32) -> Option<&Suppression> {
+        self.suppressions
+            .iter()
+            .find(|s| s.applies_to == line && s.rules.iter().any(|r| r == rule))
+    }
+}
+
+/// Indices of non-comment tokens, the working view for structure scans.
+fn code_indices(toks: &[Tok]) -> Vec<usize> {
+    (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect()
+}
+
+/// Scans for `#[…]` attributes whose content satisfies `pred` and returns
+/// the line span of the item each one gates: up to the matching `}` of the
+/// first brace after the attribute, or the first `;` if one comes sooner.
+fn attribute_spans(toks: &[Tok], pred: &dyn Fn(&[Tok]) -> bool) -> Vec<Span> {
+    let code = code_indices(toks);
+    let mut spans = Vec::new();
+    let mut k = 0usize;
+    while k + 1 < code.len() {
+        let i = code[k];
+        if toks[i].is_punct('#') && toks[code[k + 1]].is_punct('[') {
+            // Collect the attribute tokens up to the matching `]`.
+            let mut depth = 0i32;
+            let mut end = k + 1;
+            let mut attr: Vec<Tok> = Vec::new();
+            for (kk, &j) in code.iter().enumerate().skip(k + 1) {
+                if toks[j].is_punct('[') {
+                    depth += 1;
+                } else if toks[j].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = kk;
+                        break;
+                    }
+                }
+                attr.push(toks[j].clone());
+            }
+            if pred(&attr) {
+                if let Some(span) = gated_item_span(toks, &code, end + 1, toks[i].line) {
+                    spans.push(span);
+                }
+            }
+            k = end + 1;
+        } else {
+            k += 1;
+        }
+    }
+    spans
+}
+
+/// Returns the span of the item starting at code index `from` (just past a
+/// gating attribute): through further attributes, then either to the first
+/// top-level `;` or `,` before any brace, or to the matching `}` of the
+/// first `{`.
+///
+/// The `,` terminator and the negative-depth stop handle expression-level
+/// gates — struct-literal fields, match arms — which have neither a `;`
+/// nor their own braces. Without them the scan would run past the
+/// enclosing `}` and resynchronize on a later, unrelated item, gating a
+/// huge stretch of the file by accident.
+fn gated_item_span(toks: &[Tok], code: &[usize], from: usize, start_line: u32) -> Option<Span> {
+    let mut depth = 0i32;
+    // Paren/bracket nesting, so a `,` in a fn signature or a `;` inside
+    // `[u64; 3]` does not end the span.
+    let mut nest = 0i32;
+    let mut last_line = start_line;
+    for &j in code.get(from..)? {
+        let t = &toks[j];
+        if t.is_punct('(') || t.is_punct('[') {
+            nest += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            nest -= 1;
+        } else if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(Span {
+                    start: start_line,
+                    end: t.line,
+                });
+            }
+            if depth < 0 {
+                // The gated expression ended before the enclosing close.
+                return Some(Span {
+                    start: start_line,
+                    end: last_line,
+                });
+            }
+        } else if (t.is_punct(';') || t.is_punct(',')) && depth == 0 && nest <= 0 {
+            return Some(Span {
+                start: start_line,
+                end: t.line,
+            });
+        }
+        last_line = t.line;
+    }
+    // Unclosed item (end of file): gate to the end.
+    toks.last().map(|t| Span {
+        start: start_line,
+        end: t.line,
+    })
+}
+
+/// Feature-gated spans: every `#[cfg(… feature = "X" …)]` (including
+/// inside `all(…)`/`any(…)`) yields `("X", span-of-gated-item)`.
+fn feature_attribute_spans(toks: &[Tok]) -> Vec<(String, Span)> {
+    // Run the generic scan once per feature name found in the file.
+    let mut features: Vec<String> = Vec::new();
+    for w in toks.windows(3) {
+        if w[0].is_ident("feature") && w[1].is_punct('=') && w[2].kind == TokKind::Str {
+            let name = w[2].text.clone();
+            if !features.contains(&name) {
+                features.push(name);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for feature in features {
+        let spans = attribute_spans(toks, &|attr| {
+            attr.windows(3).any(|w| {
+                w[0].is_ident("feature")
+                    && w[1].is_punct('=')
+                    && w[2].kind == TokKind::Str
+                    && w[2].text == feature
+            })
+        });
+        for s in spans {
+            out.push((feature.clone(), s));
+        }
+    }
+    out
+}
+
+/// Alloc-free markers: an inner-doc/inner-comment marker marks the whole
+/// file; a line-comment marker marks the next `fn` body.
+fn alloc_free_regions(toks: &[Tok]) -> (bool, Vec<Span>) {
+    let mut whole_file = false;
+    let mut spans = Vec::new();
+    let code = code_indices(toks);
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_comment() || !t.text.trim().starts_with(ALLOC_FREE_MARKER) {
+            continue;
+        }
+        if t.kind == TokKind::InnerDoc {
+            whole_file = true;
+            continue;
+        }
+        // Function-level marker: find the next `fn` in code order, then the
+        // matching `}` of its body.
+        let next_fn = code.iter().position(|&j| j > i && toks[j].is_ident("fn"));
+        if let Some(kf) = next_fn {
+            let mut depth = 0i32;
+            for &j in &code[kf..] {
+                if toks[j].is_punct('{') {
+                    depth += 1;
+                } else if toks[j].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        spans.push(Span {
+                            start: t.line,
+                            end: toks[j].line,
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    (whole_file, spans)
+}
+
+/// Parses every suppression comment and resolves the line it applies to.
+fn collect_suppressions(toks: &[Tok]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        let text = t.text.trim();
+        let Some(rest) = text.strip_prefix(SUPPRESS_PREFIX) else {
+            continue;
+        };
+        let (rules_part, tail) = match rest.split_once(')') {
+            Some(x) => x,
+            None => (rest, ""),
+        };
+        let rules: Vec<String> = rules_part
+            .split(',')
+            .map(|r| r.trim().to_ascii_uppercase())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let reason = tail
+            .trim()
+            .strip_prefix("--")
+            .map(str::trim)
+            .unwrap_or("")
+            .to_string();
+        // Trailing comment (code earlier on the same line) applies to its
+        // own line; a standalone comment applies to the next code line.
+        let trails_code = toks[..i]
+            .iter()
+            .rev()
+            .take_while(|p| p.line == t.line)
+            .any(|p| !p.is_comment());
+        let applies_to = if trails_code {
+            t.line
+        } else {
+            toks[i + 1..]
+                .iter()
+                .find(|n| !n.is_comment())
+                .map_or(t.line, |n| n.line)
+        };
+        out.push(Suppression {
+            comment_line: t.line,
+            applies_to,
+            rules,
+            reason,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mod_span_covers_body() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n",
+        );
+        assert!(!f.in_test(1));
+        assert!(f.in_test(3));
+        assert!(f.in_test(4));
+        assert!(f.in_test(5));
+        assert!(!f.in_test(6));
+    }
+
+    #[test]
+    fn feature_span_with_all_combinator() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "#[cfg(all(test, feature = \"bug_injection\"))]\nmod t {\n    fn b() {}\n}\n",
+        );
+        assert!(f.in_feature("bug_injection", 3));
+        assert!(!f.in_feature("other", 3));
+    }
+
+    #[test]
+    fn feature_gate_on_statement_and_field() {
+        let src = "struct S {\n    #[cfg(feature = \"bug_injection\")]\n    bug: u32,\n}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.in_feature("bug_injection", 3));
+        assert!(!f.in_feature("bug_injection", 1));
+    }
+
+    #[test]
+    fn whole_file_alloc_free_marker() {
+        let f = SourceFile::parse("x.rs", "//! vecmem-lint: alloc-free\nfn a() {}\n");
+        assert!(f.in_alloc_free(2));
+    }
+
+    #[test]
+    fn fn_level_alloc_free_marker() {
+        let src =
+            "fn cold() {}\n// vecmem-lint: alloc-free\nfn hot() {\n    work();\n}\nfn other() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.in_alloc_free(1));
+        assert!(f.in_alloc_free(4));
+        assert!(!f.in_alloc_free(6));
+    }
+
+    #[test]
+    fn suppression_trailing_and_standalone() {
+        let src = "let a = x.unwrap(); // vecmem-lint: allow(L3) -- bounded by ctor\n\
+                   // vecmem-lint: allow(L2, L3) -- cold path\n\
+                   let b = y.unwrap();\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.suppression_for("L3", 1).is_some());
+        assert!(f.suppression_for("L2", 1).is_none());
+        assert!(f.suppression_for("L3", 3).is_some());
+        assert!(f.suppression_for("L2", 3).is_some());
+        assert_eq!(f.suppressions[1].reason, "cold path");
+    }
+
+    #[test]
+    fn suppression_without_reason_is_flagged_as_empty() {
+        let f = SourceFile::parse("x.rs", "// vecmem-lint: allow(L3)\nlet b = y.unwrap();\n");
+        assert_eq!(f.suppressions[0].reason, "");
+        assert_eq!(f.suppressions[0].applies_to, 2);
+    }
+}

@@ -1,0 +1,508 @@
+//! A lightweight Rust tokenizer: just enough lexical structure for the
+//! lint rules, with no external parser.
+//!
+//! The token stream separates code from comments, string/char literals and
+//! lifetimes, so rule scans never match inside a doc comment or a string.
+//! It is deliberately *not* a full lexer — numeric literal suffixes,
+//! shebangs and frontmatter are lumped into coarse kinds — but it handles
+//! every construct the workspace uses: nested block comments, raw strings
+//! with `#` fences, byte/raw identifiers, char-vs-lifetime disambiguation
+//! and doc-comment flavours.
+
+/// Lexical class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`s, without the `r#`).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `!`, `{`, …).
+    Punct,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Numeric literal, including any suffix (`0x7F7F`, `1u64`).
+    Num,
+    /// Lifetime (`'a`, `'static`), without the quote.
+    Lifetime,
+    /// `//` comment; `text` keeps everything after the slashes.
+    LineComment,
+    /// `//!` or `/*! … */` inner doc comment.
+    InnerDoc,
+    /// `///` or `/** … */` outer doc comment.
+    OuterDoc,
+    /// `/* … */` comment (possibly nested).
+    BlockComment,
+}
+
+/// One token with its source position (1-based line of its first char).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// Token text. For comments the delimiters are stripped; for strings
+    /// and chars the quotes are kept out and escapes are left raw.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when this token is the identifier `word`.
+    #[must_use]
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// True when this token is the punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+
+    /// True for any comment kind (line, block, doc).
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokKind::LineComment | TokKind::InnerDoc | TokKind::OuterDoc | TokKind::BlockComment
+        )
+    }
+}
+
+/// Tokenizes `src` into a flat stream. Never fails: unterminated literals
+/// degrade into best-effort tokens that end at end-of-file, which is the
+/// right behaviour for a linter that must not crash on work-in-progress
+/// code.
+#[must_use]
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != b'\n' {
+                    j += 1;
+                }
+                let (kind, text_start) = match b.get(start) {
+                    Some(b'/') if b.get(start + 1) != Some(&b'/') => (TokKind::OuterDoc, start + 1),
+                    Some(b'!') => (TokKind::InnerDoc, start + 1),
+                    _ => (TokKind::LineComment, start),
+                };
+                toks.push(Tok {
+                    kind,
+                    text: src[text_start..j].to_string(),
+                    line,
+                });
+                i = j;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start_line = line;
+                let body_start = i + 2;
+                let kind = match b.get(body_start) {
+                    Some(b'*') if b.get(body_start + 1) != Some(&b'*') => TokKind::OuterDoc,
+                    Some(b'!') => TokKind::InnerDoc,
+                    _ => TokKind::BlockComment,
+                };
+                let mut depth = 1u32;
+                let mut j = body_start;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == b'/' && b.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && b.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let body_end = j.saturating_sub(2).max(body_start);
+                toks.push(Tok {
+                    kind,
+                    text: src[body_start..body_end].to_string(),
+                    line: start_line,
+                });
+                i = j;
+            }
+            b'"' => {
+                let (text, j, lines) = scan_string(src, i + 1);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                });
+                line += lines;
+                i = j;
+            }
+            b'r' | b'b' if starts_raw_or_byte_literal(b, i) => {
+                let (tok, j, lines) = scan_prefixed_literal(src, i, line);
+                toks.push(tok);
+                line += lines;
+                i = j;
+            }
+            b'\'' => {
+                let (tok, j, lines) = scan_quote(src, i, line);
+                toks.push(tok);
+                line += lines;
+                i = j;
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let mut j = i + 1;
+                while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[i..j].to_string(),
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < b.len()
+                    && (b[j] == b'_'
+                        || b[j] == b'.'
+                        || b[j].is_ascii_alphanumeric()
+                        || ((b[j] == b'+' || b[j] == b'-')
+                            && matches!(b[j - 1], b'e' | b'E')
+                            && b[i..j].contains(&b'.')))
+                {
+                    // A `.` only continues the number if followed by a digit
+                    // (so `0..n` and `1.max(x)` split correctly).
+                    if b[j] == b'.' && !b.get(j + 1).is_some_and(u8::is_ascii_digit) {
+                        break;
+                    }
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: src[i..j].to_string(),
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                // Non-ASCII chars can appear in code position (e.g. inside
+                // macro input); consume the whole char, not one byte.
+                let len = src[i..].chars().next().map_or(1, char::len_utf8);
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: src[i..i + len].to_string(),
+                    line,
+                });
+                i += len;
+            }
+        }
+    }
+    toks
+}
+
+/// True when position `i` starts `r"`, `r#`, `r#ident`, `b"`, `b'`, `br"`.
+fn starts_raw_or_byte_literal(b: &[u8], i: usize) -> bool {
+    match b[i] {
+        b'r' => matches!(b.get(i + 1), Some(b'"') | Some(b'#')),
+        b'b' => match b.get(i + 1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => matches!(b.get(i + 2), Some(b'"') | Some(b'#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Scans a plain `"…"` body starting *after* the opening quote. Returns
+/// (body, index past closing quote, newline count).
+fn scan_string(src: &str, start: usize) -> (String, usize, u32) {
+    let b = src.as_bytes();
+    let mut j = start;
+    let mut lines = 0u32;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => {
+                // A `\<newline>` continuation still advances the line count.
+                if b.get(j + 1) == Some(&b'\n') {
+                    lines += 1;
+                }
+                j += 2;
+            }
+            b'"' => return (src[start..j].to_string(), j + 1, lines),
+            b'\n' => {
+                lines += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (src[start..].to_string(), b.len(), lines)
+}
+
+/// Scans literals led by `r`/`b`: raw strings (with `#` fences), byte
+/// strings, byte chars, and raw identifiers. Returns (token, next index,
+/// newline count).
+fn scan_prefixed_literal(src: &str, i: usize, line: u32) -> (Tok, usize, u32) {
+    let b = src.as_bytes();
+    let mut j = i;
+    let mut is_raw = false;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'r' {
+        is_raw = true;
+        j += 1;
+    }
+    if is_raw {
+        let mut fences = 0usize;
+        while j < b.len() && b[j] == b'#' {
+            fences += 1;
+            j += 1;
+        }
+        if j < b.len() && b[j] == b'"' {
+            // Raw string: find `"` followed by `fences` hashes.
+            j += 1;
+            let body_start = j;
+            let closer: Vec<u8> = std::iter::once(b'"')
+                .chain(std::iter::repeat_n(b'#', fences))
+                .collect();
+            let mut lines = 0u32;
+            while j < b.len() {
+                if b[j] == b'\n' {
+                    lines += 1;
+                }
+                if b[j] == b'"' && b[j..].starts_with(&closer) {
+                    let tok = Tok {
+                        kind: TokKind::Str,
+                        text: src[body_start..j].to_string(),
+                        line,
+                    };
+                    return (tok, j + closer.len(), lines);
+                }
+                j += 1;
+            }
+            let tok = Tok {
+                kind: TokKind::Str,
+                text: src[body_start..].to_string(),
+                line,
+            };
+            (tok, b.len(), lines)
+        } else {
+            // Raw identifier `r#ident`: emit the identifier itself.
+            let start = j;
+            while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                j += 1;
+            }
+            let tok = Tok {
+                kind: TokKind::Ident,
+                text: src[start..j].to_string(),
+                line,
+            };
+            (tok, j, 0)
+        }
+    } else if j < b.len() && b[j] == b'"' {
+        let (text, next, lines) = scan_string(src, j + 1);
+        (
+            Tok {
+                kind: TokKind::Str,
+                text,
+                line,
+            },
+            next,
+            lines,
+        )
+    } else if j < b.len() && b[j] == b'\'' {
+        scan_quote(src, j, line)
+    } else {
+        // Plain identifier starting with b/r after all.
+        let start = i;
+        while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+            j += 1;
+        }
+        (
+            Tok {
+                kind: TokKind::Ident,
+                text: src[start..j].to_string(),
+                line,
+            },
+            j,
+            0,
+        )
+    }
+}
+
+/// Disambiguates `'a'` (char) from `'a` (lifetime) starting at the quote.
+fn scan_quote(src: &str, i: usize, line: u32) -> (Tok, usize, u32) {
+    let b = src.as_bytes();
+    let mut j = i + 1;
+    if j < b.len() && b[j] == b'\\' {
+        // Escaped char literal: consume escape then closing quote.
+        j += 2;
+        while j < b.len() && b[j] != b'\'' {
+            j += 1;
+        }
+        let tok = Tok {
+            kind: TokKind::Char,
+            text: src[i + 1..j.min(b.len())].to_string(),
+            line,
+        };
+        return (tok, (j + 1).min(b.len()), 0);
+    }
+    // Single-char literal: any char directly followed by a closing quote.
+    // This must come before the lifetime scan so literals whose content is
+    // not identifier-shaped — `'"'`, `';'`, `'…'` — close properly instead
+    // of leaking their quote into the code stream and flipping string
+    // parity for the rest of the file.
+    if let Some(ch) = src[j..].chars().next() {
+        let after = j + ch.len_utf8();
+        if ch != '\'' && ch != '\n' && b.get(after) == Some(&b'\'') {
+            let tok = Tok {
+                kind: TokKind::Char,
+                text: src[j..after].to_string(),
+                line,
+            };
+            return (tok, after + 1, 0);
+        }
+    }
+    // Identifier-shaped tail: lifetime unless closed by a quote.
+    let start = j;
+    while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'\'' && j > start {
+        let tok = Tok {
+            kind: TokKind::Char,
+            text: src[start..j].to_string(),
+            line,
+        };
+        (tok, j + 1, 0)
+    } else if j > start {
+        let tok = Tok {
+            kind: TokKind::Lifetime,
+            text: src[start..j].to_string(),
+            line,
+        };
+        (tok, j, 0)
+    } else {
+        // A bare quote (e.g. inside macro punctuation); treat as punct.
+        let tok = Tok {
+            kind: TokKind::Punct,
+            text: "'".to_string(),
+            line,
+        };
+        (tok, i + 1, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        let t = kinds("let x = 42u64;");
+        assert_eq!(t[0], (TokKind::Ident, "let".into()));
+        assert_eq!(t[1], (TokKind::Ident, "x".into()));
+        assert_eq!(t[2], (TokKind::Punct, "=".into()));
+        assert_eq!(t[3], (TokKind::Num, "42u64".into()));
+        assert_eq!(t[4], (TokKind::Punct, ";".into()));
+    }
+
+    #[test]
+    fn comment_flavours() {
+        let t = kinds("// plain\n/// outer\n//! inner\n/* block */\n/*! idoc */");
+        assert_eq!(t[0].0, TokKind::LineComment);
+        assert_eq!(t[1].0, TokKind::OuterDoc);
+        assert_eq!(t[2].0, TokKind::InnerDoc);
+        assert_eq!(t[3].0, TokKind::BlockComment);
+        assert_eq!(t[4].0, TokKind::InnerDoc);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let t = kinds(r#"let s = "unwrap() // not a comment";"#);
+        assert_eq!(t[3].0, TokKind::Str);
+        assert!(t.iter().all(|k| k.0 != TokKind::LineComment));
+    }
+
+    #[test]
+    fn raw_strings_and_fences() {
+        let t = kinds(r##"let s = r#"quote " inside"#;"##);
+        assert_eq!(t[3], (TokKind::Str, "quote \" inside".into()));
+        assert_eq!(t[4].0, TokKind::Punct);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let t = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(t.iter().any(|k| k.0 == TokKind::Lifetime && k.1 == "a"));
+        assert!(t.iter().any(|k| k.0 == TokKind::Char && k.1 == "x"));
+        assert!(t.iter().any(|k| k.0 == TokKind::Char && k.1 == "\\n"));
+    }
+
+    #[test]
+    fn punctuation_char_literals_keep_string_parity() {
+        // `'"'` must not leak its quote into the code stream: everything
+        // after it would flip between string and code state.
+        let t = kinds("let q = '\"'; let u = '…'; x.unwrap()");
+        assert!(t.iter().any(|k| k.0 == TokKind::Char && k.1 == "\""));
+        assert!(t.iter().any(|k| k.0 == TokKind::Char && k.1 == "…"));
+        assert!(t.iter().any(|k| k.0 == TokKind::Ident && k.1 == "unwrap"));
+        assert!(t.iter().all(|k| k.0 != TokKind::Str));
+    }
+
+    #[test]
+    fn non_ascii_punct_is_char_boundary_safe() {
+        let t = kinds("let a = …;");
+        assert!(t.iter().any(|k| k.0 == TokKind::Punct && k.1 == "…"));
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let t = kinds("/* a /* b */ c */ x");
+        assert_eq!(t[0].0, TokKind::BlockComment);
+        assert_eq!(t[1], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let t = tokenize("a\nb\n\nc");
+        assert_eq!(t[0].line, 1);
+        assert_eq!(t[1].line, 2);
+        assert_eq!(t[2].line, 4);
+    }
+
+    #[test]
+    fn string_continuation_counts_its_newline() {
+        let t = tokenize("let s = \"a\\\n   b\";\nafter");
+        let after = t.iter().find(|k| k.is_ident("after")).unwrap();
+        assert_eq!(after.line, 3);
+    }
+
+    #[test]
+    fn float_and_range_split() {
+        let t = kinds("0..n + 1.5e-3 + 1.max(2)");
+        assert_eq!(t[0], (TokKind::Num, "0".into()));
+        assert_eq!(t[1].0, TokKind::Punct);
+        assert!(t.iter().any(|k| k.0 == TokKind::Num && k.1 == "1.5e-3"));
+        assert!(t.iter().any(|k| k.0 == TokKind::Ident && k.1 == "max"));
+    }
+}

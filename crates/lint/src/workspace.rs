@@ -1,0 +1,234 @@
+//! Workspace discovery and the lint driver: find the crates, classify
+//! their files, run the rules, apply suppressions, diff the baseline.
+
+use crate::baseline::{Baseline, RatchetBreak};
+use crate::rules::{check_file, collect_gated_items, FileContext, Violation};
+use crate::source::SourceFile;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One discovered Cargo package.
+#[derive(Debug, Clone)]
+pub struct CrateInfo {
+    /// Package name from `Cargo.toml`.
+    pub name: String,
+    /// Crate directory relative to the workspace root.
+    pub rel_dir: String,
+    /// Features the crate declares that L4 polices (today: whether a
+    /// `bug_injection` feature exists).
+    pub policed_features: Vec<String>,
+    /// True when the crate has no library target (`[[bin]]` only): every
+    /// source file then gets the binary-target exemption.
+    pub bin_only: bool,
+}
+
+/// Feature names L4 watches for when a crate declares them.
+pub const POLICED_FEATURES: &[&str] = &["bug_injection"];
+
+/// Everything one lint run produced.
+#[derive(Debug)]
+pub struct LintRun {
+    /// Violations not silenced by an inline suppression, in (file, line,
+    /// rule) order.
+    pub violations: Vec<Violation>,
+    /// Count of violations silenced by suppressions.
+    pub suppressed: u64,
+    /// Files linted.
+    pub files: u64,
+}
+
+/// Discovers workspace member crates (`crates/*` plus the root package).
+///
+/// # Errors
+/// Propagates an IO failure reading a crate manifest as a rendered
+/// message; crates without a parsable `name` are skipped silently.
+pub fn discover_crates(root: &Path) -> Result<Vec<CrateInfo>, String> {
+    let mut crates = Vec::new();
+    if let Some(info) = read_crate(root, root)? {
+        crates.push(info);
+    }
+    let crates_dir = root.join("crates");
+    let entries = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+    let mut dirs: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    for dir in dirs {
+        if let Some(info) = read_crate(root, &dir)? {
+            crates.push(info);
+        }
+    }
+    Ok(crates)
+}
+
+/// Reads one crate's manifest; `None` when the directory has no
+/// `Cargo.toml`.
+fn read_crate(root: &Path, dir: &Path) -> Result<Option<CrateInfo>, String> {
+    let manifest = dir.join("Cargo.toml");
+    if !manifest.is_file() {
+        return Ok(None);
+    }
+    let text = fs::read_to_string(&manifest)
+        .map_err(|e| format!("cannot read {}: {e}", manifest.display()))?;
+    let mut name = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(value) = rest.strip_prefix('=') {
+                let v = value.trim().trim_matches('"');
+                name = Some(v.to_string());
+                break;
+            }
+        }
+    }
+    let Some(name) = name else { return Ok(None) };
+    let policed_features = POLICED_FEATURES
+        .iter()
+        .filter(|f| {
+            text.lines()
+                .any(|l| l.trim_start().starts_with(&format!("{f} =")))
+        })
+        .map(|f| (*f).to_string())
+        .collect();
+    let rel_dir = dir
+        .strip_prefix(root)
+        .map_or(String::new(), |p| p.to_string_lossy().replace('\\', "/"));
+    let bin_only = !dir.join("src/lib.rs").is_file()
+        && !text.lines().any(|l| l.trim() == "[lib]")
+        && text.lines().any(|l| l.trim() == "[[bin]]");
+    Ok(Some(CrateInfo {
+        name,
+        rel_dir,
+        policed_features,
+        bin_only,
+    }))
+}
+
+/// All `.rs` files under the crate's `src/`, sorted for deterministic
+/// output.
+fn crate_sources(root: &Path, krate: &CrateInfo) -> Vec<PathBuf> {
+    let src = if krate.rel_dir.is_empty() {
+        root.join("src")
+    } else {
+        root.join(&krate.rel_dir).join("src")
+    };
+    let mut files = Vec::new();
+    collect_rs(&src, &mut files);
+    files.sort();
+    files
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.filter_map(Result::ok) {
+        let p = entry.path();
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// True for binary-target sources, which the panic policy and doc
+/// contract exempt.
+fn is_binary_source(rel: &str) -> bool {
+    rel.ends_with("src/main.rs") || rel.contains("/src/bin/")
+}
+
+/// Lints the whole workspace rooted at `root`.
+///
+/// # Errors
+/// Returns a rendered message when the workspace layout or a source file
+/// cannot be read.
+pub fn lint_workspace(root: &Path) -> Result<LintRun, String> {
+    let crates = discover_crates(root)?;
+    let mut violations = Vec::new();
+    let mut suppressed = 0u64;
+    let mut files = 0u64;
+    for krate in &crates {
+        let sources = crate_sources(root, krate);
+        // Pass 1 (L4): collect feature-gated item definitions crate-wide.
+        let mut gated_items: Vec<(String, String)> = Vec::new();
+        let mut parsed: Vec<(String, SourceFile)> = Vec::new();
+        for path in &sources {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let text = fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let file = SourceFile::parse(&rel, &text);
+            for feature in &krate.policed_features {
+                for name in collect_gated_items(&file, feature) {
+                    if !gated_items.iter().any(|(n, _)| *n == name) {
+                        gated_items.push((name, feature.clone()));
+                    }
+                }
+            }
+            parsed.push((rel, file));
+        }
+        // Pass 2: rules + suppressions.
+        for (rel, file) in &parsed {
+            files += 1;
+            let ctx = FileContext {
+                crate_name: krate.name.clone(),
+                is_library: !krate.bin_only && !is_binary_source(rel),
+                gated_items: gated_items.clone(),
+            };
+            for v in check_file(file, &ctx) {
+                // L0 findings are about the suppressions themselves and
+                // cannot be suppressed away.
+                if v.rule != "L0" && file.suppression_for(v.rule, v.line).is_some() {
+                    suppressed += 1;
+                } else {
+                    violations.push(v);
+                }
+            }
+        }
+    }
+    violations
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(LintRun {
+        violations,
+        suppressed,
+        files,
+    })
+}
+
+/// Outcome of a gated run: violations after baseline absorption plus the
+/// ratchet breaks.
+#[derive(Debug)]
+pub struct GateOutcome {
+    /// Ratchet breaks (new or stale); non-empty fails the gate.
+    pub breaks: Vec<RatchetBreak>,
+    /// Violations absorbed by the baseline.
+    pub absorbed: u64,
+}
+
+/// Applies the baseline ratchet to a run.
+#[must_use]
+pub fn apply_baseline(baseline: &Baseline, run: &LintRun) -> GateOutcome {
+    let (breaks, absorbed) = baseline.diff(&run.violations);
+    GateOutcome { breaks, absorbed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_sources_detected() {
+        assert!(is_binary_source("crates/cli/src/main.rs"));
+        assert!(is_binary_source("crates/bench/src/bin/fig02.rs"));
+        assert!(!is_binary_source("crates/cli/src/commands.rs"));
+        assert!(!is_binary_source("src/lib.rs"));
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: L1 determinism — iterating a hash map in a result crate.
+use std::collections::HashMap;
+
+pub fn tally(input: &[(u64, u64)]) -> u64 {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for &(k, v) in input {
+        *counts.entry(k).or_insert(0) += v;
+    }
+    let mut total = 0;
+    for (_, v) in &counts {
+        total += v;
+    }
+    // vecmem-lint: allow(L1) -- fixture: the sum is order-independent
+    let folded: u64 = counts.values().sum();
+    total + folded
+}

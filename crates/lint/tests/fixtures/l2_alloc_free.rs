@@ -1,0 +1,12 @@
+//! Fixture: L2 purity — allocation inside an alloc-free region.
+
+// vecmem-lint: alloc-free
+pub fn fill(buf: &mut [u64]) -> u64 {
+    let extra = vec![1u64, 2, 3];
+    // vecmem-lint: allow(L2) -- fixture: one-time scratch, never in the hot loop
+    let doubled: Vec<u64> = extra.iter().map(|v| v * 2).collect();
+    for (slot, v) in buf.iter_mut().zip(doubled) {
+        *slot = v;
+    }
+    extra.len() as u64
+}

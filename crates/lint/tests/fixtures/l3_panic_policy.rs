@@ -1,0 +1,8 @@
+//! Fixture: L3 panic policy — unwrap in non-test library code.
+
+pub fn first_even(values: &[u64]) -> u64 {
+    let found = *values.iter().find(|v| **v % 2 == 0).unwrap();
+    // vecmem-lint: allow(L3) -- fixture: the caller screens its input
+    let confirmed = *values.iter().find(|v| **v % 2 == 0).expect("an even value");
+    found + confirmed
+}

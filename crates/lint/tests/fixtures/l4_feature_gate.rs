@@ -1,0 +1,14 @@
+//! Fixture: L4 feature hygiene — a gated item mentioned outside its gate.
+
+#[cfg(feature = "bug_injection")]
+pub fn injected_overflow() -> u64 {
+    7
+}
+
+pub fn run() -> u64 {
+    injected_overflow()
+}
+
+pub fn run_suppressed() -> u64 {
+    injected_overflow() // vecmem-lint: allow(L4) -- fixture: release builds never take this path
+}

@@ -1,0 +1,12 @@
+//! Fixture: L5 doc contract — Result-returning pub fn without `# Errors`.
+
+/// Parses a bank count.
+pub fn parse_banks(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|e| e.to_string())
+}
+
+/// Parses a cycle time; failures are covered by the module docs.
+// vecmem-lint: allow(L5) -- fixture: error taxonomy lives in the module docs
+pub fn parse_cycle(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|e| e.to_string())
+}

@@ -1,0 +1,175 @@
+//! End-to-end fixture tests for the linter: each rule has one fixture
+//! seeding exactly one violation and one validly suppressed occurrence,
+//! and the assertions pin the rule id *and* the line, so a tokenizer or
+//! region regression that shifts diagnostics fails loudly.
+
+use std::fs;
+use std::path::Path;
+use vecmem_lint::{
+    check_file, collect_gated_items, Baseline, FileContext, RatchetBreak, SourceFile, Violation,
+};
+
+fn fixture(name: &str) -> SourceFile {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = fs::read_to_string(&path).expect("fixture readable");
+    SourceFile::parse(&format!("tests/fixtures/{name}"), &src)
+}
+
+/// Mirrors the driver: run the rules, split findings into surviving
+/// violations and suppressed counts.
+fn lint(file: &SourceFile, ctx: &FileContext) -> (Vec<Violation>, u64) {
+    let mut surviving = Vec::new();
+    let mut suppressed = 0;
+    for v in check_file(file, ctx) {
+        if v.rule != "L0" && file.suppression_for(v.rule, v.line).is_some() {
+            suppressed += 1;
+        } else {
+            surviving.push(v);
+        }
+    }
+    (surviving, suppressed)
+}
+
+fn library_ctx(crate_name: &str) -> FileContext {
+    FileContext {
+        crate_name: crate_name.to_string(),
+        is_library: true,
+        gated_items: Vec::new(),
+    }
+}
+
+#[test]
+fn l1_fixture_flags_hash_iteration_and_honours_suppression() {
+    let file = fixture("l1_hash_iteration.rs");
+    let (violations, suppressed) = lint(&file, &library_ctx("vecmem-simcore"));
+    assert_eq!(suppressed, 1, "the allowed .values() call is silenced");
+    assert_eq!(violations.len(), 1, "violations: {violations:?}");
+    assert_eq!(violations[0].rule, "L1");
+    assert_eq!(violations[0].line, 10, "the `for … in &counts` loop");
+}
+
+#[test]
+fn l1_fixture_is_silent_outside_result_crates() {
+    let file = fixture("l1_hash_iteration.rs");
+    let (violations, suppressed) = lint(&file, &library_ctx("vecmem-obs"));
+    assert_eq!(violations, Vec::new());
+    assert_eq!(suppressed, 0, "nothing fires, so nothing is suppressed");
+}
+
+#[test]
+fn l2_fixture_flags_allocation_in_marked_fn() {
+    let file = fixture("l2_alloc_free.rs");
+    let (violations, suppressed) = lint(&file, &library_ctx("vecmem-simcore"));
+    assert_eq!(suppressed, 1, "the allowed .collect() is silenced");
+    assert_eq!(violations.len(), 1, "violations: {violations:?}");
+    assert_eq!(violations[0].rule, "L2");
+    assert_eq!(violations[0].line, 5, "the vec! literal");
+}
+
+#[test]
+fn l3_fixture_flags_unwrap_in_library_code() {
+    let file = fixture("l3_panic_policy.rs");
+    let (violations, suppressed) = lint(&file, &library_ctx("vecmem-simcore"));
+    assert_eq!(suppressed, 1, "the allowed .expect() is silenced");
+    assert_eq!(violations.len(), 1, "violations: {violations:?}");
+    assert_eq!(violations[0].rule, "L3");
+    assert_eq!(violations[0].line, 4, "the .unwrap() call");
+}
+
+#[test]
+fn l3_fixture_is_silent_in_binary_targets() {
+    let file = fixture("l3_panic_policy.rs");
+    let mut ctx = library_ctx("vecmem-simcore");
+    ctx.is_library = false;
+    let (violations, suppressed) = lint(&file, &ctx);
+    assert_eq!(violations, Vec::new());
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn l4_fixture_flags_gated_item_leaking_past_its_gate() {
+    let file = fixture("l4_feature_gate.rs");
+    let gated = collect_gated_items(&file, "bug_injection");
+    assert!(
+        gated.contains(&"injected_overflow".to_string()),
+        "gated items: {gated:?}"
+    );
+    let ctx = FileContext {
+        crate_name: "vecmem-oracle".to_string(),
+        is_library: true,
+        gated_items: gated
+            .into_iter()
+            .map(|n| (n, "bug_injection".to_string()))
+            .collect(),
+    };
+    let (violations, suppressed) = lint(&file, &ctx);
+    assert_eq!(suppressed, 1, "the trailing allow is honoured");
+    assert_eq!(violations.len(), 1, "violations: {violations:?}");
+    assert_eq!(violations[0].rule, "L4");
+    assert_eq!(violations[0].line, 9, "the ungated call in run()");
+}
+
+#[test]
+fn l5_fixture_flags_undocumented_result_fn() {
+    let file = fixture("l5_errors_doc.rs");
+    let (violations, suppressed) = lint(&file, &library_ctx("vecmem-cli"));
+    assert_eq!(suppressed, 1, "parse_cycle's allow is honoured");
+    assert_eq!(violations.len(), 1, "violations: {violations:?}");
+    assert_eq!(violations[0].rule, "L5");
+    assert_eq!(violations[0].line, 4, "pub fn parse_banks");
+    assert!(violations[0].message.contains("parse_banks"));
+}
+
+#[test]
+fn ratchet_fails_on_new_violations() {
+    let baseline = Baseline::parse(
+        "[[entry]]\nrule = \"L3\"\nfile = \"tests/fixtures/l3_panic_policy.rs\"\ncount = 0\n",
+    )
+    .expect("baseline parses");
+    let file = fixture("l3_panic_policy.rs");
+    let (violations, _) = lint(&file, &library_ctx("vecmem-simcore"));
+    let (breaks, absorbed) = baseline.diff(&violations);
+    assert_eq!(absorbed, 0);
+    assert_eq!(
+        breaks,
+        vec![RatchetBreak::New {
+            rule: "L3".to_string(),
+            file: "tests/fixtures/l3_panic_policy.rs".to_string(),
+            found: 1,
+            allowed: 0,
+        }]
+    );
+}
+
+#[test]
+fn ratchet_fails_on_stale_entries() {
+    // The baseline still records a violation that no longer fires: the
+    // gate must demand the entry be banked, not silently keep the slack.
+    let baseline = Baseline::parse(
+        "[[entry]]\nrule = \"L3\"\nfile = \"crates/simcore/src/fixed.rs\"\ncount = 2\n",
+    )
+    .expect("baseline parses");
+    let (breaks, absorbed) = baseline.diff(&[]);
+    assert_eq!(absorbed, 0);
+    assert_eq!(
+        breaks,
+        vec![RatchetBreak::Stale {
+            rule: "L3".to_string(),
+            file: "crates/simcore/src/fixed.rs".to_string(),
+            found: 0,
+            allowed: 2,
+        }]
+    );
+}
+
+#[test]
+fn ratchet_absorbs_exactly_matching_debt() {
+    let file = fixture("l3_panic_policy.rs");
+    let (violations, _) = lint(&file, &library_ctx("vecmem-simcore"));
+    let baseline = Baseline::from_violations(&violations);
+    let (breaks, absorbed) = baseline.diff(&violations);
+    assert_eq!(breaks, Vec::new());
+    assert_eq!(absorbed, 1);
+}

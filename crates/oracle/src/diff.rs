@@ -180,6 +180,7 @@ fn render_dump(
 /// The `oracle` must have been built from [`mirror_config`]`(config)` and
 /// the same `streams` (possibly with a seeded bug, which is the point of
 /// taking it as an argument).
+// vecmem-lint: alloc-free
 pub fn run_pair_against(
     mut oracle: RefEngine,
     config: &SimConfig,
@@ -194,9 +195,9 @@ pub fn run_pair_against(
     // copy of the oracle's state (updated in place — the hot loop of the
     // exhaustive conformance sweep allocates nothing per cycle beyond what
     // the naive reference engine itself does).
-    let mut engine_view = vec![(u64::MAX, RefOutcome::Granted); ports];
-    let mut oracle_view = vec![(u64::MAX, RefOutcome::Granted); ports];
-    let mut residue_buf: Vec<u8> = Vec::with_capacity(config.geometry.banks() as usize);
+    let mut engine_view = vec![(u64::MAX, RefOutcome::Granted); ports]; // vecmem-lint: allow(L2) -- per-run setup; reused across cycles
+    let mut oracle_view = vec![(u64::MAX, RefOutcome::Granted); ports]; // vecmem-lint: allow(L2) -- per-run setup; reused across cycles
+    let mut residue_buf: Vec<u8> = Vec::with_capacity(config.geometry.banks() as usize); // vecmem-lint: allow(L2) -- per-run setup; reused across cycles
     let mut oracle_state = SimState::new(config);
     for cycle in 0..cycles {
         engine.run_with(&mut workload, 1, &mut vecmem_banksim::observe::NoopObserver);
@@ -216,6 +217,14 @@ pub fn run_pair_against(
             *slot = (s.bank, s.outcome);
         }
         repack_oracle_state(&oracle, &mut residue_buf, &mut oracle_state);
+        // Sanitizer: the lifted oracle state must satisfy every SimState
+        // structural invariant; a violation is reported at the exact cycle
+        // the corruption appears, before any divergence masking it.
+        #[cfg(feature = "sanitize")]
+        if let Err(violation) = oracle_state.validate() {
+            // vecmem-lint: allow(L3) -- sanitizer: corruption must abort at the violating cycle
+            panic!("vecmem sanitize: oracle state at cycle {cycle}: {violation}");
+        }
         let agree = engine_view == oracle_view
             && engine.state().hash() == oracle_state.hash()
             && *engine.state() == oracle_state;
@@ -317,5 +326,40 @@ mod tests {
         // the wrong port immediately.
         assert_eq!(div.cycle, 0);
         assert!(div.report.contains("simultaneous-bank"));
+    }
+
+    #[cfg(feature = "sanitize")]
+    #[test]
+    fn sanitize_passes_on_clean_geometries() {
+        for (m, nc) in [(8, 2), (12, 3), (16, 4)] {
+            let g = Geometry::unsectioned(m, nc).unwrap();
+            let cfg = SimConfig::one_port_per_cpu(g, 2);
+            let out = run_pair(&cfg, &[spec(&g, 0, 1), spec(&g, 1, 3)], 500);
+            assert!(out.matched(), "{out:?}");
+        }
+    }
+
+    #[cfg(all(feature = "bug_injection", feature = "sanitize"))]
+    #[test]
+    fn sanitize_pins_seeded_corruption_to_the_violating_cycle() {
+        use crate::engine::InjectedBug;
+        // d = 0: one stream hammers bank 0. The bank frees at cycle n_c
+        // and the seeded fault re-arms it for n_c + 2, so the lifted
+        // residue is n_c + 1 > n_c exactly at cycle n_c = 4.
+        let g = Geometry::unsectioned(8, 4).unwrap();
+        let cfg = SimConfig::single_cpu(g, 1);
+        let streams = [spec(&g, 0, 0)];
+        let oracle =
+            RefEngine::new(mirror_config(&cfg), &streams).with_bug(InjectedBug::ResidueOverflow);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_pair_against(oracle, &cfg, &streams, 100)
+        }))
+        .expect_err("the sanitizer must abort");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("cycle 4"), "{msg}");
+        assert!(
+            msg.contains("bank 0 residue 5 exceeds the bank cycle time 4"),
+            "{msg}"
+        );
     }
 }

@@ -51,6 +51,11 @@ pub enum InjectedBug {
     /// The cyclic rotation never advances, silently degrading the rotating
     /// rule to a fixed one.
     StuckRotation,
+    /// A grant to a bank freed this very cycle re-arms it for `n_c + 2`
+    /// clock periods instead of `n_c`, overflowing the residue invariant
+    /// (`residue <= n_c`). Unlike the arbitration bugs this corrupts the
+    /// *state*, so the `sanitize` feature pins it to the violating cycle.
+    ResidueOverflow,
 }
 
 /// Static description of the reference system: geometry, the CPU each port
@@ -250,6 +255,8 @@ impl RefEngine {
         // Banks age at the start of the cycle: a bank granted at cycle `t`
         // holds `n_c`, so it rejects requests at `t+1 .. t+n_c-1` and is
         // free again at `t + n_c`.
+        #[cfg(feature = "bug_injection")]
+        let freed_now: Vec<bool> = self.busy.iter().map(|&b| b == 1).collect();
         for b in &mut self.busy {
             *b = b.saturating_sub(1);
         }
@@ -292,6 +299,10 @@ impl RefEngine {
         // inactive bank are section / simultaneous-bank conflicts.
         for &bank in &banks_claimed {
             self.busy[bank as usize] = nc;
+            #[cfg(feature = "bug_injection")]
+            if self.bug == Some(InjectedBug::ResidueOverflow) && freed_now[bank as usize] {
+                self.busy[bank as usize] = nc + 2;
+            }
         }
 
         if self.config.priority == RefPriority::Cyclic && contested {

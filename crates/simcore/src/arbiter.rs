@@ -1,5 +1,7 @@
 //! Per-cycle conflict arbitration.
 //!
+//! vecmem-lint: alloc-free
+//!
 //! Implements the conflict taxonomy of paper §II in three phases:
 //!
 //! 1. **bank conflicts** — requests to still-active banks are delayed;
@@ -111,13 +113,14 @@ pub fn arbitrate(
     bank_busy: impl Fn(u64) -> bool,
     requests: &[(PortId, Request)],
 ) -> Vec<(PortId, Request, PortOutcome)> {
+    // vecmem-lint: allow(L2) -- cold-path convenience wrapper; the hot loop calls arbitrate_into
     let mut outcomes = Vec::with_capacity(requests.len());
     arbitrate_into(config, rotation, bank_busy, requests, &mut outcomes);
     requests
         .iter()
         .zip(outcomes)
         .map(|(&(port, req), o)| (port, req, o))
-        .collect()
+        .collect() // vecmem-lint: allow(L2) -- cold-path convenience wrapper
 }
 
 #[cfg(test)]

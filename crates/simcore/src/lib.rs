@@ -44,7 +44,7 @@ pub use arbiter::{arbitrate, arbitrate_into, priority_rank};
 pub use config::{PriorityRule, SimConfig};
 pub use observe::{NoopObserver, SimObserver, Tee};
 pub use request::{ConflictKind, CpuId, PortId, PortOutcome, Request};
-pub use state::{PortEvent, SimState};
+pub use state::{InvariantViolation, PortEvent, SimState};
 pub use stats::{ConflictCounts, PortStats, SimStats, WAIT_BUCKETS};
 pub use steady::{
     measure_steady_state_workload, ObservableWorkload, SteadyState, SteadyStateError,

@@ -1,6 +1,8 @@
 //! The packed simulator state: one contiguous buffer holding everything
 //! that evolves from clock period to clock period.
 //!
+//! vecmem-lint: alloc-free
+//!
 //! Paper §III, assumption 1, rests on the memory state being *finite*; this
 //! module makes that state an explicit, compact value instead of a bundle
 //! of per-subsystem fields. A [`SimState`] packs, in a single `u64` buffer:
@@ -71,6 +73,83 @@ const RES_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
 const POS_SEED: u64 = 0xc2b2_ae3d_27d4_eb4f;
 const ROT_SEED: u64 = 0x1656_67b1_9e37_79f9;
 
+/// A violated [`SimState`] structural invariant, as found by
+/// [`SimState::validate`].
+///
+/// These are the properties every reachable state satisfies by
+/// construction; a violation means a kernel bug, a corrupted external
+/// state lifted in through [`SimState::repack`], or (in the oracle's
+/// seeded-fault tests) an injected bug doing its job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvariantViolation {
+    /// A bank residue exceeds the bank cycle time `n_c`: no grant can make
+    /// a bank busy for longer than one memory cycle.
+    ResidueOverflow {
+        /// The offending bank.
+        bank: u64,
+        /// Its stored residue.
+        residue: u8,
+        /// The maximum any reachable state can hold (`n_c`).
+        max: u8,
+    },
+    /// The priority rotation is not a valid port index.
+    RotationOutOfRange {
+        /// The stored rotation.
+        rotation: usize,
+        /// Number of ports it must stay below.
+        ports: u32,
+    },
+    /// A workload position slot exceeds the workload's declared bound.
+    PositionOutOfRange {
+        /// The offending slot.
+        slot: usize,
+        /// Its stored value.
+        position: u64,
+        /// The workload's inclusive bound.
+        bound: u64,
+    },
+    /// The incrementally maintained hash diverged from a from-scratch
+    /// recompute: some mutation bypassed the hashed accessors.
+    HashMismatch {
+        /// The incremental value ([`SimState::hash`]).
+        incremental: u64,
+        /// The from-scratch value ([`SimState::recompute_hash`]).
+        recomputed: u64,
+    },
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Self::ResidueOverflow { bank, residue, max } => write!(
+                f,
+                "bank {bank} residue {residue} exceeds the bank cycle time {max}"
+            ),
+            Self::RotationOutOfRange { rotation, ports } => {
+                write!(
+                    f,
+                    "rotation {rotation} is not a port index (ports = {ports})"
+                )
+            }
+            Self::PositionOutOfRange {
+                slot,
+                position,
+                bound,
+            } => write!(
+                f,
+                "position slot {slot} holds {position}, above the workload bound {bound}"
+            ),
+            Self::HashMismatch {
+                incremental,
+                recomputed,
+            } => write!(
+                f,
+                "incremental hash {incremental:#018x} != recomputed {recomputed:#018x}"
+            ),
+        }
+    }
+}
+
 /// The packed dynamic state of one simulated memory system.
 ///
 /// Construction fixes the dimensions (banks, ports, signature slots); all
@@ -88,6 +167,13 @@ pub struct SimState {
     sig_len: u32,
     /// Number of `u64` words holding the packed residues.
     res_words: u32,
+    /// Largest residue any reachable state can hold: the geometry's bank
+    /// cycle time `n_c`.
+    max_residue: u8,
+    /// Inclusive bound on workload position slots, when the workload
+    /// declared one (see
+    /// [`ObservableWorkload::signature_bound`](crate::steady::ObservableWorkload::signature_bound)).
+    slot_bound: Option<u64>,
     now: u64,
     h_res: u64,
     h_rot: u64,
@@ -130,19 +216,22 @@ impl SimState {
         let res_words = banks.div_ceil(8);
         let words = 1 + res_words as usize + sig_len + ports as usize;
         let mut state = Self {
+            // vecmem-lint: allow(L2) -- one-time construction; the step kernel never re-allocates
             buf: vec![0u64; words].into_boxed_slice(),
             banks,
             ports,
             sig_len: sig_len as u32,
             res_words,
+            max_residue: config.geometry.bank_cycle() as u8,
+            slot_bound: None,
             now: 0,
             h_res: 0,
             h_rot: 0,
             h_pos: 0,
-            outcomes: Vec::with_capacity(ports as usize),
-            pending: Vec::with_capacity(ports as usize),
-            kinds: Vec::with_capacity(ports as usize),
-            just_freed: Vec::with_capacity(ports as usize),
+            outcomes: Vec::with_capacity(ports as usize), // vecmem-lint: allow(L2) -- one-time construction
+            pending: Vec::with_capacity(ports as usize), // vecmem-lint: allow(L2) -- one-time construction
+            kinds: Vec::with_capacity(ports as usize), // vecmem-lint: allow(L2) -- one-time construction
+            just_freed: Vec::with_capacity(ports as usize), // vecmem-lint: allow(L2) -- one-time construction
         };
         let (r, o, p) = state.full_hash();
         state.h_res = r;
@@ -264,7 +353,7 @@ impl SimState {
     pub fn residues_vec(&self) -> Vec<u8> {
         (0..u64::from(self.banks))
             .map(|b| self.residue(b))
-            .collect()
+            .collect() // vecmem-lint: allow(L2) -- legacy signature/diagnostic path, not called by step()
     }
 
     /// End-of-cycle aging: every nonzero residue decreases by one. Banks
@@ -405,11 +494,69 @@ impl SimState {
         &self.outcomes
     }
 
+    /// Declares an inclusive bound every position slot must stay within
+    /// (`None` disables the check). Wired by the steady-state cursor from
+    /// [`ObservableWorkload::signature_bound`](crate::steady::ObservableWorkload::signature_bound).
+    pub fn set_slot_bound(&mut self, bound: Option<u64>) {
+        self.slot_bound = bound;
+    }
+
+    /// Checks every structural invariant a reachable state satisfies:
+    /// residues bounded by `n_c`, the rotation a valid port index,
+    /// position slots within the workload's declared bound, and the
+    /// incremental hash equal to a from-scratch recompute.
+    ///
+    /// Always compiled; the `sanitize` feature makes the step kernel call
+    /// it after every cycle in debug builds.
+    ///
+    /// # Errors
+    /// Returns the first [`InvariantViolation`] found, in the order above.
+    pub fn validate(&self) -> Result<(), InvariantViolation> {
+        for bank in 0..u64::from(self.banks) {
+            let residue = self.residue(bank);
+            if residue > self.max_residue {
+                return Err(InvariantViolation::ResidueOverflow {
+                    bank,
+                    residue,
+                    max: self.max_residue,
+                });
+            }
+        }
+        let rotation = self.rotation();
+        if rotation >= self.ports.max(1) as usize {
+            return Err(InvariantViolation::RotationOutOfRange {
+                rotation,
+                ports: self.ports,
+            });
+        }
+        if let Some(bound) = self.slot_bound {
+            for slot in 0..self.sig_len as usize {
+                let position = self.position(slot);
+                if position > bound {
+                    return Err(InvariantViolation::PositionOutOfRange {
+                        slot,
+                        position,
+                        bound,
+                    });
+                }
+            }
+        }
+        let recomputed = self.recompute_hash();
+        let incremental = self.hash();
+        if incremental != recomputed {
+            return Err(InvariantViolation::HashMismatch {
+                incremental,
+                recomputed,
+            });
+        }
+        Ok(())
+    }
+
     /// The canonical one-line-per-component dump used by divergence
     /// reports: rotation, residues, and (when present) position slots.
     #[must_use]
     pub fn render(&self) -> String {
-        let mut s = String::new();
+        let mut s = String::new(); // vecmem-lint: allow(L2) -- divergence reporting only
         let _ = write!(
             s,
             "rotation={} residues={:?}",
@@ -419,7 +566,7 @@ impl SimState {
         if self.sig_len > 0 {
             let positions: Vec<u64> = (0..self.sig_len as usize)
                 .map(|i| self.position(i))
-                .collect();
+                .collect(); // vecmem-lint: allow(L2) -- divergence reporting only
             let _ = write!(s, " positions={positions:?}");
         }
         s
@@ -447,6 +594,44 @@ mod tests {
 
     fn config(m: u64, nc: u64, ports: usize) -> SimConfig {
         SimConfig::single_cpu(Geometry::unsectioned(m, nc).unwrap(), ports)
+    }
+
+    #[test]
+    fn validate_accepts_fresh_and_catches_violations() {
+        let cfg = config(8, 3, 1);
+        let mut st = SimState::with_signature_slots(&cfg, 1);
+        assert_eq!(st.validate(), Ok(()));
+        st.set_residue(2, 5);
+        assert_eq!(
+            st.validate(),
+            Err(InvariantViolation::ResidueOverflow {
+                bank: 2,
+                residue: 5,
+                max: 3,
+            })
+        );
+        st.set_residue(2, 3);
+        assert_eq!(st.validate(), Ok(()));
+        st.set_slot_bound(Some(8));
+        st.set_position(0, 9);
+        assert_eq!(
+            st.validate(),
+            Err(InvariantViolation::PositionOutOfRange {
+                slot: 0,
+                position: 9,
+                bound: 8,
+            })
+        );
+        st.set_position(0, 8);
+        assert_eq!(st.validate(), Ok(()));
+        st.set_rotation(4);
+        assert_eq!(
+            st.validate(),
+            Err(InvariantViolation::RotationOutOfRange {
+                rotation: 4,
+                ports: 1,
+            })
+        );
     }
 
     #[test]

@@ -116,6 +116,14 @@ pub trait ObservableWorkload: Workload {
         self.write_signature(&mut out);
         out
     }
+
+    /// Inclusive upper bound every signature slot stays within, when the
+    /// workload knows one. The `sanitize` feature uses it to bound-check
+    /// the position slots after every cycle; `None` (the default)
+    /// disables that check.
+    fn signature_bound(&self) -> Option<u64> {
+        None
+    }
 }
 
 impl<W: ObservableWorkload + ?Sized> ObservableWorkload for &mut W {
@@ -124,6 +132,9 @@ impl<W: ObservableWorkload + ?Sized> ObservableWorkload for &mut W {
     }
     fn write_signature(&self, out: &mut [u64]) {
         (**self).write_signature(out);
+    }
+    fn signature_bound(&self) -> Option<u64> {
+        (**self).signature_bound()
     }
 }
 
@@ -175,6 +186,8 @@ impl<'c, W: ObservableWorkload + Clone> Cursor<'c, W> {
             per_port: vec![0u64; config.num_ports()],
             conflicts: ConflictCounts::default(),
         };
+        let bound = cursor.workload.signature_bound();
+        cursor.state.set_slot_bound(bound);
         cursor.sync();
         cursor
     }
@@ -236,6 +249,10 @@ impl<'c, W: ObservableWorkload + Clone> Cursor<'c, W> {
 ///
 /// The caller's workload is read (and cloned) but left untouched; the
 /// search replays pristine clones internally.
+///
+/// # Errors
+/// Returns [`SteadyStateError::NotConverged`] when the simulator state does
+/// not recur within `max_cycles` after warmup.
 pub fn measure_steady_state_workload<W: ObservableWorkload + Clone>(
     config: &SimConfig,
     workload: &mut W,

@@ -1,5 +1,7 @@
 //! The one step kernel: simulate a single clock period.
 //!
+//! vecmem-lint: alloc-free
+//!
 //! Everything that advances the memory model by one cycle — the engine,
 //! the steady-state detector, the differential oracle — funnels through
 //! [`step`]. The kernel owns the canonical event order of a clock period:
@@ -162,6 +164,17 @@ pub fn step<W: Workload + ?Sized, O: SimObserver>(
     state.pending = pending;
     state.kinds = kinds;
     state.advance_now();
+
+    // 11. Sanitizer: with the `sanitize` feature, debug builds check every
+    // structural invariant after each cycle and abort at the first
+    // violating one.
+    #[cfg(feature = "sanitize")]
+    if cfg!(debug_assertions) {
+        if let Err(violation) = state.validate() {
+            // vecmem-lint: allow(L3) -- the sanitizer's whole job is to abort loudly at the violating cycle
+            panic!("vecmem sanitize: cycle {now}: {violation}");
+        }
+    }
 
     CycleEvents {
         grants,

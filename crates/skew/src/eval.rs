@@ -124,6 +124,10 @@ impl<M: BankMapping + ?Sized> ObservableWorkload for MappedStreamWorkload<'_, M>
 /// ).unwrap();
 /// assert_eq!(beff, Ratio::new(1, 2)); // r = 2 < n_c = 4
 /// ```
+///
+/// # Errors
+/// Returns a [`SteadyStateError`] when no cyclic state is found within
+/// `max_cycles`.
 pub fn single_stream_bandwidth<M: BankMapping + ?Sized>(
     mapping: &M,
     config: &SimConfig,
@@ -136,6 +140,10 @@ pub fn single_stream_bandwidth<M: BankMapping + ?Sized>(
 }
 
 /// Steady-state bandwidth of a pair of address streams under a mapping.
+///
+/// # Errors
+/// Returns a [`SteadyStateError`] when no cyclic state is found within
+/// `max_cycles`.
 pub fn pair_bandwidth<M: BankMapping + ?Sized>(
     mapping: &M,
     config: &SimConfig,
@@ -160,6 +168,10 @@ pub struct StrideRow {
 }
 
 /// Evaluates a scheme over strides `1..=max_stride`.
+///
+/// # Errors
+/// Returns a [`SteadyStateError`] when any stride fails to reach a cyclic
+/// state within `max_cycles`.
 pub fn stride_table<M: BankMapping + ?Sized>(
     mapping: &M,
     geom_bank_cycle: u64,

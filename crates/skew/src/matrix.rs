@@ -41,6 +41,10 @@ impl MatrixWalks {
 
 /// Measures the three walks of a matrix with leading dimension `ld` under
 /// `mapping`, on a memory with the given bank cycle time.
+///
+/// # Errors
+/// Returns a [`SteadyStateError`] when any walk fails to reach a cyclic
+/// state within the internal cycle budget.
 pub fn matrix_walks<M: BankMapping + ?Sized>(
     mapping: &M,
     bank_cycle: u64,
@@ -76,6 +80,10 @@ pub struct MatrixRow {
 
 /// Compares schemes (and the padded leading dimension) for an `N × N`
 /// matrix on `banks` banks.
+///
+/// # Errors
+/// Returns a [`SteadyStateError`] when any scheme's walk fails to reach a
+/// cyclic state within the internal cycle budget.
 pub fn compare_schemes(
     schemes: &[&dyn BankMapping],
     bank_cycle: u64,

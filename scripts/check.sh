@@ -1,22 +1,29 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints on the observability crates, and the
-# tier-1 verification command from ROADMAP.md. Run from anywhere inside
-# the repository; exits non-zero on the first failure.
+# Local CI gate: formatting, full-workspace clippy, the vecmem-lint
+# invariant gate, and the tier-1 verification command from ROADMAP.md.
+# Run from anywhere inside the repository; exits non-zero on the first
+# failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
-echo "==> cargo clippy -D warnings (vecmem-simcore, vecmem-obs, vecmem-prop, vecmem-exec, vecmem-oracle)"
-cargo clippy -p vecmem-simcore -p vecmem-obs -p vecmem-prop -p vecmem-exec --all-targets -- -D warnings
-cargo clippy -p vecmem-oracle --all-targets --all-features -- -D warnings
+echo "==> cargo clippy --workspace -D warnings"
+cargo clippy --workspace --all-targets --all-features -- -D warnings
+
+echo "==> vecmem-lint: workspace invariant gate (+ its fixture suite)"
+cargo test -q -p vecmem-lint
+cargo run -q --release -p vecmem-lint -- --workspace
 
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 # The seeded-fault arbiter variants must keep compiling and passing.
 cargo test -q -p vecmem-oracle --features bug_injection
+# The SimState sanitizer must catch seeded corruption at the violating
+# cycle (debug build: the sanitizer is debug_assertions-only).
+cargo test -q -p vecmem-oracle --features bug_injection,sanitize
 
 echo "==> bench smoke: steady-state solver throughput (quick mode)"
 VECMEM_BENCH_QUICK=1 cargo bench -q -p vecmem-bench --bench steady_throughput > /dev/null \
