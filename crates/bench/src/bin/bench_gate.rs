@@ -1,0 +1,164 @@
+//! Perf-regression gate: compares the freshly written `BENCH_steady.json`
+//! against the last recorded baseline in `BENCH_history.jsonl` and fails
+//! (exit 1) on a throughput regression beyond the threshold.
+//!
+//! On a pass the measurement is appended to the history, ratcheting the
+//! baseline forward; on a regression nothing is appended, so the offending
+//! commit cannot poison the baseline it just violated. Quick (smoke-mode)
+//! measurements are compared but never appended — they are marked in the
+//! history schema and [`latest_baseline`] skips them anyway.
+//!
+//! ```text
+//! bench_gate [--report P] [--history P] [--bench NAME] [--max-regression PCT]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use vecmem_obs::profiler::{
+    append_history_entry, bench_throughput_from_report, detect_git_rev, latest_baseline,
+    BenchHistoryEntry,
+};
+use vecmem_obs::ProfilerConfig;
+
+/// The bench whose serial throughput is the guarded trajectory number.
+const DEFAULT_BENCH: &str = "steady/conformance_batch/serial";
+/// Benchmark set (the `BENCH_<set>.json` stem).
+const SET: &str = "steady";
+/// Largest tolerated throughput drop, percent.
+const DEFAULT_MAX_REGRESSION: f64 = 10.0;
+
+fn default_report_path() -> PathBuf {
+    let dir = std::env::var_os("VECMEM_BENCH_OUT")
+        .map_or_else(|| PathBuf::from("target/bench-reports"), PathBuf::from);
+    dir.join(format!("BENCH_{SET}.json"))
+}
+
+struct GateArgs {
+    report: PathBuf,
+    history: PathBuf,
+    bench: String,
+    max_regression: f64,
+}
+
+fn parse_args() -> Result<GateArgs, String> {
+    let mut args = GateArgs {
+        report: default_report_path(),
+        history: PathBuf::from("BENCH_history.jsonl"),
+        bench: DEFAULT_BENCH.to_string(),
+        max_regression: DEFAULT_MAX_REGRESSION,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--report" => args.report = PathBuf::from(value("--report")?),
+            "--history" => args.history = PathBuf::from(value("--history")?),
+            "--bench" => args.bench = value("--bench")?,
+            "--max-regression" => {
+                let v = value("--max-regression")?;
+                args.max_regression = v
+                    .parse()
+                    .map_err(|_| format!("--max-regression: '{v}' is not a number"))?;
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn run(args: &GateArgs) -> Result<bool, String> {
+    let report = std::fs::read_to_string(&args.report)
+        .map_err(|e| format!("reading {}: {e}", args.report.display()))?;
+    let measured = bench_throughput_from_report(&report, &args.bench).ok_or_else(|| {
+        format!(
+            "no '{}' throughput in {}",
+            args.bench,
+            args.report.display()
+        )
+    })?;
+    if measured <= 0.0 {
+        return Err(format!("measured throughput {measured} is not positive"));
+    }
+    let quick = std::env::var_os("VECMEM_BENCH_QUICK").is_some();
+    let config = if quick {
+        ProfilerConfig::quick()
+    } else {
+        ProfilerConfig::default()
+    };
+    let entry = |iters, ns_per_iter| BenchHistoryEntry {
+        set: SET.to_string(),
+        bench: args.bench.clone(),
+        git_rev: detect_git_rev(),
+        quick,
+        warmup_ms: config.warmup.as_millis() as u64,
+        measure_ms: config.measure.as_millis() as u64,
+        iters,
+        ns_per_iter,
+        elements_per_sec: measured,
+        unix_time: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs()),
+    };
+    // The bench's own iteration stats ride along into the history line.
+    let tail = report
+        .find(&format!("\"name\":\"{}\"", args.bench))
+        .map_or("", |at| &report[at..]);
+    let iters = vecmem_obs::json::field_u64(tail, "iters").unwrap_or(0);
+    let ns_per_iter = vecmem_obs::json::field_f64(tail, "ns_per_iter").unwrap_or(0.0);
+
+    let baseline = latest_baseline(&args.history, SET, &args.bench)
+        .map_err(|e| format!("reading {}: {e}", args.history.display()))?;
+    let Some(baseline) = baseline else {
+        println!(
+            "bench gate: no baseline for ({SET}, {}) in {} — bootstrapping at {measured:.0} elements/s",
+            args.bench,
+            args.history.display()
+        );
+        if quick {
+            println!("bench gate: quick run, not recorded as a baseline");
+        } else {
+            append_history_entry(&args.history, &entry(iters, ns_per_iter))
+                .map_err(|e| format!("appending {}: {e}", args.history.display()))?;
+        }
+        return Ok(true);
+    };
+    let delta_pct = 100.0 * (measured - baseline.elements_per_sec) / baseline.elements_per_sec;
+    if delta_pct < -args.max_regression {
+        println!(
+            "bench gate: FAIL — {} measured {measured:.0} elements/s vs baseline {:.0} \
+             (git {}): {delta_pct:+.1}% exceeds the -{:.0}% budget; history not updated",
+            args.bench, baseline.elements_per_sec, baseline.git_rev, args.max_regression
+        );
+        return Ok(false);
+    }
+    println!(
+        "bench gate: OK — {} measured {measured:.0} elements/s vs baseline {:.0} \
+         (git {}): {delta_pct:+.1}%",
+        args.bench, baseline.elements_per_sec, baseline.git_rev
+    );
+    if quick {
+        println!("bench gate: quick run, not recorded as a baseline");
+    } else {
+        append_history_entry(&args.history, &entry(iters, ns_per_iter))
+            .map_err(|e| format!("appending {}: {e}", args.history.display()))?;
+    }
+    Ok(true)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("bench gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("bench gate: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

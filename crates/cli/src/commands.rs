@@ -11,11 +11,13 @@ use vecmem_banksim::{
     SimConfig, StreamWorkload, Tee,
 };
 use vecmem_exec::{
-    export_exec_telemetry, triad_sweep, ResultCache, Runner, Scenario, SteadyScenario,
-    TraceScenario,
+    batch_spans, export_exec_telemetry, triad_sweep, ResultCache, Runner, Scenario,
+    SpectrumScenario, SteadyScenario, TraceScenario,
 };
-use vecmem_obs::{write_metrics, EventLog, MetricsRegistry};
-use vecmem_oracle::{explore, sweep, DiffOutcome, ExploreConfig, SweepBounds};
+use vecmem_obs::{
+    write_metrics, ConflictLedger, EventLog, Json, LossKind, MetricsRegistry, SpanSink,
+};
+use vecmem_oracle::{explore, sweep_observed, DiffOutcome, ExploreConfig, SweepBounds};
 use vecmem_skew::{BankMapping, Interleaved, LinearSkew, PrimeInterleaved, XorFold};
 use vecmem_vproc::gather::{run_gather, IndexPattern};
 use vecmem_vproc::loops::{LoopSpec, Walk};
@@ -520,6 +522,334 @@ pub fn cmd_skew(opts: &Options) -> Result<String, String> {
     Ok(out)
 }
 
+/// `vecmem report` — conflict-attribution report of a query: where did
+/// the lost bandwidth go?
+///
+/// Modes (first positional argument): `steady` (default) attributes one
+/// steady period of a stream pair, `triad` attributes a whole Fig. 10
+/// triad run, `spectrum` reports the census with execution telemetry.
+/// All modes take `--trace-out P` (Chrome trace JSON when `P` ends in
+/// `.json`, spans-v1 JSONL otherwise) and `--metrics-out P`.
+pub fn cmd_report(opts: &Options) -> Result<String, String> {
+    let mode = opts
+        .positional()
+        .first()
+        .map(String::as_str)
+        .unwrap_or("steady");
+    match mode {
+        "steady" => report_steady(opts),
+        "triad" => report_triad(opts),
+        "spectrum" => report_spectrum(opts),
+        other => Err(format!(
+            "unknown report mode '{other}' (have steady, triad, spectrum)"
+        )),
+    }
+}
+
+/// Renders the ledger's loss decomposition plus the top attribution and
+/// stream-pair tables.
+fn attribution_tables(ledger: &ConflictLedger, top: usize) -> String {
+    let decomp = ledger.decomposition();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "  intra-stream {:>8}\n  inter-stream {:>8}\n  section      {:>8}\n  rotation     {:>8}\n",
+        decomp.get(LossKind::Intra),
+        decomp.get(LossKind::Inter),
+        decomp.get(LossKind::Section),
+        decomp.get(LossKind::Rotation),
+    ));
+    let entries = ledger.entries();
+    if entries.is_empty() {
+        out.push_str("no conflicts: every request was granted on arrival\n");
+        return out;
+    }
+    out.push_str(&format!(
+        "top attributions ({} of {} distinct):\n",
+        entries.len().min(top),
+        entries.len()
+    ));
+    for e in entries.iter().take(top) {
+        let winner = e
+            .key
+            .winner
+            .map_or_else(|| "blocked".to_string(), |w| format!("port {w}"));
+        out.push_str(&format!(
+            "  bank {:>3}  port {} <- {:<8} {:<8} {:>8}\n",
+            e.key.bank,
+            e.key.loser,
+            winner,
+            e.key.kind.name(),
+            e.stalls
+        ));
+    }
+    out.push_str("stalls by stream pair (loser <- winner):\n");
+    for (winner, loser, stalls) in ledger.pair_stalls().into_iter().take(top) {
+        let winner = winner.map_or_else(|| "blocked".to_string(), |w| format!("port {w}"));
+        out.push_str(&format!("  port {loser} <- {winner:<8} {stalls:>8}\n"));
+    }
+    out
+}
+
+/// Per-bank utilization lines: `grants × n_c / cycles` over the window.
+fn utilization_lines(ledger: &ConflictLedger, nc: u64, window: u64) -> String {
+    let mut out = String::new();
+    for (bank, &g) in ledger.bank_grants().iter().enumerate() {
+        let util = if window == 0 {
+            0.0
+        } else {
+            100.0 * (g * nc) as f64 / window as f64
+        };
+        out.push_str(&format!("  bank {bank:>3}: {util:>6.1}%  ({g} grants)\n"));
+    }
+    out
+}
+
+/// Annotates the innermost open span with the ledger's decomposition.
+fn annotate_decomposition(sink: &mut SpanSink, ledger: &ConflictLedger) {
+    let decomp = ledger.decomposition();
+    for kind in LossKind::ALL {
+        sink.annotate(kind.name(), Json::U64(decomp.get(kind)));
+    }
+    sink.annotate("grants", Json::U64(ledger.grants()));
+}
+
+/// Folds the ledger's decomposition into a metrics registry.
+fn export_loss_metrics(registry: &mut MetricsRegistry, ledger: &ConflictLedger) {
+    let decomp = ledger.decomposition();
+    for kind in LossKind::ALL {
+        registry.add_counter(&format!("report_loss_{}", kind.name()), decomp.get(kind));
+    }
+    registry.add_counter("report_stalls_total", decomp.total());
+}
+
+/// Writes `text` to `path`, creating parent directories.
+fn write_text(path: &str, text: &str) -> Result<(), String> {
+    let p = std::path::Path::new(path);
+    if let Some(parent) = p.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("writing {path}: {e}"))?;
+        }
+    }
+    std::fs::write(p, text).map_err(|e| format!("writing {path}: {e}"))
+}
+
+/// `vecmem report steady`: attribute every stalled port-cycle of one
+/// steady period, with the decomposition checked against the exact
+/// bandwidth identity `stalls = period · (N − b_eff)`.
+fn report_steady(opts: &Options) -> Result<String, String> {
+    let geom = geometry(opts)?;
+    let specs = pair_streams(opts, &geom)?;
+    let config = pair_config(opts, geom);
+    let budget = opts.u64_or("cycle-budget", 10_000_000).map_err(err)?;
+    let top = usize::try_from(opts.u64_or("top", 8).map_err(err)?).map_err(|e| e.to_string())?;
+    let ports = config.num_ports();
+
+    let ss = measure_steady_state(&config, &specs, budget).map_err(|e| e.to_string())?;
+
+    // Replay the search deterministically with the ledger attached: the
+    // transient warms the attributor's bank-holder state, then the counts
+    // are cleared so exactly one steady period is attributed.
+    let mut ledger = ConflictLedger::new(&config);
+    let mut metrics = MetricsRegistry::new(geom.banks(), ports);
+    let mut sink = SpanSink::new();
+    sink.switch_track(0, "report");
+    sink.begin("run");
+    sink.leaf("steady-search", 0, ss.transient + ss.period);
+    sink.advance_to(ss.transient + ss.period);
+    sink.rebase_cycles(sink.now());
+    let mut engine = Engine::new(config.clone());
+    let mut workload = StreamWorkload::infinite(&geom, &specs);
+    sink.begin("transient");
+    for _ in 0..ss.transient {
+        engine.step_with(
+            &mut workload,
+            &mut Tee(&mut ledger, &mut Tee(&mut metrics, &mut sink)),
+        );
+    }
+    sink.end();
+    ledger.clear_counts();
+    sink.begin("cycle-period");
+    for _ in 0..ss.period {
+        engine.step_with(
+            &mut workload,
+            &mut Tee(&mut ledger, &mut Tee(&mut metrics, &mut sink)),
+        );
+    }
+    annotate_decomposition(&mut sink, &ledger);
+    sink.end();
+    sink.end();
+
+    let decomp = ledger.decomposition();
+    let stalls = decomp.total();
+    let expected = ports as u64 * ss.period - ss.grants_per_period;
+    if stalls != expected {
+        return Err(format!(
+            "attribution accounting broke: {stalls} attributed stalls != \
+             {expected} = ports x period - grants per period"
+        ));
+    }
+
+    let topo = if opts.flag("same-cpu") {
+        "same-cpu"
+    } else {
+        "cross-cpu"
+    };
+    let prio = if opts.flag("cyclic") {
+        "cyclic"
+    } else {
+        "fixed"
+    };
+    let mut out = format!(
+        "conflict attribution: m = {}, nc = {}, streams (b={}, d={}) (b={}, d={}), {topo}, {prio} priority\n",
+        geom.banks(),
+        geom.bank_cycle(),
+        specs[0].start_bank,
+        specs[0].distance,
+        specs[1].start_bank,
+        specs[1].distance,
+    );
+    out.push_str(&format!(
+        "steady: b_eff = {} (transient {} cycles, period {}, {} grants per period)\n",
+        ss.beff, ss.transient, ss.period, ss.grants_per_period
+    ));
+    out.push_str("loss decomposition over one period (stalled port-cycles):\n");
+    out.push_str(&attribution_tables(&ledger, top));
+    out.push_str(&format!(
+        "identity: total stalls {stalls} = period x (N - b_eff) = {} x ({} - {}) [exact]\n",
+        ss.period, ports, ss.beff
+    ));
+    out.push_str("per-bank utilization over one period (grants x nc / period):\n");
+    out.push_str(&utilization_lines(&ledger, geom.bank_cycle(), ss.period));
+    let heatmap = ledger.heatmap_csv();
+    if let Some(path) = opts.string("heatmap-out") {
+        write_text(path, &heatmap)?;
+        out.push_str(&format!("heatmap -> {path}\n"));
+    } else {
+        out.push_str("rotation-phase heatmap (stalls per phase x bank):\n");
+        out.push_str(&heatmap);
+    }
+    if let Some(path) = opts.string("metrics-out") {
+        export_loss_metrics(&mut metrics, &ledger);
+        write_metrics(path, &metrics.snapshot()).map_err(|e| format!("writing {path}: {e}"))?;
+        out.push_str(&format!("metrics -> {path}\n"));
+    }
+    if let Some(path) = opts.string("trace-out") {
+        sink.write(path)
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        out.push_str(&format!("trace -> {path}\n"));
+    }
+    Ok(out)
+}
+
+/// `vecmem report triad`: conflict attribution over one whole Fig. 10
+/// triad run (`--inc N`, `--alone`). The per-period identity does not
+/// apply to the finite workload, so totals are reported as-is.
+fn report_triad(opts: &Options) -> Result<String, String> {
+    let inc = opts.u64_or("inc", 1).map_err(err)?;
+    let top = usize::try_from(opts.u64_or("top", 8).map_err(err)?).map_err(|e| e.to_string())?;
+    let exp = if opts.flag("alone") {
+        TriadExperiment::paper_alone(inc)
+    } else {
+        TriadExperiment::paper(inc)
+    };
+    let mut ledger = ConflictLedger::new(&exp.sim);
+    let mut sink = SpanSink::new();
+    sink.switch_track(0, "report");
+    sink.begin("run");
+    sink.begin(&format!("triad inc={inc}"));
+    let r = exp.run_observed(&mut Tee(&mut ledger, &mut sink));
+    annotate_decomposition(&mut sink, &ledger);
+    sink.end();
+    sink.end();
+    let mut out = format!(
+        "conflict attribution: triad INC = {inc}{}, {} clock periods\n",
+        if opts.flag("alone") {
+            " (alone)"
+        } else {
+            " (with background)"
+        },
+        r.cycles
+    );
+    out.push_str(&format!(
+        "loss decomposition over the run ({} stalled port-cycles):\n",
+        ledger.total_stalls()
+    ));
+    out.push_str(&attribution_tables(&ledger, top));
+    out.push_str("per-bank utilization over the run (grants x nc / cycles):\n");
+    out.push_str(&utilization_lines(
+        &ledger,
+        exp.sim.geometry.bank_cycle(),
+        ledger.cycles(),
+    ));
+    if let Some(path) = opts.string("heatmap-out") {
+        write_text(path, &ledger.heatmap_csv())?;
+        out.push_str(&format!("heatmap -> {path}\n"));
+    }
+    if let Some(path) = opts.string("metrics-out") {
+        let mut metrics = MetricsRegistry::new(exp.sim.geometry.banks(), exp.sim.num_ports());
+        export_loss_metrics(&mut metrics, &ledger);
+        write_metrics(path, &metrics.snapshot()).map_err(|e| format!("writing {path}: {e}"))?;
+        out.push_str(&format!("metrics -> {path}\n"));
+    }
+    if let Some(path) = opts.string("trace-out") {
+        sink.write(path)
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        out.push_str(&format!("trace -> {path}\n"));
+    }
+    Ok(out)
+}
+
+/// `vecmem report spectrum`: the design-space census run through the
+/// cached work-stealing runner, reported with execution telemetry and an
+/// optional merged sweep trace.
+fn report_spectrum(opts: &Options) -> Result<String, String> {
+    let geom = geometry(opts)?;
+    let runner = Runner::new();
+    let scenarios: Vec<SpectrumScenario> = (1..geom.banks())
+        .map(|d1| SpectrumScenario {
+            geom,
+            d1s: vec![d1],
+        })
+        .collect();
+    let cache = ResultCache::new();
+    let (outputs, report) = runner.run_cached(&scenarios, &cache);
+    let mut sink = SpanSink::new();
+    batch_spans(&mut sink, "spectrum", &scenarios, &outputs, &report);
+    let mut total = vecmem_analytic::spectrum::Spectrum::default();
+    for partial in &outputs {
+        total.merge(partial);
+    }
+    let mut out = format!(
+        "spectrum census of m = {}, nc = {}: {} cases\n\
+         conflict-free or disjoint: {}   conflicting: {}\n",
+        geom.banks(),
+        geom.bank_cycle(),
+        total.total(),
+        total.disjoint_sets + total.conflict_free,
+        total.conflicting,
+    );
+    out.push_str(&format!(
+        "exec: {} slices on {} thread(s), cache hits {} misses {} coalesced {}\n",
+        report.scenarios,
+        report.threads,
+        report.cache.hits,
+        report.cache.misses,
+        report.cache.coalesced
+    ));
+    if let Some(path) = opts.string("metrics-out") {
+        let mut metrics = MetricsRegistry::new(geom.banks(), 1);
+        export_exec_telemetry(&mut metrics, &report);
+        write_metrics(path, &metrics.snapshot()).map_err(|e| format!("writing {path}: {e}"))?;
+        out.push_str(&format!("metrics -> {path}\n"));
+    }
+    if let Some(path) = opts.string("trace-out") {
+        sink.write(path)
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        out.push_str(&format!("trace -> {path}\n"));
+    }
+    Ok(out)
+}
+
 /// `vecmem verify` — hold the optimized engine to account against the
 /// naive reference oracle and the paper's theorems.
 ///
@@ -546,9 +876,13 @@ fn verify_exhaustive(opts: &Options) -> Result<String, String> {
         steady_budget: opts.u64_or("cycle-budget", 500_000).map_err(err)?,
     };
     let runner = Runner::new();
+    let mut registry = opts
+        .string("metrics-out")
+        .map(|_| MetricsRegistry::new(1, 1));
+    let mut sink = opts.string("trace-out").map(|_| SpanSink::new());
     // vecmem-lint: allow(L1) -- elapsed time is printed for the operator only, never part of results
     let start = std::time::Instant::now();
-    let report = sweep(&bounds, &runner);
+    let report = sweep_observed(&bounds, &runner, registry.as_mut(), sink.as_mut());
     let elapsed = start.elapsed();
 
     let mut out = format!(
@@ -580,6 +914,15 @@ fn verify_exhaustive(opts: &Options) -> Result<String, String> {
         elapsed,
         runner.threads()
     ));
+    if let (Some(path), Some(registry)) = (opts.string("metrics-out"), registry.as_ref()) {
+        write_metrics(path, &registry.snapshot()).map_err(|e| format!("writing {path}: {e}"))?;
+        out.push_str(&format!("metrics -> {path}\n"));
+    }
+    if let (Some(path), Some(sink)) = (opts.string("trace-out"), sink.as_ref()) {
+        sink.write(path)
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        out.push_str(&format!("trace -> {path}\n"));
+    }
     if report.clean() {
         out.push_str("verdict: CLEAN\n");
         Ok(out)
@@ -796,7 +1139,7 @@ mod tests {
         let json = std::fs::read_to_string(&metrics).unwrap();
         assert!(json.contains("vecmem-obs/metrics-v1"));
         let jsonl = std::fs::read_to_string(&events).unwrap();
-        assert!(jsonl.starts_with("{\"schema\":\"vecmem-obs/events-v1\""));
+        assert!(jsonl.starts_with("{\"schema\":\"vecmem-obs/events-v2\""));
         assert!(jsonl.contains("\"t\":\"grant\""));
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -981,6 +1324,155 @@ mod tests {
     fn figure_command_rejects_unknown() {
         let o = Options::parse(vec!["99".to_string()], FLAGS).unwrap();
         assert!(cmd_figure(&o).is_err());
+    }
+
+    #[test]
+    fn report_steady_decomposition_is_exact() {
+        // m = 16, nc = 4, d1 = d2 = 4: both streams hammer the same
+        // 4-bank access set (gcd = 4), a known Thm-2 conflict pair.
+        let o = opts(
+            &[
+                "steady", "--banks", "16", "--nc", "4", "--d1", "4", "--d2", "4",
+            ],
+            FLAGS,
+        );
+        let out = cmd_report(&o).unwrap();
+        assert!(out.contains("loss decomposition"), "{out}");
+        assert!(out.contains("[exact]"), "{out}");
+        assert!(out.contains("per-bank utilization"), "{out}");
+        assert!(out.contains("rotation-phase heatmap"), "{out}");
+        assert!(out.contains("rotation,bank0,"), "{out}");
+    }
+
+    #[test]
+    fn report_steady_conflict_free_pair_has_no_stalls() {
+        let o = opts(
+            &[
+                "steady", "--banks", "12", "--nc", "3", "--d1", "1", "--d2", "7",
+            ],
+            FLAGS,
+        );
+        let out = cmd_report(&o).unwrap();
+        assert!(out.contains("b_eff = 2"), "{out}");
+        assert!(
+            out.contains("every request was granted on arrival"),
+            "{out}"
+        );
+        assert!(out.contains("identity: total stalls 0"), "{out}");
+    }
+
+    #[test]
+    fn report_steady_writes_trace_and_metrics() {
+        let dir = std::env::temp_dir().join("vecmem-cli-test-report-steady");
+        let trace = dir.join("steady.json");
+        let metrics = dir.join("steady-metrics.json");
+        let heatmap = dir.join("heat.csv");
+        let o = opts(
+            &[
+                "steady",
+                "--banks",
+                "16",
+                "--nc",
+                "4",
+                "--d1",
+                "4",
+                "--d2",
+                "4",
+                "--trace-out",
+                trace.to_str().unwrap(),
+                "--metrics-out",
+                metrics.to_str().unwrap(),
+                "--heatmap-out",
+                heatmap.to_str().unwrap(),
+            ],
+            FLAGS,
+        );
+        let out = cmd_report(&o).unwrap();
+        assert!(out.contains("trace ->"), "{out}");
+        assert!(out.contains("metrics ->"), "{out}");
+        assert!(out.contains("heatmap ->"), "{out}");
+        let chrome = std::fs::read_to_string(&trace).unwrap();
+        assert!(chrome.starts_with(r#"{"traceEvents":["#), "{chrome}");
+        assert!(chrome.contains("cycle-period"), "{chrome}");
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        assert!(json.contains("report_loss_inter"), "{json}");
+        assert!(json.contains("report_stalls_total"), "{json}");
+        let csv = std::fs::read_to_string(&heatmap).unwrap();
+        assert!(csv.starts_with("rotation,bank0,"), "{csv}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_triad_attributes_the_run() {
+        let o = opts(&["triad", "--inc", "8"], FLAGS);
+        let out = cmd_report(&o).unwrap();
+        assert!(out.contains("triad INC = 8 (with background)"), "{out}");
+        assert!(out.contains("loss decomposition over the run"), "{out}");
+    }
+
+    #[test]
+    fn report_spectrum_merged_trace() {
+        let dir = std::env::temp_dir().join("vecmem-cli-test-report-spectrum");
+        let trace = dir.join("census.json");
+        let o = opts(
+            &[
+                "spectrum",
+                "--banks",
+                "12",
+                "--nc",
+                "3",
+                "--trace-out",
+                trace.to_str().unwrap(),
+            ],
+            FLAGS,
+        );
+        let out = cmd_report(&o).unwrap();
+        // Full (d1, d2, b2) census: 11 x 11 x 12 triples.
+        assert!(out.contains("1452 cases"), "{out}");
+        assert!(out.contains("exec: 11 slices"), "{out}");
+        let chrome = std::fs::read_to_string(&trace).unwrap();
+        assert!(chrome.contains(r#""name":"spectrum""#), "{chrome}");
+        assert!(chrome.contains("worker-0"), "{chrome}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_rejects_unknown_mode() {
+        let o = Options::parse(vec!["nonsense".to_string()], FLAGS).unwrap();
+        assert!(cmd_report(&o).is_err());
+    }
+
+    #[test]
+    fn verify_exhaustive_writes_metrics_and_trace() {
+        let dir = std::env::temp_dir().join("vecmem-cli-test-verify-obs");
+        let metrics = dir.join("sweep.csv");
+        let trace = dir.join("sweep.json");
+        let o = opts(
+            &[
+                "--exhaustive",
+                "--max-banks",
+                "4",
+                "--max-nc",
+                "2",
+                "--max-ports",
+                "2",
+                "--metrics-out",
+                metrics.to_str().unwrap(),
+                "--trace-out",
+                trace.to_str().unwrap(),
+            ],
+            FLAGS,
+        );
+        let out = cmd_verify(&o).unwrap();
+        assert!(out.contains("metrics ->"), "{out}");
+        assert!(out.contains("trace ->"), "{out}");
+        let csv = std::fs::read_to_string(&metrics).unwrap();
+        assert!(csv.contains("oracle_sweep_enumerated"), "{csv}");
+        assert!(csv.contains("oracle_thm2_checked"), "{csv}");
+        assert!(csv.contains("oracle_sweep_hit_rate"), "{csv}");
+        let chrome = std::fs::read_to_string(&trace).unwrap();
+        assert!(chrome.contains("conform-sweep"), "{chrome}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -23,6 +23,8 @@ COMMANDS:
   loop      analyse a Fortran loop (--dims J1,J2 --dim K --inc N | --diagonal)
   gather    index-vector (gather) bandwidth vs unit stride
   figure    regenerate a paper trace figure: vecmem figure 3
+  report    conflict-attribution report: vecmem report [steady|triad|spectrum]
+            (where did the lost bandwidth go, per bank / stream / kind)
   verify    differential oracle + theorem conformance
             [--exhaustive (default) | --random N | --diff]
 
@@ -49,6 +51,17 @@ VERIFY OPTIONS:
   --random N         N coverage-guided random differential cases
   --diff             lockstep-diff one scenario (common stream options
                      apply; prints the first divergent cycle with a dump)
+  --metrics-out P    (--exhaustive) per-theorem check counts + cache hit
+                     rate as a metrics snapshot
+  --trace-out P      (--exhaustive) sweep progress as a span trace
+
+REPORT OPTIONS (common stream options apply; triad takes --inc/--alone):
+  --top N            rows of the attribution tables (default 8)
+  --heatmap-out P    write the rotation-phase stall heatmap CSV to P
+                     (steady reports it inline otherwise)
+  --trace-out P      span trace: Chrome trace-event JSON when P ends in
+                     .json (load in Perfetto), spans-v1 JSONL otherwise
+  --metrics-out P    metrics snapshot with the loss decomposition
 
 TELEMETRY (trace, triad; steady exports sweep-execution counters):
   --metrics-out P    write a metrics snapshot (JSON; CSV when P ends in .csv)
@@ -62,6 +75,8 @@ EXAMPLES:
   vecmem triad --sweep 16
   vecmem triad --inc 8 --metrics-out triad8.json --events-out triad8.jsonl
   vecmem random --banks 64 --ports 8
+  vecmem report steady --banks 16 --nc 4 --d1 4 --d2 4
+  vecmem report steady --d1 1 --d2 6 --trace-out steady.json
 ";
 
 const BOOL_FLAGS: &[&str] = &[
@@ -100,6 +115,7 @@ fn main() {
         "loop" => commands::cmd_loop(&opts),
         "gather" => commands::cmd_gather(&opts),
         "figure" => commands::cmd_figure(&opts),
+        "report" => commands::cmd_report(&opts),
         "verify" => commands::cmd_verify(&opts),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");

@@ -25,6 +25,9 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to execute the scenario.
     pub misses: u64,
+    /// Misses whose computed value was discarded because a racing worker
+    /// inserted the same key first (duplicate in-flight computation).
+    pub coalesced: u64,
 }
 
 impl CacheStats {
@@ -50,6 +53,7 @@ pub struct ResultCache<K, V> {
     hasher: RandomState,
     hits: AtomicU64,
     misses: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 impl<K: Hash + Eq, V: Clone> Default for ResultCache<K, V> {
@@ -67,6 +71,7 @@ impl<K: Hash + Eq, V: Clone> ResultCache<K, V> {
             hasher: RandomState::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
         }
     }
 
@@ -87,11 +92,16 @@ impl<K: Hash + Eq, V: Clone> ResultCache<K, V> {
         // simulated cycles and must not serialise the shard.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let value = compute();
-        self.shard(&key)
-            .lock()
-            .expect("cache shard")
-            .entry(key)
-            .or_insert_with(|| value.clone());
+        match self.shard(&key).lock().expect("cache shard").entry(key) {
+            std::collections::hash_map::Entry::Occupied(_) => {
+                // A racing worker inserted first: this computation was
+                // duplicate work, visible in the coalesced counter.
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(value.clone());
+            }
+        }
         value
     }
 
@@ -125,6 +135,7 @@ impl<K: Hash + Eq, V: Clone> ResultCache<K, V> {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
         }
     }
 }
@@ -152,6 +163,23 @@ mod tests {
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.peek(&7), Some(42));
         assert_eq!(cache.peek(&8), None);
+    }
+
+    #[test]
+    fn coalesced_counts_duplicate_inflight_computation() {
+        let cache: ResultCache<u64, u64> = ResultCache::new();
+        // The inner lookup stands in for a racing worker: it inserts the
+        // key while the outer computation is still in flight, so the
+        // outer insert finds the slot occupied and counts a coalesce.
+        let v = cache.get_or_compute(1, || cache.get_or_compute(1, || 10));
+        assert_eq!(v, 10);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.coalesced, 1);
+        assert_eq!(cache.len(), 1);
+        // Serial reuse afterwards is a plain hit, no further coalesces.
+        assert_eq!(cache.get_or_compute(1, || 99), 10);
+        assert_eq!(cache.stats().coalesced, 1);
     }
 
     #[test]

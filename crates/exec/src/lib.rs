@@ -18,12 +18,16 @@
 //!   stream pairs simulate once and replay for free.
 //! * [`SweepBuilder`] turns "all distance pairs on geometry G" /
 //!   "all start banks" / "INC = 1..=16" descriptions into ordered batches.
-//! * [`telemetry`] exports cache hit/miss counters and runner gauges into
-//!   a `vecmem-obs` [`MetricsRegistry`](vecmem_obs::MetricsRegistry).
+//! * [`telemetry`] exports cache hit/miss/coalesce counters and runner
+//!   gauges into a `vecmem-obs`
+//!   [`MetricsRegistry`](vecmem_obs::MetricsRegistry), and [`spans`] lays
+//!   an executed batch out as a deterministic merged trace on a
+//!   [`SpanSink`](vecmem_obs::SpanSink).
 
 pub mod cache;
 pub mod runner;
 pub mod scenario;
+pub mod spans;
 pub mod sweep;
 pub mod telemetry;
 
@@ -33,6 +37,7 @@ pub use scenario::{
     steady_key, Scenario, SpectrumScenario, SteadyKey, SteadyOutcome, SteadyScenario, TraceKey,
     TraceOutcome, TraceScenario, TriadScenario,
 };
+pub use spans::batch_spans;
 pub use sweep::{triad_sweep, SweepBuilder, SweepPlan, SweepPoint};
 pub use telemetry::export_exec_telemetry;
 

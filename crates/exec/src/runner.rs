@@ -112,6 +112,7 @@ impl Runner {
             cache: CacheStats {
                 hits: after.hits - before.hits,
                 misses: after.misses - before.misses,
+                coalesced: after.coalesced - before.coalesced,
             },
         };
         (outputs, report)
@@ -211,6 +212,8 @@ mod tests {
         // exactly the lookup count and at least 10 must have missed.
         assert_eq!(stats.hits + stats.misses, 40);
         assert!(stats.misses >= 10);
+        // Every duplicate in-flight computation is visible as a coalesce.
+        assert_eq!(stats.coalesced, stats.misses - 10);
         // A serial re-run hits every time.
         let (out2, report2) = Runner::with_threads(1).run_cached(&scenarios, &cache);
         assert_eq!(out2, expected);

@@ -31,6 +31,21 @@ pub trait Scenario: Sync {
 
     /// Runs the scenario to completion.
     fn execute(&self) -> Self::Output;
+
+    /// Short human label used for this scenario's span when a sweep is
+    /// laid out as a merged trace (see [`crate::spans::batch_spans`]).
+    fn span_label(&self) -> String {
+        "scenario".to_string()
+    }
+
+    /// Virtual-tick cost of `output` — the simulated cycles where the
+    /// outcome records them, an analytic work estimate otherwise. Merged
+    /// traces use this as the span duration, so the layout stays
+    /// deterministic (no wall clock). Defaults to one tick.
+    fn span_cost(&self, output: &Self::Output) -> u64 {
+        let _ = output;
+        1
+    }
 }
 
 /// Outcome of a steady-state scenario: the exact cyclic state, or the
@@ -128,6 +143,31 @@ impl Scenario for SteadyScenario {
     fn execute(&self) -> SteadyOutcome {
         measure_steady_state(&self.config, &self.streams, self.max_cycles)
     }
+
+    fn span_label(&self) -> String {
+        let g = &self.config.geometry;
+        format!(
+            "steady m={} nc={} d={}",
+            g.banks(),
+            g.bank_cycle(),
+            distance_list(&self.streams)
+        )
+    }
+
+    fn span_cost(&self, output: &Self::Output) -> u64 {
+        match output {
+            // Simulated cycles: the search ran transient + one period.
+            Ok(ss) => (ss.transient + ss.period).max(1),
+            // A failed search burned the whole budget.
+            Err(_) => self.max_cycles.max(1),
+        }
+    }
+}
+
+/// `"d1/d2/..."` — the stream distances of a scenario, for span labels.
+fn distance_list(streams: &[StreamSpec]) -> String {
+    let ds: Vec<String> = streams.iter().map(|s| s.distance.to_string()).collect();
+    ds.join("/")
 }
 
 /// Outcome of a [`TraceScenario`]: the paper-style ASCII trace of the
@@ -206,6 +246,25 @@ impl Scenario for TraceScenario {
             steady,
         }
     }
+
+    fn span_label(&self) -> String {
+        let g = &self.config.geometry;
+        format!(
+            "trace m={} nc={} d={}",
+            g.banks(),
+            g.bank_cycle(),
+            distance_list(&self.streams)
+        )
+    }
+
+    fn span_cost(&self, output: &Self::Output) -> u64 {
+        // Traced prefix plus the independent steady-state search.
+        let search = match &output.steady {
+            Ok(ss) => ss.transient + ss.period,
+            Err(_) => self.max_cycles,
+        };
+        (self.trace_cycles + search).max(1)
+    }
 }
 
 /// One point of the Fig. 10 triad series: the §IV experiment at a given
@@ -235,6 +294,16 @@ impl Scenario for TriadScenario {
         };
         exp.run()
     }
+
+    fn span_label(&self) -> String {
+        let bg = if self.with_background { "" } else { " alone" };
+        format!("triad inc={}{bg}", self.inc)
+    }
+
+    fn span_cost(&self, output: &Self::Output) -> u64 {
+        // The triad's CPU time in clock periods (Fig. 10a/b).
+        output.cycles.max(1)
+    }
 }
 
 /// One slice of the full design-space census of
@@ -258,6 +327,17 @@ impl Scenario for SpectrumScenario {
 
     fn execute(&self) -> Spectrum {
         full_spectrum_slice(&self.geom, &self.d1s)
+    }
+
+    fn span_label(&self) -> String {
+        format!("spectrum m={} d1s={}", self.geom.banks(), self.d1s.len())
+    }
+
+    fn span_cost(&self, output: &Self::Output) -> u64 {
+        let _ = output;
+        // Analytic census: one tick per (d1, d2, b2) triple classified.
+        let m = self.geom.banks();
+        (self.d1s.len() as u64 * m.saturating_sub(1) * m).max(1)
     }
 }
 

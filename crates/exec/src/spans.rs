@@ -1,0 +1,189 @@
+//! Merged sweep traces: lays one executed batch out as spans on worker
+//! tracks of a [`SpanSink`].
+//!
+//! The layout is a deterministic *model* of the parallel execution, not a
+//! wall-clock recording — `vecmem-exec` is a result crate and must stay
+//! bit-reproducible. Scenario `i` of an `n`-thread batch is placed on
+//! track `i % n` at that lane's cumulative virtual tick, with a duration
+//! of [`Scenario::span_cost`] ticks (simulated cycles where the outcome
+//! records them). Loaded in Perfetto the trace therefore shows *where the
+//! simulated work went* — which scenarios dominated, how balanced the
+//! lanes were — identically on every run and machine.
+
+use crate::runner::ExecReport;
+use crate::scenario::Scenario;
+use vecmem_obs::{Json, Span, SpanSink};
+
+/// Appends one executed batch to `sink` as a merged trace.
+///
+/// Emits a wrapper span named `name` on track 0 carrying the batch's
+/// cache counters (hits, misses, coalesced, hit rate) and runner shape,
+/// plus one span per scenario on worker tracks `0..threads` named by
+/// [`Scenario::span_label`]. The sink's clock is advanced to the end of
+/// the longest lane, so successive batches lay out sequentially; the
+/// current track is left at 0.
+///
+/// # Panics
+/// Panics when `outputs` is not exactly one output per scenario.
+pub fn batch_spans<S: Scenario>(
+    sink: &mut SpanSink,
+    name: &str,
+    scenarios: &[S],
+    outputs: &[S::Output],
+    report: &ExecReport,
+) {
+    assert_eq!(
+        scenarios.len(),
+        outputs.len(),
+        "batch_spans needs one output per scenario"
+    );
+    let lanes = (report.threads.max(1) as usize).min(scenarios.len().max(1));
+    for lane in 0..lanes {
+        sink.switch_track(lane as u64, &format!("worker-{lane}"));
+    }
+    sink.switch_track(0, "worker-0");
+    let base = sink.now();
+    let mut lane_tick = vec![base; lanes];
+    for (i, (scenario, output)) in scenarios.iter().zip(outputs).enumerate() {
+        let lane = i % lanes;
+        let start = lane_tick[lane];
+        let dur = scenario.span_cost(output).max(1);
+        lane_tick[lane] = start + dur;
+        sink.push(Span {
+            name: scenario.span_label(),
+            track: lane as u64,
+            start,
+            dur,
+            args: vec![("index".to_string(), Json::U64(i as u64))],
+        });
+    }
+    let end = lane_tick.into_iter().max().unwrap_or(base);
+    sink.push(Span {
+        name: name.to_string(),
+        track: 0,
+        start: base,
+        dur: end - base,
+        args: vec![
+            ("scenarios".to_string(), Json::U64(report.scenarios)),
+            ("threads".to_string(), Json::U64(report.threads)),
+            ("chunk".to_string(), Json::U64(report.chunk)),
+            ("cache_hits".to_string(), Json::U64(report.cache.hits)),
+            ("cache_misses".to_string(), Json::U64(report.cache.misses)),
+            (
+                "cache_coalesced".to_string(),
+                Json::U64(report.cache.coalesced),
+            ),
+            (
+                "cache_hit_rate".to_string(),
+                Json::F64(report.cache.hit_rate()),
+            ),
+        ],
+    });
+    sink.advance_to(end);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheStats;
+
+    /// Cost-`self.0` scenario for layout tests.
+    struct Weighted(u64);
+
+    impl Scenario for Weighted {
+        type Output = u64;
+        type Key = u64;
+
+        fn key(&self) -> Option<u64> {
+            Some(self.0)
+        }
+
+        fn execute(&self) -> u64 {
+            self.0
+        }
+
+        fn span_label(&self) -> String {
+            format!("w{}", self.0)
+        }
+
+        fn span_cost(&self, output: &u64) -> u64 {
+            *output
+        }
+    }
+
+    fn report(scenarios: u64, threads: u64) -> ExecReport {
+        ExecReport {
+            scenarios,
+            threads,
+            chunk: 8,
+            cache: CacheStats {
+                hits: 3,
+                misses: 2,
+                coalesced: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn round_robin_lanes_with_cumulative_ticks() {
+        let scenarios: Vec<Weighted> = [5, 3, 2, 4].into_iter().map(Weighted).collect();
+        let outputs: Vec<u64> = scenarios.iter().map(|s| s.0).collect();
+        let mut sink = SpanSink::new();
+        batch_spans(&mut sink, "batch", &scenarios, &outputs, &report(4, 2));
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 5);
+        // Lane 0 holds scenarios 0, 2; lane 1 holds 1, 3 — each cumulative.
+        assert_eq!((spans[0].track, spans[0].start, spans[0].dur), (0, 0, 5));
+        assert_eq!((spans[1].track, spans[1].start, spans[1].dur), (1, 0, 3));
+        assert_eq!((spans[2].track, spans[2].start, spans[2].dur), (0, 5, 2));
+        assert_eq!((spans[3].track, spans[3].start, spans[3].dur), (1, 3, 4));
+        assert_eq!(spans[0].name, "w5");
+        // Wrapper covers the longest lane and carries the cache counters.
+        let wrapper = &spans[4];
+        assert_eq!(wrapper.name, "batch");
+        assert_eq!((wrapper.start, wrapper.dur), (0, 7));
+        assert!(wrapper
+            .args
+            .contains(&("cache_coalesced".to_string(), Json::U64(1))));
+        // Clock parked at the batch end: the next batch appends after it.
+        assert_eq!(sink.now(), 7);
+    }
+
+    #[test]
+    fn successive_batches_lay_out_sequentially() {
+        let scenarios = [Weighted(2)];
+        let outputs = [2u64];
+        let mut sink = SpanSink::new();
+        batch_spans(&mut sink, "first", &scenarios, &outputs, &report(1, 1));
+        batch_spans(&mut sink, "second", &scenarios, &outputs, &report(1, 1));
+        let spans = sink.spans();
+        assert_eq!(spans[0].start, 0);
+        assert_eq!(spans[2].start, 2);
+        assert_eq!(sink.now(), 4);
+    }
+
+    #[test]
+    fn empty_batch_emits_only_the_wrapper() {
+        let mut sink = SpanSink::new();
+        batch_spans(
+            &mut sink,
+            "empty",
+            &Vec::<Weighted>::new(),
+            &[],
+            &report(0, 4),
+        );
+        assert_eq!(sink.spans().len(), 1);
+        assert_eq!(sink.spans()[0].dur, 0);
+    }
+
+    #[test]
+    fn zero_cost_scenarios_still_get_a_tick() {
+        let scenarios = [Weighted(0), Weighted(0)];
+        let outputs = [0u64, 0u64];
+        let mut sink = SpanSink::new();
+        batch_spans(&mut sink, "zeros", &scenarios, &outputs, &report(2, 1));
+        assert_eq!(sink.spans()[0].dur, 1);
+        assert_eq!(sink.spans()[1].start, 1);
+        assert_eq!(sink.now(), 2);
+    }
+}

@@ -11,6 +11,9 @@ use crate::runner::ExecReport;
 pub const CACHE_HITS: &str = "exec_cache_hits";
 /// Counter: cache lookups that executed the scenario.
 pub const CACHE_MISSES: &str = "exec_cache_misses";
+/// Counter: misses whose result was discarded because a racing worker
+/// inserted the same key first (duplicate in-flight computation).
+pub const CACHE_COALESCED: &str = "exec_cache_coalesced";
 /// Counter: scenarios submitted to the runner.
 pub const SCENARIOS: &str = "exec_scenarios";
 /// Gauge: cache hit rate of the last exported batch, in `[0, 1]`.
@@ -28,6 +31,7 @@ pub const QUEUE_DEPTH: &str = "exec_queue_depth";
 pub fn export_exec_telemetry(registry: &mut MetricsRegistry, report: &ExecReport) {
     registry.add_counter(CACHE_HITS, report.cache.hits);
     registry.add_counter(CACHE_MISSES, report.cache.misses);
+    registry.add_counter(CACHE_COALESCED, report.cache.coalesced);
     registry.add_counter(SCENARIOS, report.scenarios);
     registry.set_gauge(CACHE_HIT_RATE, report.cache.hit_rate());
     registry.set_gauge(THREADS, report.threads as f64);
@@ -55,11 +59,13 @@ mod tests {
             cache: CacheStats {
                 hits: 30,
                 misses: 10,
+                coalesced: 2,
             },
         };
         export_exec_telemetry(&mut registry, &report);
         assert_eq!(registry.counter(CACHE_HITS), Some(30));
         assert_eq!(registry.counter(CACHE_MISSES), Some(10));
+        assert_eq!(registry.counter(CACHE_COALESCED), Some(2));
         assert_eq!(registry.counter(SCENARIOS), Some(40));
         assert_eq!(registry.gauge(CACHE_HIT_RATE), Some(0.75));
         assert_eq!(registry.gauge(QUEUE_DEPTH), Some(10.0));

@@ -1,27 +1,39 @@
 //! Cycle-level event stream: an in-memory recorder and a JSONL exporter.
 //!
-//! The JSONL format (`vecmem-obs/events-v1`) starts with a header line
+//! The JSONL format (`vecmem-obs/events-v2`) starts with a header line
 //! carrying the schema tag and run geometry, followed by one compact JSON
 //! object per event. Field `t` discriminates the event type:
 //!
 //! ```text
-//! {"schema":"vecmem-obs/events-v1","banks":16,"ports":2}
+//! {"schema":"vecmem-obs/events-v2","banks":16,"ports":2}
 //! {"t":"grant","cycle":3,"port":0,"bank":5,"wait":1,"hold":4}
-//! {"t":"delay","cycle":3,"port":1,"bank":5,"kind":"simultaneous"}
+//! {"t":"delay","cycle":3,"port":1,"bank":5,"kind":"simultaneous","loss":"inter","winner":0}
 //! {"t":"bank","cycle":3,"bank":5,"busy":1}
 //! {"t":"cycle","cycle":3,"grants":1,"busy_banks":4}
 //! ```
 //!
+//! v2 extends v1's `delay` records with an optional conflict-ledger
+//! attribution: the refined [`LossKind`] (`loss`) and, when observed, the
+//! winning port (`winner`). Attribution is produced by
+//! [`EventLog::with_attribution`]; without it, `delay` lines are emitted
+//! exactly as in v1. [`Event::from_json_line`] reads both versions — v1
+//! lines simply parse with no attribution.
+//!
 //! Arbitration snapshots (`"t":"arb"`) list the competing `(port, bank)`
 //! pairs and are only recorded when enabled — they dominate log volume.
 
+use crate::attrib::{Attribution, Attributor, LossKind};
 use crate::json::{field_str, field_u64, Json};
 use std::io::{self, Write};
 use std::path::Path;
-use vecmem_banksim::{ConflictKind, PortId, Request, SimObserver};
+use vecmem_banksim::{ConflictKind, PortId, Request, SimConfig, SimObserver};
 
 /// Schema tag written in the JSONL header line.
-pub const EVENTS_SCHEMA: &str = "vecmem-obs/events-v1";
+pub const EVENTS_SCHEMA: &str = "vecmem-obs/events-v2";
+
+/// The previous schema tag; [`Event::from_json_line`] still reads v1
+/// documents (their `delay` lines carry no attribution).
+pub const EVENTS_SCHEMA_V1: &str = "vecmem-obs/events-v1";
 
 /// One recorded simulator event.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,6 +70,9 @@ pub enum Event {
         bank: u64,
         /// Conflict type that caused the delay.
         kind: ConflictKind,
+        /// Conflict-ledger attribution (v2; `None` in v1 documents and in
+        /// logs recorded without [`EventLog::with_attribution`]).
+        attr: Option<DelayAttribution>,
     },
     /// A bank busy/free transition.
     BankBusy {
@@ -77,6 +92,15 @@ pub enum Event {
         /// Banks still busy after this period.
         busy_banks: u64,
     },
+}
+
+/// Conflict-ledger attribution carried by v2 `delay` records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelayAttribution {
+    /// The winning port, when the attributor observed it.
+    pub winner: Option<usize>,
+    /// Refined loss classification.
+    pub loss: LossKind,
 }
 
 /// Stable wire name of a [`ConflictKind`].
@@ -140,13 +164,23 @@ impl Event {
                 port,
                 bank,
                 kind,
-            } => Json::obj([
-                ("t", Json::str("delay")),
-                ("cycle", Json::U64(*cycle)),
-                ("port", Json::U64(*port as u64)),
-                ("bank", Json::U64(*bank)),
-                ("kind", Json::str(kind_name(*kind))),
-            ]),
+                attr,
+            } => {
+                let mut fields = vec![
+                    ("t".to_string(), Json::str("delay")),
+                    ("cycle".to_string(), Json::U64(*cycle)),
+                    ("port".to_string(), Json::U64(*port as u64)),
+                    ("bank".to_string(), Json::U64(*bank)),
+                    ("kind".to_string(), Json::str(kind_name(*kind))),
+                ];
+                if let Some(attr) = attr {
+                    fields.push(("loss".to_string(), Json::str(attr.loss.name())));
+                    if let Some(winner) = attr.winner {
+                        fields.push(("winner".to_string(), Json::U64(winner as u64)));
+                    }
+                }
+                Json::Object(fields)
+            }
             Event::BankBusy { cycle, bank, busy } => Json::obj([
                 ("t", Json::str("bank")),
                 ("cycle", Json::U64(*cycle)),
@@ -186,6 +220,12 @@ impl Event {
                 port: field_u64(line, "port")? as usize,
                 bank: field_u64(line, "bank")?,
                 kind: kind_from_name(field_str(line, "kind")?)?,
+                attr: field_str(line, "loss")
+                    .and_then(LossKind::from_name)
+                    .map(|loss| DelayAttribution {
+                        winner: field_u64(line, "winner").map(|w| w as usize),
+                        loss,
+                    }),
             }),
             "bank" => Some(Event::BankBusy {
                 cycle,
@@ -223,6 +263,9 @@ pub struct EventLog {
     limit: usize,
     events: Vec<Event>,
     dropped: u64,
+    attributor: Option<Attributor>,
+    pending_delays: Vec<(u64, usize, u64, ConflictKind)>,
+    attr_scratch: Vec<Attribution>,
 }
 
 impl EventLog {
@@ -237,6 +280,9 @@ impl EventLog {
             limit: usize::MAX,
             events: Vec::new(),
             dropped: 0,
+            attributor: None,
+            pending_delays: Vec::new(),
+            attr_scratch: Vec::new(),
         }
     }
 
@@ -244,6 +290,17 @@ impl EventLog {
     #[must_use]
     pub fn with_arbitration(mut self) -> Self {
         self.record_arbitration = true;
+        self
+    }
+
+    /// Attributes every `delay` record with the conflict-ledger loss kind
+    /// and winner (the v2 fields). Attribution needs the winner of each
+    /// contested cycle, so attributed `delay` events are buffered and
+    /// emitted at cycle end — *after* that cycle's `grant` events rather
+    /// than interleaved with them (same cycle number, shifted line order).
+    #[must_use]
+    pub fn with_attribution(mut self, config: &SimConfig) -> Self {
+        self.attributor = Some(Attributor::for_config(config));
         self
     }
 
@@ -339,6 +396,9 @@ impl SimObserver for EventLog {
     }
 
     fn on_grant(&mut self, cycle: u64, port: PortId, bank: u64, wait: u64, hold: u64) {
+        if let Some(attributor) = &mut self.attributor {
+            attributor.note_grant(port.0, bank);
+        }
         self.push(Event::Grant {
             cycle,
             port: port.0,
@@ -349,12 +409,20 @@ impl SimObserver for EventLog {
     }
 
     fn on_delay(&mut self, cycle: u64, port: PortId, bank: u64, kind: ConflictKind) {
-        self.push(Event::Delay {
-            cycle,
-            port: port.0,
-            bank,
-            kind,
-        });
+        if let Some(attributor) = &mut self.attributor {
+            // Buffer until cycle end: the winner may be granted later in
+            // this same cycle's event stream.
+            attributor.note_delay(port.0, bank, kind);
+            self.pending_delays.push((cycle, port.0, bank, kind));
+        } else {
+            self.push(Event::Delay {
+                cycle,
+                port: port.0,
+                bank,
+                kind,
+                attr: None,
+            });
+        }
     }
 
     fn on_bank_busy(&mut self, cycle: u64, bank: u64, busy: bool) {
@@ -362,6 +430,30 @@ impl SimObserver for EventLog {
     }
 
     fn on_cycle_end(&mut self, cycle: u64, grants: u32, busy_banks: u32) {
+        if let Some(attributor) = &mut self.attributor {
+            self.attr_scratch.clear();
+            attributor.resolve_cycle(&mut self.attr_scratch);
+            // resolve_cycle yields one attribution per delay, in note
+            // order — zip them back onto the buffered delay records.
+            let resolved: Vec<Event> = self
+                .pending_delays
+                .drain(..)
+                .zip(self.attr_scratch.iter())
+                .map(|((cycle, port, bank, kind), attribution)| Event::Delay {
+                    cycle,
+                    port,
+                    bank,
+                    kind,
+                    attr: Some(DelayAttribution {
+                        winner: attribution.winner,
+                        loss: attribution.kind,
+                    }),
+                })
+                .collect();
+            for event in resolved {
+                self.push(event);
+            }
+        }
         self.push(Event::CycleEnd {
             cycle,
             grants: u64::from(grants),
@@ -389,6 +481,27 @@ mod tests {
                 port: 1,
                 bank: 5,
                 kind: ConflictKind::SimultaneousBank,
+                attr: None,
+            },
+            Event::Delay {
+                cycle: 4,
+                port: 0,
+                bank: 5,
+                kind: ConflictKind::Bank,
+                attr: Some(DelayAttribution {
+                    winner: Some(1),
+                    loss: LossKind::Inter,
+                }),
+            },
+            Event::Delay {
+                cycle: 5,
+                port: 2,
+                bank: 7,
+                kind: ConflictKind::Section,
+                attr: Some(DelayAttribution {
+                    winner: None,
+                    loss: LossKind::Section,
+                }),
             },
             Event::BankBusy {
                 cycle: 3,
@@ -410,6 +523,68 @@ mod tests {
             let line = original.to_json_line();
             assert_eq!(Event::from_json_line(&line), Some(original), "line: {line}");
         }
+    }
+
+    /// Back-compat: `delay` lines from a v1 document (no `loss` field)
+    /// still parse, with no attribution attached, and re-render to valid
+    /// v2 lines that round-trip.
+    #[test]
+    fn v1_delay_lines_still_parse() {
+        let v1_line = r#"{"t":"delay","cycle":3,"port":1,"bank":5,"kind":"simultaneous"}"#;
+        let parsed = Event::from_json_line(v1_line).expect("v1 line parses");
+        assert_eq!(
+            parsed,
+            Event::Delay {
+                cycle: 3,
+                port: 1,
+                bank: 5,
+                kind: ConflictKind::SimultaneousBank,
+                attr: None,
+            }
+        );
+        // A v1 record re-rendered by this version is byte-identical.
+        assert_eq!(parsed.to_json_line(), v1_line);
+        assert_eq!(Event::from_json_line(&parsed.to_json_line()), Some(parsed));
+        // The old schema tag is still exported for tooling that checks it.
+        assert_eq!(EVENTS_SCHEMA_V1, "vecmem-obs/events-v1");
+    }
+
+    #[test]
+    fn attributed_log_emits_v2_delay_fields() {
+        use vecmem_analytic::Geometry;
+        let geom = Geometry::unsectioned(8, 4).unwrap();
+        let config = SimConfig::one_port_per_cpu(geom, 2);
+        let mut log = EventLog::new(8, 2).with_attribution(&config);
+        // Cycle 0: port 0 granted bank 3, port 1 loses the simultaneous
+        // arbitration on the same bank.
+        log.on_delay(0, PortId(1), 3, ConflictKind::SimultaneousBank);
+        log.on_grant(0, PortId(0), 3, 0, 4);
+        log.on_cycle_end(0, 1, 1);
+        let text = log.to_jsonl_string();
+        assert!(text.lines().next().unwrap().contains(EVENTS_SCHEMA));
+        let delay_line = text
+            .lines()
+            .find(|l| l.contains("\"t\":\"delay\""))
+            .expect("delay line present");
+        assert!(delay_line.contains("\"loss\":\"inter\""), "{delay_line}");
+        assert!(delay_line.contains("\"winner\":0"), "{delay_line}");
+        // The buffered delay is emitted after the cycle's grants.
+        let order: Vec<&str> = text
+            .lines()
+            .skip(1)
+            .map(|l| {
+                if l.contains("\"t\":\"grant\"") {
+                    "grant"
+                } else if l.contains("\"t\":\"delay\"") {
+                    "delay"
+                } else {
+                    "other"
+                }
+            })
+            .collect();
+        let grant_at = order.iter().position(|&t| t == "grant").unwrap();
+        let delay_at = order.iter().position(|&t| t == "delay").unwrap();
+        assert!(grant_at < delay_at, "order: {order:?}");
     }
 
     #[test]

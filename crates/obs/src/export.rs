@@ -146,15 +146,37 @@ pub fn metrics_to_csv(snapshot: &MetricsSnapshot) -> String {
         push_u(&mut out, "steady_entered_at_cycle", 0, s.entered_at_cycle);
         let _ = writeln!(out, "steady_beff,0,{:?}", s.beff);
     }
-    // Named counters/gauges keep the three-field shape; their names are
-    // snake_case identifiers by convention (no commas).
+    // Named counters/gauges keep the three-field shape. Their names are
+    // caller-supplied strings, so they are RFC-4180 quoted on the way out
+    // — a comma, quote or newline in a name must not shear the columns.
     for (name, &v) in &snapshot.counters {
-        push_u(&mut out, name, 0, v);
+        let _ = writeln!(out, "{},0,{v}", csv_field(name));
     }
     for (name, &v) in &snapshot.gauges {
-        let _ = writeln!(out, "{name},0,{v:?}");
+        let _ = writeln!(out, "{},0,{v:?}", csv_field(name));
     }
     out
+}
+
+/// RFC-4180 quoting for one CSV field: fields containing a comma, double
+/// quote, CR or LF are wrapped in double quotes with embedded quotes
+/// doubled; everything else passes through unchanged.
+#[must_use]
+pub fn csv_field(value: &str) -> std::borrow::Cow<'_, str> {
+    if value.contains(['"', ',', '\n', '\r']) {
+        let mut quoted = String::with_capacity(value.len() + 2);
+        quoted.push('"');
+        for c in value.chars() {
+            if c == '"' {
+                quoted.push('"');
+            }
+            quoted.push(c);
+        }
+        quoted.push('"');
+        std::borrow::Cow::Owned(quoted)
+    } else {
+        std::borrow::Cow::Borrowed(value)
+    }
 }
 
 /// Writes a snapshot to `path`, choosing the format by extension:
@@ -237,6 +259,28 @@ mod tests {
         for line in text.lines().skip(1) {
             assert_eq!(line.split(',').count(), 3, "bad row: {line}");
         }
+    }
+
+    /// Golden: metric names containing CSV metacharacters are RFC-4180
+    /// quoted, so the column layout survives hostile names.
+    #[test]
+    fn csv_quotes_hostile_metric_names() {
+        let mut m = MetricsRegistry::with_window(2, 1, 2);
+        m.on_cycle_end(0, 0, 0);
+        m.add_counter("hits,total", 3);
+        m.add_counter("say \"when\"", 1);
+        m.set_gauge("multi\nline", 0.5);
+        let csv = metrics_to_csv(&m.snapshot());
+        let expected_tail = "\"hits,total\",0,3\n\"say \"\"when\"\"\",0,1\n\"multi\nline\",0,0.5\n";
+        assert!(csv.ends_with(expected_tail), "csv tail mismatch:\n{csv}");
+    }
+
+    #[test]
+    fn csv_field_passthrough_and_quoting() {
+        assert_eq!(csv_field("plain_name"), "plain_name");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("q\"q"), "\"q\"\"q\"");
+        assert_eq!(csv_field("n\nn"), "\"n\nn\"");
     }
 
     #[test]

@@ -10,6 +10,14 @@
 //!   detection;
 //! * [`events`] — an [`EventLog`] observer recording the cycle-level event
 //!   stream and exporting it as versioned JSONL;
+//! * [`attrib`] / [`ledger`] — conflict attribution: an [`Attributor`]
+//!   reconstructs *who beat whom* from the event stream and a
+//!   [`ConflictLedger`] rolls every stalled port-cycle into a
+//!   loss decomposition that sums exactly to `N − b_eff` per steady
+//!   period;
+//! * [`span`] — a [`SpanSink`] recording hierarchical spans on virtual
+//!   time (cycle ticks), exported as Chrome trace-event JSON or
+//!   `vecmem-obs/spans-v1` JSONL;
 //! * [`export`] — JSON / long-format-CSV snapshot writers
 //!   (`vecmem-obs/metrics-v1`);
 //! * [`profiler`] — a std-only hot-loop bench harness reporting simulated
@@ -46,16 +54,24 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod attrib;
 pub mod events;
 pub mod export;
 pub mod json;
+pub mod ledger;
 pub mod metrics;
 pub mod profiler;
+pub mod span;
 pub mod window;
 
-pub use events::{Event, EventLog, EVENTS_SCHEMA};
-pub use export::{metrics_to_csv, metrics_to_json, write_metrics, METRICS_SCHEMA};
+pub use attrib::{Attribution, Attributor, LossKind};
+pub use events::{DelayAttribution, Event, EventLog, EVENTS_SCHEMA, EVENTS_SCHEMA_V1};
+pub use export::{csv_field, metrics_to_csv, metrics_to_json, write_metrics, METRICS_SCHEMA};
 pub use json::Json;
+pub use ledger::{ConflictLedger, LedgerEntry, LedgerKey, LossDecomposition};
 pub use metrics::{MetricsRegistry, MetricsSnapshot, PortMetrics, DEFAULT_EPSILON, DEFAULT_WINDOW};
-pub use profiler::{BenchResult, Profiler, ProfilerConfig, BENCH_SCHEMA};
+pub use profiler::{
+    BenchHistoryEntry, BenchResult, Profiler, ProfilerConfig, BENCH_HISTORY_SCHEMA, BENCH_SCHEMA,
+};
+pub use span::{Span, SpanSink, SPANS_SCHEMA};
 pub use window::{BeffWindow, SteadyEntry, WindowPoint};

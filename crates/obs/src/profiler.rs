@@ -6,8 +6,17 @@
 //! target duration is reached. Results print as a table and export as
 //! `BENCH_<set>.json` (schema `vecmem-bench/v1`) under
 //! `$VECMEM_BENCH_OUT` or `target/bench-reports/`.
+//!
+//! Besides the one-shot report, the profiler maintains an **append-only
+//! bench history** (`BENCH_history.jsonl`, schema `vecmem-bench/history-v1`):
+//! one line per measurement carrying the git revision, the timing
+//! configuration and the measured throughput. The history is the baseline
+//! store of the perf-regression gate in `check.sh` — see
+//! [`latest_baseline`] and the `bench_gate` binary in `vecmem-bench`.
+//! Quick-mode (smoke) measurements are recorded with `"quick":true` and
+//! never serve as baselines.
 
-use crate::json::Json;
+use crate::json::{field_f64, field_str, field_u64, Json};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
@@ -27,6 +36,143 @@ fn default_report_dir() -> PathBuf {
 
 /// Schema tag written into bench reports.
 pub const BENCH_SCHEMA: &str = "vecmem-bench/v1";
+
+/// Schema tag of `BENCH_history.jsonl` lines.
+pub const BENCH_HISTORY_SCHEMA: &str = "vecmem-bench/history-v1";
+
+/// One appended line of the bench history: a measurement pinned to a git
+/// revision and timing configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchHistoryEntry {
+    /// Benchmark set (the `BENCH_<set>.json` stem).
+    pub set: String,
+    /// Benchmark name within the set.
+    pub bench: String,
+    /// Short git revision the measurement was taken at (`"unknown"` when
+    /// not in a repository).
+    pub git_rev: String,
+    /// True for smoke-mode measurements (never used as baselines).
+    pub quick: bool,
+    /// Warm-up milliseconds of the profiler configuration.
+    pub warmup_ms: u64,
+    /// Measure milliseconds of the profiler configuration.
+    pub measure_ms: u64,
+    /// Timed iterations executed.
+    pub iters: u64,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Throughput in elements (simulated scenarios, cycles, …) per second.
+    pub elements_per_sec: f64,
+    /// Seconds since the Unix epoch at append time.
+    pub unix_time: u64,
+}
+
+impl BenchHistoryEntry {
+    /// Renders the entry as one compact JSONL line (no trailing newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        Json::obj([
+            ("schema", Json::str(BENCH_HISTORY_SCHEMA)),
+            ("set", Json::str(self.set.clone())),
+            ("bench", Json::str(self.bench.clone())),
+            ("git_rev", Json::str(self.git_rev.clone())),
+            ("quick", Json::Bool(self.quick)),
+            ("warmup_ms", Json::U64(self.warmup_ms)),
+            ("measure_ms", Json::U64(self.measure_ms)),
+            ("iters", Json::U64(self.iters)),
+            ("ns_per_iter", Json::F64(self.ns_per_iter)),
+            ("elements_per_sec", Json::F64(self.elements_per_sec)),
+            ("unix_time", Json::U64(self.unix_time)),
+        ])
+        .render()
+    }
+
+    /// Parses a line produced by [`to_json_line`](Self::to_json_line).
+    /// Returns `None` for blank lines and lines of a different schema.
+    #[must_use]
+    pub fn from_json_line(line: &str) -> Option<Self> {
+        if field_str(line, "schema")? != BENCH_HISTORY_SCHEMA {
+            return None;
+        }
+        Some(Self {
+            set: field_str(line, "set")?.to_string(),
+            bench: field_str(line, "bench")?.to_string(),
+            git_rev: field_str(line, "git_rev")?.to_string(),
+            quick: line.contains("\"quick\":true"),
+            warmup_ms: field_u64(line, "warmup_ms").unwrap_or(0),
+            measure_ms: field_u64(line, "measure_ms").unwrap_or(0),
+            iters: field_u64(line, "iters").unwrap_or(0),
+            ns_per_iter: field_f64(line, "ns_per_iter").unwrap_or(0.0),
+            elements_per_sec: field_f64(line, "elements_per_sec")?,
+            unix_time: field_u64(line, "unix_time").unwrap_or(0),
+        })
+    }
+}
+
+/// Short git revision of the working directory's repository, or
+/// `"unknown"` when git or the repository is unavailable.
+#[must_use]
+pub fn detect_git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Appends one entry to the history file at `path`, creating the file and
+/// parent directories as needed.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn append_history_entry(path: impl AsRef<Path>, entry: &BenchHistoryEntry) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    use io::Write as _;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(file, "{}", entry.to_json_line())
+}
+
+/// The most recent non-quick history entry for `(set, bench)`, i.e. the
+/// regression-gate baseline. A missing history file yields `Ok(None)`.
+///
+/// # Errors
+/// Propagates filesystem errors other than the file not existing.
+pub fn latest_baseline(
+    path: impl AsRef<Path>,
+    set: &str,
+    bench: &str,
+) -> io::Result<Option<BenchHistoryEntry>> {
+    let text = match std::fs::read_to_string(path.as_ref()) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    Ok(text
+        .lines()
+        .filter_map(BenchHistoryEntry::from_json_line)
+        .rfind(|e| e.set == set && e.bench == bench && !e.quick))
+}
+
+/// Extracts the `elements_per_sec` of the named bench from a
+/// `vecmem-bench/v1` report document (`BENCH_<set>.json`).
+#[must_use]
+pub fn bench_throughput_from_report(report_json: &str, bench: &str) -> Option<f64> {
+    let tag = format!("\"name\":{}", Json::str(bench).render());
+    let at = report_json.find(&tag)?;
+    field_f64(&report_json[at..], "elements_per_sec")
+}
 
 /// One measured benchmark.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,6 +224,7 @@ impl ProfilerConfig {
 pub struct Profiler {
     set: String,
     config: ProfilerConfig,
+    quick: bool,
     results: Vec<BenchResult>,
 }
 
@@ -94,21 +241,32 @@ impl Profiler {
         Self {
             set: set.into(),
             config,
+            quick: false,
             results: Vec::new(),
         }
     }
 
     /// Default timing, or [`ProfilerConfig::quick`] when the
     /// `VECMEM_BENCH_QUICK` environment variable is set — the smoke mode CI
-    /// uses to check the bench binaries still run.
+    /// uses to check the bench binaries still run. Quick runs are marked as
+    /// such in history entries so they never become regression baselines.
     #[must_use]
     pub fn from_env(set: impl Into<String>) -> Self {
-        let config = if std::env::var_os("VECMEM_BENCH_QUICK").is_some() {
+        let quick = std::env::var_os("VECMEM_BENCH_QUICK").is_some();
+        let config = if quick {
             ProfilerConfig::quick()
         } else {
             ProfilerConfig::default()
         };
-        Self::with_config(set, config)
+        let mut p = Self::with_config(set, config);
+        p.quick = quick;
+        p
+    }
+
+    /// Whether this profiler is in quick (smoke) mode.
+    #[must_use]
+    pub fn is_quick(&self) -> bool {
+        self.quick
     }
 
     /// Measures `f`, which performs one iteration of the workload per call.
@@ -245,15 +403,66 @@ impl Profiler {
         Ok(path)
     }
 
-    /// Prints the table to stdout and writes the JSON report; the standard
-    /// tail call of every bench binary.
+    /// One history entry per measured result that declared elements
+    /// (results without a throughput are not historical baselines).
+    /// `git_rev` and `unix_time` are sampled at call time.
+    #[must_use]
+    pub fn history_entries(&self) -> Vec<BenchHistoryEntry> {
+        let git_rev = detect_git_rev();
+        let unix_time = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs());
+        self.results
+            .iter()
+            .filter_map(|r| {
+                r.elements_per_sec.map(|eps| BenchHistoryEntry {
+                    set: self.set.clone(),
+                    bench: r.name.clone(),
+                    git_rev: git_rev.clone(),
+                    quick: self.quick,
+                    warmup_ms: self.config.warmup.as_millis() as u64,
+                    measure_ms: self.config.measure.as_millis() as u64,
+                    iters: r.iters,
+                    ns_per_iter: r.ns_per_iter,
+                    elements_per_sec: eps,
+                    unix_time,
+                })
+            })
+            .collect()
+    }
+
+    /// Appends every throughput result to the history file at `path`;
+    /// returns the number of lines appended.
     ///
     /// # Errors
-    /// Propagates filesystem errors from the JSON export.
+    /// Propagates filesystem errors.
+    pub fn append_history(&self, path: impl AsRef<Path>) -> io::Result<usize> {
+        let entries = self.history_entries();
+        for entry in &entries {
+            append_history_entry(path.as_ref(), entry)?;
+        }
+        Ok(entries.len())
+    }
+
+    /// Prints the table to stdout and writes the JSON report; the standard
+    /// tail call of every bench binary. When `VECMEM_BENCH_HISTORY` names
+    /// a file, every throughput result is also appended there as a
+    /// `vecmem-bench/history-v1` line.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors from the JSON export or the history
+    /// append.
     pub fn finish(&self) -> io::Result<PathBuf> {
         print!("{}", self.report());
         let path = self.write_json()?;
         println!("report: {}", path.display());
+        if let Some(history) = std::env::var_os("VECMEM_BENCH_HISTORY") {
+            let appended = self.append_history(&history)?;
+            println!(
+                "history: {} (+{appended} entries)",
+                PathBuf::from(&history).display()
+            );
+        }
         Ok(path)
     }
 }
@@ -276,6 +485,87 @@ mod tests {
         assert_eq!(r.elements_per_iter, Some(10));
         assert!(r.elements_per_sec.unwrap() > 0.0);
         assert!(p.report().contains("count"));
+    }
+
+    #[test]
+    fn history_entry_roundtrips() {
+        let entry = BenchHistoryEntry {
+            set: "steady".to_string(),
+            bench: "steady/conformance_batch/serial".to_string(),
+            git_rev: "abc1234".to_string(),
+            quick: false,
+            warmup_ms: 100,
+            measure_ms: 400,
+            iters: 12,
+            ns_per_iter: 52_000.5,
+            elements_per_sec: 12_345.75,
+            unix_time: 1_754_000_000,
+        };
+        let line = entry.to_json_line();
+        assert!(line.contains(BENCH_HISTORY_SCHEMA));
+        assert_eq!(BenchHistoryEntry::from_json_line(&line), Some(entry));
+        assert_eq!(BenchHistoryEntry::from_json_line(""), None);
+        assert_eq!(
+            BenchHistoryEntry::from_json_line(r#"{"schema":"other/v1"}"#),
+            None
+        );
+    }
+
+    #[test]
+    fn latest_baseline_skips_quick_and_other_benches() {
+        let dir = std::env::temp_dir().join("vecmem-obs-test-history");
+        let path = dir.join("BENCH_history.jsonl");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(latest_baseline(&path, "steady", "b").unwrap(), None);
+        let mut entry = BenchHistoryEntry {
+            set: "steady".to_string(),
+            bench: "b".to_string(),
+            git_rev: "r1".to_string(),
+            quick: false,
+            warmup_ms: 1,
+            measure_ms: 5,
+            iters: 1,
+            ns_per_iter: 1.0,
+            elements_per_sec: 100.0,
+            unix_time: 0,
+        };
+        append_history_entry(&path, &entry).unwrap();
+        entry.git_rev = "r2".to_string();
+        entry.elements_per_sec = 150.0;
+        append_history_entry(&path, &entry).unwrap();
+        // Quick entries and other benches never become the baseline.
+        entry.git_rev = "r3".to_string();
+        entry.quick = true;
+        entry.elements_per_sec = 999.0;
+        append_history_entry(&path, &entry).unwrap();
+        entry.quick = false;
+        entry.bench = "other".to_string();
+        append_history_entry(&path, &entry).unwrap();
+        let baseline = latest_baseline(&path, "steady", "b").unwrap().unwrap();
+        assert_eq!(baseline.git_rev, "r2");
+        assert_eq!(baseline.elements_per_sec, 150.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn throughput_extracted_from_report_doc() {
+        let mut p = Profiler::with_config("gate", ProfilerConfig::quick());
+        p.bench_with_elements("fast", 100, || {
+            std::hint::black_box(0u64);
+        });
+        p.bench("no_elements", || {
+            std::hint::black_box(0u64);
+        });
+        let doc = p.to_json();
+        let eps = bench_throughput_from_report(&doc, "fast").unwrap();
+        assert_eq!(eps, p.results()[0].elements_per_sec.unwrap());
+        assert_eq!(bench_throughput_from_report(&doc, "no_elements"), None);
+        assert_eq!(bench_throughput_from_report(&doc, "absent"), None);
+        // Only throughput results become history entries.
+        let entries = p.history_entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].bench, "fast");
+        assert_eq!(entries[0].measure_ms, 5);
     }
 
     #[test]

@@ -29,6 +29,7 @@ use vecmem_analytic::{Geometry, Ratio, StreamSpec};
 use vecmem_banksim::steady::measure_steady_state;
 use vecmem_banksim::{PriorityRule, SimConfig};
 use vecmem_exec::{steady_key, ResultCache, Runner, Scenario, SteadyKey};
+use vecmem_obs::{Json, MetricsRegistry, Span, SpanSink};
 
 /// Bounds of the exhaustive sweep.
 #[derive(Debug, Clone, Copy)]
@@ -404,17 +405,86 @@ fn absorb_chunk(
     }
 }
 
+/// Counter: scenario points enumerated by the conformance sweep.
+pub const SWEEP_ENUMERATED: &str = "oracle_sweep_enumerated";
+/// Counter: distinct scenarios actually simulated (cache misses).
+pub const SWEEP_EXECUTED: &str = "oracle_sweep_executed";
+/// Counter: points answered from the isomorphism cache.
+pub const SWEEP_REPLAYED: &str = "oracle_sweep_replayed";
+/// Counter: Thm 1 return-number checks performed.
+pub const SWEEP_THM1: &str = "oracle_thm1_checked";
+/// Counter: Thm 2 disjointness checks performed.
+pub const SWEEP_THM2: &str = "oracle_thm2_checked";
+/// Counter: Thm 3 conflict-freedom checks performed.
+pub const SWEEP_THM3: &str = "oracle_thm3_checked";
+/// Counter: §III-A single-stream bandwidth checks performed.
+pub const SWEEP_IIIA: &str = "oracle_iiia_checked";
+/// Counter: Thm 3 points skipped (self-conflicting stream).
+pub const SWEEP_THM3_SKIPPED: &str = "oracle_thm3_skipped";
+/// Counter: scenarios whose steady-state search did not converge.
+pub const SWEEP_NOT_CONVERGED: &str = "oracle_not_converged";
+/// Counter: engine/oracle divergences found.
+pub const SWEEP_DIVERGENCES: &str = "oracle_divergences";
+/// Counter: theorem violations found.
+pub const SWEEP_VIOLATIONS: &str = "oracle_violations";
+/// Gauge: isomorphism-cache hit rate of the sweep, in `[0, 1]`.
+pub const SWEEP_HIT_RATE: &str = "oracle_sweep_hit_rate";
+
+/// Folds a finished [`SweepReport`] into a metrics registry: per-theorem
+/// check counts, cache replay counters and the hit-rate gauge, so
+/// `--metrics-out` snapshots of a verification run carry the sweep's
+/// coverage evidence.
+pub fn export_sweep_metrics(registry: &mut MetricsRegistry, report: &SweepReport) {
+    registry.add_counter(SWEEP_ENUMERATED, report.enumerated);
+    registry.add_counter(SWEEP_EXECUTED, report.executed);
+    registry.add_counter(SWEEP_REPLAYED, report.replayed);
+    registry.add_counter(SWEEP_THM1, report.thm1_checked);
+    registry.add_counter(SWEEP_THM2, report.thm2_checked);
+    registry.add_counter(SWEEP_THM3, report.thm3_checked);
+    registry.add_counter(SWEEP_IIIA, report.iiia_checked);
+    registry.add_counter(SWEEP_THM3_SKIPPED, report.thm3_skipped);
+    registry.add_counter(SWEEP_NOT_CONVERGED, report.not_converged);
+    registry.add_counter(SWEEP_DIVERGENCES, report.divergence_count);
+    registry.add_counter(SWEEP_VIOLATIONS, report.violation_count);
+    registry.set_gauge(SWEEP_HIT_RATE, report.hit_rate());
+}
+
 /// Runs the exhaustive conformance sweep.
 ///
 /// All scenario points go through `runner` and share one isomorphism-keyed
-/// [`ResultCache`], so each equivalence class simulates once.
+/// [`ResultCache`], so each equivalence class simulates once. Equivalent
+/// to [`sweep_observed`] with no observers attached.
 #[must_use]
 pub fn sweep(bounds: &SweepBounds, runner: &Runner) -> SweepReport {
+    sweep_observed(bounds, runner, None, None)
+}
+
+/// [`sweep`] with optional observability: when `metrics` is given the
+/// finished report is folded in via [`export_sweep_metrics`]; when `sink`
+/// is given the sweep lays itself out as spans on virtual time — one tick
+/// per enumerated point, a `conform-sweep` root, one span per geometry
+/// and one leaf per executed chunk annotated with its cache hit/miss
+/// split. The layout is deterministic (no wall clock), so traces diff
+/// cleanly across runs.
+#[must_use]
+pub fn sweep_observed(
+    bounds: &SweepBounds,
+    runner: &Runner,
+    metrics: Option<&mut MetricsRegistry>,
+    mut sink: Option<&mut SpanSink>,
+) -> SweepReport {
     let mut report = SweepReport::default();
     let cache: ResultCache<SteadyKey, ConformOutcome> = ResultCache::new();
     let budget = bounds.steady_budget;
 
+    if let Some(s) = sink.as_deref_mut() {
+        s.switch_track(0, "oracle-sweep");
+        s.begin("conform-sweep");
+    }
     for m in 1..=bounds.max_banks {
+        if let Some(s) = sink.as_deref_mut() {
+            s.begin(&format!("m={m}"));
+        }
         check_analytic_theorems(m, &mut report);
         for nc in 1..=bounds.max_nc {
             let geom = Geometry::unsectioned(m, nc).expect("valid geometry");
@@ -427,6 +497,27 @@ pub fn sweep(bounds: &SweepBounds, runner: &Runner) -> SweepReport {
                     report.enumerated += scenarios.len() as u64;
                     report.executed += exec.cache.misses;
                     report.replayed += exec.cache.hits;
+                    if let Some(s) = sink.as_deref_mut() {
+                        let start = s.now();
+                        let dur = scenarios.len() as u64;
+                        let ports = scenarios[0].streams.len() as u64;
+                        s.push(Span {
+                            name: format!(
+                                "m={m} nc={nc} p={ports} {} {}",
+                                topo.label(),
+                                prio_label(prio)
+                            ),
+                            track: 0,
+                            start,
+                            dur,
+                            args: vec![
+                                ("points".to_string(), Json::U64(scenarios.len() as u64)),
+                                ("cache_hits".to_string(), Json::U64(exec.cache.hits)),
+                                ("cache_misses".to_string(), Json::U64(exec.cache.misses)),
+                            ],
+                        });
+                        s.advance_to(start + dur);
+                    }
                     absorb_chunk(&mut report, &geom, topo, prio, &scenarios, &outcomes);
                 };
 
@@ -513,6 +604,19 @@ pub fn sweep(bounds: &SweepBounds, runner: &Runner) -> SweepReport {
                 }
             }
         }
+        if let Some(s) = sink.as_deref_mut() {
+            s.end();
+        }
+    }
+    if let Some(s) = sink {
+        s.annotate("enumerated", Json::U64(report.enumerated));
+        s.annotate("executed", Json::U64(report.executed));
+        s.annotate("replayed", Json::U64(report.replayed));
+        s.annotate("hit_rate", Json::F64(report.hit_rate()));
+        s.end();
+    }
+    if let Some(registry) = metrics {
+        export_sweep_metrics(registry, &report);
     }
     report
 }
@@ -555,6 +659,46 @@ mod tests {
         assert!(report.thm2_checked > 0);
         assert!(report.thm3_checked > 0);
         assert!(report.iiia_checked > 0);
+    }
+
+    #[test]
+    fn observed_sweep_fills_metrics_and_spans_without_changing_results() {
+        let bounds = SweepBounds {
+            max_banks: 4,
+            max_nc: 2,
+            max_ports: 2,
+            steady_budget: 100_000,
+        };
+        // One worker: cache miss counts are racy across threads (two
+        // workers may both miss a fresh key), and this test pins exact
+        // counter equality between the plain and observed runs.
+        let runner = Runner::with_threads(1);
+        let plain = sweep(&bounds, &runner);
+        let mut registry = MetricsRegistry::new(1, 1);
+        let mut sink = SpanSink::new();
+        let observed = sweep_observed(&bounds, &runner, Some(&mut registry), Some(&mut sink));
+        // Observation is read-only: every aggregate matches the plain run.
+        assert_eq!(observed.enumerated, plain.enumerated);
+        assert_eq!(observed.executed, plain.executed);
+        assert_eq!(observed.thm3_checked, plain.thm3_checked);
+        assert!(observed.clean());
+        // The registry carries the per-theorem counts and the hit rate.
+        assert_eq!(registry.counter(SWEEP_ENUMERATED), Some(plain.enumerated));
+        assert_eq!(registry.counter(SWEEP_THM1), Some(plain.thm1_checked));
+        assert_eq!(registry.counter(SWEEP_IIIA), Some(plain.iiia_checked));
+        assert_eq!(registry.counter(SWEEP_DIVERGENCES), Some(0));
+        let rate = registry.gauge(SWEEP_HIT_RATE).unwrap();
+        assert!((rate - plain.hit_rate()).abs() < 1e-12);
+        // The trace ends at one tick per enumerated point, all spans
+        // closed, with the root span carrying the totals.
+        assert_eq!(sink.now(), plain.enumerated);
+        assert_eq!(sink.open_depth(), 0);
+        let root = sink.spans().last().unwrap();
+        assert_eq!(root.name, "conform-sweep");
+        assert_eq!(root.dur, plain.enumerated);
+        assert!(root
+            .args
+            .contains(&("executed".to_string(), Json::U64(plain.executed))));
     }
 
     #[test]

@@ -31,7 +31,9 @@ pub mod explore;
 pub use engine::InjectedBug;
 pub use engine::{RefConfig, RefEngine, RefOutcome, RefPriority, RefStep};
 
-pub use conform::{sweep, SweepBounds, SweepReport, Violation};
+pub use conform::{
+    export_sweep_metrics, sweep, sweep_observed, SweepBounds, SweepReport, Violation,
+};
 pub use diff::{
     mirror_config, run_beff, run_pair, run_pair_against, BeffDiff, DiffOutcome, Divergence,
 };

@@ -30,6 +30,15 @@ VECMEM_BENCH_QUICK=1 cargo bench -q -p vecmem-bench --bench steady_throughput > 
   || { echo "steady_throughput bench smoke failed"; exit 1; }
 echo "    steady_throughput quick run OK"
 
+echo "==> bench gate: throughput ratchet vs BENCH_history.jsonl"
+# Full (non-quick) measurement overwrites the quick smoke's report, then the
+# gate compares it against the last recorded non-quick baseline.  A pass
+# appends the new measurement (ratcheting the baseline forward); a >10%
+# regression exits non-zero without touching the history.
+cargo bench -q -p vecmem-bench --bench steady_throughput > /dev/null
+cargo run -q --release -p vecmem-bench --features obs --bin bench_gate \
+  || { echo "bench gate: throughput regressed vs BENCH_history.jsonl"; exit 1; }
+
 echo "==> smoke: figure/table binaries (small geometries, golden diffs)"
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
@@ -47,6 +56,13 @@ grep -q " 0 mismatches" "$smoke_dir/theorems.txt" \
 grep -q "cache hit rate" "$smoke_dir/theorems.log" \
   || { echo "table_theorems did not log its cache hit rate"; exit 1; }
 echo "    fig10 + table_theorems smoke OK"
+
+echo "==> report smoke: conflict attribution on the pinned m=16 pair"
+./target/release/vecmem report steady --banks 16 --nc 4 --d1 4 --d2 4 \
+  > "$smoke_dir/report_steady.txt"
+diff -u "results/report_steady_m16.txt" "$smoke_dir/report_steady.txt" \
+  || { echo "vecmem report steady drifted from results/report_steady_m16.txt"; exit 1; }
+echo "    vecmem report steady matches the golden attribution report"
 
 echo "==> verify: differential oracle + theorem conformance (see TESTING.md)"
 ./target/release/vecmem verify --exhaustive > "$smoke_dir/verify.txt" \

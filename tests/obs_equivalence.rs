@@ -9,8 +9,8 @@
 //!    drawn geometries and stream pairs.
 
 use vecmem::analytic::{Geometry, StreamSpec};
-use vecmem::banksim::{Engine, PriorityRule, SimConfig, StreamWorkload, Tee};
-use vecmem_obs::{EventLog, MetricsRegistry};
+use vecmem::banksim::{measure_steady_state, Engine, PriorityRule, SimConfig, StreamWorkload, Tee};
+use vecmem_obs::{ConflictLedger, EventLog, MetricsRegistry, SpanSink};
 use vecmem_prop::prelude::*;
 
 fn scenarios() -> Vec<(SimConfig, [StreamSpec; 2])> {
@@ -63,11 +63,19 @@ fn recording_observer_never_changes_results() {
         let mut observed_workload = StreamWorkload::infinite(&geom, &specs);
         let mut metrics = MetricsRegistry::new(geom.banks(), ports);
         let mut events = EventLog::new(geom.banks(), ports as u64);
+        let mut ledger = ConflictLedger::new(&config);
+        let mut sink = SpanSink::new();
+        sink.begin("observed-run");
 
         for cycle in 0..CYCLES {
             let plain = plain_engine.step(&mut plain_workload);
-            let observed = observed_engine
-                .step_with(&mut observed_workload, &mut Tee(&mut metrics, &mut events));
+            let observed = observed_engine.step_with(
+                &mut observed_workload,
+                &mut Tee(
+                    &mut metrics,
+                    &mut Tee(&mut events, &mut Tee(&mut ledger, &mut sink)),
+                ),
+            );
             assert_eq!(
                 plain, observed,
                 "cycle {cycle} diverged under observation ({config:?}, {specs:?})"
@@ -83,6 +91,16 @@ fn recording_observer_never_changes_results() {
             observed_workload.state_signature(),
             "workload state diverged ({config:?}, {specs:?})"
         );
+        // The riders saw the whole run: the ledger accounted every cycle and
+        // every grant, and the span sink actually recorded something.
+        sink.end_all();
+        assert_eq!(ledger.cycles(), CYCLES, "ledger missed cycles");
+        assert_eq!(
+            ledger.grants(),
+            plain_engine.stats().total_grants(),
+            "ledger grant count diverged from SimStats ({config:?})"
+        );
+        assert!(!sink.spans().is_empty(), "span sink recorded nothing");
     }
 }
 
@@ -172,5 +190,62 @@ proptest! {
                 engine.stats().ports()[port].conflicts
             );
         }
+    }
+
+    /// Property: the conflict ledger's per-period loss decomposition sums
+    /// exactly to `period × (N − b_eff)` — equivalently `N·period −
+    /// grants_per_period` — over random geometries, stream pairs, port
+    /// topologies and priority rules. Every lost port-cycle is attributed
+    /// to exactly one (bank, streams, kind) bucket, none double-counted.
+    #[test]
+    fn ledger_decomposition_sums_to_lost_bandwidth(
+        m in 2u64..=20,
+        nc in 1u64..=5,
+        d1 in 0u64..20,
+        d2 in 0u64..20,
+        b2 in 0u64..20,
+        same_cpu in 0u64..=1,
+        cyclic in 0u64..=1,
+    ) {
+        let geom = Geometry::unsectioned(m, nc).unwrap();
+        let priority = if cyclic == 1 { PriorityRule::Cyclic } else { PriorityRule::Fixed };
+        let config = if same_cpu == 1 {
+            SimConfig::single_cpu(geom, 2)
+        } else {
+            SimConfig::one_port_per_cpu(geom, 2)
+        }
+        .with_priority(priority);
+        let specs = [
+            StreamSpec { start_bank: 0, distance: d1 % m },
+            StreamSpec { start_bank: b2 % m, distance: d2 % m },
+        ];
+        let Ok(ss) = measure_steady_state(&config, &specs, 200_000) else {
+            return Ok(()); // search budget exhausted: nothing to check
+        };
+
+        // Replay the same run with the ledger riding along; the transient
+        // warms its attribution state, then exactly one period is counted.
+        let mut engine = Engine::new(config.clone());
+        let mut workload = StreamWorkload::infinite(&geom, &specs);
+        let mut ledger = ConflictLedger::new(&config);
+        for _ in 0..ss.transient {
+            engine.step_with(&mut workload, &mut ledger);
+        }
+        ledger.clear_counts();
+        for _ in 0..ss.period {
+            engine.step_with(&mut workload, &mut ledger);
+        }
+
+        let ports = config.num_ports() as u64;
+        let lost = ports * ss.period - ss.grants_per_period;
+        prop_assert_eq!(
+            ledger.total_stalls(),
+            lost,
+            "stalls must equal period x (N - b_eff) ({:?}, {:?})",
+            config,
+            specs
+        );
+        prop_assert_eq!(ledger.decomposition().total(), lost);
+        prop_assert_eq!(ledger.grants(), ss.grants_per_period);
     }
 }
