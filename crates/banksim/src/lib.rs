@@ -45,7 +45,9 @@
 // hooks, statistics vocabulary and cyclic-state detection — lives in
 // `vecmem-simcore`; its modules are re-exported here so the historical
 // `vecmem_banksim::arbiter::…` (etc.) paths keep working.
-pub use vecmem_simcore::{arbiter, config, observe, request, state, stats, step, workload};
+pub use vecmem_simcore::{
+    arbiter, config, observe, pattern, request, state, stats, step, workload,
+};
 
 pub mod engine;
 pub mod random;
@@ -55,9 +57,13 @@ pub mod streams;
 pub mod trace;
 pub mod transient;
 
-pub use config::{PriorityRule, SimConfig};
+pub use config::{BankModel, PriorityRule, SimConfig};
 pub use engine::{Engine, RunOutcome};
 pub use observe::{NoopObserver, SimObserver, Tee};
+pub use pattern::{
+    AccessPattern, AnyPattern, BurstPattern, GatherPattern, IndexPattern, PatternLength,
+    PatternPort, PatternSpec, PatternWorkload, StridePattern,
+};
 pub use random::{
     hellerman_asymptotic, hellerman_bandwidth, measure_random_bandwidth, RandomWorkload,
 };
@@ -65,11 +71,12 @@ pub use request::{ConflictKind, CpuId, PortId, PortOutcome, Request};
 pub use rng::SmallRng;
 pub use stats::{ConflictCounts, PortStats, SimStats, WAIT_BUCKETS};
 pub use steady::{
-    measure_steady_state, measure_steady_state_workload, ObservableWorkload, SteadyState,
-    SteadyStateError,
+    measure_steady_state, measure_steady_state_patterns, measure_steady_state_workload,
+    ObservableWorkload, SteadyState, SteadyStateError,
 };
 pub use streams::{StreamLength, StreamWorkload, StridedStream};
 pub use trace::TraceRecorder;
 pub use transient::{finite_vector_bandwidth, transient_profile, TransientProfile};
+pub use vecmem_simcore::WINDOWED_FALLBACK_CYCLES;
 pub use vecmem_simcore::{CycleEvents, PortEvent, SimState};
 pub use workload::Workload;

@@ -40,7 +40,7 @@ impl RandomWorkload {
 
 impl Workload for RandomWorkload {
     fn pending(&self, port: PortId, _now: u64) -> Option<Request> {
-        self.current.get(port.0).map(|&bank| Request { bank })
+        self.current.get(port.0).map(|&bank| Request::to_bank(bank))
     }
 
     fn granted(&mut self, port: PortId, _now: u64) {

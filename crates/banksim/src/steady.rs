@@ -6,11 +6,15 @@
 //! [`vecmem_simcore::steady`] and is re-exported here together with its
 //! result and error types. This module adds the stream-level entry points
 //! the paper's figures are phrased in: one [`StreamSpec`] per port, start
-//! bank sweeps, and start-time offsets.
+//! bank sweeps, and start-time offsets — plus the generalized
+//! [`measure_steady_state_patterns`] entry taking one
+//! [`PatternSpec`](vecmem_simcore::pattern::PatternSpec) per port (gather,
+//! burst, DRAM bank models).
 
 use crate::config::SimConfig;
 use crate::streams::{StreamWorkload, StridedStream};
 use vecmem_analytic::{Geometry, StreamSpec};
+use vecmem_simcore::pattern::{PatternSpec, PatternWorkload};
 
 pub use vecmem_simcore::steady::{
     measure_steady_state_workload, ObservableWorkload, SteadyState, SteadyStateError,
@@ -22,6 +26,11 @@ pub use vecmem_simcore::steady::{
 /// `specs[i]` is the stream of port `i`; every port of the configuration
 /// must have a stream. `max_cycles` bounds the search (the cycle is
 /// normally found within a few `lcm`-scale periods).
+///
+/// Since the workload-layer generalisation the streams run as
+/// [`StridePattern`](vecmem_simcore::pattern::StridePattern)s through the
+/// generic [`PatternWorkload`] adapter — bitwise-identical packed state,
+/// hash and stats to the historical stride-specialised workload.
 ///
 /// # Errors
 /// Returns a [`SteadyStateError`] when the simulator state does not recur
@@ -36,7 +45,35 @@ pub fn measure_steady_state(
         config.num_ports(),
         "one stream per configured port required"
     );
-    let mut workload = StreamWorkload::infinite(&config.geometry, specs);
+    let mut workload = PatternWorkload::strided(&config.geometry, specs);
+    measure_steady_state_workload(config, &mut workload, 0, max_cycles)
+}
+
+/// Generalized steady-state entry: one [`PatternSpec`] per port — stride,
+/// indexed gather/scatter or strided burst — instantiated against
+/// `config`'s geometry *and bank model* (under
+/// [`BankModel::Dram`](crate::BankModel) the patterns derive per-request
+/// rows and the packed state tracks open rows).
+///
+/// Periodic pattern sets converge to an exact cyclic state
+/// ([`SteadyState::exact`] = `true`); a workload containing an aperiodic
+/// pattern (pseudo-random gather) is measured with the budgeted windowed
+/// estimate instead (`exact` = `false`).
+///
+/// # Errors
+/// Returns a [`SteadyStateError`] when the simulator state neither recurs
+/// nor can be estimated within `max_cycles`.
+pub fn measure_steady_state_patterns(
+    config: &SimConfig,
+    specs: &[PatternSpec],
+    max_cycles: u64,
+) -> Result<SteadyState, SteadyStateError> {
+    assert_eq!(
+        specs.len(),
+        config.num_ports(),
+        "one pattern per configured port required"
+    );
+    let mut workload = PatternWorkload::from_specs(config, specs);
     measure_steady_state_workload(config, &mut workload, 0, max_cycles)
 }
 
@@ -215,6 +252,7 @@ mod tests {
                     grants_per_period,
                     per_port,
                     conflicts_per_period: snapshot.conflicts - first.conflicts,
+                    exact: true,
                 });
             }
             if engine.now() >= max_cycles + warmup {

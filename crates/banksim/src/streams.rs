@@ -134,7 +134,7 @@ impl Workload for StreamWorkload {
         if now < s.start_cycle {
             return None;
         }
-        s.current_bank().map(|bank| Request { bank })
+        s.current_bank().map(Request::to_bank)
     }
 
     fn granted(&mut self, port: PortId, _now: u64) {
@@ -182,11 +182,11 @@ mod tests {
     fn infinite_stream_sequence() {
         let g = geom();
         let mut w = StreamWorkload::infinite(&g, &[spec(2, 7)]);
-        assert_eq!(w.pending(PortId(0), 0), Some(Request { bank: 2 }));
+        assert_eq!(w.pending(PortId(0), 0), Some(Request::to_bank(2)));
         w.granted(PortId(0), 0);
-        assert_eq!(w.pending(PortId(0), 1), Some(Request { bank: 9 }));
+        assert_eq!(w.pending(PortId(0), 1), Some(Request::to_bank(9)));
         // Delayed port keeps the same request.
-        assert_eq!(w.pending(PortId(0), 2), Some(Request { bank: 9 }));
+        assert_eq!(w.pending(PortId(0), 2), Some(Request::to_bank(9)));
         assert!(!w.is_finished());
     }
 
@@ -209,7 +209,7 @@ mod tests {
         let w = StreamWorkload::new(vec![s]);
         assert_eq!(w.pending(PortId(0), 0), None);
         assert_eq!(w.pending(PortId(0), 2), None);
-        assert_eq!(w.pending(PortId(0), 3), Some(Request { bank: 0 }));
+        assert_eq!(w.pending(PortId(0), 3), Some(Request::to_bank(0)));
     }
 
     #[test]

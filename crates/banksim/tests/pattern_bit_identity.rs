@@ -1,0 +1,86 @@
+//! Bit-identity of the generalized pattern path (PR satellite).
+//!
+//! The workload-layer refactor re-expresses constant-stride streams as
+//! [`PatternWorkload`]`<StridePattern>`. That re-expression must be
+//! invisible: over random geometries and stream pairs, driving the engine
+//! through the pattern path must reproduce the legacy [`StreamWorkload`]
+//! path **bit for bit** — the packed `SimState` (and its hash) after every
+//! cycle, the accumulated `SimStats`, and the exact steady-state
+//! measurement. The figure goldens (fig02–09) pin the same property at the
+//! artefact level in `scripts/check.sh`.
+
+use vecmem_analytic::{Geometry, StreamSpec};
+use vecmem_banksim::pattern::PatternWorkload;
+use vecmem_banksim::steady::measure_steady_state_workload;
+use vecmem_banksim::{Engine, SimConfig, StreamWorkload};
+use vecmem_prop::prelude::*;
+
+const MAX_CYCLES: u64 = 200_000;
+const LOCKSTEP_CYCLES: u64 = 400;
+
+fn lockstep_case(config: &SimConfig, specs: &[StreamSpec]) -> Result<(), TestCaseError> {
+    let geom = &config.geometry;
+    let mut legacy_engine = Engine::new(config.clone());
+    let mut legacy = StreamWorkload::infinite(geom, specs);
+    let mut pattern_engine = Engine::new(config.clone());
+    let mut pattern = PatternWorkload::strided(geom, specs);
+    for cycle in 0..LOCKSTEP_CYCLES {
+        legacy_engine.step(&mut legacy);
+        pattern_engine.step(&mut pattern);
+        prop_assert_eq!(
+            legacy_engine.state().hash(),
+            pattern_engine.state().hash(),
+            "state hash diverged at cycle {}",
+            cycle
+        );
+    }
+    prop_assert_eq!(legacy_engine.state(), pattern_engine.state());
+    prop_assert_eq!(legacy_engine.stats(), pattern_engine.stats());
+
+    let mut legacy = StreamWorkload::infinite(geom, specs);
+    let legacy_ss = measure_steady_state_workload(config, &mut legacy, 0, MAX_CYCLES);
+    let mut pattern = PatternWorkload::strided(geom, specs);
+    let pattern_ss = measure_steady_state_workload(config, &mut pattern, 0, MAX_CYCLES);
+    prop_assert_eq!(legacy_ss, pattern_ss);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Unsectioned random geometries, cross-CPU port topology.
+    #[test]
+    fn stride_pattern_path_is_bit_identical(
+        m in 2u64..=20,
+        nc in 1u64..=6,
+        d1 in 0u64..=40,
+        d2 in 0u64..=40,
+        b1 in 0u64..=40,
+        b2 in 0u64..=40,
+    ) {
+        let geom = Geometry::unsectioned(m, nc).unwrap();
+        let specs = [
+            StreamSpec { start_bank: b1 % m, distance: d1 % m },
+            StreamSpec { start_bank: b2 % m, distance: d2 % m },
+        ];
+        lockstep_case(&SimConfig::one_port_per_cpu(geom, 2), &specs)?;
+    }
+
+    /// Sectioned geometries with both ports on one CPU: section conflicts
+    /// and the access-path arbiter must not tell the two paths apart.
+    #[test]
+    fn stride_pattern_path_is_bit_identical_sectioned(
+        s_idx in 0usize..=2,
+        d1 in 0u64..=40,
+        d2 in 0u64..=40,
+        b2 in 0u64..=40,
+    ) {
+        let (m, s, nc) = [(12, 2, 2), (12, 3, 3), (16, 4, 4)][s_idx];
+        let geom = Geometry::new(m, s, nc).unwrap();
+        let specs = [
+            StreamSpec { start_bank: 0, distance: d1 % m },
+            StreamSpec { start_bank: b2 % m, distance: d2 % m },
+        ];
+        lockstep_case(&SimConfig::single_cpu(geom, 2), &specs)?;
+    }
+}

@@ -11,8 +11,9 @@
 
 use std::hint::black_box;
 use vecmem_analytic::{Geometry, StreamSpec};
+use vecmem_banksim::pattern::{IndexPattern, PatternSpec};
 use vecmem_banksim::SimConfig;
-use vecmem_exec::{Runner, SteadyScenario};
+use vecmem_exec::{PatternSteadyScenario, Runner, SteadyScenario};
 use vecmem_obs::Profiler;
 
 /// Cycle budget per steady-state search (the conformance sweep's default).
@@ -55,6 +56,35 @@ fn batch() -> Vec<SteadyScenario> {
     scenarios
 }
 
+/// The gather batch: affine index walks (exact cyclic states) over every
+/// multiplier on the same three bank counts, cross-CPU. This is the hot
+/// path of the generalized pattern layer — the trajectory number that
+/// keeps indexed workloads from silently regressing. The span bounds the
+/// index period (cycle detection walks one full period), so it is kept
+/// small enough for a sub-second batch while still exceeding every
+/// `m · n_c` state period in the batch.
+fn gather_batch() -> Vec<PatternSteadyScenario> {
+    let mut scenarios = Vec::new();
+    for (m, nc) in [(8u64, 2u64), (13, 4), (16, 4)] {
+        let geom = Geometry::unsectioned(m, nc).unwrap();
+        for a1 in 0..m {
+            for a2 in 0..m {
+                let gather = |a, c| PatternSpec::Gather {
+                    base: 0,
+                    span: 1 << 10,
+                    index: IndexPattern::Affine { a, c },
+                };
+                scenarios.push(PatternSteadyScenario {
+                    config: SimConfig::one_port_per_cpu(geom, 2),
+                    patterns: vec![gather(a1, 0), gather(a2, 1)],
+                    max_cycles: BUDGET,
+                });
+            }
+        }
+    }
+    scenarios
+}
+
 fn main() {
     let mut p = Profiler::from_env("steady");
     let scenarios = batch();
@@ -77,6 +107,14 @@ fn main() {
             black_box(results.len());
         },
     );
+
+    // Serial gather run: the pattern layer's per-simulation cost.
+    let gathers = gather_batch();
+    let gather_sims = gathers.len() as u64;
+    p.bench_with_elements("steady/gather_batch/serial", gather_sims, || {
+        let results = runner.run(black_box(&gathers));
+        black_box(results.len());
+    });
 
     p.finish().expect("bench report written");
 }

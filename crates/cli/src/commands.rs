@@ -5,19 +5,23 @@ use vecmem_analytic::pair::classify_pair;
 use vecmem_analytic::planner::{assess_stride, pad_dimension, pair_is_safe};
 use vecmem_analytic::sections::analyze_sectioned_pair;
 use vecmem_analytic::{Geometry, SectionMapping, StreamSpec};
-use vecmem_banksim::steady::measure_steady_state;
+use vecmem_banksim::pattern::{PatternSpec, PatternWorkload};
+use vecmem_banksim::steady::{
+    measure_steady_state, measure_steady_state_patterns, measure_steady_state_workload,
+};
 use vecmem_banksim::{
-    hellerman_asymptotic, hellerman_bandwidth, measure_random_bandwidth, Engine, PriorityRule,
-    SimConfig, StreamWorkload, Tee,
+    hellerman_asymptotic, hellerman_bandwidth, measure_random_bandwidth, BankModel, Engine,
+    PriorityRule, SimConfig, StreamWorkload, Tee, WINDOWED_FALLBACK_CYCLES,
 };
 use vecmem_exec::{
-    batch_spans, export_exec_telemetry, triad_sweep, ResultCache, Runner, Scenario,
-    SpectrumScenario, SteadyScenario, TraceScenario,
+    batch_spans, export_exec_telemetry, triad_sweep, PatternSteadyScenario, ResultCache, Runner,
+    Scenario, SpectrumScenario, TraceScenario,
 };
 use vecmem_obs::{
     write_metrics, ConflictLedger, EventLog, Json, LossKind, MetricsRegistry, SpanSink,
 };
 use vecmem_oracle::{explore, sweep_observed, DiffOutcome, ExploreConfig, SweepBounds};
+use vecmem_skew::eval::MappedGatherWorkload;
 use vecmem_skew::{BankMapping, Interleaved, LinearSkew, PrimeInterleaved, XorFold};
 use vecmem_vproc::gather::{run_gather, IndexPattern};
 use vecmem_vproc::loops::{LoopSpec, Walk};
@@ -149,6 +153,109 @@ fn pair_streams(opts: &Options, geom: &Geometry) -> Result<[StreamSpec; 2], Stri
     ])
 }
 
+/// Bank-model options: `--bank-model {uniform|dram}` with `--dram-hit N`
+/// (open-row hit hold, default 1) and `--dram-rows N` (rows tracked per
+/// bank, default 16).
+fn bank_model(opts: &Options, geom: &Geometry) -> Result<BankModel, String> {
+    match opts.string("bank-model").unwrap_or("uniform") {
+        "uniform" => Ok(BankModel::Uniform),
+        "dram" => {
+            let hit_cycle = opts.u64_or("dram-hit", 1).map_err(err)?;
+            let rows = opts.u64_or("dram-rows", 16).map_err(err)?;
+            if hit_cycle == 0 || hit_cycle > geom.bank_cycle() {
+                return Err(format!(
+                    "--dram-hit must be in 1..={} (the geometry's n_c)",
+                    geom.bank_cycle()
+                ));
+            }
+            if rows == 0 {
+                return Err("--dram-rows must be at least 1".to_string());
+            }
+            Ok(BankModel::Dram { hit_cycle, rows })
+        }
+        other => Err(format!("unknown bank model '{other}' (have uniform, dram)")),
+    }
+}
+
+/// Per-grant burst length implied by the pattern options (1 unless
+/// `--pattern burst`).
+fn pattern_burst(opts: &Options) -> Result<u64, String> {
+    if opts.string("pattern") == Some("burst") {
+        let burst = opts.u64_or("burst", 4).map_err(err)?;
+        if burst == 0 {
+            return Err("--burst must be at least 1".to_string());
+        }
+        Ok(burst)
+    } else {
+        Ok(1)
+    }
+}
+
+/// Pattern options for the two-port simulating commands: `--pattern
+/// {stride|gather|burst}` (default stride) applied to both ports.
+///
+/// * `stride` uses the `--d1/--d2/--b1/--b2` streams unchanged;
+/// * `gather` gathers over `--span` words with pseudo-random indices
+///   seeded `--seed` and `--seed + 1` (or affine `--affine A` indices on
+///   both ports);
+/// * `burst` drives the `--d1/--d2` strides with `--burst` words per
+///   grant.
+fn pattern_specs(opts: &Options, geom: &Geometry) -> Result<Vec<PatternSpec>, String> {
+    let [s1, s2] = pair_streams(opts, geom)?;
+    match opts.string("pattern").unwrap_or("stride") {
+        "stride" => Ok([s1, s2]
+            .iter()
+            .map(|s| PatternSpec::Stride {
+                start_bank: s.start_bank,
+                distance: s.distance,
+            })
+            .collect()),
+        "gather" => {
+            let span = opts.u64_or("span", 1 << 20).map_err(err)?;
+            if span == 0 {
+                return Err("--span must be at least 1".to_string());
+            }
+            let index = |port: u64| -> Result<IndexPattern, String> {
+                if let Some(a) = opts.string("affine") {
+                    let a: u64 = a
+                        .parse()
+                        .map_err(|_| "--affine takes an integer multiplier".to_string())?;
+                    Ok(IndexPattern::Affine { a, c: port })
+                } else {
+                    let seed = opts.u64_or("seed", 1).map_err(err)?;
+                    Ok(IndexPattern::PseudoRandom { seed: seed + port })
+                }
+            };
+            Ok(vec![
+                PatternSpec::Gather {
+                    base: 0,
+                    span,
+                    index: index(0)?,
+                },
+                PatternSpec::Gather {
+                    base: 0,
+                    span,
+                    index: index(1)?,
+                },
+            ])
+        }
+        "burst" => {
+            let burst = pattern_burst(opts)?;
+            Ok([s1, s2]
+                .iter()
+                .map(|s| PatternSpec::Burst {
+                    start_bank: s.start_bank,
+                    distance: s.distance,
+                    burst,
+                })
+                .collect())
+        }
+        other => Err(format!(
+            "unknown pattern '{other}' (have stride, gather, burst)"
+        )),
+    }
+}
+
 /// `vecmem predict`: analytic classification of a stream pair.
 pub fn cmd_predict(opts: &Options) -> Result<String, String> {
     let geom = geometry(opts)?;
@@ -178,18 +285,20 @@ pub fn cmd_predict(opts: &Options) -> Result<String, String> {
     Ok(out)
 }
 
-/// `vecmem steady`: exact simulated steady state of a stream pair, run
-/// through the `vecmem-exec` layer (`--cycle-budget N` bounds the cyclic-
-/// state search; a pair that does not converge exits non-zero).
+/// `vecmem steady`: exact simulated steady state of a pattern pair
+/// (strides by default; `--pattern gather|burst`, `--bank-model dram`),
+/// run through the `vecmem-exec` layer (`--cycle-budget N` bounds the
+/// cyclic-state search; a pair that does not converge exits non-zero).
+/// Aperiodic gathers report a windowed estimate instead of an exact state.
 pub fn cmd_steady(opts: &Options) -> Result<String, String> {
     let geom = geometry(opts)?;
-    let specs = pair_streams(opts, &geom)?;
-    let config = pair_config(opts, geom);
+    let patterns = pattern_specs(opts, &geom)?;
+    let config = pair_config(opts, geom).with_bank_model(bank_model(opts, &geom)?);
     let budget = opts.u64_or("cycle-budget", 10_000_000).map_err(err)?;
     let ports = config.num_ports();
-    let scenario = SteadyScenario {
+    let scenario = PatternSteadyScenario {
         config,
-        streams: specs.to_vec(),
+        patterns,
         max_cycles: budget,
     };
     let cache = ResultCache::new();
@@ -199,7 +308,7 @@ pub fn cmd_steady(opts: &Options) -> Result<String, String> {
         .expect("one scenario")
         .map_err(|e| e.to_string())?;
     let mut out = format!(
-        "b_eff = {} (per stream: {}, {})\ntransient {} cycles, period {} cycles\nconflicts per period: bank {}, simultaneous {}, section {}\n",
+        "b_eff = {} (per port: {}, {})\ntransient {} cycles, period {} cycles\nconflicts per period: bank {}, simultaneous {}, section {}\n",
         ss.beff,
         ss.per_port[0],
         ss.per_port[1],
@@ -209,6 +318,13 @@ pub fn cmd_steady(opts: &Options) -> Result<String, String> {
         ss.conflicts_per_period.simultaneous,
         ss.conflicts_per_period.section,
     );
+    if !ss.exact {
+        out.push_str(&format!(
+            "note: aperiodic pattern — figures are a windowed estimate over {} cycles, \
+             not an exact cyclic state\n",
+            ss.period.min(WINDOWED_FALLBACK_CYCLES)
+        ));
+    }
     if let Some(path) = opts.string("metrics-out") {
         let mut metrics = MetricsRegistry::new(geom.banks(), ports);
         export_exec_telemetry(&mut metrics, &report);
@@ -218,23 +334,61 @@ pub fn cmd_steady(opts: &Options) -> Result<String, String> {
     Ok(out)
 }
 
-/// `vecmem trace`: paper-style ASCII trace of a stream pair, followed by
-/// the pair's exact steady state (`--cycle-budget N` bounds the search; a
-/// pair that does not converge exits non-zero).
+/// `vecmem trace`: paper-style ASCII trace of a stream pair (or, with
+/// `--pattern gather|burst` / `--bank-model dram`, of a generalized
+/// pattern pair), followed by the exact steady state (`--cycle-budget N`
+/// bounds the search; a pair that does not converge exits non-zero).
 pub fn cmd_trace(opts: &Options) -> Result<String, String> {
     let geom = geometry(opts)?;
     let specs = pair_streams(opts, &geom)?;
     let cycles = opts.u64_or("cycles", 36).map_err(err)?;
     let budget = opts.u64_or("cycle-budget", 10_000_000).map_err(err)?;
     let obs = ObsRequest::from_opts(opts)?;
-    let config = pair_config(opts, geom);
+    let model = bank_model(opts, &geom)?;
+    let config = pair_config(opts, geom).with_bank_model(model);
     let ports = config.num_ports();
     let steady_line = |ss: &vecmem_banksim::SteadyState| {
-        format!(
-            "steady: b_eff = {} (transient {} cycles, period {})\n",
-            ss.beff, ss.transient, ss.period
-        )
+        if ss.exact {
+            format!(
+                "steady: b_eff = {} (transient {} cycles, period {})\n",
+                ss.beff, ss.transient, ss.period
+            )
+        } else {
+            format!(
+                "steady: b_eff = {} (aperiodic pattern — windowed estimate over {} cycles)\n",
+                ss.beff, ss.period
+            )
+        }
     };
+    let plain_strides =
+        model == BankModel::Uniform && opts.string("pattern").is_none_or(|p| p == "stride");
+    if !plain_strides {
+        // Generalized patterns and DRAM bank models: trace the pattern
+        // workload directly, then measure the steady state on a fresh one.
+        let patterns = pattern_specs(opts, &geom)?;
+        let mut engine = Engine::new(config.clone()).with_trace(cycles);
+        let mut workload = PatternWorkload::from_specs(&config, &patterns);
+        if obs.enabled() {
+            let (mut metrics, mut events) = obs.observers(geom.banks(), ports);
+            for _ in 0..cycles {
+                engine.step_with(&mut workload, &mut Tee(&mut metrics, &mut events));
+            }
+            let mut out = engine.trace().expect("trace enabled").render_all();
+            let ss = measure_steady_state_patterns(&config, &patterns, budget)
+                .map_err(|e| e.to_string())?;
+            out.push_str(&steady_line(&ss));
+            out.push_str(&obs.finish(&metrics, &events)?);
+            return Ok(out);
+        }
+        for _ in 0..cycles {
+            engine.step(&mut workload);
+        }
+        let mut out = engine.trace().expect("trace enabled").render_all();
+        let ss =
+            measure_steady_state_patterns(&config, &patterns, budget).map_err(|e| e.to_string())?;
+        out.push_str(&steady_line(&ss));
+        return Ok(out);
+    }
     if obs.enabled() {
         let mut engine = Engine::new(config.clone()).with_trace(cycles);
         let mut workload = StreamWorkload::infinite(&geom, &specs);
@@ -487,7 +641,9 @@ pub fn cmd_spectrum(opts: &Options) -> Result<String, String> {
     ))
 }
 
-/// `vecmem skew`: scheme comparison on one geometry.
+/// `vecmem skew`: scheme comparison on one geometry. `--pattern gather`
+/// switches from the stride table to a single-port gather walk (affine
+/// via `--affine`, pseudo-random via `--seed`) per scheme.
 pub fn cmd_skew(opts: &Options) -> Result<String, String> {
     let banks = opts.u64_or("banks", 16).map_err(err)?;
     let nc = opts.u64_or("nc", 4).map_err(err)?;
@@ -499,6 +655,14 @@ pub fn cmd_skew(opts: &Options) -> Result<String, String> {
     schemes.push(Box::new(LinearSkew::classic(banks)));
     if let Some(p) = PrimeInterleaved::largest_prime_at_most(banks) {
         schemes.push(Box::new(p));
+    }
+    if opts.string("pattern").is_some_and(|p| p == "gather") {
+        return skew_gather(opts, banks, nc, &schemes);
+    }
+    if let Some(other) = opts.string("pattern").filter(|p| *p != "stride") {
+        return Err(format!(
+            "unknown pattern '{other}' for skew (have stride, gather)"
+        ));
     }
     let mut out = String::new();
     for scheme in &schemes {
@@ -518,6 +682,51 @@ pub fn cmd_skew(opts: &Options) -> Result<String, String> {
             ));
         }
         out.push('\n');
+    }
+    Ok(out)
+}
+
+/// One gather walk per skewing scheme: the solo-port bandwidth of the
+/// address stream `base + ix(k)` after bank remapping. Affine index
+/// vectors yield exact cyclic states; pseudo-random ones fall back to a
+/// windowed estimate (flagged in the output).
+fn skew_gather(
+    opts: &Options,
+    banks: u64,
+    nc: u64,
+    schemes: &[Box<dyn BankMapping>],
+) -> Result<String, String> {
+    let span = opts.u64_or("span", 1 << 20).map_err(err)?;
+    if span == 0 {
+        return Err("--span must be at least 1".to_string());
+    }
+    let index = if let Some(a) = opts.string("affine") {
+        let a: u64 = a
+            .parse()
+            .map_err(|_| "--affine takes an integer multiplier".to_string())?;
+        IndexPattern::Affine { a, c: 0 }
+    } else {
+        IndexPattern::PseudoRandom {
+            seed: opts.u64_or("seed", 1).map_err(err)?,
+        }
+    };
+    let geom = Geometry::unsectioned(banks, nc).map_err(|e| e.to_string())?;
+    let config = SimConfig::single_cpu(geom, 1);
+    let mut out = format!("gather {index:?} over span {span}: m = {banks}, nc = {nc}, solo port\n");
+    for scheme in schemes {
+        let mut w = MappedGatherWorkload::new(scheme.as_ref(), 0, span, index);
+        let ss = measure_steady_state_workload(&config, &mut w, 0, 2_000_000)
+            .map_err(|e| e.to_string())?;
+        out.push_str(&format!(
+            "{:>24} {:>10}{}\n",
+            scheme.name(),
+            ss.beff.to_string(),
+            if ss.exact {
+                ""
+            } else {
+                "  (windowed estimate)"
+            }
+        ));
     }
     Ok(out)
 }
@@ -635,20 +844,25 @@ fn write_text(path: &str, text: &str) -> Result<(), String> {
 
 /// `vecmem report steady`: attribute every stalled port-cycle of one
 /// steady period, with the decomposition checked against the exact
-/// bandwidth identity `stalls = period · (N − b_eff)`.
+/// bandwidth identity `stalls = period · (N − b_eff)` (for bursty
+/// patterns, `stalls + idle = period · N − grants`, where idle covers the
+/// `burst − 1` cooldown cycles each grant buys).
 fn report_steady(opts: &Options) -> Result<String, String> {
     let geom = geometry(opts)?;
-    let specs = pair_streams(opts, &geom)?;
-    let config = pair_config(opts, geom);
+    let patterns = pattern_specs(opts, &geom)?;
+    let burst = pattern_burst(opts)?;
+    let config = pair_config(opts, geom).with_bank_model(bank_model(opts, &geom)?);
     let budget = opts.u64_or("cycle-budget", 10_000_000).map_err(err)?;
     let top = usize::try_from(opts.u64_or("top", 8).map_err(err)?).map_err(|e| e.to_string())?;
     let ports = config.num_ports();
 
-    let ss = measure_steady_state(&config, &specs, budget).map_err(|e| e.to_string())?;
+    let ss =
+        measure_steady_state_patterns(&config, &patterns, budget).map_err(|e| e.to_string())?;
 
     // Replay the search deterministically with the ledger attached: the
     // transient warms the attributor's bank-holder state, then the counts
-    // are cleared so exactly one steady period is attributed.
+    // are cleared so exactly one steady period (or, for aperiodic
+    // gathers, the estimate window) is attributed.
     let mut ledger = ConflictLedger::new(&config);
     let mut metrics = MetricsRegistry::new(geom.banks(), ports);
     let mut sink = SpanSink::new();
@@ -658,7 +872,7 @@ fn report_steady(opts: &Options) -> Result<String, String> {
     sink.advance_to(ss.transient + ss.period);
     sink.rebase_cycles(sink.now());
     let mut engine = Engine::new(config.clone());
-    let mut workload = StreamWorkload::infinite(&geom, &specs);
+    let mut workload = PatternWorkload::from_specs(&config, &patterns);
     sink.begin("transient");
     for _ in 0..ss.transient {
         engine.step_with(
@@ -681,11 +895,21 @@ fn report_steady(opts: &Options) -> Result<String, String> {
 
     let decomp = ledger.decomposition();
     let stalls = decomp.total();
-    let expected = ports as u64 * ss.period - ss.grants_per_period;
+    // Every port-cycle of the attributed window is a grant, a stall, or —
+    // only for bursty patterns — a cooldown idle (burst − 1 per grant). In
+    // an exact period the replayed grants equal the measured ones; in a
+    // windowed estimate the ledger's own grant count anchors the identity.
+    let grants = if ss.exact {
+        ss.grants_per_period
+    } else {
+        ledger.grants()
+    };
+    let idle = grants * (burst - 1);
+    let expected = ports as u64 * ss.period - grants - idle;
     if stalls != expected {
         return Err(format!(
             "attribution accounting broke: {stalls} attributed stalls != \
-             {expected} = ports x period - grants per period"
+             {expected} = ports x period - grants - idle"
         ));
     }
 
@@ -700,24 +924,36 @@ fn report_steady(opts: &Options) -> Result<String, String> {
         "fixed"
     };
     let mut out = format!(
-        "conflict attribution: m = {}, nc = {}, streams (b={}, d={}) (b={}, d={}), {topo}, {prio} priority\n",
+        "conflict attribution: m = {}, nc = {}, patterns {:?} {:?}, {topo}, {prio} priority\n",
         geom.banks(),
         geom.bank_cycle(),
-        specs[0].start_bank,
-        specs[0].distance,
-        specs[1].start_bank,
-        specs[1].distance,
+        patterns[0],
+        patterns[1],
     );
     out.push_str(&format!(
-        "steady: b_eff = {} (transient {} cycles, period {}, {} grants per period)\n",
-        ss.beff, ss.transient, ss.period, ss.grants_per_period
+        "steady: b_eff = {} (transient {} cycles, period {}, {} grants per period{})\n",
+        ss.beff,
+        ss.transient,
+        ss.period,
+        ss.grants_per_period,
+        if ss.exact { "" } else { "; windowed estimate" }
     ));
     out.push_str("loss decomposition over one period (stalled port-cycles):\n");
     out.push_str(&attribution_tables(&ledger, top));
-    out.push_str(&format!(
-        "identity: total stalls {stalls} = period x (N - b_eff) = {} x ({} - {}) [exact]\n",
-        ss.period, ports, ss.beff
-    ));
+    if burst > 1 {
+        out.push_str(&format!(
+            "identity: stalls {stalls} + idle {idle} = period x N - grants = {} x {} - {}\n",
+            ss.period, ports, grants
+        ));
+    } else {
+        out.push_str(&format!(
+            "identity: total stalls {stalls} = period x (N - b_eff) = {} x ({} - {}) [{}]\n",
+            ss.period,
+            ports,
+            ss.beff,
+            if ss.exact { "exact" } else { "windowed" }
+        ));
+    }
     out.push_str("per-bank utilization over one period (grants x nc / period):\n");
     out.push_str(&utilization_lines(&ledger, geom.bank_cycle(), ss.period));
     let heatmap = ledger.heatmap_csv();

@@ -13,12 +13,14 @@ USAGE: vecmem <COMMAND> [OPTIONS]
 
 COMMANDS:
   predict   analytic classification of a stream pair (Theorems 2-9)
-  steady    exact simulated steady-state bandwidth of a stream pair
-  trace     paper-style ASCII access trace of a stream pair
+  steady    exact simulated steady-state bandwidth of a pattern pair
+            (strides, gathers, bursts; uniform or DRAM bank model)
+  trace     paper-style ASCII access trace of a stream/pattern pair
   triad     the Fig. 10 triad experiment (--inc N | --sweep MAX) [--alone]
   random    random-access bandwidth vs classical models
   plan      stride assessment and array-padding advice [--pad DIM]
-  skew      compare skewing schemes over strides
+  skew      compare skewing schemes over strides, or over one gather
+            walk with --pattern gather [--affine A | --seed S]
   spectrum  classification census over all stride pairs [--full]
   loop      analyse a Fortran loop (--dims J1,J2 --dim K --inc N | --diagonal)
   gather    index-vector (gather) bandwidth vs unit stride
@@ -41,7 +43,19 @@ COMMON OPTIONS:
   --cycle-budget N   max cycles of the steady-state search (steady, trace;
                      default 10000000; exits non-zero if not converged)
   --ports P          port count (random)
-  --seed S           RNG seed (random, verify --random)
+  --seed S           RNG seed (random, gather patterns, verify --random)
+
+PATTERN OPTIONS (steady, trace, report steady — both ports; skew solo):
+  --pattern K        stride (default) | gather | burst
+  --span N           gather index span in words (default 1048576)
+  --affine A         affine gather indices a*k + port instead of
+                     pseudo-random ones (exact steady state)
+  --burst B          words per grant for burst patterns (default 4)
+  --bank-model K     uniform (default) | dram (open-row hit/miss holds)
+  --dram-hit N       hold of an open-row hit, 1..=nc (default 1)
+  --dram-rows R      rows tracked per bank (default 16)
+  Aperiodic (pseudo-random) gathers report a windowed estimate instead
+  of an exact cyclic state.
 
 VERIFY OPTIONS:
   --exhaustive       full small-geometry conformance sweep (the default)
@@ -77,6 +91,10 @@ EXAMPLES:
   vecmem random --banks 64 --ports 8
   vecmem report steady --banks 16 --nc 4 --d1 4 --d2 4
   vecmem report steady --d1 1 --d2 6 --trace-out steady.json
+  vecmem steady --pattern gather --span 65536 --seed 7
+  vecmem steady --pattern burst --burst 4 --bank-model dram --dram-hit 2
+  vecmem report steady --pattern gather --affine 16
+  vecmem skew --pattern gather --affine 16
 ";
 
 const BOOL_FLAGS: &[&str] = &[

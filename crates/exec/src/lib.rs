@@ -34,8 +34,9 @@ pub mod telemetry;
 pub use cache::{CacheStats, ResultCache};
 pub use runner::{ExecReport, Runner, DEFAULT_CHUNK};
 pub use scenario::{
-    steady_key, Scenario, SpectrumScenario, SteadyKey, SteadyOutcome, SteadyScenario, TraceKey,
-    TraceOutcome, TraceScenario, TriadScenario,
+    pattern_steady_key, steady_key, PatternSteadyKey, PatternSteadyScenario, Scenario,
+    SpectrumScenario, SteadyKey, SteadyOutcome, SteadyScenario, TraceKey, TraceOutcome,
+    TraceScenario, TriadScenario,
 };
 pub use spans::batch_spans;
 pub use sweep::{triad_sweep, SweepBuilder, SweepPlan, SweepPoint};

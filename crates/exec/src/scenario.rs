@@ -10,8 +10,13 @@
 use vecmem_analytic::isomorphism::canonical_streams;
 use vecmem_analytic::spectrum::{full_spectrum_slice, Spectrum};
 use vecmem_analytic::{Geometry, SectionMapping, StreamSpec};
-use vecmem_banksim::steady::{measure_steady_state, SteadyStateError};
-use vecmem_banksim::{Engine, PriorityRule, SimConfig, SimStats, SteadyState, StreamWorkload};
+use vecmem_banksim::pattern::PatternSpec;
+use vecmem_banksim::steady::{
+    measure_steady_state, measure_steady_state_patterns, SteadyStateError,
+};
+use vecmem_banksim::{
+    BankModel, Engine, PriorityRule, SimConfig, SimStats, SteadyState, StreamWorkload,
+};
 use vecmem_vproc::triad::{TriadExperiment, TriadResult};
 
 /// A unit of sweep work executable on the [`Runner`](crate::Runner).
@@ -63,6 +68,7 @@ pub struct SteadyKey {
     mapping: SectionMapping,
     ports: Vec<usize>,
     priority: PriorityRule,
+    bank_model: BankModel,
     streams: Vec<StreamSpec>,
     max_cycles: u64,
 }
@@ -78,9 +84,12 @@ pub struct SteadyKey {
 pub fn steady_key(config: &SimConfig, streams: &[StreamSpec], max_cycles: u64) -> SteadyKey {
     let geom = &config.geometry;
     // The unit renumbering of the Appendix commutes with the simulator's
-    // dynamics only when every bank has its own access path (s = m); for
-    // sectioned systems the identity (exact dedup) is the safe quotient.
-    let streams = if geom.is_unsectioned() {
+    // dynamics only when every bank has its own access path (s = m) and
+    // bank holds are uniform; sectioned systems break the former, DRAM row
+    // buffers the latter (renumbering changes the word addresses, hence the
+    // row sequence). In either case the identity (exact dedup) is the safe
+    // quotient.
+    let streams = if geom.is_unsectioned() && config.bank_model == BankModel::Uniform {
         canonical_streams(geom, streams)
     } else {
         streams.to_vec()
@@ -92,6 +101,7 @@ pub fn steady_key(config: &SimConfig, streams: &[StreamSpec], max_cycles: u64) -
         mapping: geom.mapping(),
         ports: config.ports.iter().map(|c| c.0).collect(),
         priority: config.priority,
+        bank_model: config.bank_model,
         streams,
         max_cycles,
     }
@@ -162,6 +172,124 @@ impl Scenario for SteadyScenario {
             Err(_) => self.max_cycles.max(1),
         }
     }
+}
+
+/// Canonical identity of a [`PatternSteadyScenario`]: the configuration
+/// fields of [`SteadyKey`] plus the pattern specs themselves.
+///
+/// The spec enum keeps stride and non-stride patterns in distinct
+/// variants, so a stride scenario and a gather/burst scenario can never
+/// collapse onto one key. The isomorphism quotient applies only when
+/// *every* port is a stride pattern on an unsectioned uniform-hold system
+/// — exactly the regime where it is proven sound; any gather, burst, DRAM
+/// model or section mapping keeps the literal specs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PatternSteadyKey {
+    base: SteadyKey,
+    patterns: Vec<PatternSpec>,
+}
+
+/// Canonical [`PatternSteadyKey`] for `(config, patterns, budget)` — the
+/// quotient used by [`PatternSteadyScenario::key`].
+#[must_use]
+pub fn pattern_steady_key(
+    config: &SimConfig,
+    patterns: &[PatternSpec],
+    max_cycles: u64,
+) -> PatternSteadyKey {
+    let geom = &config.geometry;
+    let strides: Option<Vec<StreamSpec>> = patterns
+        .iter()
+        .map(|p| match *p {
+            PatternSpec::Stride {
+                start_bank,
+                distance,
+            } => Some(StreamSpec {
+                start_bank,
+                distance,
+            }),
+            _ => None,
+        })
+        .collect();
+    let patterns = match strides {
+        Some(streams) if geom.is_unsectioned() && config.bank_model == BankModel::Uniform => {
+            canonical_streams(geom, &streams)
+                .into_iter()
+                .map(|s| PatternSpec::Stride {
+                    start_bank: s.start_bank,
+                    distance: s.distance,
+                })
+                .collect()
+        }
+        _ => patterns.to_vec(),
+    };
+    PatternSteadyKey {
+        base: steady_key(config, &[], max_cycles),
+        patterns,
+    }
+}
+
+/// Steady-state measurement of a set of generalized access patterns —
+/// the pattern-layer counterpart of [`SteadyScenario`], covering gathers,
+/// bursts and DRAM-flavoured bank models alongside plain strides.
+#[derive(Debug, Clone)]
+pub struct PatternSteadyScenario {
+    /// Memory geometry, port topology, priority rule and bank model.
+    pub config: SimConfig,
+    /// One pattern spec per configured port.
+    pub patterns: Vec<PatternSpec>,
+    /// Bound on the cyclic-state search (and the windowed-estimate budget
+    /// for aperiodic patterns).
+    pub max_cycles: u64,
+}
+
+impl Scenario for PatternSteadyScenario {
+    type Output = SteadyOutcome;
+    type Key = PatternSteadyKey;
+
+    fn key(&self) -> Option<PatternSteadyKey> {
+        Some(pattern_steady_key(
+            &self.config,
+            &self.patterns,
+            self.max_cycles,
+        ))
+    }
+
+    fn execute(&self) -> SteadyOutcome {
+        measure_steady_state_patterns(&self.config, &self.patterns, self.max_cycles)
+    }
+
+    fn span_label(&self) -> String {
+        let g = &self.config.geometry;
+        format!(
+            "steady m={} nc={} pat={}",
+            g.banks(),
+            g.bank_cycle(),
+            pattern_list(&self.patterns)
+        )
+    }
+
+    fn span_cost(&self, output: &Self::Output) -> u64 {
+        match output {
+            Ok(ss) => (ss.transient + ss.period).max(1),
+            Err(_) => self.max_cycles.max(1),
+        }
+    }
+}
+
+/// `"d3/g/b4x2/..."` — compact per-port pattern tags for span labels.
+fn pattern_list(patterns: &[PatternSpec]) -> String {
+    let tags: Vec<String> = patterns
+        .iter()
+        .map(|p| match *p {
+            PatternSpec::Stride { distance, .. } => format!("d{distance}"),
+            PatternSpec::Gather { .. } => "g".to_string(),
+            PatternSpec::Burst {
+                distance, burst, ..
+            } => format!("b{distance}x{burst}"),
+        })
+        .collect();
+    tags.join("/")
 }
 
 /// `"d1/d2/..."` — the stream distances of a scenario, for span labels.
@@ -407,6 +535,109 @@ mod tests {
         // Isomorphic but not identical: traces differ, keys must too.
         assert_ne!(mk(1, 3).key(), mk(5, 15).key());
         assert_eq!(mk(1, 3).key(), mk(1, 3).key());
+    }
+
+    #[test]
+    fn pattern_keys_never_collapse_stride_and_non_stride() {
+        let geom = Geometry::unsectioned(16, 4).unwrap();
+        let mk = |patterns: Vec<PatternSpec>| PatternSteadyScenario {
+            config: SimConfig::single_cpu(geom, 1),
+            patterns,
+            max_cycles: 100_000,
+        };
+        // A unit stride and the affine gather that *generates the same
+        // address walk* must still key apart: the cache may only collapse
+        // proven-equal scenarios, and the proof covers stride specs only.
+        let stride = mk(vec![PatternSpec::Stride {
+            start_bank: 0,
+            distance: 1,
+        }]);
+        let gather = mk(vec![PatternSpec::Gather {
+            base: 0,
+            span: 1 << 20,
+            index: vecmem_banksim::pattern::IndexPattern::Affine { a: 1, c: 0 },
+        }]);
+        let burst = mk(vec![PatternSpec::Burst {
+            start_bank: 0,
+            distance: 1,
+            burst: 1,
+        }]);
+        assert_ne!(stride.key(), gather.key());
+        assert_ne!(stride.key(), burst.key());
+        assert_ne!(gather.key(), burst.key());
+    }
+
+    #[test]
+    fn pattern_stride_keys_share_the_stream_quotient() {
+        // All-stride pattern scenarios inherit the Appendix isomorphism…
+        let geom = Geometry::unsectioned(16, 4).unwrap();
+        let mk = |d1: u64, d2: u64, bank_model| {
+            let mut config = SimConfig::one_port_per_cpu(geom, 2);
+            config.bank_model = bank_model;
+            PatternSteadyScenario {
+                config,
+                patterns: vec![
+                    PatternSpec::Stride {
+                        start_bank: 0,
+                        distance: d1,
+                    },
+                    PatternSpec::Stride {
+                        start_bank: 0,
+                        distance: d2,
+                    },
+                ],
+                max_cycles: 100_000,
+            }
+        };
+        let a = mk(1, 3, BankModel::Uniform);
+        let b = mk(5, 15, BankModel::Uniform);
+        assert_eq!(a.key(), b.key());
+        assert_eq!(a.execute(), b.execute());
+        // …but only under uniform holds: DRAM rows see the raw addresses,
+        // so the renumbering is no longer a symmetry and keys stay exact.
+        let dram = BankModel::Dram {
+            hit_cycle: 1,
+            rows: 4,
+        };
+        assert_ne!(mk(1, 3, dram).key(), mk(5, 15, dram).key());
+        // And the bank model itself is part of the identity.
+        assert_ne!(mk(1, 3, BankModel::Uniform).key(), mk(1, 3, dram).key());
+    }
+
+    #[test]
+    fn steady_key_separates_bank_models() {
+        let geom = Geometry::unsectioned(16, 4).unwrap();
+        let mut a = SteadyScenario::cross_cpu(geom, spec(0, 1), spec(0, 3), 100_000);
+        let mut b = a.clone();
+        b.config.bank_model = BankModel::Dram {
+            hit_cycle: 2,
+            rows: 8,
+        };
+        assert_ne!(a.key(), b.key());
+        // Self-consistency: mutating nothing keeps the key.
+        a.config.bank_model = BankModel::Uniform;
+        assert_eq!(a.key(), a.key());
+    }
+
+    #[test]
+    fn pattern_scenario_matches_stream_scenario_on_strides() {
+        let geom = Geometry::unsectioned(13, 6).unwrap();
+        let streams = SteadyScenario::cross_cpu(geom, spec(0, 1), spec(0, 6), 100_000);
+        let patterns = PatternSteadyScenario {
+            config: streams.config.clone(),
+            patterns: vec![
+                PatternSpec::Stride {
+                    start_bank: 0,
+                    distance: 1,
+                },
+                PatternSpec::Stride {
+                    start_bank: 0,
+                    distance: 6,
+                },
+            ],
+            max_cycles: 100_000,
+        };
+        assert_eq!(streams.execute(), patterns.execute());
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //! * runner determinism — the output vector is identical for thread counts
 //!   1, 2 and `available_parallelism`.
 
-use vecmem_exec::{ResultCache, Runner, Scenario, SteadyScenario, SweepBuilder};
+use vecmem_banksim::pattern::{IndexPattern, PatternSpec};
+use vecmem_exec::{
+    PatternSteadyScenario, ResultCache, Runner, Scenario, SteadyScenario, SweepBuilder,
+};
 use vecmem_prop::prelude::*;
 
 use vecmem_analytic::{Geometry, StreamSpec};
@@ -102,6 +105,59 @@ proptest! {
         prop_assert_eq!(report.cache.hits, 1, "the exact repeat must replay");
         prop_assert_eq!(&outcomes[0], &direct);
         prop_assert_eq!(&outcomes[1], &direct);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The pattern-scenario layer over random stride pairs: outcomes match
+    /// the stream-scenario path exactly, and the cache key never collapses
+    /// a stride pattern onto the gather that generates the same address
+    /// walk (the isomorphism proof covers stride specs only).
+    #[test]
+    fn pattern_scenarios_match_streams_and_never_collapse_variants(
+        m in 2u64..=16,
+        nc in 1u64..=5,
+        d1 in 0u64..=30,
+        d2 in 0u64..=30,
+        b2 in 0u64..=30,
+    ) {
+        let geom = Geometry::unsectioned(m, nc).unwrap();
+        let streams = SteadyScenario::cross_cpu(
+            geom,
+            spec(0, d1 % m),
+            spec(b2 % m, d2 % m),
+            MAX_CYCLES,
+        );
+        let strided = PatternSteadyScenario {
+            config: streams.config.clone(),
+            patterns: vec![
+                PatternSpec::Stride { start_bank: 0, distance: d1 % m },
+                PatternSpec::Stride { start_bank: b2 % m, distance: d2 % m },
+            ],
+            max_cycles: MAX_CYCLES,
+        };
+        prop_assert_eq!(streams.execute(), strided.execute());
+        // A unit-multiplier gather walks the same banks as a unit stride,
+        // but its key must stay in the Gather variant: never collapsed.
+        let gather = PatternSteadyScenario {
+            config: streams.config.clone(),
+            patterns: vec![
+                PatternSpec::Gather {
+                    base: 0,
+                    span: 1 << 20,
+                    index: IndexPattern::Affine { a: 1, c: 0 },
+                },
+                PatternSpec::Gather {
+                    base: b2 % m,
+                    span: 1 << 20,
+                    index: IndexPattern::Affine { a: 1, c: 0 },
+                },
+            ],
+            max_cycles: MAX_CYCLES,
+        };
+        prop_assert!(strided.key() != gather.key());
     }
 }
 

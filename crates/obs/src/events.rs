@@ -617,8 +617,8 @@ mod tests {
     #[test]
     fn arbitration_only_when_enabled() {
         let requests = [
-            (PortId(0), Request { bank: 1 }),
-            (PortId(1), Request { bank: 1 }),
+            (PortId(0), Request::to_bank(1)),
+            (PortId(1), Request::to_bank(1)),
         ];
         let mut quiet = EventLog::new(4, 2);
         quiet.on_arbitration(0, 0, &requests);

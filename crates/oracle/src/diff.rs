@@ -16,13 +16,16 @@
 //! through one transient plus one full period of the cyclic steady state
 //! implies agreement forever.
 
-use crate::engine::{RefConfig, RefEngine, RefOutcome, RefPriority};
+use crate::engine::{RefBankModel, RefConfig, RefEngine, RefOutcome, RefPriority};
 use vecmem_analytic::StreamSpec;
+use vecmem_banksim::pattern::{PatternSpec, PatternWorkload};
+use vecmem_banksim::workload::Workload;
 use vecmem_banksim::{
-    ConflictKind, Engine, PortOutcome, PriorityRule, SimConfig, SimState, StreamWorkload,
+    BankModel, ConflictKind, Engine, PortOutcome, PriorityRule, SimConfig, SimState, StreamWorkload,
 };
 
-/// Builds the [`RefConfig`] mirroring a simulator configuration.
+/// Builds the [`RefConfig`] mirroring a simulator configuration,
+/// bank model included.
 #[must_use]
 pub fn mirror_config(config: &SimConfig) -> RefConfig {
     RefConfig {
@@ -31,6 +34,10 @@ pub fn mirror_config(config: &SimConfig) -> RefConfig {
         priority: match config.priority {
             PriorityRule::Fixed => RefPriority::Fixed,
             PriorityRule::Cyclic => RefPriority::Cyclic,
+        },
+        bank_model: match config.bank_model {
+            BankModel::Uniform => RefBankModel::Uniform,
+            BankModel::Dram { hit_cycle, rows } => RefBankModel::Dram { hit_cycle, rows },
         },
     }
 }
@@ -122,11 +129,20 @@ fn outcome_name(o: RefOutcome) -> &'static str {
 
 /// Lifts the reference engine's state into the canonical packed form in
 /// place, so the full-state comparison is one `PartialEq` and the dump
-/// comes from one renderer.
-fn repack_oracle_state(oracle: &RefEngine, residue_buf: &mut Vec<u8>, packed: &mut SimState) {
+/// comes from one renderer. Under the DRAM bank model the open-row vector
+/// is lifted too.
+fn repack_oracle_state(
+    oracle: &RefEngine,
+    dram: bool,
+    residue_buf: &mut Vec<u8>,
+    packed: &mut SimState,
+) {
     residue_buf.clear();
     residue_buf.extend(oracle.bank_residues().iter().map(|&r| r as u8));
     packed.repack(residue_buf, &[], oracle.rotation());
+    if dram {
+        packed.sync_open_rows(oracle.open_rows());
+    }
 }
 
 /// Renders the full dual state dump at a divergent cycle. Both sides use
@@ -175,21 +191,21 @@ fn render_dump(
 }
 
 /// Steps a pre-built reference engine against a fresh optimized engine in
-/// lockstep for `cycles` clock periods.
+/// lockstep for `cycles` clock periods, over any shared workload.
 ///
-/// The `oracle` must have been built from [`mirror_config`]`(config)` and
-/// the same `streams` (possibly with a seeded bug, which is the point of
-/// taking it as an argument).
+/// Ports idle on one side must be idle on the other: an inactive port
+/// keeps the `(u64::MAX, Granted)` placeholder in both views, so a
+/// cooldown disagreement surfaces as a view mismatch.
 // vecmem-lint: alloc-free
-pub fn run_pair_against(
+fn run_lockstep<W: Workload>(
     mut oracle: RefEngine,
     config: &SimConfig,
-    streams: &[StreamSpec],
+    mut workload: W,
     cycles: u64,
 ) -> DiffOutcome {
     let mut engine = Engine::new(config.clone());
-    let mut workload = StreamWorkload::infinite(&config.geometry, streams);
     let ports = config.num_ports();
+    let dram = matches!(config.bank_model, BankModel::Dram { .. });
     let mut grants = 0u64;
     // Reused across cycles: the per-port views and the canonical packed
     // copy of the oracle's state (updated in place — the hot loop of the
@@ -201,9 +217,9 @@ pub fn run_pair_against(
     let mut oracle_state = SimState::new(config);
     for cycle in 0..cycles {
         engine.run_with(&mut workload, 1, &mut vecmem_banksim::observe::NoopObserver);
-        let oracle_steps = oracle.step();
-        // Normalise the engine's per-port events to per-port order; with
-        // infinite streams every port is active every cycle.
+        let oracle_steps = oracle.step_ports();
+        // Normalise the engine's per-port events to per-port order; ports
+        // with no pending request keep the placeholder.
         engine_view
             .iter_mut()
             .for_each(|v| *v = (u64::MAX, RefOutcome::Granted));
@@ -214,9 +230,11 @@ pub fn run_pair_against(
             .iter_mut()
             .for_each(|v| *v = (u64::MAX, RefOutcome::Granted));
         for (slot, s) in oracle_view.iter_mut().zip(&oracle_steps) {
-            *slot = (s.bank, s.outcome);
+            if let Some(s) = s {
+                *slot = (s.bank, s.outcome);
+            }
         }
-        repack_oracle_state(&oracle, &mut residue_buf, &mut oracle_state);
+        repack_oracle_state(&oracle, dram, &mut residue_buf, &mut oracle_state);
         // Sanitizer: the lifted oracle state must satisfy every SimState
         // structural invariant; a violation is reported at the exact cycle
         // the corruption appears, before any divergence masking it.
@@ -239,9 +257,28 @@ pub fn run_pair_against(
             );
             return DiffOutcome::Diverged(Divergence { cycle, report });
         }
-        grants += oracle_steps.iter().filter(|s| s.outcome.granted()).count() as u64;
+        grants += oracle_steps
+            .iter()
+            .filter(|s| s.is_some_and(|s| s.outcome.granted()))
+            .count() as u64;
     }
     DiffOutcome::Match { cycles, grants }
+}
+
+/// Steps a pre-built reference engine against a fresh optimized engine in
+/// lockstep for `cycles` clock periods.
+///
+/// The `oracle` must have been built from [`mirror_config`]`(config)` and
+/// the same `streams` (possibly with a seeded bug, which is the point of
+/// taking it as an argument).
+pub fn run_pair_against(
+    oracle: RefEngine,
+    config: &SimConfig,
+    streams: &[StreamSpec],
+    cycles: u64,
+) -> DiffOutcome {
+    let workload = StreamWorkload::infinite(&config.geometry, streams);
+    run_lockstep(oracle, config, workload, cycles)
 }
 
 /// Lockstep comparison over `cycles` clock periods with a fresh, faithful
@@ -249,6 +286,17 @@ pub fn run_pair_against(
 pub fn run_pair(config: &SimConfig, streams: &[StreamSpec], cycles: u64) -> DiffOutcome {
     let oracle = RefEngine::new(mirror_config(config), streams);
     run_pair_against(oracle, config, streams, cycles)
+}
+
+/// Lockstep comparison of generalized access patterns: one
+/// [`PatternSpec`] per port (stride, gather, burst), honouring `config`'s
+/// bank model on both sides. The optimized side runs the patterns through
+/// the generic `PatternWorkload` adapter; the reference side recomputes
+/// every address naively and keeps cooldowns as absolute cycle stamps.
+pub fn run_pair_patterns(config: &SimConfig, specs: &[PatternSpec], cycles: u64) -> DiffOutcome {
+    let oracle = RefEngine::from_specs(mirror_config(config), specs);
+    let workload = PatternWorkload::from_specs(config, specs);
+    run_lockstep(oracle, config, workload, cycles)
 }
 
 /// `b_eff`-only fast mode for long runs: both engines simulate `cycles`
@@ -300,6 +348,70 @@ mod tests {
         let g = Geometry::new(16, 4, 4).unwrap();
         let cfg = SimConfig::single_cpu(g, 2);
         let out = run_pair(&cfg, &[spec(&g, 0, 1), spec(&g, 2, 5)], 2000);
+        assert!(out.matched(), "{out:?}");
+    }
+
+    #[test]
+    fn gather_pattern_lockstep_matches() {
+        use vecmem_banksim::pattern::IndexPattern;
+        let g = Geometry::unsectioned(16, 4).unwrap();
+        let cfg = SimConfig::one_port_per_cpu(g, 2);
+        let specs = [
+            PatternSpec::Gather {
+                base: 0,
+                span: 1 << 16,
+                index: IndexPattern::PseudoRandom { seed: 7 },
+            },
+            PatternSpec::Stride {
+                start_bank: 1,
+                distance: 1,
+            },
+        ];
+        let out = run_pair_patterns(&cfg, &specs, 2000);
+        assert!(out.matched(), "{out:?}");
+    }
+
+    #[test]
+    fn burst_pattern_lockstep_matches() {
+        let g = Geometry::unsectioned(8, 4).unwrap();
+        let cfg = SimConfig::single_cpu(g, 2).with_priority(PriorityRule::Cyclic);
+        let specs = [
+            PatternSpec::Burst {
+                start_bank: 0,
+                distance: 1,
+                burst: 4,
+            },
+            PatternSpec::Burst {
+                start_bank: 0,
+                distance: 2,
+                burst: 2,
+            },
+        ];
+        let out = run_pair_patterns(&cfg, &specs, 2000);
+        assert!(out.matched(), "{out:?}");
+    }
+
+    #[test]
+    fn dram_pattern_lockstep_matches() {
+        use vecmem_banksim::pattern::IndexPattern;
+        use vecmem_banksim::BankModel;
+        let g = Geometry::unsectioned(16, 4).unwrap();
+        let cfg = SimConfig::one_port_per_cpu(g, 2).with_bank_model(BankModel::Dram {
+            hit_cycle: 2,
+            rows: 4,
+        });
+        let specs = [
+            PatternSpec::Stride {
+                start_bank: 0,
+                distance: 3,
+            },
+            PatternSpec::Gather {
+                base: 0,
+                span: 64,
+                index: IndexPattern::PseudoRandom { seed: 11 },
+            },
+        ];
+        let out = run_pair_patterns(&cfg, &specs, 2000);
         assert!(out.matched(), "{out:?}");
     }
 

@@ -24,8 +24,19 @@
 //! and every bank is always claimed by the best-ranked eligible port, and
 //! the busy-bank check precedes the path check exactly as phase 1 precedes
 //! phase 2.
+//!
+//! Generalized access patterns are recomputed naively too: each port holds
+//! a [`RefPattern`] and the engine re-derives the `k`-th bank (and row)
+//! from scratch with `u128` arithmetic each cycle — no packed slots, no
+//! reduced positions. Burst cooldowns are absolute cycle stamps
+//! (`next_req_cycle = grant cycle + burst`), and the DRAM bank model is a
+//! plain `Vec<Option<u64>>` of open rows consulted before each grant's
+//! hold time is chosen. Only the *vocabulary* spec types
+//! ([`PatternSpec`], [`IndexPattern`]) are shared with the optimized
+//! stack; every state-keeping decision is made independently.
 
 use vecmem_analytic::{Geometry, StreamSpec};
+use vecmem_banksim::pattern::{IndexPattern, PatternSpec};
 
 /// Priority rule mirrored from the paper (§II): fixed port order, or a
 /// rotating order that advances whenever the priority was exercised.
@@ -58,8 +69,25 @@ pub enum InjectedBug {
     ResidueOverflow,
 }
 
+/// Bank timing model mirrored independently from the optimized stack's
+/// `BankModel`: uniform `n_c` holds, or DRAM-flavoured open-row hit/miss
+/// asymmetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefBankModel {
+    /// Every grant holds the bank for `n_c` clock periods.
+    Uniform,
+    /// A grant to the bank's open row holds it `hit_cycle` periods; any
+    /// other grant holds `n_c` and opens the accessed row.
+    Dram {
+        /// Hold time of an open-row hit.
+        hit_cycle: u64,
+        /// Rows per bank (row addresses are reduced modulo this).
+        rows: u64,
+    },
+}
+
 /// Static description of the reference system: geometry, the CPU each port
-/// belongs to, and the priority rule.
+/// belongs to, the priority rule, and the bank timing model.
 #[derive(Debug, Clone)]
 pub struct RefConfig {
     /// Memory geometry (banks, sections, bank cycle time).
@@ -68,6 +96,8 @@ pub struct RefConfig {
     pub port_cpus: Vec<usize>,
     /// Arbitration priority rule.
     pub priority: RefPriority,
+    /// Bank timing model.
+    pub bank_model: RefBankModel,
 }
 
 impl RefConfig {
@@ -78,6 +108,7 @@ impl RefConfig {
             geometry,
             port_cpus: vec![0; ports],
             priority,
+            bank_model: RefBankModel::Uniform,
         }
     }
 
@@ -88,6 +119,100 @@ impl RefConfig {
             geometry,
             port_cpus: (0..ports).collect(),
             priority,
+            bank_model: RefBankModel::Uniform,
+        }
+    }
+
+    /// Swaps in a bank timing model (builder style).
+    #[must_use]
+    pub fn with_bank_model(mut self, bank_model: RefBankModel) -> Self {
+        self.bank_model = bank_model;
+        self
+    }
+}
+
+/// Naive per-port address source: the `k`-th request is recomputed from
+/// the spec with `u128` arithmetic on every call — deliberately no
+/// incremental state, no reduced positions.
+#[derive(Debug, Clone, Copy)]
+pub enum RefPattern {
+    /// `addr(k) = start + k·distance`.
+    Stride {
+        /// First word address.
+        start: u64,
+        /// Address distance per element.
+        distance: u64,
+    },
+    /// `addr(k) = base + ix(k)` with `ix` in `0..span`.
+    Gather {
+        /// Base word address.
+        base: u64,
+        /// Index span.
+        span: u64,
+        /// Index generation (shared vocabulary type).
+        index: IndexPattern,
+    },
+    /// Strided with `burst` words per grant: same addresses as `Stride`,
+    /// but the port idles `burst − 1` periods after each grant.
+    Burst {
+        /// First word address.
+        start: u64,
+        /// Address distance per grant.
+        distance: u64,
+        /// Words per grant.
+        burst: u64,
+    },
+}
+
+impl RefPattern {
+    /// The reference rendering of a shared [`PatternSpec`].
+    #[must_use]
+    pub fn from_spec(spec: &PatternSpec) -> Self {
+        match *spec {
+            PatternSpec::Stride {
+                start_bank,
+                distance,
+            } => Self::Stride {
+                start: start_bank,
+                distance,
+            },
+            PatternSpec::Gather { base, span, index } => Self::Gather { base, span, index },
+            PatternSpec::Burst {
+                start_bank,
+                distance,
+                burst,
+            } => Self::Burst {
+                start: start_bank,
+                distance,
+                burst,
+            },
+        }
+    }
+
+    /// Bank and row of the `k`-th request, recomputed from scratch.
+    fn request(&self, k: u64, banks: u64, rows: u64) -> (u64, u64) {
+        let addr: u128 = match *self {
+            Self::Stride { start, distance }
+            | Self::Burst {
+                start, distance, ..
+            } => u128::from(start) + u128::from(k) * u128::from(distance),
+            Self::Gather { base, span, index } => {
+                u128::from(base) + u128::from(index.index(k, span))
+            }
+        };
+        let bank = (addr % u128::from(banks)) as u64;
+        let row = if rows == 0 {
+            0
+        } else {
+            ((addr / u128::from(banks)) % u128::from(rows)) as u64
+        };
+        (bank, row)
+    }
+
+    fn burst(&self) -> u64 {
+        match *self {
+            Self::Burst { burst, .. } => burst,
+            _ => 1,
         }
     }
 }
@@ -124,17 +249,25 @@ pub struct RefStep {
     pub outcome: RefOutcome,
 }
 
-/// The naive reference engine. One infinite strided stream per port.
+/// The naive reference engine. One infinite access pattern per port.
 #[derive(Debug, Clone)]
 pub struct RefEngine {
     config: RefConfig,
     /// `busy[j]`: clock periods bank `j` remains unavailable, counted down
-    /// at the start of every cycle; a grant sets it to `n_c`.
+    /// at the start of every cycle; a grant sets it to the hold time
+    /// (`n_c`, or the DRAM hit cycle on an open-row hit).
     busy: Vec<u64>,
-    /// Current bank of each port's stream (the element being retried).
-    current_bank: Vec<u64>,
-    /// Distance of each port's stream.
-    distance: Vec<u64>,
+    /// Per-port access patterns.
+    patterns: Vec<RefPattern>,
+    /// Elements granted to each port so far (the `k` of the next request).
+    issued: Vec<u64>,
+    /// First cycle at which each port presents its next request: a grant
+    /// at cycle `t` sets this to `t + burst`, which is the absolute-time
+    /// formulation of the optimized workload's countdown cooldown.
+    next_req_cycle: Vec<u64>,
+    /// Open row per bank (`None` = closed). Stays all-`None` under the
+    /// uniform model.
+    open_row: Vec<Option<u64>>,
     rotation: usize,
     cycle: u64,
     grants: Vec<u64>,
@@ -151,13 +284,45 @@ impl RefEngine {
     /// If `streams.len() != config.port_cpus.len()`.
     #[must_use]
     pub fn new(config: RefConfig, streams: &[StreamSpec]) -> Self {
-        assert_eq!(streams.len(), config.port_cpus.len(), "one stream per port");
+        let patterns: Vec<RefPattern> = streams
+            .iter()
+            .map(|s| RefPattern::Stride {
+                start: s.start_bank,
+                distance: s.distance,
+            })
+            .collect();
+        Self::with_patterns(config, patterns)
+    }
+
+    /// A fresh engine with one generalized pattern per port, from the
+    /// shared spec vocabulary.
+    ///
+    /// # Panics
+    /// If `specs.len() != config.port_cpus.len()`.
+    #[must_use]
+    pub fn from_specs(config: RefConfig, specs: &[PatternSpec]) -> Self {
+        Self::with_patterns(config, specs.iter().map(RefPattern::from_spec).collect())
+    }
+
+    /// A fresh engine over pre-built reference patterns.
+    ///
+    /// # Panics
+    /// If `patterns.len() != config.port_cpus.len()`.
+    #[must_use]
+    pub fn with_patterns(config: RefConfig, patterns: Vec<RefPattern>) -> Self {
+        assert_eq!(
+            patterns.len(),
+            config.port_cpus.len(),
+            "one pattern per port"
+        );
         let banks = config.geometry.banks() as usize;
         let ports = config.port_cpus.len();
         Self {
             busy: vec![0; banks],
-            current_bank: streams.iter().map(|s| s.start_bank).collect(),
-            distance: streams.iter().map(|s| s.distance).collect(),
+            patterns,
+            issued: vec![0; ports],
+            next_req_cycle: vec![0; ports],
+            open_row: vec![None; banks],
             rotation: 0,
             cycle: 0,
             grants: vec![0; ports],
@@ -224,6 +389,14 @@ impl RefEngine {
         self.busy.iter().map(|&c| c.saturating_sub(1)).collect()
     }
 
+    /// Open row of every bank (`None` = closed); all-`None` under the
+    /// uniform bank model. Lifted into the canonical packed state by the
+    /// differential harness.
+    #[must_use]
+    pub fn open_rows(&self) -> &[Option<u64>] {
+        &self.open_row
+    }
+
     /// Priority rank of a port; lower wins. Written independently of the
     /// optimized arbiter: under the rotating rule the port whose index
     /// equals the rotation offset holds rank 0.
@@ -247,10 +420,29 @@ impl RefEngine {
     }
 
     /// Simulates one clock period; returns each port's request and outcome.
+    ///
+    /// Convenience form for always-active workloads (stride, gather).
+    ///
+    /// # Panics
+    /// If a port was idle this cycle (burst cooldown) — use
+    /// [`step_ports`](Self::step_ports) for burst patterns.
     pub fn step(&mut self) -> Vec<RefStep> {
+        self.step_ports()
+            .into_iter()
+            .map(|s| s.expect("every port served"))
+            .collect()
+    }
+
+    /// Simulates one clock period; `None` marks a port that presented no
+    /// request this cycle (idle inside a burst cooldown).
+    pub fn step_ports(&mut self) -> Vec<Option<RefStep>> {
         let geom = self.config.geometry;
         let nc = geom.bank_cycle();
         let ports = self.config.port_cpus.len();
+        let rows = match self.config.bank_model {
+            RefBankModel::Uniform => 0,
+            RefBankModel::Dram { rows, .. } => rows,
+        };
 
         // Banks age at the start of the cycle: a bank granted at cycle `t`
         // holds `n_c`, so it rejects requests at `t+1 .. t+n_c-1` and is
@@ -263,13 +455,18 @@ impl RefEngine {
 
         let mut steps: Vec<Option<RefStep>> = vec![None; ports];
         // Access paths (cpu, section) and inactive banks claimed so far
-        // this cycle, in the literal list form the paper's rules suggest.
+        // this cycle — with each claim's hold time — in the literal list
+        // form the paper's rules suggest.
         let mut paths_used: Vec<(usize, u64)> = Vec::with_capacity(ports);
-        let mut banks_claimed: Vec<u64> = Vec::with_capacity(ports);
+        let mut banks_claimed: Vec<(u64, u64)> = Vec::with_capacity(ports);
         let mut contested = false;
 
         for port in self.service_order() {
-            let bank = self.current_bank[port];
+            // A port inside a burst cooldown presents nothing this cycle.
+            if self.cycle < self.next_req_cycle[port] {
+                continue;
+            }
+            let (bank, row) = self.patterns[port].request(self.issued[port], geom.banks(), rows);
             let cpu = self.config.port_cpus[port];
             let section = geom.section_of(bank);
             let outcome = if self.busy[bank as usize] > 0 {
@@ -279,15 +476,31 @@ impl RefEngine {
                 self.delays[port][1] += 1;
                 contested = true;
                 RefOutcome::SectionConflict
-            } else if banks_claimed.contains(&bank) {
+            } else if banks_claimed.iter().any(|&(b, _)| b == bank) {
                 self.delays[port][2] += 1;
                 contested = true;
                 RefOutcome::SimultaneousBankConflict
             } else {
+                // Hold time: uniform holds n_c; the DRAM model holds only
+                // `hit_cycle` when the request hits the bank's open row,
+                // and opens the accessed row either way.
+                let hold = match self.config.bank_model {
+                    RefBankModel::Uniform => nc,
+                    RefBankModel::Dram { hit_cycle, .. } => {
+                        let hit = self.open_row[bank as usize] == Some(row);
+                        self.open_row[bank as usize] = Some(row);
+                        if hit {
+                            hit_cycle
+                        } else {
+                            nc
+                        }
+                    }
+                };
                 paths_used.push((cpu, section));
-                banks_claimed.push(bank);
+                banks_claimed.push((bank, hold));
                 self.grants[port] += 1;
-                self.current_bank[port] = (bank + self.distance[port]) % geom.banks();
+                self.issued[port] += 1;
+                self.next_req_cycle[port] = self.cycle + self.patterns[port].burst();
                 RefOutcome::Granted
             };
             steps[port] = Some(RefStep { bank, outcome });
@@ -297,8 +510,8 @@ impl RefEngine {
         // cycle is arbitrated: the busy check above must see the state at
         // the start of the cycle, while same-cycle collisions on an
         // inactive bank are section / simultaneous-bank conflicts.
-        for &bank in &banks_claimed {
-            self.busy[bank as usize] = nc;
+        for &(bank, hold) in &banks_claimed {
+            self.busy[bank as usize] = hold;
             #[cfg(feature = "bug_injection")]
             if self.bug == Some(InjectedBug::ResidueOverflow) && freed_now[bank as usize] {
                 self.busy[bank as usize] = nc + 2;
@@ -322,9 +535,6 @@ impl RefEngine {
         }
         self.cycle += 1;
         steps
-            .into_iter()
-            .map(|s| s.expect("every port served"))
-            .collect()
     }
 
     /// Runs `cycles` clock periods; returns total grants over the run (the
@@ -332,7 +542,7 @@ impl RefEngine {
     pub fn run(&mut self, cycles: u64) -> u64 {
         let before = self.total_grants();
         for _ in 0..cycles {
-            self.step();
+            self.step_ports();
         }
         self.total_grants() - before
     }
@@ -462,6 +672,67 @@ mod tests {
         let c3 = e.step();
         assert_eq!(c3[1].bank, 0);
         assert_eq!(c3[1].outcome, RefOutcome::Granted);
+    }
+
+    #[test]
+    fn burst_port_idles_between_grants() {
+        // Burst 3, unit stride, nc = 1: grants at cycles 0, 3, 6; the port
+        // presents nothing in between.
+        let g = geom(8, 1);
+        let mut e = RefEngine::from_specs(
+            RefConfig::single_cpu(g, 1, RefPriority::Fixed),
+            &[PatternSpec::Burst {
+                start_bank: 0,
+                distance: 1,
+                burst: 3,
+            }],
+        );
+        let mut active = Vec::new();
+        for c in 0..9 {
+            let s = e.step_ports();
+            if s[0].is_some() {
+                active.push(c);
+            }
+        }
+        assert_eq!(active, vec![0, 3, 6]);
+        assert_eq!(e.total_grants(), 3);
+    }
+
+    #[test]
+    fn dram_open_row_hits_hold_shorter() {
+        // d = 0 hammers one cell: first grant misses (hold n_c = 3), every
+        // later one hits the open row (hold 1) — grants at 0, 3, 4, 5, ...
+        let g = geom(4, 3);
+        let cfg =
+            RefConfig::single_cpu(g, 1, RefPriority::Fixed).with_bank_model(RefBankModel::Dram {
+                hit_cycle: 1,
+                rows: 2,
+            });
+        let mut e = RefEngine::from_specs(
+            cfg,
+            &[PatternSpec::Stride {
+                start_bank: 0,
+                distance: 0,
+            }],
+        );
+        assert_eq!(e.run(9), 7);
+        assert_eq!(e.open_rows()[0], Some(0));
+    }
+
+    #[test]
+    fn gather_indices_follow_shared_vocabulary() {
+        // Affine a = 2, c = 1 over span 8 on 8 banks: banks 1,3,5,7,1,...
+        let g = geom(8, 1);
+        let mut e = RefEngine::from_specs(
+            RefConfig::single_cpu(g, 1, RefPriority::Fixed),
+            &[PatternSpec::Gather {
+                base: 0,
+                span: 8,
+                index: IndexPattern::Affine { a: 2, c: 1 },
+            }],
+        );
+        let banks: Vec<u64> = (0..4).map(|_| e.step()[0].bank).collect();
+        assert_eq!(banks, vec![1, 3, 5, 7]);
     }
 
     #[cfg(feature = "bug_injection")]

@@ -129,7 +129,7 @@ mod tests {
     use vecmem_analytic::Geometry;
 
     fn req(port: usize, bank: u64) -> (PortId, Request) {
-        (PortId(port), Request { bank })
+        (PortId(port), Request::to_bank(bank))
     }
 
     fn never_busy(_: u64) -> bool {

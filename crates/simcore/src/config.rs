@@ -19,6 +19,32 @@ pub enum PriorityRule {
     Cyclic,
 }
 
+/// How long a granted bank stays busy.
+///
+/// The paper's model charges every access the full bank cycle time `n_c`
+/// ([`BankModel::Uniform`]). The DRAM-flavoured variant keeps the same
+/// arbitration but makes the hold time asymmetric: an access that hits the
+/// bank's open row costs only `hit_cycle` periods, while a row miss pays
+/// the full `n_c` and leaves its own row open (a minimal open-page policy).
+/// Which case applies is decided inside the step kernel from the
+/// per-bank open-row state carried in the packed
+/// [`SimState`](crate::state::SimState) core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BankModel {
+    /// Every grant holds the bank for the geometry's full `n_c`.
+    #[default]
+    Uniform,
+    /// Row-buffer asymmetry: `hit_cycle` periods on an open-row hit, the
+    /// geometry's `n_c` on a miss (which then opens the accessed row).
+    Dram {
+        /// Hold time of an open-row hit, in `1..=n_c`.
+        hit_cycle: u64,
+        /// Number of distinct rows tracked per bank (row addresses are
+        /// reduced modulo `rows`, keeping the state space finite).
+        rows: u64,
+    },
+}
+
 /// Full static configuration of a simulated memory system.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimConfig {
@@ -28,6 +54,8 @@ pub struct SimConfig {
     pub ports: Vec<CpuId>,
     /// Conflict resolution rule.
     pub priority: PriorityRule,
+    /// Bank timing model (uniform `n_c` vs DRAM row-buffer asymmetry).
+    pub bank_model: BankModel,
 }
 
 impl SimConfig {
@@ -38,6 +66,7 @@ impl SimConfig {
             geometry,
             ports: vec![CpuId(0); n_ports],
             priority: PriorityRule::Fixed,
+            bank_model: BankModel::Uniform,
         }
     }
 
@@ -50,6 +79,7 @@ impl SimConfig {
             geometry,
             ports: (0..n_ports).map(CpuId).collect(),
             priority: PriorityRule::Fixed,
+            bank_model: BankModel::Uniform,
         }
     }
 
@@ -61,6 +91,7 @@ impl SimConfig {
             geometry: Geometry::cray_xmp(),
             ports: vec![CpuId(0), CpuId(0), CpuId(0), CpuId(1), CpuId(1), CpuId(1)],
             priority: PriorityRule::Fixed,
+            bank_model: BankModel::Uniform,
         }
     }
 
@@ -68,6 +99,26 @@ impl SimConfig {
     #[must_use]
     pub fn with_priority(mut self, priority: PriorityRule) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Sets the bank timing model (builder style).
+    ///
+    /// # Panics
+    /// For [`BankModel::Dram`], if `hit_cycle` is outside `1..=n_c` or
+    /// `rows` is zero: a hit may never cost more than a miss, and at least
+    /// one row per bank must exist.
+    #[must_use]
+    pub fn with_bank_model(mut self, bank_model: BankModel) -> Self {
+        if let BankModel::Dram { hit_cycle, rows } = bank_model {
+            assert!(
+                hit_cycle >= 1 && hit_cycle <= self.geometry.bank_cycle(),
+                "DRAM hit cycle {hit_cycle} outside 1..=n_c ({})",
+                self.geometry.bank_cycle()
+            );
+            assert!(rows >= 1, "DRAM bank model needs at least one row");
+        }
+        self.bank_model = bank_model;
         self
     }
 
@@ -125,5 +176,32 @@ mod tests {
     fn builder_priority() {
         let c = SimConfig::cray_xmp_dual().with_priority(PriorityRule::Cyclic);
         assert_eq!(c.priority, PriorityRule::Cyclic);
+    }
+
+    #[test]
+    fn builder_bank_model() {
+        let c = SimConfig::cray_xmp_dual();
+        assert_eq!(c.bank_model, BankModel::Uniform);
+        let d = c.with_bank_model(BankModel::Dram {
+            hit_cycle: 1,
+            rows: 8,
+        });
+        assert_eq!(
+            d.bank_model,
+            BankModel::Dram {
+                hit_cycle: 1,
+                rows: 8,
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=n_c")]
+    fn dram_hit_cycle_bounded_by_nc() {
+        // Cray X-MP geometry has n_c = 4; a hit costing 5 is rejected.
+        let _ = SimConfig::cray_xmp_dual().with_bank_model(BankModel::Dram {
+            hit_cycle: 5,
+            rows: 8,
+        });
     }
 }

@@ -20,9 +20,16 @@
 //!   collect pending requests, arbitrate ([`arbiter`]), apply delays and
 //!   grants, notify the [`observe::SimObserver`], age the banks;
 //! * [`steady`] — Brent's cycle-finding over the state hash: exact
-//!   effective bandwidth of the cyclic state in O(state) memory;
+//!   effective bandwidth of the cyclic state in O(state) memory, with a
+//!   budgeted windowed estimate for aperiodic workloads;
+//! * [`pattern`] — the access-pattern abstraction: address generation as
+//!   a swappable concern ([`pattern::AccessPattern`]), with constant
+//!   stride, indexed gather/scatter and strided-burst implementations and
+//!   the generic per-port [`pattern::PatternWorkload`] adapter;
 //! * [`config`], [`request`], [`stats`], [`workload`] — the shared
-//!   vocabulary types these are written in.
+//!   vocabulary types these are written in, including the
+//!   [`config::BankModel`] (uniform `n_c` holds or DRAM-flavoured
+//!   open-row hit/miss asymmetry).
 //!
 //! Layering: `vecmem-simcore` sits on `vecmem-analytic` (geometry and
 //! exact rationals) and knows nothing about who drives it. Downstream,
@@ -33,6 +40,7 @@
 pub mod arbiter;
 pub mod config;
 pub mod observe;
+pub mod pattern;
 pub mod request;
 pub mod state;
 pub mod stats;
@@ -41,13 +49,18 @@ pub mod step;
 pub mod workload;
 
 pub use arbiter::{arbitrate, arbitrate_into, priority_rank};
-pub use config::{PriorityRule, SimConfig};
+pub use config::{BankModel, PriorityRule, SimConfig};
 pub use observe::{NoopObserver, SimObserver, Tee};
+pub use pattern::{
+    AccessPattern, AnyPattern, BurstPattern, GatherPattern, IndexPattern, PatternLength,
+    PatternPort, PatternSpec, PatternWorkload, StridePattern,
+};
 pub use request::{ConflictKind, CpuId, PortId, PortOutcome, Request};
 pub use state::{InvariantViolation, PortEvent, SimState};
 pub use stats::{ConflictCounts, PortStats, SimStats, WAIT_BUCKETS};
 pub use steady::{
     measure_steady_state_workload, ObservableWorkload, SteadyState, SteadyStateError,
+    WINDOWED_FALLBACK_CYCLES,
 };
 pub use step::{step, CycleEvents};
 pub use workload::Workload;

@@ -13,11 +13,28 @@ pub struct CpuId(pub usize);
 ///
 /// Only the bank address matters for conflict behaviour (paper §II: "we are
 /// only interested in the address j of the bank"); word addresses are
-/// reduced by the caller.
+/// reduced by the caller. Under the DRAM-flavoured bank model
+/// ([`BankModel::Dram`](crate::config::BankModel::Dram)) the request also
+/// carries the bank-local `row` so the step kernel can decide between a
+/// row-buffer hit and a miss; the uniform model ignores it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Request {
     /// Target bank address, in `0..m`.
     pub bank: u64,
+    /// Bank-local row of the access, in `0..rows` of the configured
+    /// [`BankModel`](crate::config::BankModel); `0` under the uniform
+    /// model, which has no row state.
+    pub row: u64,
+}
+
+impl Request {
+    /// A request for `bank` with no row information (the uniform bank
+    /// model's shape, and the legacy constructor for all stride streams).
+    #[must_use]
+    #[inline]
+    pub fn to_bank(bank: u64) -> Self {
+        Self { bank, row: 0 }
+    }
 }
 
 /// The three conflict types of paper §II.

@@ -11,6 +11,11 @@
 //! * per-bank busy **residues** — remaining busy clock periods, stored as
 //!   one byte per bank (they are bounded by `n_c`, which must fit in a
 //!   `u8`), eight banks per word;
+//! * per-bank **open rows** — under the DRAM bank model
+//!   ([`BankModel::Dram`](crate::config::BankModel::Dram)) only, one word
+//!   per bank holding `row + 1` (`0` = closed). The uniform model packs
+//!   zero open-row words, keeping its layout and hashes byte-identical to
+//!   the pre-DRAM encoding;
 //! * per-port workload **position slots** — the reduced stream positions a
 //!   workload reports through
 //!   [`ObservableWorkload`](crate::steady::ObservableWorkload);
@@ -19,8 +24,8 @@
 //!   and can grow without bound under starvation, so they are excluded from
 //!   both the hash and [`PartialEq`].
 //!
-//! The prefix up to the wait counters (rotation + residues + positions) is
-//! the *core*: the part that determines all future behaviour. Equality of
+//! The prefix up to the wait counters (rotation + residues + open rows +
+//! positions) is the *core*: the part that determines all future behaviour. Equality of
 //! cores is cyclic-state recurrence, and the detector in
 //! [`crate::steady`] tracks it through an **incrementally maintained
 //! 64-bit hash**: every mutation XORs out the old component and XORs in
@@ -72,6 +77,7 @@ fn component(seed: u64, idx: u64, val: u64) -> u64 {
 const RES_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
 const POS_SEED: u64 = 0xc2b2_ae3d_27d4_eb4f;
 const ROT_SEED: u64 = 0x1656_67b1_9e37_79f9;
+const ROW_SEED: u64 = 0x2545_f491_4f6c_dd1d;
 
 /// A violated [`SimState`] structural invariant, as found by
 /// [`SimState::validate`].
@@ -98,6 +104,17 @@ pub enum InvariantViolation {
         rotation: usize,
         /// Number of ports it must stay below.
         ports: u32,
+    },
+    /// A DRAM open-row word exceeds the bank model's row count: rows are
+    /// reduced modulo `rows` before they are opened, so no reachable state
+    /// can hold a larger one.
+    OpenRowOutOfRange {
+        /// The offending bank.
+        bank: u64,
+        /// Its stored open row.
+        row: u64,
+        /// The bank model's exclusive row bound.
+        rows: u64,
     },
     /// A workload position slot exceeds the workload's declared bound.
     PositionOutOfRange {
@@ -131,6 +148,10 @@ impl std::fmt::Display for InvariantViolation {
                     "rotation {rotation} is not a port index (ports = {ports})"
                 )
             }
+            Self::OpenRowOutOfRange { bank, row, rows } => write!(
+                f,
+                "bank {bank} open row {row} outside the bank model's 0..{rows}"
+            ),
             Self::PositionOutOfRange {
                 slot,
                 position,
@@ -160,13 +181,23 @@ impl std::fmt::Display for InvariantViolation {
 /// coincide.
 #[derive(Debug, Clone)]
 pub struct SimState {
-    /// Layout: `[rotation | residue words | position slots | waits]`.
+    /// Layout: `[rotation | residue words | open-row words | position
+    /// slots | waits]`. The open-row region exists only under the DRAM
+    /// bank model (one word per bank, `row + 1` with `0` = closed); under
+    /// the uniform model it is zero words wide, so the layout — and every
+    /// hash — is byte-identical to the pre-DRAM encoding.
     buf: Box<[u64]>,
     banks: u32,
     ports: u32,
     sig_len: u32,
     /// Number of `u64` words holding the packed residues.
     res_words: u32,
+    /// Number of `u64` words holding per-bank open rows: `banks` under the
+    /// DRAM bank model, `0` under the uniform model.
+    row_words: u32,
+    /// Exclusive bound on open-row values (the DRAM model's `rows`; `0`
+    /// under the uniform model, where no open-row words exist).
+    max_rows: u64,
     /// Largest residue any reachable state can hold: the geometry's bank
     /// cycle time `n_c`.
     max_residue: u8,
@@ -178,6 +209,7 @@ pub struct SimState {
     h_res: u64,
     h_rot: u64,
     h_pos: u64,
+    h_row: u64,
     /// Per-port events of the last simulated cycle, in arbitration order.
     pub(crate) outcomes: Vec<PortEvent>,
     /// Scratch: pending requests collected at the start of a cycle.
@@ -214,7 +246,11 @@ impl SimState {
         let banks = config.geometry.banks() as u32;
         let ports = config.num_ports() as u32;
         let res_words = banks.div_ceil(8);
-        let words = 1 + res_words as usize + sig_len + ports as usize;
+        let (row_words, max_rows) = match config.bank_model {
+            crate::config::BankModel::Uniform => (0, 0),
+            crate::config::BankModel::Dram { rows, .. } => (banks, rows),
+        };
+        let words = 1 + res_words as usize + row_words as usize + sig_len + ports as usize;
         let mut state = Self {
             // vecmem-lint: allow(L2) -- one-time construction; the step kernel never re-allocates
             buf: vec![0u64; words].into_boxed_slice(),
@@ -222,21 +258,25 @@ impl SimState {
             ports,
             sig_len: sig_len as u32,
             res_words,
+            row_words,
+            max_rows,
             max_residue: config.geometry.bank_cycle() as u8,
             slot_bound: None,
             now: 0,
             h_res: 0,
             h_rot: 0,
             h_pos: 0,
+            h_row: 0,
             outcomes: Vec::with_capacity(ports as usize), // vecmem-lint: allow(L2) -- one-time construction
             pending: Vec::with_capacity(ports as usize), // vecmem-lint: allow(L2) -- one-time construction
             kinds: Vec::with_capacity(ports as usize), // vecmem-lint: allow(L2) -- one-time construction
             just_freed: Vec::with_capacity(ports as usize), // vecmem-lint: allow(L2) -- one-time construction
         };
-        let (r, o, p) = state.full_hash();
+        let (r, o, p, w) = state.full_hash();
         state.h_res = r;
         state.h_rot = o;
         state.h_pos = p;
+        state.h_row = w;
         state
     }
 
@@ -396,8 +436,64 @@ impl SimState {
     }
 
     #[inline]
-    fn pos_base(&self) -> usize {
+    fn row_base(&self) -> usize {
         1 + self.res_words as usize
+    }
+
+    #[inline]
+    fn pos_base(&self) -> usize {
+        self.row_base() + self.row_words as usize
+    }
+
+    /// The row currently open in `bank`'s row buffer, or `None` when the
+    /// bank is cold (or the uniform model is active, which tracks no rows).
+    #[must_use]
+    #[inline]
+    pub fn open_row(&self, bank: u64) -> Option<u64> {
+        if self.row_words == 0 {
+            return None;
+        }
+        let word = self.buf[self.row_base() + bank as usize];
+        (word != 0).then(|| word - 1)
+    }
+
+    /// Opens `row` in `bank`'s row buffer, maintaining the incremental
+    /// hash. Only meaningful under the DRAM bank model.
+    #[inline]
+    pub(crate) fn set_open_row(&mut self, bank: u64, row: u64) {
+        debug_assert!(self.row_words > 0, "uniform model has no open rows");
+        let i = self.row_base() + bank as usize;
+        let old = self.buf[i];
+        let new = row + 1;
+        if old != new {
+            self.h_row ^= component(ROW_SEED, bank, old) ^ component(ROW_SEED, bank, new);
+            self.buf[i] = new;
+        }
+    }
+
+    /// Copies an externally held open-row vector (`None` = closed) into
+    /// the open-row words — the DRAM analogue of [`Self::repack`], used by
+    /// the differential oracle to lift the reference engine's row state.
+    ///
+    /// # Panics
+    /// If `open` does not have one entry per bank, or the state was built
+    /// for the uniform model (which has no open-row words).
+    pub fn sync_open_rows(&mut self, open: &[Option<u64>]) {
+        assert_eq!(open.len(), self.banks as usize, "one open row per bank");
+        assert!(
+            self.row_words == self.banks,
+            "uniform-model state has no open-row words"
+        );
+        for (bank, &row) in open.iter().enumerate() {
+            let i = self.row_base() + bank;
+            let old = self.buf[i];
+            let new = row.map_or(0, |r| r + 1);
+            if old != new {
+                let idx = bank as u64;
+                self.h_row ^= component(ROW_SEED, idx, old) ^ component(ROW_SEED, idx, new);
+                self.buf[i] = new;
+            }
+        }
     }
 
     #[inline]
@@ -450,9 +546,10 @@ impl SimState {
         self.buf[i] = 0;
     }
 
-    /// The hashed, compared core: rotation, residues and position slots.
-    /// Two states with equal cores have identical futures (given the same
-    /// configuration and workload dynamics).
+    /// The hashed, compared core: rotation, residues, open rows (DRAM
+    /// model only) and position slots. Two states with equal cores have
+    /// identical futures (given the same configuration and workload
+    /// dynamics).
     #[must_use]
     pub fn core(&self) -> &[u64] {
         &self.buf[..self.wait_base()]
@@ -462,10 +559,10 @@ impl SimState {
     #[must_use]
     #[inline]
     pub fn hash(&self) -> u64 {
-        self.h_res ^ self.h_rot ^ self.h_pos
+        self.h_res ^ self.h_rot ^ self.h_pos ^ self.h_row
     }
 
-    fn full_hash(&self) -> (u64, u64, u64) {
+    fn full_hash(&self) -> (u64, u64, u64, u64) {
         let mut h_res = 0;
         for w in 0..self.res_words as usize {
             h_res ^= component(RES_SEED, w as u64, self.buf[w + 1]);
@@ -475,7 +572,11 @@ impl SimState {
         for slot in 0..self.sig_len as usize {
             h_pos ^= component(POS_SEED, slot as u64, self.buf[self.pos_base() + slot]);
         }
-        (h_res, h_rot, h_pos)
+        let mut h_row = 0;
+        for bank in 0..self.row_words as usize {
+            h_row ^= component(ROW_SEED, bank as u64, self.buf[self.row_base() + bank]);
+        }
+        (h_res, h_rot, h_pos, h_row)
     }
 
     /// Re-hashes the core from scratch — the value [`Self::hash`] must
@@ -483,8 +584,8 @@ impl SimState {
     /// for debugging; the hot paths never call it.
     #[must_use]
     pub fn recompute_hash(&self) -> u64 {
-        let (r, o, p) = self.full_hash();
-        r ^ o ^ p
+        let (r, o, p, w) = self.full_hash();
+        r ^ o ^ p ^ w
     }
 
     /// Per-port events of the last simulated clock period, in arbitration
@@ -529,6 +630,17 @@ impl SimState {
                 ports: self.ports,
             });
         }
+        for bank in 0..u64::from(self.row_words) {
+            if let Some(row) = self.open_row(bank) {
+                if row >= self.max_rows {
+                    return Err(InvariantViolation::OpenRowOutOfRange {
+                        bank,
+                        row,
+                        rows: self.max_rows,
+                    });
+                }
+            }
+        }
         if let Some(bound) = self.slot_bound {
             for slot in 0..self.sig_len as usize {
                 let position = self.position(slot);
@@ -563,6 +675,12 @@ impl SimState {
             self.rotation(),
             self.residues_vec()
         );
+        if self.row_words > 0 {
+            let rows: Vec<Option<u64>> = (0..u64::from(self.banks))
+                .map(|b| self.open_row(b))
+                .collect(); // vecmem-lint: allow(L2) -- divergence reporting only
+            let _ = write!(s, " open_rows={rows:?}");
+        }
         if self.sig_len > 0 {
             let positions: Vec<u64> = (0..self.sig_len as usize)
                 .map(|i| self.position(i))
@@ -581,6 +699,7 @@ impl PartialEq for SimState {
         self.banks == other.banks
             && self.ports == other.ports
             && self.sig_len == other.sig_len
+            && self.row_words == other.row_words
             && self.core() == other.core()
     }
 }
@@ -728,5 +847,70 @@ mod tests {
     fn oversized_bank_cycle_rejected() {
         let cfg = config(4, 300, 1);
         let _ = SimState::new(&cfg);
+    }
+
+    fn dram_config(m: u64, nc: u64, ports: usize, rows: u64) -> SimConfig {
+        config(m, nc, ports).with_bank_model(crate::config::BankModel::Dram { hit_cycle: 1, rows })
+    }
+
+    #[test]
+    fn uniform_model_packs_no_row_words() {
+        let cfg = config(8, 3, 2);
+        let s = SimState::with_signature_slots(&cfg, 2);
+        assert_eq!(s.open_row(3), None);
+        // Same dimensions with rows enabled: a distinct state kind.
+        let d = SimState::with_signature_slots(&dram_config(8, 3, 2, 4), 2);
+        assert_ne!(s, d);
+    }
+
+    #[test]
+    fn open_rows_hash_and_compare() {
+        let cfg = dram_config(8, 3, 1, 4);
+        let mut a = SimState::new(&cfg);
+        let b = SimState::new(&cfg);
+        assert_eq!(a, b);
+        a.set_open_row(2, 3);
+        assert_eq!(a.open_row(2), Some(3));
+        assert_eq!(a.open_row(1), None);
+        assert_ne!(a, b);
+        assert_ne!(a.hash(), b.hash());
+        assert_eq!(a.hash(), a.recompute_hash());
+        a.sync_open_rows(&[None; 8]);
+        assert_eq!(a, b);
+        assert_eq!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn validate_catches_out_of_range_open_row() {
+        let cfg = dram_config(8, 3, 1, 4);
+        let mut s = SimState::new(&cfg);
+        s.set_open_row(5, 3);
+        assert_eq!(s.validate(), Ok(()));
+        s.set_open_row(5, 4);
+        assert_eq!(
+            s.validate(),
+            Err(InvariantViolation::OpenRowOutOfRange {
+                bank: 5,
+                row: 4,
+                rows: 4,
+            })
+        );
+        let msg = InvariantViolation::OpenRowOutOfRange {
+            bank: 5,
+            row: 4,
+            rows: 4,
+        }
+        .to_string();
+        assert!(msg.contains("open row 4"), "{msg}");
+    }
+
+    #[test]
+    fn render_includes_open_rows_under_dram() {
+        let cfg = dram_config(4, 2, 1, 4);
+        let mut s = SimState::new(&cfg);
+        s.set_open_row(1, 2);
+        let dump = s.render();
+        assert!(dump.contains("open_rows="), "{dump}");
+        assert!(dump.contains("Some(2)"), "{dump}");
     }
 }

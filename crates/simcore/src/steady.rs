@@ -63,6 +63,11 @@ pub struct SteadyState {
     pub per_port: Vec<Ratio>,
     /// Conflicts per period, by kind.
     pub conflicts_per_period: ConflictCounts,
+    /// `true` when the figures come from an exact recurrence of the state
+    /// core (the normal case); `false` when the workload declared itself
+    /// aperiodic and the figures are a windowed estimate over `period`
+    /// cycles instead (see [`WINDOWED_FALLBACK_CYCLES`]).
+    pub exact: bool,
 }
 
 impl SteadyState {
@@ -118,11 +123,40 @@ pub trait ObservableWorkload: Workload {
     }
 
     /// Inclusive upper bound every signature slot stays within, when the
-    /// workload knows one. The `sanitize` feature uses it to bound-check
-    /// the position slots after every cycle; `None` (the default)
-    /// disables that check.
+    /// workload knows one; `None` (the default) declares the signature
+    /// unbounded and disables all bound checking.
+    ///
+    /// # Contract
+    ///
+    /// * The bound is **inclusive** and applies to **every** slot the
+    ///   workload writes through [`write_signature`](Self::write_signature)
+    ///   — including any end-of-stream marker values (the stride streams,
+    ///   for example, write the bank count `m` for a finished port, so
+    ///   their bound is `m`, not `m − 1`).
+    /// * It must hold for the **initial** signature as well as after every
+    ///   cycle: the steady-state cursor validates the freshly constructed
+    ///   state once at construction (panicking on a violation, naming the
+    ///   offending slot), and the `sanitize` feature re-checks after every
+    ///   cycle via [`SimState::validate`], which reports an out-of-bound
+    ///   slot as the named
+    ///   [`InvariantViolation::PositionOutOfRange`](crate::state::InvariantViolation::PositionOutOfRange)
+    ///   instead of a generic assert.
+    /// * It must be constant over the workload's lifetime (it is wired
+    ///   into the state once, via [`SimState::set_slot_bound`]).
     fn signature_bound(&self) -> Option<u64> {
         None
+    }
+
+    /// Whether the workload's request sequences are (eventually) periodic
+    /// in the granted-request count — the premise of cyclic-state
+    /// recurrence. The default is `true`, which is correct for every
+    /// finite-state workload. A workload that knows its addresses never
+    /// recur (e.g. a pseudo-random gather whose signature is the raw issue
+    /// count) returns `false`, and the steady-state solver answers with a
+    /// budgeted windowed estimate instead of spinning the full cycle
+    /// budget into [`SteadyStateError::NotConverged`].
+    fn periodic(&self) -> bool {
+        true
     }
 }
 
@@ -136,6 +170,9 @@ impl<W: ObservableWorkload + ?Sized> ObservableWorkload for &mut W {
     fn signature_bound(&self) -> Option<u64> {
         (**self).signature_bound()
     }
+    fn periodic(&self) -> bool {
+        (**self).periodic()
+    }
 }
 
 impl<W: Workload + ?Sized> Workload for &mut W {
@@ -144,6 +181,9 @@ impl<W: Workload + ?Sized> Workload for &mut W {
     }
     fn granted(&mut self, port: crate::request::PortId, now: u64) {
         (**self).granted(port, now);
+    }
+    fn tick(&mut self, now: u64) {
+        (**self).tick(now);
     }
     fn is_finished(&self) -> bool {
         (**self).is_finished()
@@ -189,6 +229,13 @@ impl<'c, W: ObservableWorkload + Clone> Cursor<'c, W> {
         let bound = cursor.workload.signature_bound();
         cursor.state.set_slot_bound(bound);
         cursor.sync();
+        // Construction-time contract check: the initial signature must
+        // already satisfy the declared bound (see
+        // `ObservableWorkload::signature_bound`).
+        if let Err(violation) = cursor.state.validate() {
+            // vecmem-lint: allow(L3) -- contract violation at construction must abort loudly
+            panic!("workload signature invalid at construction: {violation}");
+        }
         cursor
     }
 
@@ -259,6 +306,12 @@ pub fn measure_steady_state_workload<W: ObservableWorkload + Clone>(
     warmup: u64,
     max_cycles: u64,
 ) -> Result<SteadyState, SteadyStateError> {
+    // Aperiodic workloads (per their own declaration) can never recur:
+    // answer with a budgeted windowed estimate instead of burning the full
+    // cycle budget on a search that must fail.
+    if !workload.periodic() {
+        return measure_windowed(config, workload, warmup, max_cycles);
+    }
     let not_converged = SteadyStateError::NotConverged { cycles: max_cycles };
 
     // Search cursor: pristine workload advanced through warmup, then
@@ -345,6 +398,54 @@ pub fn measure_steady_state_workload<W: ObservableWorkload + Clone>(
             .map(|&g| Ratio::new(g, lambda))
             .collect(),
         conflicts_per_period: conflicts,
+        exact: true,
+    })
+}
+
+/// Cycle budget of the windowed estimate used for self-declared aperiodic
+/// workloads: the measurement window is `min(max_cycles, this)` cycles
+/// after warmup.
+pub const WINDOWED_FALLBACK_CYCLES: u64 = 1 << 16;
+
+/// Budgeted windowed estimate for workloads that declare themselves
+/// aperiodic ([`ObservableWorkload::periodic`] = `false`): simulate
+/// `warmup` cycles, then a window of `min(max_cycles,`
+/// [`WINDOWED_FALLBACK_CYCLES`]`)` cycles, and report the window averages
+/// with [`SteadyState::exact`] = `false`. No snapshots are kept — there is
+/// nothing to recur against.
+fn measure_windowed<W: ObservableWorkload + Clone>(
+    config: &SimConfig,
+    workload: &mut W,
+    warmup: u64,
+    max_cycles: u64,
+) -> Result<SteadyState, SteadyStateError> {
+    let window = max_cycles.min(WINDOWED_FALLBACK_CYCLES);
+    if window == 0 {
+        return Err(SteadyStateError::NotConverged { cycles: max_cycles });
+    }
+    let mut cursor = Cursor::new(config, workload.clone());
+    cursor.advance_by(warmup);
+    let base_per_port = cursor.per_port.clone();
+    let base_conflicts = cursor.conflicts;
+    cursor.advance_by(window);
+    let per_port_grants: Vec<u64> = cursor
+        .per_port
+        .iter()
+        .zip(&base_per_port)
+        .map(|(&a, &b)| a - b)
+        .collect();
+    let grants_per_period: u64 = per_port_grants.iter().sum();
+    Ok(SteadyState {
+        beff: Ratio::new(grants_per_period, window),
+        transient: warmup,
+        period: window,
+        grants_per_period,
+        per_port: per_port_grants
+            .iter()
+            .map(|&g| Ratio::new(g, window))
+            .collect(),
+        conflicts_per_period: cursor.conflicts - base_conflicts,
+        exact: false,
     })
 }
 
@@ -374,7 +475,7 @@ mod tests {
 
     impl Workload for Strides {
         fn pending(&self, port: PortId, _now: u64) -> Option<Request> {
-            self.pos.get(port.0).map(|&bank| Request { bank })
+            self.pos.get(port.0).map(|&bank| Request::to_bank(bank))
         }
         fn granted(&mut self, port: PortId, _now: u64) {
             self.pos[port.0] = (self.pos[port.0] + self.d[port.0]) % self.m;

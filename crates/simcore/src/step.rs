@@ -15,10 +15,14 @@
 //!    counter, [`on_delay`](crate::observe::SimObserver::on_delay);
 //! 6. record the per-port [`PortEvent`]s (input order) into
 //!    [`SimState::outcomes`];
-//! 7. grants, in input order: mark the bank busy for `n_c` periods,
+//! 7. grants, in input order: mark the bank busy — `n_c` periods under
+//!    the uniform bank model; under the DRAM model `hit_cycle` on an
+//!    open-row hit and `n_c` on a miss, which opens the accessed row —
 //!    [`on_grant`](crate::observe::SimObserver::on_grant) and
 //!    [`on_bank_busy`](crate::observe::SimObserver::on_bank_busy), reset
-//!    the wait counter, advance the workload;
+//!    the wait counter, advance the workload; then the workload's
+//!    end-of-cycle [`tick`](crate::workload::Workload::tick), once,
+//!    after all grants;
 //! 8. observer: [`on_cycle_end`](crate::observe::SimObserver::on_cycle_end)
 //!    with the grant count and the number of banks busy *during* the cycle;
 //! 9. under cyclic priority, advance the rotation if the cycle was
@@ -130,13 +134,28 @@ pub fn step<W: Workload + ?Sized, O: SimObserver>(
     }
     state.outcomes = outcomes;
 
-    // 7. Grants.
+    // 7. Grants. The hold time is the geometry's n_c under the uniform
+    // bank model; the DRAM model charges only `hit_cycle` when the request
+    // hits the bank's open row, and opens the accessed row otherwise.
     let mut grants = 0u32;
-    let hold = config.geometry.bank_cycle();
+    let miss_hold = config.geometry.bank_cycle();
     for (i, &(port, req)) in pending.iter().enumerate() {
         if kinds[i] == PortOutcome::Granted {
             grants += 1;
             let wait = state.wait(port);
+            let hold = match config.bank_model {
+                crate::config::BankModel::Uniform => miss_hold,
+                crate::config::BankModel::Dram { hit_cycle, rows } => {
+                    debug_assert!(req.row < rows, "row {} of {rows}", req.row);
+                    let hit = state.open_row(req.bank) == Some(req.row);
+                    state.set_open_row(req.bank, req.row);
+                    if hit {
+                        hit_cycle
+                    } else {
+                        miss_hold
+                    }
+                }
+            };
             state.set_residue(req.bank, hold as u8);
             if O::ENABLED {
                 observer.on_grant(now, port, req.bank, wait, hold);
@@ -146,6 +165,10 @@ pub fn step<W: Workload + ?Sized, O: SimObserver>(
             workload.granted(port, now);
         }
     }
+
+    // 7b. End-of-cycle workload aging (burst cooldowns and the like),
+    // strictly after every grant of this period.
+    workload.tick(now);
 
     // 8. End of cycle: banks busy *during* this period (grants included,
     // aging not yet applied).
@@ -196,7 +219,7 @@ mod tests {
 
     impl Workload for FixedBanks {
         fn pending(&self, port: PortId, _now: u64) -> Option<Request> {
-            self.0.get(port.0).map(|&bank| Request { bank })
+            self.0.get(port.0).map(|&bank| Request::to_bank(bank))
         }
         fn granted(&mut self, _port: PortId, _now: u64) {}
         fn is_finished(&self) -> bool {

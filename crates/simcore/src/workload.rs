@@ -19,6 +19,16 @@ pub trait Workload {
     /// workload advances that port to its next request.
     fn granted(&mut self, port: PortId, now: u64);
 
+    /// End-of-cycle hook, called by the step kernel exactly once per clock
+    /// period after all grants of that period (and before the next
+    /// period's `pending` calls). Workloads with time-dependent state —
+    /// e.g. burst streams idling for `B − 1` periods after a multi-word
+    /// grant — age that state here. The default is a no-op, so plain
+    /// request-per-cycle workloads are unaffected.
+    fn tick(&mut self, now: u64) {
+        let _ = now;
+    }
+
     /// True when no port will ever present a request again.
     fn is_finished(&self) -> bool;
 }
@@ -38,7 +48,9 @@ mod tests {
             if port.0 != 0 {
                 return None;
             }
-            self.banks.get(self.next).map(|&bank| Request { bank })
+            self.banks
+                .get(self.next)
+                .map(|&bank| Request::to_bank(bank))
         }
         fn granted(&mut self, port: PortId, _now: u64) {
             assert_eq!(port.0, 0);
@@ -55,11 +67,11 @@ mod tests {
             banks: vec![3, 5],
             next: 0,
         };
-        assert_eq!(w.pending(PortId(0), 0), Some(Request { bank: 3 }));
+        assert_eq!(w.pending(PortId(0), 0), Some(Request::to_bank(3)));
         // Not granted: the same request stays pending.
-        assert_eq!(w.pending(PortId(0), 1), Some(Request { bank: 3 }));
+        assert_eq!(w.pending(PortId(0), 1), Some(Request::to_bank(3)));
         w.granted(PortId(0), 1);
-        assert_eq!(w.pending(PortId(0), 2), Some(Request { bank: 5 }));
+        assert_eq!(w.pending(PortId(0), 2), Some(Request::to_bank(5)));
         assert!(!w.is_finished());
         w.granted(PortId(0), 2);
         assert!(w.is_finished());

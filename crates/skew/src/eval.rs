@@ -3,10 +3,16 @@
 //! A [`MappedStreamWorkload`] drives strided *address* streams through an
 //! arbitrary [`BankMapping`]; the steady-state machinery of
 //! `vecmem-banksim` then yields exact effective bandwidths, so schemes can
-//! be compared stride by stride against plain interleaving.
+//! be compared stride by stride against plain interleaving. The
+//! generalized workload layer extends the same treatment to indexed
+//! gathers: [`MappedGatherWorkload`] routes an
+//! [`IndexPattern`]-generated address walk through a mapping, so skew
+//! schemes can be compared under irregular indexing too
+//! ([`gather_bandwidth`]).
 
 use crate::scheme::BankMapping;
 use vecmem_analytic::Ratio;
+use vecmem_banksim::pattern::IndexPattern;
 use vecmem_banksim::steady::{measure_steady_state_workload, ObservableWorkload, SteadyStateError};
 use vecmem_banksim::{PortId, Request, SimConfig, Workload};
 
@@ -74,9 +80,7 @@ impl<M: BankMapping + ?Sized> Workload for MappedStreamWorkload<'_, M> {
         if port.0 >= self.streams.len() {
             return None;
         }
-        Some(Request {
-            bank: self.bank(port.0),
-        })
+        Some(Request::to_bank(self.bank(port.0)))
     }
 
     fn granted(&mut self, port: PortId, _now: u64) {
@@ -108,6 +112,113 @@ impl<M: BankMapping + ?Sized> ObservableWorkload for MappedStreamWorkload<'_, M>
     fn write_signature(&self, out: &mut [u64]) {
         out.copy_from_slice(&self.issued);
     }
+}
+
+/// A single-port indexed gather routed through a [`BankMapping`]:
+/// `addr(k) = base + ix(k)`, bank `mapping.bank_of(addr mod P)`.
+///
+/// Affine index vectors make the workload periodic in the element index
+/// (the address walk repeats with the index period), so the steady-state
+/// solver finds an exact cyclic state; pseudo-random indexing is aperiodic
+/// and measured with the budgeted windowed estimate.
+pub struct MappedGatherWorkload<'a, M: BankMapping + ?Sized> {
+    mapping: &'a M,
+    base: u64,
+    span: u64,
+    index: IndexPattern,
+    issued: u64,
+    /// Period of the index sequence in `k`, `None` when aperiodic.
+    period: Option<u64>,
+}
+
+impl<'a, M: BankMapping + ?Sized> MappedGatherWorkload<'a, M> {
+    /// A gather over `base .. base + span` through `mapping`, on port 0.
+    ///
+    /// # Panics
+    /// If `span` is zero.
+    #[must_use]
+    pub fn new(mapping: &'a M, base: u64, span: u64, index: IndexPattern) -> Self {
+        assert!(span > 0, "gather span must be positive");
+        Self {
+            mapping,
+            base,
+            span,
+            index,
+            issued: 0,
+            period: index.period(span),
+        }
+    }
+
+    fn bank(&self) -> u64 {
+        let addr = self.base as u128 + u128::from(self.index.index(self.issued, self.span));
+        let p = self.mapping.address_period() as u128;
+        self.mapping.bank_of((addr % p) as u64)
+    }
+}
+
+impl<M: BankMapping + ?Sized> Workload for MappedGatherWorkload<'_, M> {
+    fn pending(&self, port: PortId, _now: u64) -> Option<Request> {
+        (port.0 == 0).then(|| Request::to_bank(self.bank()))
+    }
+
+    fn granted(&mut self, port: PortId, _now: u64) {
+        debug_assert_eq!(port.0, 0);
+        self.issued = match self.period {
+            Some(p) => (self.issued + 1) % p,
+            None => self.issued + 1,
+        };
+    }
+
+    fn is_finished(&self) -> bool {
+        false
+    }
+}
+
+impl<M: BankMapping + ?Sized> Clone for MappedGatherWorkload<'_, M> {
+    fn clone(&self) -> Self {
+        Self {
+            mapping: self.mapping,
+            ..*self
+        }
+    }
+}
+
+impl<M: BankMapping + ?Sized> ObservableWorkload for MappedGatherWorkload<'_, M> {
+    fn signature_len(&self) -> usize {
+        1
+    }
+
+    fn write_signature(&self, out: &mut [u64]) {
+        out[0] = self.issued;
+    }
+
+    fn signature_bound(&self) -> Option<u64> {
+        self.period
+    }
+
+    fn periodic(&self) -> bool {
+        self.period.is_some()
+    }
+}
+
+/// Steady-state bandwidth of a single-port indexed gather under a mapping
+/// (exact for affine index vectors, windowed estimate for pseudo-random
+/// ones).
+///
+/// # Errors
+/// Returns a [`SteadyStateError`] when the state neither recurs nor can be
+/// estimated within `max_cycles`.
+pub fn gather_bandwidth<M: BankMapping + ?Sized>(
+    mapping: &M,
+    config: &SimConfig,
+    base: u64,
+    span: u64,
+    index: IndexPattern,
+    max_cycles: u64,
+) -> Result<Ratio, SteadyStateError> {
+    assert_eq!(config.num_ports(), 1);
+    let mut w = MappedGatherWorkload::new(mapping, base, span, index);
+    Ok(measure_steady_state_workload(config, &mut w, 0, max_cycles)?.beff)
 }
 
 /// Steady-state bandwidth of one address stream under a mapping.
@@ -300,6 +411,86 @@ mod tests {
         assert_eq!(rows[0].solo, Ratio::integer(1));
         // Stride 8 ≡ 0 (mod 8): r = 1, solo = 1/2 with n_c = 2.
         assert_eq!(rows[7].solo, Ratio::new(1, 2));
+    }
+
+    #[test]
+    fn affine_gather_exact_and_mapping_sensitive() {
+        // a = m on m banks: the unskewed gather hammers one bank (1/n_c);
+        // the classic skew spreads the same address walk perfectly. Both
+        // are exact periodic solutions, not windowed estimates.
+        let m = 8;
+        let cfg = solo_cfg(m, 4);
+        let ix = IndexPattern::Affine { a: m, c: 0 };
+        let plain =
+            gather_bandwidth(&Interleaved { banks: m }, &cfg, 0, 1 << 16, ix, 100_000).unwrap();
+        assert_eq!(plain, Ratio::new(1, 4));
+        let skewed =
+            gather_bandwidth(&LinearSkew::classic(m), &cfg, 0, 1 << 16, ix, 100_000).unwrap();
+        assert_eq!(skewed, Ratio::integer(1));
+    }
+
+    #[test]
+    fn unit_affine_gather_matches_unit_stride() {
+        // ix(k) = k degenerates to the unit-stride stream: every mapping
+        // must agree with its own single_stream_bandwidth answer.
+        let cfg = solo_cfg(16, 4);
+        for scheme in [
+            &Interleaved { banks: 16 } as &dyn BankMapping,
+            &LinearSkew::classic(16),
+            &XorFold::new(16),
+        ] {
+            let gather = gather_bandwidth(
+                scheme,
+                &cfg,
+                0,
+                1 << 16,
+                IndexPattern::Affine { a: 1, c: 0 },
+                100_000,
+            )
+            .unwrap();
+            let stream = single_stream_bandwidth(
+                scheme,
+                &cfg,
+                AddressStream {
+                    start: 0,
+                    stride: 1,
+                },
+                100_000,
+            )
+            .unwrap();
+            assert_eq!(gather, stream, "{}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn random_gather_estimated_and_skew_insensitive() {
+        // Pseudo-random indexing is aperiodic: the solver falls back to the
+        // windowed estimate. No skew scheme can help (the address stream is
+        // already pattern-free), so all mappings land in the same random
+        // regime between 1/n_c and 1.
+        let cfg = solo_cfg(16, 4);
+        let ix = IndexPattern::PseudoRandom { seed: 11 };
+        let mut beffs = Vec::new();
+        for scheme in [
+            &Interleaved { banks: 16 } as &dyn BankMapping,
+            &LinearSkew::classic(16),
+            &XorFold::new(16),
+        ] {
+            let mut w = MappedGatherWorkload::new(scheme, 0, 1 << 16, ix);
+            let ss = measure_steady_state_workload(&cfg, &mut w, 0, 1 << 20).unwrap();
+            assert!(!ss.exact, "{} should be a windowed estimate", scheme.name());
+            let beff = ss.beff.to_f64();
+            assert!(beff > 0.5 && beff < 0.95, "{}: {beff}", scheme.name());
+            beffs.push(beff);
+        }
+        let (min, max) = (
+            beffs.iter().cloned().fold(f64::INFINITY, f64::min),
+            beffs.iter().cloned().fold(0.0, f64::max),
+        );
+        assert!(
+            max - min < 0.1,
+            "schemes diverged on random gather: {beffs:?}"
+        );
     }
 
     #[test]

@@ -118,9 +118,7 @@ impl Workload for ProgramWorkload {
     fn pending(&self, port: PortId, now: u64) -> Option<Request> {
         if let Some((start, stride, issued)) = self.background[port.0] {
             let addr = start as u128 + issued as u128 * stride as u128;
-            return Some(Request {
-                bank: (addr % self.banks as u128) as u64,
-            });
+            return Some(Request::to_bank((addr % self.banks as u128) as u64));
         }
         let id = self.current_segment(port)?;
         if now < self.port_ready_at[port.0] || !self.deps_ready(id, now) {
@@ -129,9 +127,7 @@ impl Workload for ProgramWorkload {
         let seg = self.program.segment(id);
         let state = &self.states[id.0];
         let addr = seg.start_address as u128 + state.issued as u128 * seg.stride as u128;
-        Some(Request {
-            bank: (addr % self.banks as u128) as u64,
-        })
+        Some(Request::to_bank((addr % self.banks as u128) as u64))
     }
 
     fn granted(&mut self, port: PortId, now: u64) {

@@ -8,93 +8,41 @@
 //! quantified on the same memory system: a gather behaves like the
 //! random-access workloads of the classical models, but *in-order through
 //! a single port*, so every conflict stalls the whole stream.
+//!
+//! The workload itself is the shared pattern machinery of
+//! [`vecmem_simcore::pattern`]: a finite single-port
+//! [`PatternWorkload`]`<`[`GatherPattern`]`>` driven through the one step
+//! kernel, with [`IndexPattern`] (re-exported here) generating the index
+//! vector. The differential oracle verifies the same patterns in
+//! lockstep, and `vecmem steady --pattern gather` measures their
+//! steady-state bandwidth.
 
 use vecmem_analytic::Geometry;
-use vecmem_banksim::{Engine, PortId, Request, RunOutcome, SimConfig, Workload};
+use vecmem_banksim::pattern::{GatherPattern, PatternPort, PatternWorkload};
+use vecmem_banksim::{Engine, RunOutcome, SimConfig};
 
-/// How the index vector is generated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum IndexPattern {
-    /// `ix(k) = (a·k + c) mod span` — affine shuffles (sorted-by-key data,
-    /// permutations). With `a = 1` this degenerates to a strided walk.
-    Affine {
-        /// Multiplier.
-        a: u64,
-        /// Offset.
-        c: u64,
-    },
-    /// A deterministic pseudo-random permutation-ish walk from a linear
-    /// congruential generator (hash-table probing, sparse matrices).
-    PseudoRandom {
-        /// LCG seed.
-        seed: u64,
-    },
-}
+pub use vecmem_banksim::pattern::IndexPattern;
 
-impl IndexPattern {
-    /// The k-th index in `0..span`.
-    #[must_use]
-    pub fn index(&self, k: u64, span: u64) -> u64 {
-        match *self {
-            Self::Affine { a, c } => ((a as u128 * k as u128 + c as u128) % span as u128) as u64,
-            Self::PseudoRandom { seed } => {
-                // SplitMix64-style mix of (seed, k), reduced to the span —
-                // deterministic, stateless, well spread.
-                let mut z = seed ^ (k.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-                (z ^ (z >> 31)) % span
-            }
-        }
-    }
-}
+/// A single-port gather: `n` loads from `base + ix(k)` in index order,
+/// running on the shared pattern machinery.
+pub type GatherWorkload = PatternWorkload<GatherPattern>;
 
-/// A single-port gather: `n` loads from `base + ix(k)` in index order.
-#[derive(Debug, Clone)]
-pub struct GatherWorkload {
+/// Builds a gather of `n` elements from `base .. base + span` on port 0.
+///
+/// # Panics
+/// If `span` is zero.
+#[must_use]
+pub fn gather_workload(
+    geom: &Geometry,
     base: u64,
     span: u64,
     pattern: IndexPattern,
     n: u64,
-    issued: u64,
-    banks: u64,
-}
-
-impl GatherWorkload {
-    /// A gather of `n` elements from `base .. base + span` on port 0.
-    #[must_use]
-    pub fn new(geom: &Geometry, base: u64, span: u64, pattern: IndexPattern, n: u64) -> Self {
-        assert!(span > 0, "gather span must be positive");
-        Self {
-            base,
-            span,
-            pattern,
-            n,
-            issued: 0,
-            banks: geom.banks(),
-        }
-    }
-}
-
-impl Workload for GatherWorkload {
-    fn pending(&self, port: PortId, _now: u64) -> Option<Request> {
-        if port.0 != 0 || self.issued >= self.n {
-            return None;
-        }
-        let addr = self.base + self.pattern.index(self.issued, self.span);
-        Some(Request {
-            bank: addr % self.banks,
-        })
-    }
-
-    fn granted(&mut self, port: PortId, _now: u64) {
-        debug_assert_eq!(port.0, 0);
-        self.issued += 1;
-    }
-
-    fn is_finished(&self) -> bool {
-        self.issued >= self.n
-    }
+) -> GatherWorkload {
+    PatternWorkload::new(vec![PatternPort::new(GatherPattern::new(
+        geom, base, span, pattern,
+    ))
+    .with_length(n)])
 }
 
 /// Result of a gather experiment.
@@ -113,7 +61,7 @@ pub struct GatherResult {
 pub fn run_gather(geom: &Geometry, pattern: IndexPattern, span: u64, n: u64) -> GatherResult {
     let config = SimConfig::single_cpu(*geom, 1);
     let mut engine = Engine::new(config);
-    let mut workload = GatherWorkload::new(geom, 0, span, pattern, n);
+    let mut workload = gather_workload(geom, 0, span, pattern, n);
     let bound = n * geom.bank_cycle() + 1_000;
     let cycles = match engine.run(&mut workload, bound) {
         RunOutcome::Finished(c) => c,
@@ -190,20 +138,31 @@ mod tests {
     #[should_panic(expected = "span must be positive")]
     fn zero_span_rejected() {
         let g = geom();
-        let _ = GatherWorkload::new(&g, 0, 0, IndexPattern::Affine { a: 1, c: 0 }, 1);
+        let _ = gather_workload(&g, 0, 0, IndexPattern::Affine { a: 1, c: 0 }, 1);
     }
 
     #[test]
     fn gather_slower_than_stride_on_average() {
         // The headline comparison: irregular indexing costs bandwidth even
-        // with zero instruction overheads, purely from bank conflicts.
+        // with zero instruction overheads, purely from bank conflicts. A
+        // single seed can get lucky, so run the property harness's shared
+        // seed set and compare the *average* random-gather cost against the
+        // strided baseline.
         let strided = run_gather(&geom(), IndexPattern::Affine { a: 1, c: 0 }, 1 << 20, 2_048);
-        let random = run_gather(
-            &geom(),
-            IndexPattern::PseudoRandom { seed: 3 },
-            1 << 20,
-            2_048,
+        let seeds = vecmem_prop::seeds("gather_vs_stride", 12);
+        let total_random_cycles: u64 = seeds
+            .iter()
+            .map(|&seed| {
+                run_gather(&geom(), IndexPattern::PseudoRandom { seed }, 1 << 20, 2_048).cycles
+            })
+            .sum();
+        let avg_random = total_random_cycles as f64 / seeds.len() as f64;
+        assert!(
+            avg_random > strided.cycles as f64,
+            "random gather averaged {avg_random} cycles over {} seeds, \
+             strided took {}",
+            seeds.len(),
+            strided.cycles
         );
-        assert!(random.cycles > strided.cycles);
     }
 }

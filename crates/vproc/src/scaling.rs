@@ -12,7 +12,7 @@ use crate::layout::CommonBlock;
 use crate::program::{Program, Segment, SegmentId};
 use crate::triad::TriadExperiment;
 use vecmem_analytic::Geometry;
-use vecmem_banksim::{CpuId, Engine, PortId, PriorityRule, RunOutcome, SimConfig};
+use vecmem_banksim::{BankModel, CpuId, Engine, PortId, PriorityRule, RunOutcome, SimConfig};
 
 /// Result of an `n`-CPU scaled triad run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,6 +66,7 @@ pub fn scaled_triad(cpus: usize, banks_per_cpu: u64, inc: u64) -> ScalingResult 
         geometry: geom,
         ports,
         priority: PriorityRule::Cyclic,
+        bank_model: BankModel::Uniform,
     };
 
     let mut base = TriadExperiment::paper(inc);

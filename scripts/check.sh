@@ -34,10 +34,15 @@ echo "==> bench gate: throughput ratchet vs BENCH_history.jsonl"
 # Full (non-quick) measurement overwrites the quick smoke's report, then the
 # gate compares it against the last recorded non-quick baseline.  A pass
 # appends the new measurement (ratcheting the baseline forward); a >10%
-# regression exits non-zero without touching the history.
+# regression exits non-zero without touching the history.  The stride
+# conformance batch guards the legacy hot path; the gather batch guards
+# the generalized pattern layer.
 cargo bench -q -p vecmem-bench --bench steady_throughput > /dev/null
 cargo run -q --release -p vecmem-bench --features obs --bin bench_gate \
   || { echo "bench gate: throughput regressed vs BENCH_history.jsonl"; exit 1; }
+cargo run -q --release -p vecmem-bench --features obs --bin bench_gate -- \
+  --bench steady/gather_batch/serial \
+  || { echo "bench gate: gather throughput regressed vs BENCH_history.jsonl"; exit 1; }
 
 echo "==> smoke: figure/table binaries (small geometries, golden diffs)"
 smoke_dir="$(mktemp -d)"
@@ -56,6 +61,21 @@ grep -q " 0 mismatches" "$smoke_dir/theorems.txt" \
 grep -q "cache hit rate" "$smoke_dir/theorems.log" \
   || { echo "table_theorems did not log its cache hit rate"; exit 1; }
 echo "    fig10 + table_theorems smoke OK"
+
+echo "==> pattern smoke: gather / burst / DRAM steady states (golden diffs)"
+./target/release/vecmem steady --pattern gather --affine 16 \
+  > "$smoke_dir/steady_gather.txt"
+diff -u "results/steady_gather_m16.txt" "$smoke_dir/steady_gather.txt" \
+  || { echo "gather steady state drifted from results/steady_gather_m16.txt"; exit 1; }
+./target/release/vecmem steady --pattern burst --burst 4 --d1 1 --d2 1 \
+  > "$smoke_dir/steady_burst.txt"
+diff -u "results/steady_burst_m16.txt" "$smoke_dir/steady_burst.txt" \
+  || { echo "burst steady state drifted from results/steady_burst_m16.txt"; exit 1; }
+./target/release/vecmem steady --bank-model dram --dram-hit 2 --dram-rows 4 \
+  --d1 0 --d2 0 --b2 8 > "$smoke_dir/steady_dram.txt"
+diff -u "results/steady_dram_m16.txt" "$smoke_dir/steady_dram.txt" \
+  || { echo "DRAM steady state drifted from results/steady_dram_m16.txt"; exit 1; }
+echo "    gather + burst + DRAM match the golden steady states"
 
 echo "==> report smoke: conflict attribution on the pinned m=16 pair"
 ./target/release/vecmem report steady --banks 16 --nc 4 --d1 4 --d2 4 \

@@ -55,7 +55,7 @@ impl AdversarialWorkload {
 
 impl Workload for AdversarialWorkload {
     fn pending(&self, port: PortId, _now: u64) -> Option<Request> {
-        self.current[port.0].map(|bank| Request { bank })
+        self.current[port.0].map(Request::to_bank)
     }
     fn granted(&mut self, port: PortId, _now: u64) {
         self.refresh(port.0);
