@@ -4,6 +4,7 @@
 //! it yields the ASCII trace (in the paper's visual layout) and the exact
 //! steady-state bandwidth, alongside the value the paper reports.
 
+use crate::support::{converged, paper};
 use vecmem_analytic::{Geometry, Ratio, SectionMapping, StreamSpec};
 use vecmem_banksim::{PriorityRule, SimConfig, SimStats, SteadyState};
 use vecmem_exec::{Runner, Scenario, TraceScenario};
@@ -78,7 +79,7 @@ impl Figure {
         FigureRun {
             figure: self.clone(),
             trace: outcome.trace,
-            steady: outcome.steady.expect("figure scenarios converge"),
+            steady: converged(outcome.steady), // every catalogued figure has a finite steady state
             stats: outcome.stats,
         }
     }
@@ -96,7 +97,7 @@ pub fn run_all(figures: &[Figure], trace_cycles: u64) -> Vec<FigureRun> {
         .map(|(outcome, figure)| FigureRun {
             figure: figure.clone(),
             trace: outcome.trace,
-            steady: outcome.steady.expect("figure scenarios converge"),
+            steady: converged(outcome.steady), // every catalogued figure has a finite steady state
             stats: outcome.stats,
         })
         .collect()
@@ -105,7 +106,7 @@ pub fn run_all(figures: &[Figure], trace_cycles: u64) -> Vec<FigureRun> {
 /// Fig. 2: conflict-free access, `m = 12`, `n_c = 3`, `d1 = 1 ⊕ d2 = 7`.
 #[must_use]
 pub fn fig2() -> Figure {
-    let geometry = Geometry::unsectioned(12, 3).unwrap();
+    let geometry = paper(Geometry::unsectioned(12, 3));
     Figure {
         id: "2",
         caption: "Conflict-free access (m=12, nc=3, d1=1, d2=7)",
@@ -113,8 +114,8 @@ pub fn fig2() -> Figure {
         placement: Placement::CrossCpu,
         priority: PriorityRule::Fixed,
         streams: [
-            StreamSpec::new(&geometry, 0, 1).unwrap(),
-            StreamSpec::new(&geometry, 1, 7).unwrap(),
+            paper(StreamSpec::new(&geometry, 0, 1)),
+            paper(StreamSpec::new(&geometry, 1, 7)),
         ],
         paper_beff: Some(Ratio::integer(2)),
     }
@@ -124,7 +125,7 @@ pub fn fig2() -> Figure {
 /// (stream 2 constantly delayed).
 #[must_use]
 pub fn fig3() -> Figure {
-    let geometry = Geometry::unsectioned(13, 6).unwrap();
+    let geometry = paper(Geometry::unsectioned(13, 6));
     Figure {
         id: "3",
         caption: "Barrier-situation (m=13, nc=6, d1=1, d2=6)",
@@ -132,8 +133,8 @@ pub fn fig3() -> Figure {
         placement: Placement::CrossCpu,
         priority: PriorityRule::Fixed,
         streams: [
-            StreamSpec::new(&geometry, 0, 1).unwrap(),
-            StreamSpec::new(&geometry, 0, 6).unwrap(),
+            paper(StreamSpec::new(&geometry, 0, 1)),
+            paper(StreamSpec::new(&geometry, 0, 6)),
         ],
         paper_beff: Some(Ratio::new(7, 6)),
     }
@@ -143,7 +144,7 @@ pub fn fig3() -> Figure {
 /// barrier-situation is *not* reached, the streams delay each other.
 #[must_use]
 pub fn fig4() -> Figure {
-    let geometry = Geometry::unsectioned(13, 6).unwrap();
+    let geometry = paper(Geometry::unsectioned(13, 6));
     Figure {
         id: "4",
         caption: "Double conflict: barrier not reached (m=13, nc=6, d1=1, d2=6, b2=1)",
@@ -151,8 +152,8 @@ pub fn fig4() -> Figure {
         placement: Placement::CrossCpu,
         priority: PriorityRule::Fixed,
         streams: [
-            StreamSpec::new(&geometry, 0, 1).unwrap(),
-            StreamSpec::new(&geometry, 1, 6).unwrap(),
+            paper(StreamSpec::new(&geometry, 0, 1)),
+            paper(StreamSpec::new(&geometry, 1, 6)),
         ],
         paper_beff: None,
     }
@@ -162,7 +163,7 @@ pub fn fig4() -> Figure {
 /// `b1 = 0`, `b2 = 7`.
 #[must_use]
 pub fn fig5() -> Figure {
-    let geometry = Geometry::unsectioned(13, 4).unwrap();
+    let geometry = paper(Geometry::unsectioned(13, 4));
     Figure {
         id: "5",
         caption: "Barrier-situation (m=13, nc=4, d1=1, d2=3, b2=7)",
@@ -170,8 +171,8 @@ pub fn fig5() -> Figure {
         placement: Placement::CrossCpu,
         priority: PriorityRule::Fixed,
         streams: [
-            StreamSpec::new(&geometry, 0, 1).unwrap(),
-            StreamSpec::new(&geometry, 7, 3).unwrap(),
+            paper(StreamSpec::new(&geometry, 0, 1)),
+            paper(StreamSpec::new(&geometry, 7, 3)),
         ],
         paper_beff: Some(Ratio::new(4, 3)),
     }
@@ -181,7 +182,7 @@ pub fn fig5() -> Figure {
 /// stream 2 delays stream 1.
 #[must_use]
 pub fn fig6() -> Figure {
-    let geometry = Geometry::unsectioned(13, 4).unwrap();
+    let geometry = paper(Geometry::unsectioned(13, 4));
     Figure {
         id: "6",
         caption: "Inverted barrier-situation (m=13, nc=4, d1=1, d2=3, b2=1)",
@@ -189,8 +190,8 @@ pub fn fig6() -> Figure {
         placement: Placement::CrossCpu,
         priority: PriorityRule::Fixed,
         streams: [
-            StreamSpec::new(&geometry, 0, 1).unwrap(),
-            StreamSpec::new(&geometry, 1, 3).unwrap(),
+            paper(StreamSpec::new(&geometry, 0, 1)),
+            paper(StreamSpec::new(&geometry, 1, 3)),
         ],
         paper_beff: None,
     }
@@ -200,7 +201,7 @@ pub fn fig6() -> Figure {
 /// `n_c = 2`, `d1 = d2 = 1`, relative start `(n_c + 1)·d1 = 3` (eq. 32).
 #[must_use]
 pub fn fig7() -> Figure {
-    let geometry = Geometry::new(12, 2, 2).unwrap();
+    let geometry = paper(Geometry::new(12, 2, 2));
     Figure {
         id: "7",
         caption: "Conflict-free access with 2 sections (m=12, s=2, nc=2, d1=d2=1, b2=3)",
@@ -208,8 +209,8 @@ pub fn fig7() -> Figure {
         placement: Placement::SameCpu,
         priority: PriorityRule::Fixed,
         streams: [
-            StreamSpec::new(&geometry, 0, 1).unwrap(),
-            StreamSpec::new(&geometry, 3, 1).unwrap(),
+            paper(StreamSpec::new(&geometry, 0, 1)),
+            paper(StreamSpec::new(&geometry, 3, 1)),
         ],
         paper_beff: Some(Ratio::integer(2)),
     }
@@ -223,7 +224,7 @@ pub fn fig7() -> Figure {
 /// alternation never resolves.
 #[must_use]
 pub fn fig8a() -> Figure {
-    let geometry = Geometry::new(12, 3, 3).unwrap();
+    let geometry = paper(Geometry::new(12, 3, 3));
     Figure {
         id: "8a",
         caption: "Linked conflict, fixed priority (m=12, s=3, nc=3, d1=d2=1, b2=1)",
@@ -231,8 +232,8 @@ pub fn fig8a() -> Figure {
         placement: Placement::SameCpu,
         priority: PriorityRule::Fixed,
         streams: [
-            StreamSpec::new(&geometry, 0, 1).unwrap(),
-            StreamSpec::new(&geometry, 1, 1).unwrap(),
+            paper(StreamSpec::new(&geometry, 0, 1)),
+            paper(StreamSpec::new(&geometry, 1, 1)),
         ],
         paper_beff: Some(Ratio::new(3, 2)),
     }
@@ -254,7 +255,12 @@ pub fn fig8b() -> Figure {
 /// banks into a section (Cheung & Smith), fixed priority.
 #[must_use]
 pub fn fig9() -> Figure {
-    let geometry = Geometry::with_mapping(12, 3, 3, SectionMapping::Consecutive).unwrap();
+    let geometry = paper(Geometry::with_mapping(
+        12,
+        3,
+        3,
+        SectionMapping::Consecutive,
+    ));
     Figure {
         id: "9",
         caption: "Linked conflict avoided by consecutive-bank sections",
@@ -262,8 +268,8 @@ pub fn fig9() -> Figure {
         placement: Placement::SameCpu,
         priority: PriorityRule::Fixed,
         streams: [
-            StreamSpec::new(&geometry, 0, 1).unwrap(),
-            StreamSpec::new(&geometry, 1, 1).unwrap(),
+            paper(StreamSpec::new(&geometry, 0, 1)),
+            paper(StreamSpec::new(&geometry, 1, 1)),
         ],
         paper_beff: Some(Ratio::integer(2)),
     }

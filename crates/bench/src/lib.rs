@@ -30,6 +30,7 @@ pub mod csv;
 pub mod fig10;
 pub mod figures;
 pub mod plot;
+mod support;
 pub mod tables;
 #[cfg(feature = "obs")]
 pub mod telemetry;

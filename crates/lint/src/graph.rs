@@ -1,0 +1,872 @@
+//! The workspace call graph and the interprocedural rules (L6/L7) that
+//! run on it.
+//!
+//! Nodes are function definitions from every crate's [AST-lite](crate::parse);
+//! edges come from call expressions, resolved by **path suffix** against
+//! the fully qualified node paths (`vecmem_simcore::SimState::new`
+//! matches the call `SimState::new`). Resolution is deliberately
+//! over-approximate in three places, and every over-approximation is
+//! *logged* as a note rather than silently applied or dropped:
+//!
+//! * **Ambiguous free calls** — the same suffix matches several
+//!   functions even after preferring the caller's file and crate: edges
+//!   go to all of them.
+//! * **Trait dispatch** — a method call resolves to every impl that
+//!   defines the method name (the receiver type is unknown to a
+//!   tokenizer-level parser): the fan-out is the point, e.g.
+//!   `.advance(…)` from the kernel reaches every `AccessPattern` impl.
+//! * **Function pointers** — a bare reference to a known function name
+//!   (`map(residue_of)`, `let f = helper;`) adds an edge to it.
+//!
+//! Edges are also filtered by the Cargo dependency relation: a free call
+//! can only land in the caller's own crate or its (transitive)
+//! dependencies, and a method call additionally in crates that depend on
+//! the caller's (trait impls live *above* the trait's crate). This keeps
+//! a `fn len` in an unrelated leaf crate from absorbing every `.len()`
+//! call in the workspace.
+//!
+//! Reachability starts from the functions under a
+//! `// vecmem-lint: hot-path` marker and is cycle-safe (plain BFS with a
+//! visited set); `#[cfg(test)]` code neither resolves nor propagates.
+
+use crate::parse::{CallSite, ParsedFile};
+use crate::rules::Violation;
+use crate::source::SourceFile;
+use crate::tokens::{Tok, TokKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One file's contribution to the graph, borrowed from the driver.
+#[derive(Debug)]
+pub struct GraphFile<'a> {
+    /// Cargo package name (`vecmem-simcore`).
+    pub krate: &'a str,
+    /// Workspace-relative path.
+    pub rel: &'a str,
+    /// Module path derived from the file location (`src/steady.rs` →
+    /// `["steady"]`); see [`module_path`].
+    pub module: Vec<String>,
+    /// Marker regions and suppressions.
+    pub source: &'a SourceFile,
+    /// The AST-lite.
+    pub parsed: &'a ParsedFile,
+    /// Direct `vecmem-*` dependencies of the owning crate.
+    pub deps: &'a [String],
+}
+
+/// One lexical fact inside a function body that a reachability rule may
+/// turn into a finding.
+#[derive(Debug, Clone)]
+pub struct Fact {
+    /// What was found, as it should read in a diagnostic.
+    pub what: String,
+    /// 1-based line.
+    pub line: u32,
+    /// True when the line already sits in an alloc-free region — then the
+    /// lexical rule (L2) owns the finding and L6 stays silent.
+    pub exempt: bool,
+}
+
+/// One function node.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Owning Cargo package.
+    pub krate: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// Fully qualified segments: crate ident, module path, impl self
+    /// type, name.
+    pub segments: Vec<String>,
+    /// Bare name (last segment).
+    pub name: String,
+    /// Impl self type, when defined in an `impl` block.
+    pub self_type: Option<String>,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// True for `#[cfg(test)]` code: excluded from resolution and
+    /// propagation.
+    pub is_test: bool,
+    /// True when the definition has a body.
+    pub has_body: bool,
+    /// True when marked `// vecmem-lint: hot-path`: an L6/L7 root.
+    pub hot_root: bool,
+    /// Allocation facts (L6).
+    pub alloc: Vec<Fact>,
+    /// Panic-surface facts (L7): unwrap/expect/panic-family macros,
+    /// indexing, division by a variable.
+    pub panic: Vec<Fact>,
+}
+
+impl FnNode {
+    /// Display path, `vecmem_simcore::SimState::new`.
+    #[must_use]
+    pub fn path(&self) -> String {
+        self.segments.join("::")
+    }
+}
+
+/// The assembled graph.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// Function nodes, in (file, source) order.
+    pub nodes: Vec<FnNode>,
+    /// Adjacency: `edges[i]` lists callee node indices, deduplicated.
+    pub edges: Vec<Vec<usize>>,
+    /// Logged resolution fallbacks: `(caller node, note)`.
+    pub notes: Vec<(usize, String)>,
+}
+
+/// Result of a reachability pass.
+#[derive(Debug)]
+pub struct Reach {
+    /// `parent[i]` is the BFS predecessor of a reached node (`None` for
+    /// roots and unreached nodes).
+    pub parent: Vec<Option<usize>>,
+    /// Whether node `i` was reached (roots included).
+    pub reached: Vec<bool>,
+}
+
+/// Module path from a workspace-relative file path: the segments between
+/// `src/` and the file, with `lib`/`main`/`mod` and `src/bin/*` roots
+/// contributing nothing.
+#[must_use]
+pub fn module_path(rel: &str) -> Vec<String> {
+    let Some(pos) = rel.rfind("src/") else {
+        return Vec::new();
+    };
+    let tail = &rel[pos + 4..];
+    let tail = tail.strip_suffix(".rs").unwrap_or(tail);
+    let mut segs: Vec<&str> = tail.split('/').collect();
+    if segs.first() == Some(&"bin") {
+        return Vec::new();
+    }
+    if matches!(segs.last(), Some(&"lib" | &"main" | &"mod")) {
+        segs.pop();
+    }
+    segs.iter().map(|s| (*s).to_string()).collect()
+}
+
+/// Identifier prevs that rule out an indexing expression (`&mut [u8]`,
+/// `return [0; 4]`, …).
+const NON_OPERAND_KEYWORDS: &[&str] = &[
+    "mut", "ref", "return", "in", "as", "else", "if", "match", "while", "loop", "move", "box",
+    "dyn", "break", "continue", "await", "unsafe", "let", "const", "static", "where", "impl",
+    "for", "fn",
+];
+
+impl CallGraph {
+    /// Builds the graph over every file of the workspace.
+    #[must_use]
+    pub fn build(files: &[GraphFile<'_>]) -> Self {
+        // Transitive dependency closure per package.
+        let mut direct: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for f in files {
+            let entry = direct.entry(f.krate).or_default();
+            for d in f.deps {
+                entry.insert(d.as_str());
+            }
+        }
+        let mut closure: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for &k in direct.keys() {
+            let mut seen: BTreeSet<String> = BTreeSet::new();
+            let mut work: Vec<&str> = vec![k];
+            while let Some(cur) = work.pop() {
+                if let Some(ds) = direct.get(cur) {
+                    for &d in ds {
+                        if seen.insert(d.to_string()) {
+                            work.push(d);
+                        }
+                    }
+                }
+            }
+            closure.insert(k.to_string(), seen);
+        }
+
+        // Nodes, remembering where each came from for the edge pass.
+        let mut nodes = Vec::new();
+        let mut origin: Vec<(usize, usize)> = Vec::new(); // (file idx, fn idx)
+        for (fi, f) in files.iter().enumerate() {
+            let crate_ident = f.krate.replace('-', "_");
+            for (di, def) in f.parsed.fns.iter().enumerate() {
+                let mut segments = vec![crate_ident.clone()];
+                segments.extend(f.module.iter().cloned());
+                segments.extend(def.path.iter().cloned());
+                let (alloc, panic) = def.body.map_or((Vec::new(), Vec::new()), |(from, to)| {
+                    collect_facts(f.source, &f.parsed.code, from, to)
+                });
+                nodes.push(FnNode {
+                    krate: f.krate.to_string(),
+                    file: f.rel.to_string(),
+                    segments,
+                    name: def.name.clone(),
+                    self_type: def.self_type.clone(),
+                    line: def.line,
+                    is_test: f.source.in_test(def.line),
+                    has_body: def.body.is_some(),
+                    hot_root: def.body.is_some() && f.source.in_hot_path(def.line),
+                    alloc,
+                    panic,
+                });
+                origin.push((fi, di));
+            }
+        }
+
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, n) in nodes.iter().enumerate() {
+            by_name.entry(n.name.clone()).or_default().push(i);
+        }
+
+        let mut edges: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); nodes.len()];
+        let mut notes = Vec::new();
+        for i in 0..nodes.len() {
+            if nodes[i].is_test || !nodes[i].has_body {
+                continue;
+            }
+            let (fi, di) = origin[i];
+            let def = &files[fi].parsed.fns[di];
+            for call in &def.calls {
+                let (targets, note) = resolve(&nodes, &by_name, &closure, i, call);
+                if let Some(note) = note {
+                    notes.push((i, note));
+                }
+                edges[i].extend(targets);
+            }
+            // Function-pointer references: bare mentions of known fn names.
+            let (from, to) = def.body.unwrap_or((0, 0));
+            for (name, line) in fn_refs(&files[fi].parsed.code, from, to, &by_name) {
+                let site = CallSite {
+                    segments: vec![name.clone()],
+                    is_method: false,
+                    line,
+                };
+                let (targets, _) = resolve(&nodes, &by_name, &closure, i, &site);
+                if !targets.is_empty() {
+                    notes.push((
+                        i,
+                        format!(
+                            "{}:{line}: function-pointer reference to `{name}` — edge(s) added from `{}`",
+                            nodes[i].file,
+                            nodes[i].path()
+                        ),
+                    ));
+                    edges[i].extend(targets);
+                }
+            }
+        }
+
+        CallGraph {
+            edges: edges.into_iter().map(|s| s.into_iter().collect()).collect(),
+            nodes,
+            notes,
+        }
+    }
+
+    /// Indices of the hot-path roots.
+    #[must_use]
+    pub fn roots(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].hot_root && !self.nodes[i].is_test)
+            .collect()
+    }
+
+    /// Cycle-safe BFS from `roots`, skipping test nodes.
+    #[must_use]
+    pub fn reach(&self, roots: &[usize]) -> Reach {
+        let mut parent = vec![None; self.nodes.len()];
+        let mut reached = vec![false; self.nodes.len()];
+        let mut queue: Vec<usize> = Vec::new();
+        for &r in roots {
+            if !reached[r] {
+                reached[r] = true;
+                queue.push(r);
+            }
+        }
+        let mut qi = 0;
+        while qi < queue.len() {
+            let cur = queue[qi];
+            qi += 1;
+            for &next in &self.edges[cur] {
+                if !reached[next] && !self.nodes[next].is_test {
+                    reached[next] = true;
+                    parent[next] = Some(cur);
+                    queue.push(next);
+                }
+            }
+        }
+        Reach { parent, reached }
+    }
+
+    /// The call chain `root → … → node`, for diagnostics. Truncated in
+    /// the middle past eight hops.
+    #[must_use]
+    pub fn chain(&self, reach: &Reach, node: usize) -> String {
+        let mut rev = vec![node];
+        let mut cur = node;
+        while let Some(p) = reach.parent[cur] {
+            rev.push(p);
+            cur = p;
+        }
+        rev.reverse();
+        let names: Vec<String> = rev.iter().map(|&i| self.nodes[i].path()).collect();
+        if names.len() > 8 {
+            format!(
+                "{} → … → {}",
+                names[..3].join(" → "),
+                names[names.len() - 3..].join(" → ")
+            )
+        } else {
+            names.join(" → ")
+        }
+    }
+
+    /// Runs L6 (transitive alloc-free) and L7 (no-panic cone) from the
+    /// hot-path roots.
+    #[must_use]
+    pub fn interprocedural(&self) -> Vec<Violation> {
+        let roots = self.roots();
+        let reach = self.reach(&roots);
+        let mut out = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !reach.reached[i] {
+                continue;
+            }
+            let chain = self.chain(&reach, i);
+            for f in &node.alloc {
+                if f.exempt {
+                    continue; // L2 owns alloc-free-marked regions.
+                }
+                out.push(Violation {
+                    rule: "L6",
+                    file: node.file.clone(),
+                    line: f.line,
+                    message: format!(
+                        "allocation (`{}`) in `{}`, reachable from a hot-path root via {chain}",
+                        f.what,
+                        node.path()
+                    ),
+                    hint: "hoist the allocation out of the hot path, reuse state-owned scratch, or suppress with a reason",
+                });
+            }
+            for f in &node.panic {
+                out.push(Violation {
+                    rule: "L7",
+                    file: node.file.clone(),
+                    line: f.line,
+                    message: format!(
+                        "{} in `{}`, reachable from a hot-path root via {chain}",
+                        f.what,
+                        node.path()
+                    ),
+                    hint: "kernel-cone code must not panic: return a Result, use checked accessors, or suppress with the invariant that rules the panic out",
+                });
+            }
+        }
+        out
+    }
+
+    /// Notes whose caller is on the hot-path cone — the resolution
+    /// fallbacks that actually influence L6/L7 findings.
+    #[must_use]
+    pub fn cone_notes(&self) -> Vec<String> {
+        let reach = self.reach(&self.roots());
+        self.notes
+            .iter()
+            .filter(|(i, _)| reach.reached[*i])
+            .map(|(_, n)| n.clone())
+            .collect()
+    }
+}
+
+/// Resolves one call from node `caller` to candidate node indices, with
+/// an optional fallback note.
+fn resolve(
+    nodes: &[FnNode],
+    by_name: &BTreeMap<String, Vec<usize>>,
+    closure: &BTreeMap<String, BTreeSet<String>>,
+    caller: usize,
+    call: &CallSite,
+) -> (Vec<usize>, Option<String>) {
+    let mut segs: Vec<String> = call.segments.clone();
+    if segs.len() > 1 && segs[0] == "Self" {
+        match &nodes[caller].self_type {
+            Some(st) => segs[0].clone_from(st),
+            None => {
+                segs.remove(0);
+            }
+        }
+    }
+    let Some(name) = segs.last().cloned() else {
+        return (Vec::new(), None);
+    };
+    let Some(cands) = by_name.get(&name) else {
+        return (Vec::new(), None);
+    };
+    let ck = nodes[caller].krate.clone();
+    let dep_visible = |callee: &FnNode| {
+        callee.krate == ck || closure.get(&ck).is_some_and(|d| d.contains(&callee.krate))
+    };
+    // Trait impls live in crates that depend on the trait's crate, so
+    // method dispatch is visible in either direction.
+    let dep_related = |callee: &FnNode| {
+        dep_visible(callee) || closure.get(&callee.krate).is_some_and(|d| d.contains(&ck))
+    };
+
+    let mut out: Vec<usize> = if call.is_method {
+        cands
+            .iter()
+            .copied()
+            .filter(|&i| {
+                !nodes[i].is_test && nodes[i].self_type.is_some() && dep_related(&nodes[i])
+            })
+            .collect()
+    } else if segs.len() > 1 {
+        cands
+            .iter()
+            .copied()
+            .filter(|&i| {
+                !nodes[i].is_test
+                    && dep_visible(&nodes[i])
+                    && nodes[i].segments.len() >= segs.len()
+                    && nodes[i].segments[nodes[i].segments.len() - segs.len()..] == segs[..]
+            })
+            .collect()
+    } else {
+        cands
+            .iter()
+            .copied()
+            .filter(|&i| {
+                !nodes[i].is_test && nodes[i].self_type.is_none() && dep_visible(&nodes[i])
+            })
+            .collect()
+    };
+
+    if out.len() > 1 && !call.is_method {
+        // Prefer the caller's own file, then its own crate.
+        let same_file: Vec<usize> = out
+            .iter()
+            .copied()
+            .filter(|&i| nodes[i].file == nodes[caller].file)
+            .collect();
+        if same_file.is_empty() {
+            let same_crate: Vec<usize> = out
+                .iter()
+                .copied()
+                .filter(|&i| nodes[i].krate == ck)
+                .collect();
+            if !same_crate.is_empty() {
+                out = same_crate;
+            }
+        } else {
+            out = same_file;
+        }
+    }
+
+    let note = if out.len() > 1 {
+        let list: Vec<String> = out.iter().map(|&i| nodes[i].path()).collect();
+        let kind = if call.is_method {
+            "trait/method dispatch"
+        } else {
+            "ambiguous call"
+        };
+        Some(format!(
+            "{}:{}: {kind} `{}` from `{}` fans out to {} candidates ({}) — edges added to all",
+            nodes[caller].file,
+            call.line,
+            segs.join("::"),
+            nodes[caller].path(),
+            out.len(),
+            list.join(", ")
+        ))
+    } else {
+        None
+    };
+    (out, note)
+}
+
+/// Bare references to known function names inside `code[from..to]` —
+/// the function-pointer heuristic. A mention counts when it is not a
+/// call, not a path segment, not a declaration, and sits in an
+/// argument/binding position (`(name`, `, name`, `= name`).
+fn fn_refs(
+    code: &[Tok],
+    from: usize,
+    to: usize,
+    by_name: &BTreeMap<String, Vec<usize>>,
+) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for j in from..to {
+        let t = &code[j];
+        if t.kind != TokKind::Ident || !by_name.contains_key(&t.text) {
+            continue;
+        }
+        let prev_ok = j > 0
+            && (code[j - 1].is_punct('(')
+                || code[j - 1].is_punct(',')
+                || code[j - 1].is_punct('='));
+        let next_ok = code
+            .get(j + 1)
+            .is_none_or(|n| n.is_punct(')') || n.is_punct(',') || n.is_punct(';'));
+        if prev_ok && next_ok {
+            out.push((t.text.clone(), t.line));
+        }
+    }
+    out
+}
+
+/// Scans a body token range for allocation and panic-surface facts.
+fn collect_facts(
+    source: &SourceFile,
+    code: &[Tok],
+    from: usize,
+    to: usize,
+) -> (Vec<Fact>, Vec<Fact>) {
+    let mut alloc = Vec::new();
+    let mut panic = Vec::new();
+    for j in from..to {
+        let t = &code[j];
+        let line = t.line;
+        match t.kind {
+            TokKind::Ident => {
+                let bang = code.get(j + 1).is_some_and(|n| n.is_punct('!'));
+                match t.text.as_str() {
+                    // Allocation facts: mirror of the lexical L2 token set.
+                    "vec" | "format" if bang => alloc.push(Fact {
+                        what: format!("{}!", t.text),
+                        line,
+                        exempt: source.in_alloc_free(line),
+                    }),
+                    "Vec" | "Box" | "String"
+                        if code.get(j + 1).is_some_and(|n| n.is_punct(':'))
+                            && code.get(j + 2).is_some_and(|n| n.is_punct(':'))
+                            && code.get(j + 3).is_some_and(|n| {
+                                matches!(n.text.as_str(), "new" | "with_capacity" | "from")
+                            }) =>
+                    {
+                        alloc.push(Fact {
+                            what: format!("{}::{}", t.text, code[j + 3].text),
+                            line,
+                            exempt: source.in_alloc_free(line),
+                        });
+                    }
+                    "collect" | "to_vec" | "to_string" | "to_owned"
+                        if j > 0 && code[j - 1].is_punct('.') =>
+                    {
+                        alloc.push(Fact {
+                            what: format!(".{}()", t.text),
+                            line,
+                            exempt: source.in_alloc_free(line),
+                        });
+                    }
+                    // Panic facts.
+                    "unwrap" | "expect"
+                        if j > 0
+                            && code[j - 1].is_punct('.')
+                            && code.get(j + 1).is_some_and(|n| n.is_punct('(')) =>
+                    {
+                        panic.push(Fact {
+                            what: format!("`.{}()`", t.text),
+                            line,
+                            exempt: false,
+                        });
+                    }
+                    "panic" | "unreachable" | "todo" | "unimplemented" | "assert" | "assert_eq"
+                    | "assert_ne"
+                        if bang =>
+                    {
+                        panic.push(Fact {
+                            what: format!("`{}!`", t.text),
+                            line,
+                            exempt: false,
+                        });
+                    }
+                    _ => {}
+                }
+            }
+            TokKind::Punct if t.text == "[" && j > from => {
+                let p = &code[j - 1];
+                let indexing = (p.kind == TokKind::Ident
+                    && !NON_OPERAND_KEYWORDS.contains(&p.text.as_str()))
+                    || p.is_punct(')')
+                    || p.is_punct(']');
+                if indexing {
+                    panic.push(Fact {
+                        what: "indexing (`[…]` can panic out of bounds)".to_string(),
+                        line,
+                        exempt: false,
+                    });
+                }
+            }
+            TokKind::Punct if t.text == "/" && j > from => {
+                let p = &code[j - 1];
+                let operand = (p.kind == TokKind::Ident
+                    && !NON_OPERAND_KEYWORDS.contains(&p.text.as_str()))
+                    || p.kind == TokKind::Num
+                    || p.is_punct(')')
+                    || p.is_punct(']');
+                let by_var = code.get(j + 1).is_some_and(|n| {
+                    (n.kind == TokKind::Ident && !NON_OPERAND_KEYWORDS.contains(&n.text.as_str()))
+                        || n.is_punct('(')
+                });
+                if operand && by_var {
+                    panic.push(Fact {
+                        what: "division by a variable (can panic on zero)".to_string(),
+                        line,
+                        exempt: false,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    (alloc, panic)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    struct Owned {
+        krate: String,
+        rel: String,
+        source: SourceFile,
+        parsed: ParsedFile,
+        deps: Vec<String>,
+    }
+
+    fn owned(krate: &str, rel: &str, deps: &[&str], src: &str) -> Owned {
+        let source = SourceFile::parse(rel, src);
+        let parsed = parse(&source.toks);
+        Owned {
+            krate: krate.to_string(),
+            rel: rel.to_string(),
+            source,
+            parsed,
+            deps: deps.iter().map(|d| (*d).to_string()).collect(),
+        }
+    }
+
+    fn graph(files: &[Owned]) -> CallGraph {
+        let inputs: Vec<GraphFile<'_>> = files
+            .iter()
+            .map(|o| GraphFile {
+                krate: &o.krate,
+                rel: &o.rel,
+                module: module_path(&o.rel),
+                source: &o.source,
+                parsed: &o.parsed,
+                deps: &o.deps,
+            })
+            .collect();
+        CallGraph::build(&inputs)
+    }
+
+    fn idx(g: &CallGraph, name: &str) -> usize {
+        g.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .unwrap_or_else(|| panic!("no node named {name}"))
+    }
+
+    #[test]
+    fn module_paths_from_file_locations() {
+        assert_eq!(module_path("crates/simcore/src/steady.rs"), vec!["steady"]);
+        assert!(module_path("crates/simcore/src/lib.rs").is_empty());
+        assert!(module_path("src/main.rs").is_empty());
+        assert_eq!(module_path("crates/x/src/a/mod.rs"), vec!["a"]);
+        assert_eq!(
+            module_path("crates/x/src/a/b.rs"),
+            vec!["a".to_string(), "b".to_string()]
+        );
+        assert!(module_path("crates/bench/src/bin/fig02.rs").is_empty());
+    }
+
+    #[test]
+    fn cycle_safe_propagation_finds_alloc_once() {
+        let src = "// vecmem-lint: hot-path\n\
+                   fn root(x: u64) -> u64 { a(x) }\n\
+                   fn a(x: u64) -> u64 { b(x) }\n\
+                   fn b(x: u64) -> u64 {\n\
+                   let v = vec![x];\n\
+                   a(v[0])\n\
+                   }\n";
+        let f = owned("vecmem-simcore", "crates/simcore/src/lib.rs", &[], src);
+        let g = graph(&[f]);
+        let v = g.interprocedural();
+        let l6: Vec<_> = v.iter().filter(|v| v.rule == "L6").collect();
+        assert_eq!(l6.len(), 1, "{v:?}");
+        assert_eq!(l6[0].line, 5);
+        // Cycle a→b→a terminated; the indexing in b is an L7 fact.
+        assert!(v.iter().any(|v| v.rule == "L7" && v.line == 6));
+    }
+
+    #[test]
+    fn suffix_ambiguity_between_crates_is_logged_and_fanned_out() {
+        let a = owned(
+            "vecmem-banksim",
+            "crates/banksim/src/lib.rs",
+            &["vecmem-simcore", "vecmem-oracle"],
+            "// vecmem-lint: hot-path\nfn drive(x: u64) -> u64 { step(x) }\n",
+        );
+        let b = owned(
+            "vecmem-simcore",
+            "crates/simcore/src/lib.rs",
+            &[],
+            "pub fn step(x: u64) -> u64 { x.checked_add(1).unwrap() }\n",
+        );
+        let c = owned(
+            "vecmem-oracle",
+            "crates/oracle/src/lib.rs",
+            &[],
+            "pub fn step(x: u64) -> u64 { x }\n",
+        );
+        let g = graph(&[a, b, c]);
+        let drive = idx(&g, "drive");
+        assert_eq!(g.edges[drive].len(), 2, "edges to both step fns");
+        let notes = g.cone_notes();
+        assert!(
+            notes.iter().any(|n| n.contains("ambiguous call `step`")),
+            "{notes:?}"
+        );
+        // Both cones linted: the unwrap in simcore::step is found.
+        assert!(g.interprocedural().iter().any(|v| v.rule == "L7"));
+    }
+
+    #[test]
+    fn qualified_suffix_resolves_without_ambiguity() {
+        let a = owned(
+            "vecmem-banksim",
+            "crates/banksim/src/lib.rs",
+            &["vecmem-simcore", "vecmem-oracle"],
+            "// vecmem-lint: hot-path\nfn drive(x: u64) -> u64 { vecmem_simcore::step(x) }\n",
+        );
+        let b = owned(
+            "vecmem-simcore",
+            "crates/simcore/src/lib.rs",
+            &[],
+            "pub fn step(x: u64) -> u64 { x }\n",
+        );
+        let c = owned(
+            "vecmem-oracle",
+            "crates/oracle/src/lib.rs",
+            &[],
+            "pub fn step(x: u64) -> u64 { x }\n",
+        );
+        let g = graph(&[a, b, c]);
+        let drive = idx(&g, "drive");
+        assert_eq!(g.edges[drive].len(), 1);
+        assert!(g.cone_notes().is_empty());
+    }
+
+    #[test]
+    fn trait_dispatch_fans_out_to_all_impls_with_note() {
+        let core = owned(
+            "vecmem-simcore",
+            "crates/simcore/src/pattern.rs",
+            &[],
+            "pub trait AccessPattern { fn advance(&mut self) -> u64; }\n\
+             // vecmem-lint: hot-path\n\
+             pub fn kernel(p: &mut dyn AccessPattern) -> u64 { p.advance() }\n\
+             pub struct Stride;\n\
+             impl AccessPattern for Stride {\n\
+             fn advance(&mut self) -> u64 { 1 }\n\
+             }\n",
+        );
+        let down = owned(
+            "vecmem-banksim",
+            "crates/banksim/src/gen.rs",
+            &["vecmem-simcore"],
+            "pub struct Gather(Vec<u64>);\n\
+             impl AccessPattern for Gather {\n\
+             fn advance(&mut self) -> u64 { self.items.pop().unwrap() }\n\
+             }\n",
+        );
+        let g = graph(&[core, down]);
+        let kernel = idx(&g, "kernel");
+        // Both impls, including the one in the *dependent* crate.
+        assert_eq!(g.edges[kernel].len(), 2, "{:?}", g.edges);
+        let notes = g.cone_notes();
+        assert!(
+            notes
+                .iter()
+                .any(|n| n.contains("trait/method dispatch `advance`")),
+            "trait fallback must be logged, got {notes:?}"
+        );
+        // The unwrap inside the downstream impl is on the cone.
+        assert!(g
+            .interprocedural()
+            .iter()
+            .any(|v| v.rule == "L7" && v.file.contains("banksim")));
+    }
+
+    #[test]
+    fn function_pointer_reference_is_logged_and_propagated() {
+        let src = "// vecmem-lint: hot-path\n\
+                   fn root(xs: &mut [u64]) { apply(helper, xs) }\n\
+                   fn apply(f: fn(u64) -> u64, xs: &mut [u64]) { }\n\
+                   fn helper(x: u64) -> u64 { x.checked_mul(2).expect(\"bounded\") }\n";
+        let f = owned("vecmem-simcore", "crates/simcore/src/lib.rs", &[], src);
+        let g = graph(&[f]);
+        let root = idx(&g, "root");
+        let helper = idx(&g, "helper");
+        assert!(g.edges[root].contains(&helper), "{:?}", g.edges);
+        assert!(g
+            .cone_notes()
+            .iter()
+            .any(|n| n.contains("function-pointer reference to `helper`")));
+        assert!(g
+            .interprocedural()
+            .iter()
+            .any(|v| v.rule == "L7" && v.line == 4));
+    }
+
+    #[test]
+    fn dependency_filter_blocks_unrelated_crates() {
+        let a = owned(
+            "vecmem-simcore",
+            "crates/simcore/src/lib.rs",
+            &[],
+            "// vecmem-lint: hot-path\nfn root(x: u64) -> u64 { helper(x) }\n",
+        );
+        // Unrelated crate (no dep edge in either direction) with the same
+        // fn name: must not be resolved into.
+        let b = owned(
+            "vecmem-lint",
+            "crates/lint/src/lib.rs",
+            &[],
+            "fn helper(x: u64) -> u64 { x.wrapping_add(1) }\n",
+        );
+        let g = graph(&[a, b]);
+        let root = idx(&g, "root");
+        assert!(g.edges[root].is_empty(), "{:?}", g.edges);
+        assert!(g.interprocedural().is_empty());
+    }
+
+    #[test]
+    fn alloc_inside_marked_region_left_to_l2() {
+        let src = "//! vecmem-lint: alloc-free\n\
+                   // vecmem-lint: hot-path\n\
+                   fn root(x: u64) -> u64 {\n\
+                   let v = vec![x];\n\
+                   v.len() as u64\n\
+                   }\n";
+        let f = owned("vecmem-simcore", "crates/simcore/src/lib.rs", &[], src);
+        let g = graph(&[f]);
+        assert!(
+            !g.interprocedural().iter().any(|v| v.rule == "L6"),
+            "alloc in an alloc-free region belongs to L2"
+        );
+    }
+
+    #[test]
+    fn test_code_neither_roots_nor_propagates() {
+        let src = "// vecmem-lint: hot-path\n\
+                   fn root(x: u64) -> u64 { x }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn helper() { root(1); }\n\
+                   }\n";
+        let f = owned("vecmem-simcore", "crates/simcore/src/lib.rs", &[], src);
+        let g = graph(&[f]);
+        assert!(g.interprocedural().is_empty());
+    }
+}

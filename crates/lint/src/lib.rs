@@ -5,9 +5,15 @@
 //! result-producing code must be deterministic across thread counts and
 //! hash-map iteration orders, seeded faults must never leak into release
 //! builds, and public fallible APIs must document how they fail. This
-//! crate turns those conventions into five checked rules (see
-//! [`rules`]) over a [lightweight Rust tokenizer](tokens) — no `syn`, no
-//! external dependencies, in keeping with the workspace's std-only policy.
+//! crate turns those conventions into checked rules (see [`rules`]) over
+//! a [lightweight Rust tokenizer](tokens), an [AST-lite parser](parse)
+//! and a [workspace call graph](graph) — no `syn`, no external
+//! dependencies, in keeping with the workspace's std-only policy. The
+//! lexical rules (L1–L5) scan files; the interprocedural rules (L6/L7
+//! transitive alloc-free and no-panic over marked hot-path cones, L8
+//! match exhaustiveness, L9 overflow policy) consume the parse and the
+//! graph. [`json`] renders findings as the versioned
+//! `vecmem-lint/findings-v1` document.
 //!
 //! * **Suppressions** are inline and audited:
 //!   `// vecmem-lint: allow(L3) -- reason` (rule L0 rejects reason-less
@@ -23,12 +29,17 @@
 //! repository; `scripts/check.sh` runs it as a gate.
 
 pub mod baseline;
+pub mod graph;
+pub mod json;
+pub mod parse;
 pub mod rules;
 pub mod source;
 pub mod tokens;
 pub mod workspace;
 
 pub use baseline::{Baseline, RatchetBreak};
+pub use graph::{CallGraph, FnNode};
+pub use parse::{parse, ParsedFile};
 pub use rules::{check_file, collect_gated_items, FileContext, Violation, ALL_RULES};
 pub use source::SourceFile;
 pub use workspace::{apply_baseline, discover_crates, lint_workspace, LintRun};

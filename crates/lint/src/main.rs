@@ -2,22 +2,26 @@
 //!
 //! ```text
 //! vecmem-lint --workspace [--root DIR] [--baseline FILE] [--write-baseline | --no-baseline]
+//!             [--format text|json|gcc] [--json-out FILE] [--budget-ms N]
 //! ```
 //!
 //! Exit codes: 0 clean (all violations absorbed by the baseline), 1 gate
-//! failure (new or stale entries), 2 usage or IO error.
+//! failure (new or stale entries, or the runtime budget blown), 2 usage
+//! or IO error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use vecmem_lint::json::render_findings;
 use vecmem_lint::{apply_baseline, lint_workspace, Baseline};
 
 const USAGE: &str = "\
 usage: vecmem-lint --workspace [options]
 
-Lints every workspace crate's src/ tree against the five vecmem rules
+Lints every workspace crate's src/ tree against the vecmem rules
 (L1 determinism, L2 purity, L3 panic policy, L4 feature hygiene, L5 doc
-contract; L0 audits the suppressions themselves) and diffs the result
-against the committed ratchet baseline.
+contract, L6/L7 transitive hot-path proofs, L8 match exhaustiveness,
+L9 overflow policy; L0 audits the suppressions themselves) and diffs
+the result against the committed ratchet baseline.
 
 options:
   --workspace          lint the whole workspace (required today)
@@ -26,7 +30,21 @@ options:
   --baseline FILE      ratchet file (default: <root>/lint-baseline.toml)
   --write-baseline     rewrite the baseline to the current violations
   --no-baseline        report raw violations, exit 1 if any
+  --format FMT         violation output: text (default), gcc
+                       (file:line: warning: ... [rule]), or json (the
+                       full vecmem-lint/findings-v1 document on stdout)
+  --json-out FILE      also write the findings-v1 document to FILE,
+                       in any mode
+  --budget-ms N        fail (exit 1) if the lint run itself takes
+                       longer than N milliseconds
   -h, --help           this help";
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Gcc,
+}
 
 struct Args {
     workspace: bool,
@@ -34,6 +52,9 @@ struct Args {
     baseline: Option<PathBuf>,
     write_baseline: bool,
     no_baseline: bool,
+    format: Format,
+    json_out: Option<PathBuf>,
+    budget_ms: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -43,6 +64,9 @@ fn parse_args() -> Result<Args, String> {
         baseline: None,
         write_baseline: false,
         no_baseline: false,
+        format: Format::Text,
+        json_out: None,
+        budget_ms: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -54,6 +78,24 @@ fn parse_args() -> Result<Args, String> {
             }
             "--write-baseline" => args.write_baseline = true,
             "--no-baseline" => args.no_baseline = true,
+            "--format" => {
+                args.format = match it.next().ok_or("--format needs a value")?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "gcc" => Format::Gcc,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            "--json-out" => {
+                args.json_out = Some(PathBuf::from(it.next().ok_or("--json-out needs a value")?));
+            }
+            "--budget-ms" => {
+                let v = it.next().ok_or("--budget-ms needs a value")?;
+                args.budget_ms = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("bad --budget-ms value `{v}`"))?,
+                );
+            }
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -93,10 +135,12 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let Some(root) = args.root.or_else(find_root) else {
+    let Some(root) = args.root.clone().or_else(find_root) else {
         eprintln!("vecmem-lint: no workspace root found (looked for Cargo.toml + crates/)");
         return ExitCode::from(2);
     };
+    // vecmem-lint: allow(L1) -- the CLI's own runtime budget gate needs a monotonic clock; nothing it measures feeds a result
+    let started = std::time::Instant::now();
     let run = match lint_workspace(&root) {
         Ok(r) => r,
         Err(e) => {
@@ -104,17 +148,59 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // The budget covers the analysis itself, not report IO: it guards the
+    // cost every `check.sh` run pays, and keeps the gate stable under slow
+    // disks on CI.
+    let elapsed_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+
+    if let Some(path) = &args.json_out {
+        if let Err(e) = std::fs::write(path, render_findings(&run)) {
+            eprintln!("vecmem-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let gate = report(&args, &root, &run);
+
+    if let Some(budget) = args.budget_ms {
+        if elapsed_ms > budget {
+            eprintln!(
+                "vecmem-lint: budget FAILED — lint took {elapsed_ms} ms (budget {budget} ms)"
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!("vecmem-lint: runtime {elapsed_ms} ms (budget {budget} ms)");
+    }
+    gate
+}
+
+/// Prints one violation in the selected format.
+fn print_violation(v: &vecmem_lint::Violation, format: Format) {
+    match format {
+        Format::Gcc => println!("{}", vecmem_lint::json::gcc_line(v)),
+        _ => println!("{v}"),
+    }
+}
+
+/// Runs the selected reporting mode and returns the gate's exit code.
+fn report(args: &Args, root: &std::path::Path, run: &vecmem_lint::LintRun) -> ExitCode {
+    // In json mode stdout IS the document; human summaries stay on stderr.
+    if args.format == Format::Json {
+        print!("{}", render_findings(run));
+    }
 
     if args.no_baseline {
-        for v in &run.violations {
-            println!("{v}");
+        if args.format != Format::Json {
+            for v in &run.violations {
+                print_violation(v, args.format);
+            }
+            println!(
+                "vecmem-lint: {} file(s), {} violation(s), {} suppressed",
+                run.files,
+                run.violations.len(),
+                run.suppressed
+            );
         }
-        println!(
-            "vecmem-lint: {} file(s), {} violation(s), {} suppressed",
-            run.files,
-            run.violations.len(),
-            run.suppressed
-        );
         return if run.violations.is_empty() {
             ExitCode::SUCCESS
         } else {
@@ -124,6 +210,7 @@ fn main() -> ExitCode {
 
     let baseline_path = args
         .baseline
+        .clone()
         .unwrap_or_else(|| root.join("lint-baseline.toml"));
 
     if args.write_baseline {
@@ -156,23 +243,27 @@ fn main() -> ExitCode {
         Baseline::default()
     };
 
-    let outcome = apply_baseline(&baseline, &run);
+    let outcome = apply_baseline(&baseline, run);
     if outcome.breaks.is_empty() {
-        println!(
-            "vecmem-lint: clean — {} file(s), {} baselined violation(s), {} suppressed",
-            run.files, outcome.absorbed, run.suppressed
-        );
+        if args.format != Format::Json {
+            println!(
+                "vecmem-lint: clean — {} file(s), {} baselined violation(s), {} suppressed",
+                run.files, outcome.absorbed, run.suppressed
+            );
+        }
         return ExitCode::SUCCESS;
     }
     // Show every violation for files whose ratchet broke, then the breaks.
-    for b in &outcome.breaks {
-        if let vecmem_lint::RatchetBreak::New { rule, file, .. } = b {
-            for v in run
-                .violations
-                .iter()
-                .filter(|v| v.rule == *rule && v.file == *file)
-            {
-                println!("{v}");
+    if args.format != Format::Json {
+        for b in &outcome.breaks {
+            if let vecmem_lint::RatchetBreak::New { rule, file, .. } = b {
+                for v in run
+                    .violations
+                    .iter()
+                    .filter(|v| v.rule == *rule && v.file == *file)
+                {
+                    print_violation(v, args.format);
+                }
             }
         }
     }

@@ -1,0 +1,974 @@
+//! A recursive-descent item/body parser over the [token stream](crate::tokens):
+//! the "AST-lite" the interprocedural rules run on.
+//!
+//! This is deliberately not a full Rust parser. It recovers exactly the
+//! structure the call-graph rules need — function definitions with their
+//! module/impl-qualified paths and body extents, call expressions inside
+//! those bodies, enum definitions with their variants, and `match`
+//! expressions with per-arm pattern summaries — and nothing else. Every
+//! construct it cannot classify is skipped, never an error: a linter must
+//! not crash on work-in-progress code, so the parser degrades to "fewer
+//! facts", which for the reachability rules means fewer findings, never a
+//! spurious one from a mis-parse.
+//!
+//! The parse is a single forward walk over the comment-free token stream
+//! with an explicit scope stack (`mod` and `impl` frames keyed by brace
+//! depth), plus two focused sub-scans: enum bodies (variant names) and
+//! `match` bodies (arm patterns), both nesting-aware.
+
+use crate::tokens::{Tok, TokKind};
+
+/// One call expression found inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Path segments as written: `helper` → `["helper"]`,
+    /// `SimState::new` → `["SimState", "new"]`. For method calls the single
+    /// segment is the method name.
+    pub segments: Vec<String>,
+    /// True for `.name(…)` method-call syntax (resolution must consider
+    /// every impl that defines the method — trait dispatch).
+    pub is_method: bool,
+    /// 1-based line of the callee name.
+    pub line: u32,
+}
+
+/// One function definition.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Bare function name.
+    pub name: String,
+    /// File-local qualified path: enclosing `mod` segments, then the impl
+    /// self type (if any), then the name — e.g. `["pattern", "StridePattern",
+    /// "advance"]`.
+    pub path: Vec<String>,
+    /// Self type when defined inside an `impl` block.
+    pub self_type: Option<String>,
+    /// Trait name when defined inside an `impl Trait for Type` block.
+    pub trait_name: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Inclusive line span of the body (`{`..`}`), `None` for bodiless
+    /// declarations (trait methods, extern fns).
+    pub body_lines: Option<(u32, u32)>,
+    /// Half-open index range of the body tokens inside [`ParsedFile::code`]
+    /// (excluding the outer braces), `None` when bodiless.
+    pub body: Option<(usize, usize)>,
+    /// Call expressions in the body, in source order.
+    pub calls: Vec<CallSite>,
+}
+
+/// One enum definition with its variant names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumDef {
+    /// Enum name.
+    pub name: String,
+    /// Variant names, in source order.
+    pub variants: Vec<String>,
+    /// 1-based line of the `enum` keyword.
+    pub line: u32,
+}
+
+/// One `match` expression with the facts the exhaustiveness rule needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchSite {
+    /// 1-based line of the `match` keyword.
+    pub line: u32,
+    /// `Enum::Variant` paths mentioned in arm *patterns* (not arm bodies),
+    /// deduplicated, with the line of first mention.
+    pub enum_paths: Vec<(String, String, u32)>,
+    /// Line of a bare `_ =>` wildcard arm, if the match has one.
+    pub wildcard: Option<u32>,
+}
+
+/// Parse result for one file: the comment-free token stream plus the
+/// recovered structure.
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// Non-comment tokens, in source order. [`FnDef::body`] indexes into
+    /// this vector.
+    pub code: Vec<Tok>,
+    /// Function definitions, in source order.
+    pub fns: Vec<FnDef>,
+    /// Enum definitions, in source order.
+    pub enums: Vec<EnumDef>,
+    /// `match` expressions, in source order.
+    pub matches: Vec<MatchSite>,
+}
+
+/// Keywords that can directly precede `(` without being a call.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "in", "move", "fn", "as", "let",
+    "mut", "ref", "pub", "crate", "super", "self", "Self", "where", "impl", "dyn", "box", "await",
+    "break", "continue", "unsafe", "async", "const", "static", "use", "mod", "extern", "enum",
+    "struct", "trait", "type", "union", "yield",
+];
+
+/// One entry of the scope stack.
+#[derive(Debug)]
+enum Frame {
+    /// `mod name {` — contributes a path segment.
+    Mod(String),
+    /// `impl [Trait for] Type {` — contributes the self type.
+    Impl {
+        self_type: Option<String>,
+        trait_name: Option<String>,
+    },
+    /// Any other brace (fn bodies are tracked separately).
+    Other,
+}
+
+/// Parses one file's token stream into its AST-lite.
+#[must_use]
+pub fn parse(toks: &[Tok]) -> ParsedFile {
+    let code: Vec<Tok> = toks.iter().filter(|t| !t.is_comment()).cloned().collect();
+    let mut fns = Vec::new();
+    let mut enums = Vec::new();
+    // Scope stack: one frame per open brace.
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        let t = &code[i];
+        match t.kind {
+            TokKind::Punct if t.text == "{" => {
+                frames.push(Frame::Other);
+                i += 1;
+            }
+            TokKind::Punct if t.text == "}" => {
+                frames.pop();
+                i += 1;
+            }
+            TokKind::Ident if t.text == "mod" => {
+                // `mod name { …` opens a scope; `mod name;` does not.
+                let name = code.get(i + 1).filter(|n| n.kind == TokKind::Ident);
+                if let (Some(name), Some(open)) = (name, code.get(i + 2)) {
+                    if open.is_punct('{') {
+                        frames.push(Frame::Mod(name.text.clone()));
+                        i += 3;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            TokKind::Ident if t.text == "impl" => {
+                let (frame, next) = parse_impl_header(&code, i + 1);
+                frames.push(frame);
+                i = next;
+            }
+            TokKind::Ident if t.text == "enum" => {
+                let (def, next) = parse_enum(&code, i);
+                if let Some(def) = def {
+                    enums.push(def);
+                }
+                i = next;
+            }
+            TokKind::Ident if t.text == "fn" => {
+                let (def, next) = parse_fn(&code, i, &frames);
+                if let Some(def) = def {
+                    fns.push(def);
+                }
+                i = next;
+            }
+            _ => i += 1,
+        }
+    }
+    let matches = collect_matches(&code);
+    ParsedFile {
+        code,
+        fns,
+        enums,
+        matches,
+    }
+}
+
+/// Parses an `impl` header starting just past the `impl` keyword. Returns
+/// the frame and the index just past the opening `{` (or past the header
+/// on a malformed one).
+fn parse_impl_header(code: &[Tok], mut i: usize) -> (Frame, usize) {
+    // Optional generic parameters.
+    i = skip_generics(code, i);
+    // Collect the first type path (trait or self type) and, after `for`,
+    // the second. The *last identifier* of a path is its usable name
+    // (`std::fmt::Display` → `Display`).
+    let mut first: Option<String> = None;
+    let mut second: Option<String> = None;
+    let mut after_for = false;
+    while i < code.len() {
+        let t = &code[i];
+        if t.is_punct('{') {
+            i += 1;
+            break;
+        }
+        if t.is_ident("where") {
+            // Skip the where clause to the opening brace.
+            while i < code.len() && !code[i].is_punct('{') {
+                i += 1;
+            }
+            continue;
+        }
+        if t.is_ident("for") {
+            after_for = true;
+            i += 1;
+            continue;
+        }
+        if t.is_punct('<') {
+            i = skip_generics(code, i);
+            continue;
+        }
+        if t.kind == TokKind::Ident && !matches!(t.text.as_str(), "dyn" | "mut" | "const") {
+            if after_for {
+                second = Some(t.text.clone());
+            } else {
+                first = Some(t.text.clone());
+            }
+        }
+        i += 1;
+    }
+    let (self_type, trait_name) = if after_for {
+        (second, first)
+    } else {
+        (first, None)
+    };
+    (
+        Frame::Impl {
+            self_type,
+            trait_name,
+        },
+        i,
+    )
+}
+
+/// Skips a `<…>` generic-parameter/argument list starting at `i` (which
+/// may or may not be `<`). Returns the index just past the closing `>`.
+/// `>` tokens that are the tail of `->` or `=>` do not close the list, and
+/// `<<` simply nests twice, which still balances.
+fn skip_generics(code: &[Tok], i: usize) -> usize {
+    if !code.get(i).is_some_and(|t| t.is_punct('<')) {
+        return i;
+    }
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < code.len() {
+        let t = &code[j];
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') {
+            let arrow_tail = j > 0 && (code[j - 1].is_punct('-') || code[j - 1].is_punct('='));
+            if !arrow_tail {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+        } else if t.is_punct('{') || t.is_punct(';') {
+            // Malformed header; bail without consuming the brace.
+            return j;
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Parses `enum Name { … }` starting at the `enum` keyword. Collects
+/// variant names: the first identifier of each variant at payload depth 0,
+/// skipping attributes. Returns the def and the index just past the
+/// closing `}`.
+fn parse_enum(code: &[Tok], i: usize) -> (Option<EnumDef>, usize) {
+    let Some(name) = code.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+        return (None, i + 1);
+    };
+    let line = code[i].line;
+    let name = name.text.clone();
+    let mut j = i + 2;
+    j = skip_generics(code, j);
+    // Find the opening brace (skipping a where clause).
+    while j < code.len() && !code[j].is_punct('{') {
+        if code[j].is_punct(';') {
+            // `enum Name;` is not a thing, but never loop on junk.
+            return (None, j + 1);
+        }
+        j += 1;
+    }
+    if j >= code.len() {
+        return (None, j);
+    }
+    j += 1; // past `{`
+    let mut variants = Vec::new();
+    let mut depth = 0i32; // nesting inside variant payloads
+    let mut expect_variant = true;
+    while j < code.len() {
+        let t = &code[j];
+        if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('}') {
+            if depth == 0 {
+                return (
+                    Some(EnumDef {
+                        name,
+                        variants,
+                        line,
+                    }),
+                    j + 1,
+                );
+            }
+            depth -= 1;
+        } else if depth == 0 {
+            if t.is_punct('#') {
+                // Skip a variant attribute `#[…]`.
+                let mut k = j + 1;
+                if code.get(k).is_some_and(|b| b.is_punct('[')) {
+                    let mut d = 0i32;
+                    while k < code.len() {
+                        if code[k].is_punct('[') {
+                            d += 1;
+                        } else if code[k].is_punct(']') {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                    j = k;
+                }
+            } else if t.is_punct(',') {
+                expect_variant = true;
+            } else if expect_variant && t.kind == TokKind::Ident {
+                variants.push(t.text.clone());
+                expect_variant = false;
+            }
+        }
+        j += 1;
+    }
+    (
+        Some(EnumDef {
+            name,
+            variants,
+            line,
+        }),
+        j,
+    )
+}
+
+/// Parses `fn name …` starting at the `fn` keyword: signature, body
+/// extent, and the call expressions inside the body. Returns the def and
+/// the index to resume the outer walk at — just past the signature, so a
+/// nested `fn` inside the body is found by the main loop (its calls are
+/// then attributed to both; harmless for reachability).
+fn parse_fn(code: &[Tok], i: usize, frames: &[Frame]) -> (Option<FnDef>, usize) {
+    let Some(name_tok) = code.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+        return (None, i + 1);
+    };
+    let name = name_tok.text.clone();
+    let line = code[i].line;
+    // Scan the signature for the body `{` or a terminating `;`.
+    let mut j = i + 2;
+    j = skip_generics(code, j);
+    let mut nest = 0i32; // () and [] nesting in the signature
+    let mut body_open: Option<usize> = None;
+    while j < code.len() {
+        let t = &code[j];
+        if t.is_punct('(') || t.is_punct('[') {
+            nest += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            nest -= 1;
+        } else if t.is_punct('<') {
+            // Generic arguments in the return type (`-> Foo<Bar>`).
+            j = skip_generics(code, j);
+            continue;
+        } else if nest == 0 && t.is_punct(';') {
+            // Bodiless declaration.
+            break;
+        } else if nest == 0 && t.is_punct('{') {
+            body_open = Some(j);
+            break;
+        }
+        j += 1;
+    }
+    // Qualified path from the scope stack.
+    let mut path: Vec<String> = Vec::new();
+    let mut self_type = None;
+    let mut trait_name = None;
+    for f in frames {
+        match f {
+            Frame::Mod(m) => path.push(m.clone()),
+            Frame::Impl {
+                self_type: st,
+                trait_name: tn,
+            } => {
+                if let Some(st) = st {
+                    path.push(st.clone());
+                }
+                self_type.clone_from(st);
+                trait_name.clone_from(tn);
+            }
+            Frame::Other => {}
+        }
+    }
+    path.push(name.clone());
+    let Some(open) = body_open else {
+        return (
+            Some(FnDef {
+                name,
+                path,
+                self_type,
+                trait_name,
+                line,
+                body_lines: None,
+                body: None,
+                calls: Vec::new(),
+            }),
+            j + 1,
+        );
+    };
+    // Body extent: matching `}` of the opening brace.
+    let mut depth = 0i32;
+    let mut close = code.len();
+    for (k, t) in code.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                close = k;
+                break;
+            }
+        }
+    }
+    let body = (open + 1, close.min(code.len()));
+    let body_lines = (
+        code[open].line,
+        code.get(close)
+            .map_or_else(|| code[code.len() - 1].line, |t| t.line),
+    );
+    let calls = collect_calls(code, body.0, body.1);
+    // Resume at the opening brace itself so the main loop pushes a frame
+    // for it — otherwise the body's closing `}` would pop the enclosing
+    // mod/impl frame.
+    (
+        Some(FnDef {
+            name,
+            path,
+            self_type,
+            trait_name,
+            line,
+            body_lines: Some(body_lines),
+            body: Some(body),
+            calls,
+        }),
+        open,
+    )
+}
+
+/// Collects call expressions in `code[from..to]`.
+fn collect_calls(code: &[Tok], from: usize, to: usize) -> Vec<CallSite> {
+    let mut calls = Vec::new();
+    for j in from..to {
+        if !code[j].is_punct('(') || j == 0 {
+            continue;
+        }
+        let prev = &code[j - 1];
+        // Turbofish: `name::<T>(…)` — hop back over the generic list.
+        let name_idx = if prev.is_punct('>') {
+            match turbofish_head(code, j - 1, from) {
+                Some(k) => k,
+                None => continue,
+            }
+        } else {
+            j - 1
+        };
+        let head = &code[name_idx];
+        if head.kind != TokKind::Ident || NON_CALL_KEYWORDS.contains(&head.text.as_str()) {
+            continue;
+        }
+        // Macro invocation `name!(…)` is not a call.
+        if name_idx >= 1 && code[name_idx - 1].is_punct('!') {
+            continue;
+        }
+        // Walk back over `::`-joined segments.
+        let mut segments = vec![head.text.clone()];
+        let mut k = name_idx;
+        while k >= 3
+            && code[k - 1].is_punct(':')
+            && code[k - 2].is_punct(':')
+            && code[k - 3].kind == TokKind::Ident
+        {
+            segments.insert(0, code[k - 3].text.clone());
+            k -= 3;
+        }
+        // Strip leading path qualifiers that carry no resolution signal.
+        while segments.len() > 1
+            && matches!(
+                segments[0].as_str(),
+                "crate" | "self" | "super" | "std" | "core"
+            )
+        {
+            segments.remove(0);
+        }
+        let is_method = segments.len() == 1 && k >= 1 && code[k - 1].is_punct('.');
+        // A definition `fn name(` was skipped by the caller's resume
+        // logic, but a nested `fn` body rescans; guard anyway.
+        if k >= 1 && code[k - 1].is_ident("fn") {
+            continue;
+        }
+        // `Some(x)`, `Ok(v)`, `PortId(p)`: a bare uppercase ident applied
+        // to arguments is a tuple-struct/variant constructor, not a call.
+        if !is_method
+            && segments.len() == 1
+            && segments[0].chars().next().is_some_and(char::is_uppercase)
+        {
+            continue;
+        }
+        calls.push(CallSite {
+            segments,
+            is_method,
+            line: head.line,
+        });
+    }
+    calls
+}
+
+/// For a `>` closing a turbofish at `close`, returns the index of the
+/// callee identifier in `name::<…>` — i.e. the ident before the `::<`.
+fn turbofish_head(code: &[Tok], close: usize, from: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = close;
+    loop {
+        let t = &code[j];
+        if t.is_punct('>') && !(j > 0 && (code[j - 1].is_punct('-') || code[j - 1].is_punct('='))) {
+            depth += 1;
+        } else if t.is_punct('<') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        if j == from {
+            return None;
+        }
+        j -= 1;
+    }
+    // Expect `ident :: <`.
+    if j >= 3
+        && code[j - 1].is_punct(':')
+        && code[j - 2].is_punct(':')
+        && code[j - 3].kind == TokKind::Ident
+    {
+        Some(j - 3)
+    } else {
+        None
+    }
+}
+
+/// State of one `match` currently being scanned.
+struct MatchCtx {
+    site: MatchSite,
+    /// Brace depth of the match body (arms live at this depth).
+    depth: i32,
+    /// Paren/bracket nesting within the current arm: `,` and `=>` only
+    /// delimit at nest 0 (so commas inside call arguments or tuple
+    /// patterns never split an arm).
+    nest: i32,
+    /// True while between an arm's start and its `=>`.
+    in_pattern: bool,
+    /// True while inside an arm guard (`pat if cond =>`): guard tokens
+    /// are expression, not pattern, and must not feed `enum_paths`.
+    in_guard: bool,
+    /// Pattern tokens of the current arm (text only).
+    pattern: Vec<String>,
+    pattern_line: u32,
+}
+
+/// Collects every `match` expression with its arm-pattern summary. Nested
+/// matches are handled by the context stack.
+fn collect_matches(code: &[Tok]) -> Vec<MatchSite> {
+    let mut out = Vec::new();
+    let mut stack: Vec<MatchCtx> = Vec::new();
+    // A `match` whose scrutinee we are still scanning: (line, paren nest).
+    let mut pending: Option<(u32, i32)> = None;
+    let mut depth = 0i32;
+    let mut j = 0usize;
+    while j < code.len() {
+        let t = &code[j];
+        if t.is_ident("match") && !code.get(j + 1).is_some_and(|n| n.is_punct('!')) {
+            pending = Some((t.line, 0));
+            j += 1;
+            continue;
+        }
+        if t.is_punct('(') || t.is_punct('[') {
+            if let Some((_, nest)) = pending.as_mut() {
+                *nest += 1;
+            } else if let Some(ctx) = stack.last_mut() {
+                ctx.nest += 1;
+                if ctx.in_pattern && !ctx.in_guard && depth == ctx.depth {
+                    record_pattern_token(ctx, t, code, j);
+                }
+            }
+            j += 1;
+            continue;
+        }
+        if t.is_punct(')') || t.is_punct(']') {
+            if let Some((_, nest)) = pending.as_mut() {
+                *nest -= 1;
+            } else if let Some(ctx) = stack.last_mut() {
+                ctx.nest -= 1;
+                if ctx.in_pattern && !ctx.in_guard && depth == ctx.depth {
+                    record_pattern_token(ctx, t, code, j);
+                }
+            }
+            j += 1;
+            continue;
+        }
+        if t.is_punct('{') {
+            depth += 1;
+            if let Some((line, nest)) = pending {
+                if nest == 0 {
+                    stack.push(MatchCtx {
+                        site: MatchSite {
+                            line,
+                            enum_paths: Vec::new(),
+                            wildcard: None,
+                        },
+                        depth,
+                        nest: 0,
+                        in_pattern: true,
+                        in_guard: false,
+                        pattern: Vec::new(),
+                        pattern_line: t.line,
+                    });
+                    pending = None;
+                }
+            }
+        } else if t.is_punct('}') {
+            if let Some(ctx) = stack.last_mut() {
+                if depth == ctx.depth {
+                    // End of this match body.
+                    // vecmem-lint: allow(L3) -- guarded by the `stack.last_mut()` match on the line above
+                    let mut ctx = stack.pop().expect("stack non-empty");
+                    finish_arm(&mut ctx);
+                    out.push(ctx.site);
+                    depth -= 1;
+                    j += 1;
+                    continue;
+                }
+            }
+            depth -= 1;
+            // Returning to arm level of the innermost match means a
+            // block-bodied arm just closed; the next tokens start a new arm.
+            if let Some(ctx) = stack.last_mut() {
+                if depth == ctx.depth && !ctx.in_pattern {
+                    finish_arm(ctx);
+                    ctx.in_pattern = true;
+                }
+            }
+        } else if let Some(ctx) = stack.last_mut() {
+            if depth == ctx.depth {
+                if ctx.in_pattern {
+                    // `=>` ends the pattern (only at nest 0, so `=>` of a
+                    // closure in a guard cannot — closures in guards need
+                    // parens anyway).
+                    if ctx.nest == 0
+                        && t.is_punct('=')
+                        && code.get(j + 1).is_some_and(|n| n.is_punct('>'))
+                    {
+                        record_pattern(ctx);
+                        ctx.in_pattern = false;
+                        ctx.in_guard = false;
+                        j += 2;
+                        continue;
+                    }
+                    if ctx.nest == 0 && t.is_ident("if") && !ctx.pattern.is_empty() {
+                        ctx.in_guard = true;
+                        j += 1;
+                        continue;
+                    }
+                    if !ctx.in_guard {
+                        record_pattern_token(ctx, t, code, j);
+                    }
+                } else if ctx.nest == 0 && t.is_punct(',') {
+                    finish_arm(ctx);
+                    ctx.in_pattern = true;
+                }
+            } else if ctx.in_pattern && !ctx.in_guard && depth > ctx.depth {
+                // Struct-pattern braces: still pattern tokens.
+                ctx.pattern.push(t.text.clone());
+            }
+        }
+        j += 1;
+    }
+    out
+}
+
+/// Appends one token to the current arm's pattern, tracking
+/// `Enum::Variant` mentions.
+fn record_pattern_token(ctx: &mut MatchCtx, t: &Tok, code: &[Tok], j: usize) {
+    if ctx.pattern.is_empty() {
+        // The optional `,` after a block-bodied arm is a separator, not
+        // the start of the next pattern.
+        if t.is_punct(',') {
+            return;
+        }
+        ctx.pattern_line = t.line;
+    }
+    ctx.pattern.push(t.text.clone());
+    if t.kind == TokKind::Ident
+        && code.get(j + 1).is_some_and(|a| a.is_punct(':'))
+        && code.get(j + 2).is_some_and(|a| a.is_punct(':'))
+        && code.get(j + 3).is_some_and(|a| a.kind == TokKind::Ident)
+        && t.text.chars().next().is_some_and(char::is_uppercase)
+    {
+        let e = t.text.clone();
+        let v = code[j + 3].text.clone();
+        if !ctx
+            .site
+            .enum_paths
+            .iter()
+            .any(|(a, b, _)| *a == e && *b == v)
+        {
+            ctx.site.enum_paths.push((e, v, t.line));
+        }
+    }
+}
+
+/// Records the just-completed pattern: a bare `_` arm sets the wildcard.
+fn record_pattern(ctx: &mut MatchCtx) {
+    if ctx.pattern.len() == 1 && ctx.pattern[0] == "_" && ctx.site.wildcard.is_none() {
+        ctx.site.wildcard = Some(ctx.pattern_line);
+    }
+    ctx.pattern.clear();
+}
+
+/// Closes the current arm without a `=>` (trailing or block-bodied arm).
+fn finish_arm(ctx: &mut MatchCtx) {
+    if ctx.in_pattern {
+        record_pattern(ctx);
+    }
+    ctx.pattern.clear();
+    ctx.in_guard = false;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokens::tokenize;
+
+    fn parsed(src: &str) -> ParsedFile {
+        parse(&tokenize(src))
+    }
+
+    #[test]
+    fn fn_paths_through_mods_and_impls() {
+        let src = "mod inner {\n\
+                   pub struct S;\n\
+                   impl S {\n\
+                   pub fn make(x: u64) -> u64 { helper(x) }\n\
+                   }\n\
+                   fn helper(x: u64) -> u64 { x }\n\
+                   }\n\
+                   fn top() {}\n";
+        let p = parsed(src);
+        let paths: Vec<Vec<String>> = p.fns.iter().map(|f| f.path.clone()).collect();
+        assert_eq!(
+            paths,
+            vec![
+                vec!["inner".to_string(), "S".to_string(), "make".to_string()],
+                vec!["inner".to_string(), "helper".to_string()],
+                vec!["top".to_string()],
+            ]
+        );
+        assert_eq!(p.fns[0].self_type.as_deref(), Some("S"));
+        assert_eq!(p.fns[0].calls.len(), 1);
+        assert_eq!(p.fns[0].calls[0].segments, vec!["helper"]);
+    }
+
+    #[test]
+    fn trait_impl_records_trait_and_self_type() {
+        let src = "impl AccessPattern for StridePattern {\n\
+                   fn advance(&self, k: u64) -> u64 { self.step(k) }\n\
+                   }\n";
+        let p = parsed(src);
+        assert_eq!(p.fns[0].self_type.as_deref(), Some("StridePattern"));
+        assert_eq!(p.fns[0].trait_name.as_deref(), Some("AccessPattern"));
+        assert_eq!(
+            p.fns[0].path,
+            vec!["StridePattern".to_string(), "advance".to_string()]
+        );
+        assert!(p.fns[0].calls[0].is_method);
+        assert_eq!(p.fns[0].calls[0].segments, vec!["step"]);
+    }
+
+    #[test]
+    fn generic_impl_header_is_skipped() {
+        let src = "impl<P: AccessPattern + Clone> Workload<P> {\n\
+                   fn tick(&mut self) { age(self) }\n\
+                   }\n";
+        let p = parsed(src);
+        assert_eq!(p.fns[0].self_type.as_deref(), Some("Workload"));
+        assert_eq!(p.fns[0].calls[0].segments, vec!["age"]);
+    }
+
+    #[test]
+    fn calls_with_paths_methods_and_turbofish() {
+        let src = "fn f() {\n\
+                   let a = SimState::new(cfg);\n\
+                   let b = x.advance(1);\n\
+                   let c: Vec<u64> = it.collect::<Vec<u64>>();\n\
+                   let d = crate::steady::solve(y);\n\
+                   mac!(not_a_call);\n\
+                   if cond(z) { }\n\
+                   }\n";
+        let p = parsed(src);
+        let calls = &p.fns[0].calls;
+        let segs: Vec<(Vec<String>, bool)> = calls
+            .iter()
+            .map(|c| (c.segments.clone(), c.is_method))
+            .collect();
+        assert!(segs.contains(&(vec!["SimState".into(), "new".into()], false)));
+        assert!(segs.contains(&(vec!["advance".into()], true)));
+        assert!(segs.contains(&(vec!["collect".into()], true)));
+        assert!(segs.contains(&(vec!["steady".into(), "solve".into()], false)));
+        assert!(segs.contains(&(vec!["cond".into()], false)));
+        assert!(!segs.iter().any(|(s, _)| s == &vec!["mac".to_string()]));
+    }
+
+    #[test]
+    fn bodiless_trait_method_has_no_body() {
+        let src = "trait T {\n    fn required(&self) -> u64;\n    fn provided(&self) -> u64 { self.required() }\n}\n";
+        let p = parsed(src);
+        assert_eq!(p.fns.len(), 2);
+        assert!(p.fns[0].body.is_none());
+        assert!(p.fns[1].body.is_some());
+        assert_eq!(p.fns[1].calls[0].segments, vec!["required"]);
+    }
+
+    #[test]
+    fn enum_variants_with_payloads_and_attributes() {
+        let src = "pub enum BankModel {\n\
+                   Uniform,\n\
+                   #[allow(dead_code)]\n\
+                   Dram { hit_cycle: u64, rows: u64 },\n\
+                   Pair(u64, u64),\n\
+                   }\n";
+        let p = parsed(src);
+        assert_eq!(p.enums.len(), 1);
+        assert_eq!(p.enums[0].name, "BankModel");
+        assert_eq!(p.enums[0].variants, vec!["Uniform", "Dram", "Pair"]);
+    }
+
+    #[test]
+    fn match_wildcard_and_enum_paths() {
+        let src = "fn f(m: BankModel) -> u64 {\n\
+                   match m {\n\
+                   BankModel::Uniform => 0,\n\
+                   BankModel::Dram { hit_cycle, .. } => hit_cycle,\n\
+                   _ => 1,\n\
+                   }\n\
+                   }\n";
+        let p = parsed(src);
+        assert_eq!(p.matches.len(), 1);
+        let m = &p.matches[0];
+        assert_eq!(m.line, 2);
+        assert_eq!(m.wildcard, Some(5));
+        assert!(m
+            .enum_paths
+            .iter()
+            .any(|(e, v, _)| e == "BankModel" && v == "Uniform"));
+        assert!(m
+            .enum_paths
+            .iter()
+            .any(|(e, v, _)| e == "BankModel" && v == "Dram"));
+    }
+
+    #[test]
+    fn exhaustive_match_has_no_wildcard() {
+        let src = "fn f(m: BankModel) -> u64 {\n\
+                   match m {\n\
+                   BankModel::Uniform => 0,\n\
+                   BankModel::Dram { .. } => 1,\n\
+                   }\n\
+                   }\n";
+        let p = parsed(src);
+        assert_eq!(p.matches[0].wildcard, None);
+    }
+
+    #[test]
+    fn nested_match_and_block_arms() {
+        let src = "fn f(a: A, b: B) -> u64 {\n\
+                   match a {\n\
+                   A::X => {\n\
+                   match b {\n\
+                   B::Y => 0,\n\
+                   _ => 1,\n\
+                   }\n\
+                   }\n\
+                   A::Z => 2,\n\
+                   _ => 3,\n\
+                   }\n\
+                   }\n";
+        let p = parsed(src);
+        assert_eq!(p.matches.len(), 2);
+        // Outer match (line 2) has its own wildcard at line 10; inner
+        // (line 4) at line 6.
+        let outer = p.matches.iter().find(|m| m.line == 2).unwrap();
+        let inner = p.matches.iter().find(|m| m.line == 4).unwrap();
+        assert_eq!(inner.wildcard, Some(6));
+        assert_eq!(outer.wildcard, Some(10));
+        assert!(outer.enum_paths.iter().any(|(e, _, _)| e == "A"));
+        assert!(!outer.enum_paths.iter().any(|(e, _, _)| e == "B"));
+    }
+
+    #[test]
+    fn match_scrutinee_with_parens_and_method_calls() {
+        let src = "fn f() -> u64 {\n\
+                   match cfg.model(x) {\n\
+                   Model::A => 1,\n\
+                   Model::B => 2,\n\
+                   }\n\
+                   }\n";
+        let p = parsed(src);
+        assert_eq!(p.matches.len(), 1);
+        assert_eq!(p.matches[0].wildcard, None);
+        assert_eq!(p.matches[0].enum_paths.len(), 2);
+    }
+
+    #[test]
+    fn matches_macro_is_not_a_match() {
+        let src = "fn f() -> bool { matches!(x, Some(_)) }\n";
+        let p = parsed(src);
+        assert!(p.matches.is_empty());
+        // And `matches!` is not a call either.
+        assert!(p.fns[0].calls.is_empty());
+    }
+
+    #[test]
+    fn body_lines_cover_the_braces() {
+        let src = "fn f()\n-> u64\n{\n    g()\n}\n";
+        let p = parsed(src);
+        assert_eq!(p.fns[0].body_lines, Some((3, 5)));
+    }
+
+    #[test]
+    fn guard_expression_enums_do_not_feed_patterns() {
+        // `BankModel::Uniform` lives in the guard, not the pattern: the
+        // match is on an Option and must not look like a BankModel match.
+        let p = parsed(
+            "fn f(x: Option<u32>, m: BankModel) -> u32 {\n    match x {\n        Some(v) if m == BankModel::Uniform => v,\n        _ => 0,\n    }\n}\n",
+        );
+        assert_eq!(p.matches.len(), 1);
+        assert_eq!(p.matches[0].enum_paths, Vec::new());
+        assert_eq!(p.matches[0].wildcard, Some(4));
+    }
+
+    #[test]
+    fn match_guard_does_not_confuse_arms() {
+        let src = "fn f(x: u64) -> u64 {\n\
+                   match x {\n\
+                   n if n > compare(3) => 1,\n\
+                   _ => 0,\n\
+                   }\n\
+                   }\n";
+        let p = parsed(src);
+        assert_eq!(p.matches[0].wildcard, Some(4));
+    }
+}

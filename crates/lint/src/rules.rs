@@ -9,11 +9,22 @@
 //! | L3 | panic policy: no `unwrap`/`expect`/`panic!` in non-test library code |
 //! | L4 | feature hygiene: items defined under `#[cfg(feature = "bug_injection")]` are only mentioned under the same gate |
 //! | L5 | doc contract: `pub fn … -> Result` documents `# Errors` |
+//! | L6 | transitive alloc-free: nothing reachable from a `hot-path` root allocates (see [`graph`](crate::graph)) |
+//! | L7 | no-panic cone: nothing reachable from a `hot-path` root can panic (unwrap/expect/panic-family, indexing, `/` by a variable) |
+//! | L8 | exhaustive-match policy: no `_` wildcard arms on policed result enums in result crates |
+//! | L9 | overflow policy: bare `+`/`*`/`<<` in `overflow-policy` regions must be `wrapping_`/`checked_`/`saturating_` |
+//!
+//! L6 and L7 are interprocedural and live in [`graph`](crate::graph);
+//! this module holds the per-file rules (L0–L5, L8, L9).
 //!
 //! Every rule can be silenced at one line with
-//! `// vecmem-lint: allow(ID) -- reason`; rule L0 rejects reason-less or
-//! unknown-rule suppressions so the escape hatch stays auditable.
+//! `// vecmem-lint: allow(ID) -- reason` (or, for rules whose findings
+//! cluster, a whole function body with
+//! `// vecmem-lint: allow-fn(ID) -- reason`); rule L0 rejects
+//! reason-less or unknown-rule suppressions so the escape hatch stays
+//! auditable.
 
+use crate::parse::ParsedFile;
 use crate::source::SourceFile;
 use crate::tokens::{Tok, TokKind};
 
@@ -33,7 +44,23 @@ pub const RESULT_CRATES: &[&str] = &[
 pub const TIME_EXEMPT_CRATES: &[&str] = &["vecmem-obs", "vecmem-bench"];
 
 /// All rule ids, in report order.
-pub const ALL_RULES: &[&str] = &["L0", "L1", "L2", "L3", "L4", "L5"];
+pub const ALL_RULES: &[&str] = &["L0", "L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9"];
+
+/// Enums whose `match`es must stay wildcard-free in result crates (L8):
+/// adding a bank model, pattern, injected bug, or outcome variant must
+/// force every consumer to handle it, not fall into a `_` arm.
+pub const POLICED_ENUMS: &[&str] = &[
+    "BankModel",
+    "RefBankModel",
+    "InjectedBug",
+    "PortOutcome",
+    "RefOutcome",
+    "ConflictKind",
+    "AnyPattern",
+    "RefPattern",
+    "RunOutcome",
+    "DiffOutcome",
+];
 
 /// One finding: a rule violated at a line of a file.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -123,14 +150,17 @@ pub fn collect_gated_items(file: &SourceFile, feature: &str) -> Vec<String> {
     names
 }
 
-/// Runs every applicable rule over one file. Suppressions are applied by
-/// the caller (the driver), so this returns raw findings.
+/// Runs every applicable per-file rule over one file (the
+/// interprocedural L6/L7 run separately on the
+/// [call graph](crate::graph)). Suppressions are applied by the caller
+/// (the driver), so this returns raw findings.
 #[must_use]
-pub fn check_file(file: &SourceFile, ctx: &FileContext) -> Vec<Violation> {
+pub fn check_file(file: &SourceFile, parsed: &ParsedFile, ctx: &FileContext) -> Vec<Violation> {
     let mut out = Vec::new();
     rule_l0_suppression_hygiene(file, &mut out);
     if RESULT_CRATES.contains(&ctx.crate_name.as_str()) {
         rule_l1_hash_iteration(file, &mut out);
+        rule_l8_exhaustive_match(file, parsed, &mut out);
     }
     if !TIME_EXEMPT_CRATES.contains(&ctx.crate_name.as_str()) {
         rule_l1_wall_clock(file, &mut out);
@@ -143,6 +173,7 @@ pub fn check_file(file: &SourceFile, ctx: &FileContext) -> Vec<Violation> {
     if !ctx.gated_items.is_empty() {
         rule_l4_feature_hygiene(file, ctx, &mut out);
     }
+    rule_l9_overflow_policy(file, parsed, &mut out);
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
 }
@@ -165,7 +196,7 @@ fn rule_l0_suppression_hygiene(file: &SourceFile, out: &mut Vec<Violation>) {
                     file: file.rel.clone(),
                     line: s.comment_line,
                     message: format!("suppression names unknown rule `{r}`"),
-                    hint: "rule ids are L1 (determinism), L2 (purity), L3 (panic policy), L4 (feature hygiene), L5 (doc contract)",
+                    hint: "rule ids are L1 (determinism), L2 (purity), L3 (panic policy), L4 (feature hygiene), L5 (doc contract), L6 (transitive alloc-free), L7 (no-panic cone), L8 (exhaustive match), L9 (overflow policy)",
                 });
             }
         }
@@ -553,10 +584,107 @@ fn rule_l5_errors_doc(file: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
+/// L8: in result crates, a `match` whose arm patterns name a policed
+/// enum must not have a `_` wildcard arm — adding a variant (a new bank
+/// model, pattern, bug, or outcome) must fail to compile everywhere the
+/// enum is consumed.
+fn rule_l8_exhaustive_match(file: &SourceFile, parsed: &ParsedFile, out: &mut Vec<Violation>) {
+    for m in &parsed.matches {
+        if file.in_test(m.line) {
+            continue;
+        }
+        let Some(wline) = m.wildcard else { continue };
+        let Some((enum_name, _, _)) = m
+            .enum_paths
+            .iter()
+            .find(|(e, _, _)| POLICED_ENUMS.contains(&e.as_str()))
+        else {
+            continue;
+        };
+        out.push(Violation {
+            rule: "L8",
+            file: file.rel.clone(),
+            line: wline,
+            message: format!(
+                "`_` wildcard arm in a match on policed enum `{enum_name}` (match at line {})",
+                m.line
+            ),
+            hint: "enumerate the variants so a new bank model/pattern/outcome forces handling here, or suppress with a reason",
+        });
+    }
+}
+
+/// L9: inside `vecmem-lint: overflow-policy` regions, bare `+`, `*`,
+/// and `<<` (including their compound-assign forms) on non-literal
+/// operands must become `wrapping_`/`checked_`/`saturating_` calls. The
+/// scan is restricted to function bodies so `+` in trait bounds or enum
+/// derives never matches.
+fn rule_l9_overflow_policy(file: &SourceFile, parsed: &ParsedFile, out: &mut Vec<Violation>) {
+    if !file.overflow_file && file.overflow_spans.is_empty() {
+        return;
+    }
+    let operand_prev = |t: &Tok| {
+        (t.kind == TokKind::Ident && !matches!(t.text.as_str(), "mut" | "ref" | "return" | "in"))
+            || t.kind == TokKind::Num
+            || t.is_punct(')')
+            || t.is_punct(']')
+    };
+    for f in &parsed.fns {
+        if !file.in_overflow(f.line) {
+            continue;
+        }
+        let Some((from, to)) = f.body else { continue };
+        let code = &parsed.code;
+        for j in from..to {
+            let t = &code[j];
+            if t.kind != TokKind::Punct || j == 0 || file.in_test(t.line) {
+                continue;
+            }
+            let prev = &code[j - 1];
+            let (op, span_next) = match t.text.as_str() {
+                "+" => ("+", j + 1),
+                "*" => ("*", j + 1),
+                "<" if code.get(j + 1).is_some_and(|n| n.is_punct('<')) => ("<<", j + 2),
+                _ => continue,
+            };
+            if !operand_prev(prev) {
+                continue;
+            }
+            // Literal-only arithmetic (`4 + 4`) is compile-time checked.
+            let rhs = code.get(span_next).map(|n| {
+                if n.is_punct('=') {
+                    code.get(span_next + 1)
+                } else {
+                    Some(n)
+                }
+            });
+            if prev.kind == TokKind::Num && rhs.flatten().is_some_and(|n| n.kind == TokKind::Num) {
+                continue;
+            }
+            out.push(Violation {
+                rule: "L9",
+                file: file.rel.clone(),
+                line: t.line,
+                message: format!(
+                    "bare `{op}` on a packed-state word inside an overflow-policy region"
+                ),
+                hint: "spell the intent: wrapping_/checked_/saturating_ arithmetic, or suppress with the invariant that rules overflow out",
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::parse::parse;
     use crate::source::SourceFile;
+
+    /// Parses the AST-lite and runs the per-file rules, as the driver does.
+    fn check(file: &SourceFile, c: &FileContext) -> Vec<Violation> {
+        let parsed = parse(&file.toks);
+        check_file(file, &parsed, c)
+    }
 
     fn ctx(crate_name: &str) -> FileContext {
         FileContext {
@@ -579,20 +707,20 @@ mod tests {
                    let total: u64 = seen.values().sum();\n\
                    }\n";
         let f = SourceFile::parse("x.rs", src);
-        let v = check_file(&f, &ctx("vecmem-exec"));
+        let v = check(&f, &ctx("vecmem-exec"));
         assert_eq!(rules_at(&v), vec![("L1", 4), ("L1", 5)]);
         // Same file in a non-result crate: clean.
-        assert!(check_file(&f, &ctx("vecmem-cli")).is_empty());
+        assert!(check(&f, &ctx("vecmem-cli")).is_empty());
     }
 
     #[test]
     fn l1_flags_wall_clock_outside_obs() {
         let src = "fn f() { let t = std::time::Instant::now(); }\n";
         let f = SourceFile::parse("x.rs", src);
-        let v = check_file(&f, &ctx("vecmem-cli"));
+        let v = check(&f, &ctx("vecmem-cli"));
         assert_eq!(rules_at(&v), vec![("L1", 1)]);
-        assert!(check_file(&f, &ctx("vecmem-obs")).is_empty());
-        assert!(check_file(&f, &ctx("vecmem-bench")).is_empty());
+        assert!(check(&f, &ctx("vecmem-obs")).is_empty());
+        assert!(check(&f, &ctx("vecmem-bench")).is_empty());
     }
 
     #[test]
@@ -604,7 +732,7 @@ mod tests {
                    let s = items.iter().collect();\n\
                    }\n";
         let f = SourceFile::parse("x.rs", src);
-        let v = check_file(&f, &ctx("vecmem-cli"));
+        let v = check(&f, &ctx("vecmem-cli"));
         assert_eq!(rules_at(&v), vec![("L2", 4), ("L2", 5)]);
     }
 
@@ -617,7 +745,7 @@ mod tests {
                    }\n\
                    #[cfg(test)]\nmod tests {\n fn t() { z.unwrap(); }\n}\n";
         let f = SourceFile::parse("x.rs", src);
-        let v = check_file(&f, &ctx("vecmem-core"));
+        let v = check(&f, &ctx("vecmem-core"));
         assert_eq!(rules_at(&v), vec![("L3", 2), ("L3", 3), ("L3", 4)]);
     }
 
@@ -628,7 +756,7 @@ mod tests {
             is_library: false,
             ..ctx("vecmem-cli")
         };
-        assert!(check_file(&f, &c).is_empty());
+        assert!(check(&f, &c).is_empty());
     }
 
     #[test]
@@ -649,7 +777,7 @@ mod tests {
                 .collect(),
             ..ctx("vecmem-oracle")
         };
-        let v = check_file(&f, &c);
+        let v = check(&f, &c);
         assert_eq!(rules_at(&v), vec![("L4", 1)]);
     }
 
@@ -660,7 +788,7 @@ mod tests {
                    pub(crate) fn internal() -> Result<(), Error> { body() }\n\
                    pub fn plain() -> u64 { 0 }\n";
         let f = SourceFile::parse("x.rs", src);
-        let v = check_file(&f, &ctx("vecmem-core"));
+        let v = check(&f, &ctx("vecmem-core"));
         assert_eq!(rules_at(&v), vec![("L5", 2)]);
     }
 
@@ -669,20 +797,95 @@ mod tests {
         let src =
             "/// Runs.\npub fn run<F>(f: F)\nwhere\n    F: FnMut() -> Result<(), E>,\n{ body() }\n";
         let f = SourceFile::parse("x.rs", src);
-        assert!(check_file(&f, &ctx("vecmem-core")).is_empty());
+        assert!(check(&f, &ctx("vecmem-core")).is_empty());
     }
 
     #[test]
     fn l0_flags_reasonless_and_unknown_suppressions() {
         let src = "fn f() { x.unwrap(); } // vecmem-lint: allow(L3)\n\
-                   fn g() { y.unwrap(); } // vecmem-lint: allow(L9) -- what\n";
+                   fn g() { y.unwrap(); } // vecmem-lint: allow(LX) -- what\n";
         let f = SourceFile::parse("x.rs", src);
-        let v = check_file(&f, &ctx("vecmem-core"));
+        let v = check(&f, &ctx("vecmem-core"));
         let l0: Vec<u32> = v
             .iter()
             .filter(|v| v.rule == "L0")
             .map(|v| v.line)
             .collect();
         assert_eq!(l0, vec![1, 2]);
+    }
+
+    #[test]
+    fn l8_flags_wildcard_on_policed_enum_in_result_crates_only() {
+        let src = "fn f(m: BankModel) -> u64 {\n\
+                   match m {\n\
+                   BankModel::Uniform => 0,\n\
+                   _ => 1,\n\
+                   }\n\
+                   }\n\
+                   fn g(o: Option<u64>) -> u64 {\n\
+                   match o {\n\
+                   Some(x) => x,\n\
+                   _ => 0,\n\
+                   }\n\
+                   }\n";
+        let f = SourceFile::parse("x.rs", src);
+        let v = check(&f, &ctx("vecmem-simcore"));
+        let l8: Vec<u32> = v
+            .iter()
+            .filter(|v| v.rule == "L8")
+            .map(|v| v.line)
+            .collect();
+        // Only the BankModel wildcard; Option is not policed.
+        assert_eq!(l8, vec![4]);
+        // Non-result crates are exempt.
+        assert!(check(&f, &ctx("vecmem-cli")).iter().all(|v| v.rule != "L8"));
+    }
+
+    #[test]
+    fn l8_exhaustive_match_is_clean() {
+        let src = "fn f(m: BankModel) -> u64 {\n\
+                   match m {\n\
+                   BankModel::Uniform => 0,\n\
+                   BankModel::Dram { hit_cycle, .. } => hit_cycle,\n\
+                   }\n\
+                   }\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(check(&f, &ctx("vecmem-simcore"))
+            .iter()
+            .all(|v| v.rule != "L8"));
+    }
+
+    #[test]
+    fn l9_flags_bare_arithmetic_only_in_marked_fns() {
+        let src = "fn cold(a: u64, b: u64) -> u64 { a + b }\n\
+                   // vecmem-lint: overflow-policy\n\
+                   fn pack(word: u64, bank: u64) -> u64 {\n\
+                   let hi = word << 8;\n\
+                   let lo = word * bank;\n\
+                   let ok = word.wrapping_add(bank);\n\
+                   let idx = 1 + 2;\n\
+                   hi + lo + ok + idx\n\
+                   }\n";
+        let f = SourceFile::parse("x.rs", src);
+        let v = check(&f, &ctx("vecmem-simcore"));
+        let l9: Vec<u32> = v
+            .iter()
+            .filter(|v| v.rule == "L9")
+            .map(|v| v.line)
+            .collect();
+        // Line 1 unmarked; literal-only `1 + 2` exempt; the three `+` on
+        // line 8 plus the shift and the multiply are bare.
+        assert_eq!(l9, vec![4, 5, 8, 8, 8]);
+    }
+
+    #[test]
+    fn l9_compound_assign_counts() {
+        let src = "// vecmem-lint: overflow-policy\n\
+                   fn bump(total: &mut u64, x: u64) {\n\
+                   *total += x;\n\
+                   }\n";
+        let f = SourceFile::parse("x.rs", src);
+        let v = check(&f, &ctx("vecmem-simcore"));
+        assert!(v.iter().any(|v| v.rule == "L9" && v.line == 3), "{v:?}");
     }
 }

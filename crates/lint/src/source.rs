@@ -14,8 +14,24 @@ use crate::tokens::{tokenize, Tok, TokKind};
 /// `fn`).
 pub const ALLOC_FREE_MARKER: &str = "vecmem-lint: alloc-free";
 
-/// Prefix of an inline suppression comment.
+/// Function-level marker declaring a hot-path root: the function and
+/// everything reachable from it through the workspace call graph must be
+/// allocation-free (L6) and panic-free (L7).
+pub const HOT_PATH_MARKER: &str = "vecmem-lint: hot-path";
+
+/// Marker (whole-file or function-level) opting code into the overflow
+/// policy (L9): bare `+`/`*`/`<<` on non-literal operands must become
+/// `wrapping_`/`checked_`/`saturating_` calls or carry an allow.
+pub const OVERFLOW_MARKER: &str = "vecmem-lint: overflow-policy";
+
+/// Prefix of an inline (single-line) suppression comment.
 pub const SUPPRESS_PREFIX: &str = "vecmem-lint: allow(";
+
+/// Prefix of a function-scoped suppression comment: placed directly above
+/// a `fn`, it silences the named rules for the whole body. Reserved for
+/// rules whose findings cluster (L7 indexing in a packed-state kernel);
+/// audited by L0 exactly like the line form.
+pub const SUPPRESS_FN_PREFIX: &str = "vecmem-lint: allow-fn(";
 
 /// An inclusive 1-based line span.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,7 +50,8 @@ impl Span {
     }
 }
 
-/// One parsed `// vecmem-lint: allow(RULE, …) -- reason` comment.
+/// One parsed `// vecmem-lint: allow(RULE, …) -- reason` or
+/// `// vecmem-lint: allow-fn(RULE, …) -- reason` comment.
 #[derive(Debug, Clone)]
 pub struct Suppression {
     /// Line of the comment itself.
@@ -42,6 +59,9 @@ pub struct Suppression {
     /// Line the suppression applies to: the comment's own line when it
     /// trails code, otherwise the next line holding code.
     pub applies_to: u32,
+    /// For `allow-fn`: the span of the following function body the
+    /// suppression covers. `None` for the single-line form.
+    pub span: Option<Span>,
     /// Uppercased rule ids inside `allow(…)`.
     pub rules: Vec<String>,
     /// The justification after `--`, trimmed. Empty means malformed.
@@ -63,6 +83,12 @@ pub struct SourceFile {
     pub alloc_free_file: bool,
     /// Function bodies marked alloc-free by a preceding marker comment.
     pub alloc_free_spans: Vec<Span>,
+    /// Function bodies marked as hot-path roots for L6/L7 propagation.
+    pub hot_path_spans: Vec<Span>,
+    /// True when the whole file opts into the overflow policy (L9).
+    pub overflow_file: bool,
+    /// Function bodies opted into the overflow policy by a marker.
+    pub overflow_spans: Vec<Span>,
     /// Inline suppressions, in source order.
     pub suppressions: Vec<Suppression>,
 }
@@ -74,7 +100,9 @@ impl SourceFile {
         let toks = tokenize(src);
         let test_spans = attribute_spans(&toks, &|attr| attr.iter().any(|t| t.is_ident("test")));
         let feature_spans = feature_attribute_spans(&toks);
-        let (alloc_free_file, alloc_free_spans) = alloc_free_regions(&toks);
+        let (alloc_free_file, alloc_free_spans) = marker_regions(&toks, ALLOC_FREE_MARKER);
+        let (_, hot_path_spans) = marker_regions(&toks, HOT_PATH_MARKER);
+        let (overflow_file, overflow_spans) = marker_regions(&toks, OVERFLOW_MARKER);
         let suppressions = collect_suppressions(&toks);
         Self {
             rel: rel.to_string(),
@@ -83,6 +111,9 @@ impl SourceFile {
             feature_spans,
             alloc_free_file,
             alloc_free_spans,
+            hot_path_spans,
+            overflow_file,
+            overflow_spans,
             suppressions,
         }
     }
@@ -108,12 +139,27 @@ impl SourceFile {
         self.alloc_free_file || self.alloc_free_spans.iter().any(|s| s.contains(line))
     }
 
-    /// The suppression covering `rule` at `line`, if any.
+    /// True when `line` is inside a function body marked as a hot-path
+    /// root (the seed set for L6/L7 propagation).
+    #[must_use]
+    pub fn in_hot_path(&self, line: u32) -> bool {
+        self.hot_path_spans.iter().any(|s| s.contains(line))
+    }
+
+    /// True when `line` is opted into the overflow policy (L9).
+    #[must_use]
+    pub fn in_overflow(&self, line: u32) -> bool {
+        self.overflow_file || self.overflow_spans.iter().any(|s| s.contains(line))
+    }
+
+    /// The suppression covering `rule` at `line`, if any: an exact-line
+    /// `allow` or an `allow-fn` whose function body contains the line.
     #[must_use]
     pub fn suppression_for(&self, rule: &str, line: u32) -> Option<&Suppression> {
-        self.suppressions
-            .iter()
-            .find(|s| s.applies_to == line && s.rules.iter().any(|r| r == rule))
+        self.suppressions.iter().find(|s| {
+            (s.applies_to == line || s.span.is_some_and(|sp| sp.contains(line)))
+                && s.rules.iter().any(|r| r == rule)
+        })
     }
 }
 
@@ -245,53 +291,72 @@ fn feature_attribute_spans(toks: &[Tok]) -> Vec<(String, Span)> {
     out
 }
 
-/// Alloc-free markers: an inner-doc/inner-comment marker marks the whole
-/// file; a line-comment marker marks the next `fn` body.
-fn alloc_free_regions(toks: &[Tok]) -> (bool, Vec<Span>) {
+/// Region markers (alloc-free, hot-path, overflow-policy): an
+/// inner-doc/inner-comment marker marks the whole file; a line-comment
+/// marker marks the next `fn` body.
+///
+/// Marker comments match by prefix, so `vecmem-lint: alloc-free` must not
+/// also be a prefix of another marker's text.
+fn marker_regions(toks: &[Tok], marker: &str) -> (bool, Vec<Span>) {
     let mut whole_file = false;
     let mut spans = Vec::new();
     let code = code_indices(toks);
     for (i, t) in toks.iter().enumerate() {
-        if !t.is_comment() || !t.text.trim().starts_with(ALLOC_FREE_MARKER) {
+        if !t.is_comment() || !t.text.trim().starts_with(marker) {
             continue;
         }
         if t.kind == TokKind::InnerDoc {
             whole_file = true;
             continue;
         }
-        // Function-level marker: find the next `fn` in code order, then the
-        // matching `}` of its body.
-        let next_fn = code.iter().position(|&j| j > i && toks[j].is_ident("fn"));
-        if let Some(kf) = next_fn {
-            let mut depth = 0i32;
-            for &j in &code[kf..] {
-                if toks[j].is_punct('{') {
-                    depth += 1;
-                } else if toks[j].is_punct('}') {
-                    depth -= 1;
-                    if depth == 0 {
-                        spans.push(Span {
-                            start: t.line,
-                            end: toks[j].line,
-                        });
-                        break;
-                    }
-                }
-            }
+        if let Some(span) = next_fn_body_span(toks, &code, i, t.line) {
+            spans.push(span);
         }
     }
     (whole_file, spans)
 }
 
-/// Parses every suppression comment and resolves the line it applies to.
+/// The span from `start_line` through the closing `}` of the next `fn`
+/// body after token index `after` — the region a function-level marker or
+/// `allow-fn` suppression covers.
+fn next_fn_body_span(toks: &[Tok], code: &[usize], after: usize, start_line: u32) -> Option<Span> {
+    let kf = code
+        .iter()
+        .position(|&j| j > after && toks[j].is_ident("fn"))?;
+    let mut depth = 0i32;
+    for &j in &code[kf..] {
+        if toks[j].is_punct('{') {
+            depth += 1;
+        } else if toks[j].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(Span {
+                    start: start_line,
+                    end: toks[j].line,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Parses every suppression comment and resolves the line (or, for
+/// `allow-fn`, the function body) it applies to.
 fn collect_suppressions(toks: &[Tok]) -> Vec<Suppression> {
+    let code = code_indices(toks);
     let mut out = Vec::new();
     for (i, t) in toks.iter().enumerate() {
         if t.kind != TokKind::LineComment {
             continue;
         }
         let text = t.text.trim();
-        let Some(rest) = text.strip_prefix(SUPPRESS_PREFIX) else {
+        // `allow-fn(` first: `allow(` is not a prefix of it, but checking in
+        // this order keeps the two forms visibly distinct.
+        let (rest, fn_scoped) = if let Some(rest) = text.strip_prefix(SUPPRESS_FN_PREFIX) {
+            (rest, true)
+        } else if let Some(rest) = text.strip_prefix(SUPPRESS_PREFIX) {
+            (rest, false)
+        } else {
             continue;
         };
         let (rules_part, tail) = match rest.split_once(')') {
@@ -324,9 +389,15 @@ fn collect_suppressions(toks: &[Tok]) -> Vec<Suppression> {
                 .find(|n| !n.is_comment())
                 .map_or(t.line, |n| n.line)
         };
+        let span = if fn_scoped {
+            next_fn_body_span(toks, &code, i, t.line)
+        } else {
+            None
+        };
         out.push(Suppression {
             comment_line: t.line,
             applies_to,
+            span,
             rules,
             reason,
         });
@@ -403,5 +474,39 @@ mod tests {
         let f = SourceFile::parse("x.rs", "// vecmem-lint: allow(L3)\nlet b = y.unwrap();\n");
         assert_eq!(f.suppressions[0].reason, "");
         assert_eq!(f.suppressions[0].applies_to, 2);
+    }
+
+    #[test]
+    fn hot_path_marker_covers_next_fn_only() {
+        let src = "fn cold() {}\n// vecmem-lint: hot-path\nfn hot(x: u32) {\n    work(x);\n}\nfn after() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.in_hot_path(1));
+        assert!(f.in_hot_path(3));
+        assert!(f.in_hot_path(4));
+        assert!(!f.in_hot_path(6));
+    }
+
+    #[test]
+    fn overflow_marker_file_and_fn_level() {
+        let f = SourceFile::parse("x.rs", "//! vecmem-lint: overflow-policy\nfn a() {}\n");
+        assert!(f.in_overflow(2));
+        let src = "fn a() {}\n// vecmem-lint: overflow-policy\nfn pack() {\n    x;\n}\nfn b() {}\n";
+        let g = SourceFile::parse("x.rs", src);
+        assert!(!g.in_overflow(1));
+        assert!(g.in_overflow(4));
+        assert!(!g.in_overflow(6));
+    }
+
+    #[test]
+    fn allow_fn_suppression_covers_whole_body() {
+        let src = "// vecmem-lint: allow-fn(L7) -- ctor-bounded indexing\n\
+                   fn kernel(b: &[u8]) -> u8 {\n    let x = b[0];\n    b[1]\n}\n\
+                   fn other(b: &[u8]) -> u8 {\n    b[2]\n}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.suppression_for("L7", 3).is_some());
+        assert!(f.suppression_for("L7", 4).is_some());
+        assert!(f.suppression_for("L7", 7).is_none());
+        assert!(f.suppression_for("L3", 3).is_none());
+        assert_eq!(f.suppressions[0].reason, "ctor-bounded indexing");
     }
 }

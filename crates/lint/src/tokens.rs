@@ -173,13 +173,18 @@ pub fn tokenize(src: &str) -> Vec<Tok> {
             }
             c if c.is_ascii_digit() => {
                 let mut j = i + 1;
+                // In a radix literal (`0x…`/`0o…`/`0b…`) an `e` is a digit,
+                // so a following sign is a real operator: `0x1e-3` is a
+                // subtraction, while `1e-9` is one float.
+                let radix_prefix = c == b'0' && matches!(b.get(i + 1), Some(b'x' | b'o' | b'b'));
                 while j < b.len()
                     && (b[j] == b'_'
                         || b[j] == b'.'
                         || b[j].is_ascii_alphanumeric()
                         || ((b[j] == b'+' || b[j] == b'-')
                             && matches!(b[j - 1], b'e' | b'E')
-                            && b[i..j].contains(&b'.')))
+                            && !radix_prefix
+                            && b.get(j + 1).is_some_and(u8::is_ascii_digit)))
                 {
                     // A `.` only continues the number if followed by a digit
                     // (so `0..n` and `1.max(x)` split correctly).
@@ -504,5 +509,60 @@ mod tests {
         assert_eq!(t[1].0, TokKind::Punct);
         assert!(t.iter().any(|k| k.0 == TokKind::Num && k.1 == "1.5e-3"));
         assert!(t.iter().any(|k| k.0 == TokKind::Ident && k.1 == "max"));
+    }
+
+    #[test]
+    fn exponent_without_dot_is_one_number() {
+        let t = kinds("let eps = 1e-9; let big = 2E+10f64;");
+        assert!(t.iter().any(|k| k.0 == TokKind::Num && k.1 == "1e-9"));
+        assert!(t.iter().any(|k| k.0 == TokKind::Num && k.1 == "2E+10f64"));
+    }
+
+    #[test]
+    fn hex_e_does_not_eat_a_minus() {
+        // `0x1e` ends in `e` but is hex: the `-` is a subtraction operator.
+        let t = kinds("0x1e-3");
+        assert_eq!(t[0], (TokKind::Num, "0x1e".into()));
+        assert_eq!(t[1], (TokKind::Punct, "-".into()));
+        assert_eq!(t[2], (TokKind::Num, "3".into()));
+    }
+
+    #[test]
+    fn exponent_sign_needs_a_digit() {
+        // `2e` followed by `- x` is (malformed) code, not a float; the
+        // tokenizer must not swallow the operator.
+        let t = kinds("2e - x");
+        assert_eq!(t[0], (TokKind::Num, "2e".into()));
+        assert_eq!(t[1], (TokKind::Punct, "-".into()));
+    }
+
+    #[test]
+    fn lifetime_closed_by_paren_or_comma() {
+        // `'a)` and `'a,` — the quote token ends at a non-ident char with
+        // no closing quote, so these are lifetimes, not chars.
+        let t = kinds("f::<'a>(&'a, &'b)");
+        let lifetimes: Vec<_> = t
+            .iter()
+            .filter(|k| k.0 == TokKind::Lifetime)
+            .map(|k| k.1.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["a", "a", "b"]);
+        assert!(t.iter().all(|k| k.0 != TokKind::Char));
+    }
+
+    #[test]
+    fn raw_string_with_double_fence() {
+        let t = kinds("let s = r##\"has \"# inside\"##; x");
+        assert!(t
+            .iter()
+            .any(|k| k.0 == TokKind::Str && k.1 == "has \"# inside"));
+        assert!(t.iter().any(|k| k.0 == TokKind::Ident && k.1 == "x"));
+    }
+
+    #[test]
+    fn nested_block_comment_counts_lines() {
+        let t = tokenize("/* a\n /* b\n */ c\n */ x");
+        let x = t.iter().find(|k| k.is_ident("x")).unwrap();
+        assert_eq!(x.line, 4);
     }
 }

@@ -2,6 +2,8 @@
 //! their files, run the rules, apply suppressions, diff the baseline.
 
 use crate::baseline::{Baseline, RatchetBreak};
+use crate::graph::{module_path, CallGraph, GraphFile};
+use crate::parse::{parse, ParsedFile};
 use crate::rules::{check_file, collect_gated_items, FileContext, Violation};
 use crate::source::SourceFile;
 use std::fs;
@@ -20,6 +22,9 @@ pub struct CrateInfo {
     /// True when the crate has no library target (`[[bin]]` only): every
     /// source file then gets the binary-target exemption.
     pub bin_only: bool,
+    /// Direct workspace (`vecmem-*`) dependencies, for call-graph edge
+    /// filtering.
+    pub deps: Vec<String>,
 }
 
 /// Feature names L4 watches for when a crate declares them.
@@ -35,6 +40,10 @@ pub struct LintRun {
     pub suppressed: u64,
     /// Files linted.
     pub files: u64,
+    /// Call-graph resolution notes on the hot-path cone (trait-dispatch
+    /// fan-outs, ambiguous calls, function-pointer edges): the logged
+    /// over-approximations behind the L6/L7 findings.
+    pub notes: Vec<String>,
 }
 
 /// Discovers workspace member crates (`crates/*` plus the root package).
@@ -100,11 +109,24 @@ fn read_crate(root: &Path, dir: &Path) -> Result<Option<CrateInfo>, String> {
     let bin_only = !dir.join("src/lib.rs").is_file()
         && !text.lines().any(|l| l.trim() == "[lib]")
         && text.lines().any(|l| l.trim() == "[[bin]]");
+    // Workspace dependencies: `vecmem-x = { path = … }` lines in any
+    // dependency section (dev-dependencies included — they only matter
+    // for test code, which the graph skips anyway, but keeping them
+    // costs nothing).
+    let deps = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| l.starts_with("vecmem-") && l.contains('='))
+        .filter_map(|l| l.split('=').next())
+        .map(|n| n.trim().to_string())
+        .filter(|n| *n != name)
+        .collect();
     Ok(Some(CrateInfo {
         name,
         rel_dir,
         policed_features,
         bin_only,
+        deps,
     }))
 }
 
@@ -142,7 +164,17 @@ fn is_binary_source(rel: &str) -> bool {
     rel.ends_with("src/main.rs") || rel.contains("/src/bin/")
 }
 
-/// Lints the whole workspace rooted at `root`.
+/// One fully loaded source file, ready for rules and graph building.
+struct LoadedFile {
+    krate: usize,
+    rel: String,
+    source: SourceFile,
+    parsed: ParsedFile,
+}
+
+/// Lints the whole workspace rooted at `root`: per-file rules (L0–L5,
+/// L8, L9) plus the interprocedural L6/L7 over the workspace call
+/// graph.
 ///
 /// # Errors
 /// Returns a rendered message when the workspace layout or a source file
@@ -151,55 +183,89 @@ pub fn lint_workspace(root: &Path) -> Result<LintRun, String> {
     let crates = discover_crates(root)?;
     let mut violations = Vec::new();
     let mut suppressed = 0u64;
-    let mut files = 0u64;
-    for krate in &crates {
-        let sources = crate_sources(root, krate);
-        // Pass 1 (L4): collect feature-gated item definitions crate-wide.
-        let mut gated_items: Vec<(String, String)> = Vec::new();
-        let mut parsed: Vec<(String, SourceFile)> = Vec::new();
-        for path in &sources {
+
+    // Pass 1: load and parse every file; collect L4's feature-gated item
+    // definitions per crate.
+    let mut loaded: Vec<LoadedFile> = Vec::new();
+    let mut gated: Vec<Vec<(String, String)>> = vec![Vec::new(); crates.len()];
+    for (ki, krate) in crates.iter().enumerate() {
+        for path in crate_sources(root, krate) {
             let rel = path
                 .strip_prefix(root)
-                .unwrap_or(path)
+                .unwrap_or(&path)
                 .to_string_lossy()
                 .replace('\\', "/");
-            let text = fs::read_to_string(path)
+            let text = fs::read_to_string(&path)
                 .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-            let file = SourceFile::parse(&rel, &text);
+            let source = SourceFile::parse(&rel, &text);
+            let parsed = parse(&source.toks);
             for feature in &krate.policed_features {
-                for name in collect_gated_items(&file, feature) {
-                    if !gated_items.iter().any(|(n, _)| *n == name) {
-                        gated_items.push((name, feature.clone()));
+                for name in collect_gated_items(&source, feature) {
+                    if !gated[ki].iter().any(|(n, _)| *n == name) {
+                        gated[ki].push((name, feature.clone()));
                     }
                 }
             }
-            parsed.push((rel, file));
+            loaded.push(LoadedFile {
+                krate: ki,
+                rel,
+                source,
+                parsed,
+            });
         }
-        // Pass 2: rules + suppressions.
-        for (rel, file) in &parsed {
-            files += 1;
-            let ctx = FileContext {
-                crate_name: krate.name.clone(),
-                is_library: !krate.bin_only && !is_binary_source(rel),
-                gated_items: gated_items.clone(),
-            };
-            for v in check_file(file, &ctx) {
-                // L0 findings are about the suppressions themselves and
-                // cannot be suppressed away.
-                if v.rule != "L0" && file.suppression_for(v.rule, v.line).is_some() {
-                    suppressed += 1;
-                } else {
-                    violations.push(v);
-                }
+    }
+
+    // Pass 2: per-file rules.
+    for f in &loaded {
+        let krate = &crates[f.krate];
+        let ctx = FileContext {
+            crate_name: krate.name.clone(),
+            is_library: !krate.bin_only && !is_binary_source(&f.rel),
+            gated_items: gated[f.krate].clone(),
+        };
+        for v in check_file(&f.source, &f.parsed, &ctx) {
+            // L0 findings are about the suppressions themselves and
+            // cannot be suppressed away.
+            if v.rule != "L0" && f.source.suppression_for(v.rule, v.line).is_some() {
+                suppressed += 1;
+            } else {
+                violations.push(v);
             }
         }
     }
+
+    // Pass 3: the call graph and the interprocedural rules. Suppressions
+    // apply at the violating line's own file, exactly like per-file
+    // rules (so one `allow(L3, L7)` covers both findings on a line).
+    let inputs: Vec<GraphFile<'_>> = loaded
+        .iter()
+        .map(|f| GraphFile {
+            krate: &crates[f.krate].name,
+            rel: &f.rel,
+            module: module_path(&f.rel),
+            source: &f.source,
+            parsed: &f.parsed,
+            deps: &crates[f.krate].deps,
+        })
+        .collect();
+    let graph = CallGraph::build(&inputs);
+    for v in graph.interprocedural() {
+        let file = loaded.iter().find(|f| f.rel == v.file);
+        if file.is_some_and(|f| f.source.suppression_for(v.rule, v.line).is_some()) {
+            suppressed += 1;
+        } else {
+            violations.push(v);
+        }
+    }
+    let notes = graph.cone_notes();
+
     violations
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     Ok(LintRun {
         violations,
         suppressed,
-        files,
+        files: loaded.len() as u64,
+        notes,
     })
 }
 

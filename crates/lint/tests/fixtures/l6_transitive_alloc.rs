@@ -1,0 +1,25 @@
+//! Fixture: a helper reached from a hot-path root allocates. No
+//! alloc-free marker covers the helper, so the lexical L2 rule cannot
+//! see it; the call-graph rule L6 catches it from the root.
+
+// vecmem-lint: hot-path
+pub fn step_like(x: u64) -> u64 {
+    build_scratch(x)
+}
+
+/// Unmarked: L2 never looks inside this body.
+fn build_scratch(x: u64) -> u64 {
+    let v = vec![x; 4];
+    scratch_len(&v) as u64
+}
+
+fn scratch_len(v: &[u64]) -> usize {
+    // vecmem-lint: allow(L6) -- fixture: cloned buffer is test-only slack
+    let w = v.to_vec();
+    w.len()
+}
+
+/// Cold path: allocates freely, never reached from the root.
+pub fn render_report(x: u64) -> String {
+    format!("x = {x}")
+}

@@ -1,0 +1,21 @@
+//! Fixture: panic surfaces reachable from the kernel root. The root
+//! itself is clean; every finding sits in the transitively-called
+//! helper, which only L7's cone walk can reach.
+
+// vecmem-lint: hot-path
+pub fn kernel(xs: &[u64], d: u64) -> u64 {
+    helper(xs, d)
+}
+
+fn helper(xs: &[u64], d: u64) -> u64 {
+    let first = xs.first().unwrap();
+    let q = first / d;
+    // vecmem-lint: allow(L7) -- fixture: index bounded by caller contract
+    let w = xs[1];
+    q ^ w
+}
+
+/// Cold path: panics freely, never reached from the root.
+pub fn debug_dump(xs: &[u64]) -> u64 {
+    xs[0]
+}

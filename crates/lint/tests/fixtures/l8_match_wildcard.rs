@@ -1,0 +1,29 @@
+//! Fixture: wildcard arms on a policed enum. One bare `_` fires L8;
+//! one carries a documented allow and is silenced.
+
+pub enum BankModel {
+    Uniform,
+    Dram { hit_cycles: u64 },
+}
+
+pub fn hold(m: &BankModel) -> u64 {
+    match m {
+        BankModel::Uniform => 3,
+        _ => 1,
+    }
+}
+
+pub fn hold_allowed(m: &BankModel) -> u64 {
+    match m {
+        BankModel::Uniform => 3,
+        // vecmem-lint: allow(L8) -- fixture: documented forward-compat default
+        _ => 1,
+    }
+}
+
+pub fn hold_exhaustive(m: &BankModel) -> u64 {
+    match m {
+        BankModel::Uniform => 3,
+        BankModel::Dram { .. } => 1,
+    }
+}

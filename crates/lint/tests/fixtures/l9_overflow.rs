@@ -1,0 +1,17 @@
+//! Fixture: bare arithmetic inside an overflow-policy region. One
+//! shift fires L9; a wrapping_ call and an allowed multiply stay quiet,
+//! and arithmetic outside the region is never scanned.
+
+// vecmem-lint: overflow-policy
+pub fn pack(word: u64, bank: u64) -> u64 {
+    let hi = word << 8;
+    let ok = word.wrapping_mul(bank);
+    // vecmem-lint: allow(L9) -- fixture: bank < 64 by geometry, cannot overflow
+    let lo = word * bank;
+    hi ^ ok ^ lo
+}
+
+/// Outside the policy region: bare `+` is fine here.
+pub fn unmarked(a: u64, b: u64) -> u64 {
+    a + b
+}

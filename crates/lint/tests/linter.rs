@@ -5,8 +5,10 @@
 
 use std::fs;
 use std::path::Path;
+use vecmem_lint::graph::{module_path, GraphFile};
 use vecmem_lint::{
-    check_file, collect_gated_items, Baseline, FileContext, RatchetBreak, SourceFile, Violation,
+    check_file, collect_gated_items, parse, Baseline, CallGraph, FileContext, RatchetBreak,
+    SourceFile, Violation,
 };
 
 fn fixture(name: &str) -> SourceFile {
@@ -17,13 +19,39 @@ fn fixture(name: &str) -> SourceFile {
     SourceFile::parse(&format!("tests/fixtures/{name}"), &src)
 }
 
-/// Mirrors the driver: run the rules, split findings into surviving
-/// violations and suppressed counts.
+/// Mirrors the driver: run the per-file rules, split findings into
+/// surviving violations and suppressed counts.
 fn lint(file: &SourceFile, ctx: &FileContext) -> (Vec<Violation>, u64) {
     let mut surviving = Vec::new();
     let mut suppressed = 0;
-    for v in check_file(file, ctx) {
+    let parsed = parse(&file.toks);
+    for v in check_file(file, &parsed, ctx) {
         if v.rule != "L0" && file.suppression_for(v.rule, v.line).is_some() {
+            suppressed += 1;
+        } else {
+            surviving.push(v);
+        }
+    }
+    (surviving, suppressed)
+}
+
+/// Mirrors the driver's graph pass over a single fixture file: build the
+/// call graph, run L6/L7, apply suppressions.
+fn lint_graph(file: &SourceFile, crate_name: &str) -> (Vec<Violation>, u64) {
+    let parsed = parse(&file.toks);
+    let input = GraphFile {
+        krate: crate_name,
+        rel: &file.rel,
+        module: module_path(&file.rel),
+        source: file,
+        parsed: &parsed,
+        deps: &[],
+    };
+    let graph = CallGraph::build(std::slice::from_ref(&input));
+    let mut surviving = Vec::new();
+    let mut suppressed = 0;
+    for v in graph.interprocedural() {
+        if file.suppression_for(v.rule, v.line).is_some() {
             suppressed += 1;
         } else {
             surviving.push(v);
@@ -120,6 +148,78 @@ fn l5_fixture_flags_undocumented_result_fn() {
     assert_eq!(violations[0].rule, "L5");
     assert_eq!(violations[0].line, 4, "pub fn parse_banks");
     assert!(violations[0].message.contains("parse_banks"));
+}
+
+#[test]
+fn l6_fixture_flags_transitive_allocation_from_hot_root() {
+    let file = fixture("l6_transitive_alloc.rs");
+    let (violations, suppressed) = lint_graph(&file, "vecmem-simcore");
+    assert_eq!(suppressed, 1, "the allowed .to_vec() is silenced");
+    assert_eq!(violations.len(), 1, "violations: {violations:?}");
+    assert_eq!(violations[0].rule, "L6");
+    assert_eq!(violations[0].line, 12, "the vec! in build_scratch");
+    assert!(
+        violations[0].message.contains("step_like"),
+        "the chain names the root: {}",
+        violations[0].message
+    );
+}
+
+#[test]
+fn l6_fixture_proves_the_lexical_rule_misses_it() {
+    // The same fixture run through the per-file pass only (L6 disabled):
+    // no alloc-free marker covers `build_scratch`, so L2 stays silent.
+    // Only the call-graph pass above can reach the allocation.
+    let file = fixture("l6_transitive_alloc.rs");
+    let (violations, suppressed) = lint(&file, &library_ctx("vecmem-simcore"));
+    assert_eq!(violations, Vec::new(), "L2 cannot see the escape");
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn l7_fixture_flags_panic_surfaces_on_the_kernel_cone() {
+    let file = fixture("l7_kernel_cone.rs");
+    let (violations, suppressed) = lint_graph(&file, "vecmem-simcore");
+    assert_eq!(suppressed, 1, "the allowed indexing is silenced");
+    let got: Vec<(&str, u32)> = violations.iter().map(|v| (v.rule, v.line)).collect();
+    assert_eq!(
+        got,
+        vec![("L7", 11), ("L7", 12)],
+        "the .unwrap() and the `/ d`; violations: {violations:?}"
+    );
+    assert!(
+        violations[0].message.contains("kernel"),
+        "the chain names the root: {}",
+        violations[0].message
+    );
+}
+
+#[test]
+fn l8_fixture_flags_wildcard_on_policed_enum() {
+    let file = fixture("l8_match_wildcard.rs");
+    let (violations, suppressed) = lint(&file, &library_ctx("vecmem-simcore"));
+    assert_eq!(suppressed, 1, "the allowed wildcard is silenced");
+    assert_eq!(violations.len(), 1, "violations: {violations:?}");
+    assert_eq!(violations[0].rule, "L8");
+    assert_eq!(violations[0].line, 12, "the bare `_` arm in hold()");
+}
+
+#[test]
+fn l8_fixture_is_silent_outside_result_crates() {
+    let file = fixture("l8_match_wildcard.rs");
+    let (violations, suppressed) = lint(&file, &library_ctx("vecmem-obs"));
+    assert_eq!(violations, Vec::new());
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn l9_fixture_flags_bare_shift_in_policy_region() {
+    let file = fixture("l9_overflow.rs");
+    let (violations, suppressed) = lint(&file, &library_ctx("vecmem-simcore"));
+    assert_eq!(suppressed, 1, "the allowed multiply is silenced");
+    assert_eq!(violations.len(), 1, "violations: {violations:?}");
+    assert_eq!(violations[0].rule, "L9");
+    assert_eq!(violations[0].line, 7, "the bare `<<` in pack()");
 }
 
 #[test]

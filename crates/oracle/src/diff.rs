@@ -147,6 +147,7 @@ fn repack_oracle_state(
 
 /// Renders the full dual state dump at a divergent cycle. Both sides use
 /// the canonical [`SimState::render`] format.
+// vecmem-lint: allow-fn(L6, L7) -- divergence report: only reached after a mismatch, never on the lockstep hot loop
 fn render_dump(
     config: &SimConfig,
     cycle: u64,
@@ -197,6 +198,7 @@ fn render_dump(
 /// keeps the `(u64::MAX, Granted)` placeholder in both views, so a
 /// cooldown disagreement surfaces as a view mismatch.
 // vecmem-lint: alloc-free
+// vecmem-lint: hot-path
 fn run_lockstep<W: Workload>(
     mut oracle: RefEngine,
     config: &SimConfig,
@@ -224,6 +226,7 @@ fn run_lockstep<W: Workload>(
             .iter_mut()
             .for_each(|v| *v = (u64::MAX, RefOutcome::Granted));
         for ev in engine.state().outcomes() {
+            // vecmem-lint: allow(L7) -- port ids come from the engine's own config, always < ports
             engine_view[ev.port.0] = (ev.request.bank, kind_of(ev.outcome));
         }
         oracle_view
@@ -240,7 +243,7 @@ fn run_lockstep<W: Workload>(
         // the corruption appears, before any divergence masking it.
         #[cfg(feature = "sanitize")]
         if let Err(violation) = oracle_state.validate() {
-            // vecmem-lint: allow(L3) -- sanitizer: corruption must abort at the violating cycle
+            // vecmem-lint: allow(L3, L7) -- sanitizer: corruption must abort at the violating cycle
             panic!("vecmem sanitize: oracle state at cycle {cycle}: {violation}");
         }
         let agree = engine_view == oracle_view

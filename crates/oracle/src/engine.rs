@@ -204,6 +204,7 @@ impl RefPattern {
         let row = if rows == 0 {
             0
         } else {
+            // vecmem-lint: allow(L7) -- banks >= 1 and rows != 0 on this branch
             ((addr / u128::from(banks)) % u128::from(rows)) as u64
         };
         (bank, row)
@@ -382,6 +383,7 @@ impl RefEngine {
     /// [`Engine::bank_residues`](vecmem_banksim::Engine::bank_residues):
     /// the number of upcoming clock periods the bank is still unavailable.
     #[must_use]
+    // vecmem-lint: allow-fn(L6) -- reference engine: clarity over speed is its specification
     pub fn bank_residues(&self) -> Vec<u64> {
         // The countdown holds `n_c - (elapsed since grant)` and is one
         // ahead of the optimized engine's `free_at - now` because it is
@@ -409,6 +411,7 @@ impl RefEngine {
     }
 
     /// Ports in the order the arbiter serves them this cycle (best first).
+    // vecmem-lint: allow-fn(L6) -- reference engine: clarity over speed is its specification
     fn service_order(&self) -> Vec<usize> {
         let mut order: Vec<usize> = (0..self.config.port_cpus.len()).collect();
         order.sort_by_key(|&i| self.rank(i));
@@ -435,6 +438,7 @@ impl RefEngine {
 
     /// Simulates one clock period; `None` marks a port that presented no
     /// request this cycle (idle inside a burst cooldown).
+    // vecmem-lint: allow-fn(L6, L7) -- reference engine: naive Vec-per-cycle lists and direct indexing over validated geometry are its specification
     pub fn step_ports(&mut self) -> Vec<Option<RefStep>> {
         let geom = self.config.geometry;
         let nc = geom.bank_cycle();

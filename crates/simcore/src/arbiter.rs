@@ -34,6 +34,8 @@ pub fn priority_rank(rule: PriorityRule, rotation: usize, n_ports: usize, port: 
 /// count is small (one to a few per CPU), so the phase-2/3 group scans are
 /// plain O(p²) passes over the request slice — no sorting, no temporary
 /// group tables.
+// vecmem-lint: hot-path
+// vecmem-lint: allow-fn(L7) -- every index walks `requests`/`outcomes`, which this function sized itself; the step kernel asserted the banks
 pub fn arbitrate_into(
     config: &SimConfig,
     rotation: usize,

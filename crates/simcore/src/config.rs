@@ -136,6 +136,7 @@ impl SimConfig {
 
     /// CPU of a port.
     #[must_use]
+    // vecmem-lint: allow-fn(L7) -- a PortId is an index into this very table by construction
     pub fn cpu_of(&self, port: PortId) -> CpuId {
         self.ports[port.0]
     }

@@ -107,6 +107,7 @@ pub trait AccessPattern: Clone {
     /// recomputes from scratch; [`StridePattern`] overrides it so the
     /// per-grant hot path is one add and a conditional subtract instead of
     /// wide-integer arithmetic. Must equal `request_at(k)` exactly.
+    // vecmem-lint: hot-path
     #[inline]
     fn advance(&self, k: u64, _prev: &Request) -> Request {
         self.request_at(k)
@@ -175,6 +176,7 @@ impl AccessPattern for StridePattern {
         let row = if self.rows == 0 {
             0
         } else {
+            // vecmem-lint: allow(L7) -- banks >= 1 by the validated geometry; rows != 0 on this branch
             ((addr / u128::from(self.banks)) % u128::from(self.rows)) as u64
         };
         Request { bank, row }
@@ -209,11 +211,14 @@ impl AccessPattern for StridePattern {
         Some(self.state_period)
     }
 
+    // vecmem-lint: hot-path
+    // vecmem-lint: overflow-policy
     #[inline]
     fn advance(&self, k: u64, prev: &Request) -> Request {
         if self.rows != 0 {
             return self.request_at(k);
         }
+        // vecmem-lint: allow(L9) -- bank < banks and step < banks (both validated), so the sum stays below 2·banks
         let bank = prev.bank + self.step;
         let bank = if bank >= self.banks {
             bank - self.banks
@@ -345,6 +350,7 @@ impl AccessPattern for GatherPattern {
         let row = if self.rows == 0 {
             0
         } else {
+            // vecmem-lint: allow(L7) -- banks >= 1 by the validated geometry; rows != 0 on this branch
             (addr / self.banks) % self.rows
         };
         Request { bank, row }
@@ -432,6 +438,7 @@ impl AccessPattern for BurstPattern {
         let row = if self.rows == 0 {
             0
         } else {
+            // vecmem-lint: allow(L7) -- banks >= 1 by the validated geometry; rows != 0 on this branch
             ((addr / u128::from(self.banks)) % u128::from(self.rows)) as u64
         };
         Request { bank, row }
@@ -467,6 +474,7 @@ impl AccessPattern for BurstPattern {
         self.burst
     }
 
+    // vecmem-lint: hot-path
     #[inline]
     fn advance(&self, k: u64, prev: &Request) -> Request {
         if self.rows != 0 {
@@ -548,6 +556,7 @@ impl AccessPattern for AnyPattern {
             Self::Burst(p) => p.burst(),
         }
     }
+    // vecmem-lint: hot-path
     #[inline]
     fn advance(&self, k: u64, prev: &Request) -> Request {
         match self {
@@ -778,6 +787,7 @@ impl<P: AccessPattern> Workload for PatternWorkload<P> {
 
     #[inline]
     fn granted(&mut self, port: PortId, _now: u64) {
+        // vecmem-lint: allow(L7) -- port ids come from this workload's own config, always < ports
         let p = &mut self.ports[port.0];
         p.issued += 1;
         p.current = p.pattern.advance(p.issued, &p.current);

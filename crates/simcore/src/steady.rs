@@ -254,6 +254,7 @@ impl<'c, W: ObservableWorkload + Clone> Cursor<'c, W> {
         self.sync();
         for ev in &self.state.outcomes {
             match ev.outcome {
+                // vecmem-lint: allow(L7) -- port ids come from the kernel's own config, always < ports
                 PortOutcome::Granted => self.per_port[ev.port.0] += 1,
                 PortOutcome::Delayed(kind) => self.conflicts.record(kind),
             }

@@ -62,6 +62,7 @@ pub struct CycleEvents {
 ///
 /// # Panics
 /// If the workload presents a request for a bank outside the geometry.
+// vecmem-lint: hot-path
 pub fn step<W: Workload + ?Sized, O: SimObserver>(
     config: &SimConfig,
     state: &mut SimState,
@@ -84,6 +85,7 @@ pub fn step<W: Workload + ?Sized, O: SimObserver>(
     for p in 0..config.num_ports() {
         let port = PortId(p);
         if let Some(req) = workload.pending(port, now) {
+            // vecmem-lint: allow(L7) -- the documented "# Panics" precondition: an out-of-geometry bank is a workload bug
             assert!(
                 req.bank < banks,
                 "workload requested bank {} of {banks}",
@@ -110,6 +112,7 @@ pub fn step<W: Workload + ?Sized, O: SimObserver>(
     let mut conflicts = ConflictCounts::default();
     let mut contested = false;
     for (i, &(port, req)) in pending.iter().enumerate() {
+        // vecmem-lint: allow(L7) -- kinds was sized from pending by arbitrate_into this same cycle
         if let PortOutcome::Delayed(kind) = kinds[i] {
             conflicts.record(kind);
             contested |= kind != ConflictKind::Bank;
@@ -128,6 +131,7 @@ pub fn step<W: Workload + ?Sized, O: SimObserver>(
         outcomes.push(PortEvent {
             port,
             request: req,
+            // vecmem-lint: allow(L7) -- kinds was sized from pending by arbitrate_into this same cycle
             outcome: kinds[i],
             wait: state.wait(port),
         });
@@ -140,6 +144,7 @@ pub fn step<W: Workload + ?Sized, O: SimObserver>(
     let mut grants = 0u32;
     let miss_hold = config.geometry.bank_cycle();
     for (i, &(port, req)) in pending.iter().enumerate() {
+        // vecmem-lint: allow(L7) -- kinds was sized from pending by arbitrate_into this same cycle
         if kinds[i] == PortOutcome::Granted {
             grants += 1;
             let wait = state.wait(port);
@@ -194,7 +199,7 @@ pub fn step<W: Workload + ?Sized, O: SimObserver>(
     #[cfg(feature = "sanitize")]
     if cfg!(debug_assertions) {
         if let Err(violation) = state.validate() {
-            // vecmem-lint: allow(L3) -- the sanitizer's whole job is to abort loudly at the violating cycle
+            // vecmem-lint: allow(L3, L7) -- the sanitizer's whole job is to abort loudly at the violating cycle
             panic!("vecmem sanitize: cycle {now}: {violation}");
         }
     }

@@ -13,8 +13,23 @@ echo "==> cargo clippy --workspace -D warnings"
 cargo clippy --workspace --all-targets --all-features -- -D warnings
 
 echo "==> vecmem-lint: workspace invariant gate (+ its fixture suite)"
+# The fixture suite covers the interprocedural rules end-to-end: L6/L7
+# call-graph cones, L8 match policy, L9 overflow policy, and the
+# findings-v1 schema round-trip.
 cargo test -q -p vecmem-lint
-cargo run -q --release -p vecmem-lint -- --workspace
+# Gate run: emits the machine-readable findings artifact and enforces the
+# linter's own runtime budget (the analysis must stay under 2 s so this
+# script stays cheap to run on every change).
+mkdir -p target/lint
+cargo run -q --release -p vecmem-lint -- --workspace \
+  --json-out target/lint/findings.json --budget-ms 2000
+python3 - <<'EOF' || { echo "findings artifact is not valid findings-v1 JSON"; exit 1; }
+import json
+doc = json.load(open("target/lint/findings.json"))
+assert doc["schema"] == "vecmem-lint/findings-v1", doc["schema"]
+assert isinstance(doc["findings"], list) and isinstance(doc["notes"], list)
+EOF
+echo "    findings artifact: target/lint/findings.json (schema OK)"
 
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
